@@ -1,0 +1,71 @@
+// Reproduces Figure 10: disk space (pages) used by technique T2's B+-tree
+// family (k = 2..5) versus the R+-tree, over relation cardinalities
+// 500..12000. The paper reports T2 space ~= 1.32 * k * R+-tree space on
+// average; we print the measured multiplier per (N, k) and its average.
+// Space is independent of object size in the dual index (stored values are
+// single surface numbers); we print both object classes to confirm.
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace cdb {
+namespace bench {
+namespace {
+
+void RunSpace(ObjectSize size, const char* label, double* sum_c,
+              int* count_c) {
+  const std::vector<int> cardinalities = {500, 2000, 4000, 8000, 12000};
+  const std::vector<size_t> ks = {2, 3, 4, 5};
+
+  PrintTableHeader(
+      std::string("Figure 10 (") + label +
+          ") - disk pages: R+-tree vs T2 B+-trees",
+      {"N", "R+tree", "T2 k=2", "T2 k=3", "T2 k=4", "T2 k=5", "c(k=5)"});
+  for (int n : cardinalities) {
+    std::vector<std::string> cells{std::to_string(n)};
+    double rtree_pages = 0;
+    double c_last = 0;
+    for (size_t ki = 0; ki < ks.size(); ++ki) {
+      DatasetConfig config;
+      config.n = n;
+      config.size = size;
+      config.k = ks[ki];
+      config.seed = 9000 + static_cast<uint64_t>(n);
+      config.build_rtree = ki == 0;
+      Dataset ds = BuildDataset(config);
+      if (ki == 0) {
+        rtree_pages = static_cast<double>(ds.rtree->live_page_count());
+        cells.push_back(Fmt(rtree_pages, 0));
+      }
+      double dual_pages = static_cast<double>(ds.dual->live_page_count());
+      cells.push_back(Fmt(dual_pages, 0));
+      // The paper's model: dual space = c * k * rtree space.
+      double c = dual_pages / (static_cast<double>(ks[ki]) * rtree_pages);
+      *sum_c += c;
+      ++*count_c;
+      c_last = c;
+    }
+    cells.push_back(Fmt(c_last, 2));
+    PrintTableRow(cells);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cdb
+
+int main() {
+  std::printf("=== Figure 10: disk space ===\n");
+  double sum_c = 0;
+  int count_c = 0;
+  cdb::bench::RunSpace(cdb::ObjectSize::kSmall, "small objects", &sum_c,
+                       &count_c);
+  cdb::bench::RunSpace(cdb::ObjectSize::kMedium, "medium objects", &sum_c,
+                       &count_c);
+  std::printf(
+      "\nAverage multiplier c in [dual pages = c * k * R+ pages]: %.2f "
+      "(paper reports 1.32)\n",
+      sum_c / count_c);
+  return 0;
+}

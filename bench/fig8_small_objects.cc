@@ -1,0 +1,14 @@
+// Reproduces Figure 8: EXIST (a) and ALL (b) selection cost of technique T2
+// versus the R+-tree on *small* objects (bounding boxes covering 1-5 % of
+// the working rectangle), relation cardinality 500..12000, selectivity
+// 10-15 %, page size 1024 bytes.
+
+#include <cstdio>
+
+#include "fig_common.h"
+
+int main() {
+  std::printf("=== Figure 8: small objects (1-5%% of R) ===\n");
+  cdb::bench::RunFigure(cdb::ObjectSize::kSmall, "Figure 8");
+  return 0;
+}

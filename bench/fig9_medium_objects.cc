@@ -1,0 +1,15 @@
+// Reproduces Figure 9: EXIST (a) and ALL (b) selection cost of technique T2
+// versus the R+-tree on *medium* objects (bounding boxes up to 50 % of the
+// working rectangle). The paper's observation to reproduce: the R+-tree
+// degrades on larger objects (clipping and wider overlap), while T2's cost
+// is insensitive to object size.
+
+#include <cstdio>
+
+#include "fig_common.h"
+
+int main() {
+  std::printf("=== Figure 9: medium objects (up to 50%% of R) ===\n");
+  cdb::bench::RunFigure(cdb::ObjectSize::kMedium, "Figure 9");
+  return 0;
+}

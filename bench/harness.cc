@@ -1,0 +1,189 @@
+#include "harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "rtree/rtree_query.h"
+#include "storage/file.h"
+
+namespace cdb {
+namespace bench {
+
+namespace {
+
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL (%s): %s\n", what, st.ToString().c_str());
+    std::abort();
+  }
+}
+
+std::unique_ptr<Pager> MakePager() {
+  PagerOptions opts;
+  opts.page_size = kDefaultPageSize;  // 1024, as in the paper.
+  opts.cache_frames = 64;
+  std::unique_ptr<Pager> pager;
+  Check(Pager::Open(std::make_unique<MemFile>(opts.page_size), opts, &pager),
+        "pager open");
+  return pager;
+}
+
+}  // namespace
+
+// Query slopes and the slope set S share a moderate angle band (slopes up
+// to ~tan(0.9) = 1.26). The paper leaves the query-slope distribution
+// unspecified; T2's handicap intervals [a_i, a_mid] widen with the slope
+// spacing, so the band is the knob that makes the k = 2..5 configurations
+// of Figures 8-10 meaningful. Constraint angles still span the paper's full
+// [0, pi/2) ∪ (pi/2, pi).
+double AngleRange() { return 0.9; }
+
+Dataset BuildDataset(const DatasetConfig& config) {
+  Dataset ds;
+  ds.rel_pager = MakePager();
+  ds.dual_pager = MakePager();
+  ds.rtree_pager = MakePager();
+  Check(Relation::Open(ds.rel_pager.get(), kInvalidPageId, &ds.relation),
+        "relation open");
+
+  Rng rng(config.seed);
+  WorkloadOptions w;
+  w.size = config.size;
+  std::vector<std::pair<Rect, TupleId>> rects;
+  for (int i = 0; i < config.n; ++i) {
+    GeneralizedTuple t = RandomBoundedTuple(&rng, w);
+    Result<TupleId> id = ds.relation->Insert(t);
+    Check(id.status(), "relation insert");
+    Rect box;
+    if (!t.GetBoundingRect(&box)) {
+      std::fprintf(stderr, "FATAL: generated tuple is unbounded\n");
+      std::abort();
+    }
+    rects.push_back({box, id.value()});
+  }
+
+  SlopeSet slopes =
+      SlopeSet::UniformInAngle(config.k, -AngleRange(), AngleRange());
+  Check(DualIndex::Build(ds.dual_pager.get(), ds.relation.get(),
+                         std::move(slopes), config.dual_options, &ds.dual),
+        "dual index build");
+  if (config.build_rtree) {
+    Check(RPlusTree::BulkBuild(ds.rtree_pager.get(), std::move(rects),
+                               &ds.rtree),
+          "r+-tree build");
+  }
+  return ds;
+}
+
+std::vector<CalibratedQuery> MakeQueries(const Relation& relation,
+                                         SelectionType type, int count,
+                                         double sel_lo, double sel_hi,
+                                         Rng* rng) {
+  std::vector<CalibratedQuery> out;
+  for (int i = 0; i < count; ++i) {
+    Result<CalibratedQuery> q =
+        GenerateQuery(relation, type, sel_lo, sel_hi, rng, AngleRange());
+    Check(q.status(), "query calibration");
+    out.push_back(q.value());
+  }
+  return out;
+}
+
+Measurement MeasureDual(Dataset* ds, const std::vector<CalibratedQuery>& qs,
+                        QueryMethod method) {
+  Measurement m;
+  for (const CalibratedQuery& cq : qs) {
+    Check(ds->dual_pager->DropCache(), "drop cache");
+    Check(ds->rel_pager->DropCache(), "drop cache");
+    QueryStats stats;
+    Result<std::vector<TupleId>> r =
+        ds->dual->Select(cq.type, cq.query, method, &stats);
+    Check(r.status(), "dual select");
+    m.index_fetches += static_cast<double>(stats.index_page_fetches);
+    m.tuple_fetches += static_cast<double>(stats.tuple_page_fetches);
+    m.candidates += static_cast<double>(stats.candidates);
+    m.false_hits += static_cast<double>(stats.false_hits);
+    m.duplicates += static_cast<double>(stats.duplicates);
+    m.results += static_cast<double>(stats.results);
+    m.selectivity += cq.selectivity;
+  }
+  double n = static_cast<double>(qs.size());
+  m.index_fetches /= n;
+  m.tuple_fetches /= n;
+  m.candidates /= n;
+  m.false_hits /= n;
+  m.duplicates /= n;
+  m.results /= n;
+  m.selectivity /= n;
+  return m;
+}
+
+Measurement MeasureRTree(Dataset* ds, const std::vector<CalibratedQuery>& qs) {
+  Measurement m;
+  for (const CalibratedQuery& cq : qs) {
+    Check(ds->rtree_pager->DropCache(), "drop cache");
+    Check(ds->rel_pager->DropCache(), "drop cache");
+    QueryStats stats;
+    Result<std::vector<TupleId>> r = RTreeSelect(
+        ds->rtree.get(), ds->relation.get(), cq.type, cq.query, &stats);
+    Check(r.status(), "rtree select");
+    m.index_fetches += static_cast<double>(stats.index_page_fetches);
+    m.tuple_fetches += static_cast<double>(stats.tuple_page_fetches);
+    m.candidates += static_cast<double>(stats.candidates);
+    m.false_hits += static_cast<double>(stats.false_hits);
+    m.duplicates += static_cast<double>(stats.duplicates);
+    m.results += static_cast<double>(stats.results);
+    m.selectivity += cq.selectivity;
+  }
+  double n = static_cast<double>(qs.size());
+  m.index_fetches /= n;
+  m.tuple_fetches /= n;
+  m.candidates /= n;
+  m.false_hits /= n;
+  m.duplicates /= n;
+  m.results /= n;
+  m.selectivity /= n;
+  return m;
+}
+
+Measurement MeasureNaive(Dataset* ds, const std::vector<CalibratedQuery>& qs) {
+  Measurement m;
+  for (const CalibratedQuery& cq : qs) {
+    Check(ds->rel_pager->DropCache(), "drop cache");
+    IoStats before = ds->rel_pager->stats();
+    Result<std::vector<TupleId>> r =
+        NaiveSelect(*ds->relation, cq.type, cq.query);
+    Check(r.status(), "naive select");
+    m.tuple_fetches +=
+        static_cast<double>(ds->rel_pager->stats().Delta(before).page_fetches);
+    m.results += static_cast<double>(r.value().size());
+  }
+  double n = static_cast<double>(qs.size());
+  m.tuple_fetches /= n;
+  m.results /= n;
+  return m;
+}
+
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns) {
+  std::printf("\n%s\n", title.c_str());
+  for (size_t i = 0; i < title.size(); ++i) std::printf("-");
+  std::printf("\n");
+  for (const std::string& c : columns) std::printf("%12s", c.c_str());
+  std::printf("\n");
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  for (const std::string& c : cells) std::printf("%12s", c.c_str());
+  std::printf("\n");
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace cdb

@@ -1,0 +1,86 @@
+// Shared benchmark harness: dataset construction, query calibration,
+// measurement loops and table printing for the paper-reproduction benches.
+
+#ifndef CDB_BENCH_HARNESS_H_
+#define CDB_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "constraint/relation.h"
+#include "dualindex/dual_index.h"
+#include "rtree/rplus_tree.h"
+#include "workload/generator.h"
+#include "workload/query_gen.h"
+
+namespace cdb {
+namespace bench {
+
+/// A fully built experimental setup: one relation, a dual index (2k
+/// B+-trees on its own pager) and an R+-tree (own pager), all over the same
+/// tuples — mirroring Section 5's methodology.
+struct Dataset {
+  std::unique_ptr<Pager> rel_pager;
+  std::unique_ptr<Pager> dual_pager;
+  std::unique_ptr<Pager> rtree_pager;
+  std::unique_ptr<Relation> relation;
+  std::unique_ptr<DualIndex> dual;
+  std::unique_ptr<RPlusTree> rtree;
+};
+
+struct DatasetConfig {
+  int n = 2000;
+  ObjectSize size = ObjectSize::kSmall;
+  size_t k = 3;  // |S|.
+  uint64_t seed = 20260704;
+  DualIndexOptions dual_options;
+  bool build_rtree = true;
+};
+
+/// The slope/angle range shared by the workload and the slope set (stays
+/// clear of the vertical, like the paper's constraint angles).
+double AngleRange();
+
+/// Builds everything. Aborts the process on error (benchmark context).
+Dataset BuildDataset(const DatasetConfig& config);
+
+/// Generates `count` calibrated queries of `type` in the selectivity band.
+std::vector<CalibratedQuery> MakeQueries(const Relation& relation,
+                                         SelectionType type, int count,
+                                         double sel_lo, double sel_hi,
+                                         Rng* rng);
+
+/// Aggregated averages over a query set.
+struct Measurement {
+  double index_fetches = 0;   // Avg index page accesses per query.
+  double tuple_fetches = 0;   // Avg relation page accesses (refinement).
+  double candidates = 0;
+  double false_hits = 0;
+  double duplicates = 0;
+  double results = 0;
+  double selectivity = 0;
+};
+
+/// Runs every query cold-cache through the dual index.
+Measurement MeasureDual(Dataset* ds, const std::vector<CalibratedQuery>& qs,
+                        QueryMethod method);
+
+/// Runs every query cold-cache through the R+-tree (EXIST scan +
+/// refinement; ALL refined by containment).
+Measurement MeasureRTree(Dataset* ds, const std::vector<CalibratedQuery>& qs);
+
+/// Naive full-scan baseline (page accesses on the relation pager).
+Measurement MeasureNaive(Dataset* ds, const std::vector<CalibratedQuery>& qs);
+
+/// Fixed-width table output helpers.
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+std::string Fmt(double v, int precision = 1);
+
+}  // namespace bench
+}  // namespace cdb
+
+#endif  // CDB_BENCH_HARNESS_H_

@@ -1,0 +1,161 @@
+// E12 — google-benchmark micro suite for the substrates: LP evaluation
+// (the TOP/BOT oracle), polyhedron construction, B+-tree operations, pager
+// fetches and R+-tree search. These are the constants behind every number
+// in the figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include "btree/bplus_tree.h"
+#include "common/rng.h"
+#include "geometry/dual.h"
+#include "geometry/lpd.h"
+#include "geometry/polyhedron2d.h"
+#include "rtree/rplus_tree.h"
+#include "storage/file.h"
+#include "workload/generator.h"
+
+namespace cdb {
+namespace {
+
+std::unique_ptr<Pager> MakePager(size_t frames = 64) {
+  PagerOptions opts;
+  opts.page_size = 1024;
+  opts.cache_frames = frames;
+  std::unique_ptr<Pager> pager;
+  if (!Pager::Open(std::make_unique<MemFile>(1024), opts, &pager).ok()) {
+    std::abort();
+  }
+  return pager;
+}
+
+GeneralizedTuple SampleTuple(uint64_t seed) {
+  Rng rng(seed);
+  WorkloadOptions w;
+  return RandomBoundedTuple(&rng, w);
+}
+
+void BM_TopValue(benchmark::State& state) {
+  GeneralizedTuple t = SampleTuple(1);
+  double slope = 0.37;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopValue(t.constraints(), slope));
+    slope += 1e-6;
+  }
+}
+BENCHMARK(BM_TopValue);
+
+void BM_TopValueD(benchmark::State& state) {
+  Rng rng(2);
+  size_t dim = static_cast<size_t>(state.range(0));
+  GeneralizedTupleD t = RandomBoundedTupleD(&rng, dim, 50.0);
+  std::vector<double> slope(dim - 1, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopValueD(t.constraints(), slope));
+  }
+}
+BENCHMARK(BM_TopValueD)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+
+void BM_PolyhedronFromConstraints(benchmark::State& state) {
+  GeneralizedTuple t = SampleTuple(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Polyhedron2D::FromConstraints(t.constraints()));
+  }
+}
+BENCHMARK(BM_PolyhedronFromConstraints);
+
+void BM_TightAssignment(benchmark::State& state) {
+  GeneralizedTuple t = SampleTuple(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxBotOverInterval(t.constraints(), -0.5, 0.5));
+  }
+}
+BENCHMARK(BM_TightAssignment);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  auto pager = MakePager();
+  std::unique_ptr<BPlusTree> tree;
+  if (!BPlusTree::Create(pager.get(), &tree).ok()) std::abort();
+  Rng rng(5);
+  uint32_t id = 0;
+  for (auto _ : state) {
+    if (!tree->Insert(rng.Uniform(-1e6, 1e6), id++).ok()) std::abort();
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeSeek(benchmark::State& state) {
+  auto pager = MakePager();
+  std::unique_ptr<BPlusTree> tree;
+  if (!BPlusTree::Create(pager.get(), &tree).ok()) std::abort();
+  Rng rng(6);
+  for (uint32_t i = 0; i < 50000; ++i) {
+    if (!tree->Insert(rng.Uniform(-1e6, 1e6), i).ok()) std::abort();
+  }
+  for (auto _ : state) {
+    LeafCursor cur;
+    if (!tree->SeekLeaf(rng.Uniform(-1e6, 1e6), &cur).ok()) std::abort();
+    benchmark::DoNotOptimize(cur.seek_pos());
+  }
+}
+BENCHMARK(BM_BTreeSeek);
+
+void BM_PagerFetchHit(benchmark::State& state) {
+  auto pager = MakePager();
+  Result<PageId> id = pager->Allocate();
+  if (!id.ok()) std::abort();
+  for (auto _ : state) {
+    Result<PageRef> ref = pager->Fetch(id.value());
+    benchmark::DoNotOptimize(ref.value().data());
+  }
+}
+BENCHMARK(BM_PagerFetchHit);
+
+void BM_PagerFetchMiss(benchmark::State& state) {
+  auto pager = MakePager(/*frames=*/4);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 64; ++i) {
+    Result<PageId> id = pager->Allocate();
+    if (!id.ok()) std::abort();
+    ids.push_back(id.value());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    Result<PageRef> ref = pager->Fetch(ids[i++ % ids.size()]);
+    benchmark::DoNotOptimize(ref.value().data());
+  }
+}
+BENCHMARK(BM_PagerFetchMiss);
+
+void BM_RTreeHalfPlaneSearch(benchmark::State& state) {
+  auto pager = MakePager(256);
+  Rng rng(7);
+  std::vector<std::pair<Rect, TupleId>> rects;
+  for (int i = 0; i < 5000; ++i) {
+    double cx = rng.Uniform(-50, 50), cy = rng.Uniform(-50, 50);
+    double h = rng.Uniform(0.5, 5);
+    rects.push_back({Rect(cx - h, cy - h, cx + h, cy + h),
+                     static_cast<TupleId>(i)});
+  }
+  std::unique_ptr<RPlusTree> tree;
+  if (!RPlusTree::BulkBuild(pager.get(), rects, &tree).ok()) std::abort();
+  for (auto _ : state) {
+    HalfPlaneQuery q(rng.Uniform(-2, 2), rng.Uniform(-30, 30), Cmp::kGE);
+    benchmark::DoNotOptimize(tree->SearchHalfPlane(q));
+  }
+}
+BENCHMARK(BM_RTreeHalfPlaneSearch);
+
+void BM_WorkloadTupleGeneration(benchmark::State& state) {
+  Rng rng(8);
+  WorkloadOptions w;
+  w.size = state.range(0) == 0 ? ObjectSize::kSmall : ObjectSize::kMedium;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RandomBoundedTuple(&rng, w));
+  }
+}
+BENCHMARK(BM_WorkloadTupleGeneration)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace cdb
+
+BENCHMARK_MAIN();

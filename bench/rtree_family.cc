@@ -1,0 +1,132 @@
+// E15 — the rectangle-index family the paper's Section 1 surveys: the
+// classic R-tree (Guttman 1984, overlapping regions, no duplicates) next to
+// the R+-tree (Sellis 1987, disjoint regions, clipped duplicates) and
+// technique T2, on both object-size classes. Shows *why* the paper picked
+// the R+-tree as the strongest rectangle baseline for EXIST — and that the
+// dual index beats the whole family.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "rtree/guttman_rtree.h"
+#include "rtree/quadtree.h"
+#include "rtree/rtree_query.h"
+#include "storage/file.h"
+
+int main() {
+  using namespace cdb;
+  using namespace cdb::bench;
+  std::printf("=== R-tree family vs T2 (N=8000, k=3, sel 10-15%%) ===\n");
+
+  for (ObjectSize size : {ObjectSize::kSmall, ObjectSize::kMedium}) {
+    DatasetConfig config;
+    config.n = 8000;
+    config.size = size;
+    config.k = 3;
+    Dataset ds = BuildDataset(config);
+
+    // A Guttman R-tree over the same bounding boxes.
+    std::unique_ptr<Pager> gpager;
+    PagerOptions popts;
+    if (!Pager::Open(std::make_unique<MemFile>(popts.page_size), popts,
+                     &gpager)
+             .ok()) {
+      return 1;
+    }
+    std::vector<std::pair<Rect, TupleId>> rects;
+    Status st = ds.relation->ForEach(
+        [&](TupleId id, const GeneralizedTuple& t) -> Status {
+          Rect box;
+          if (!t.GetBoundingRect(&box)) {
+            return Status::Internal("unbounded tuple in bounded workload");
+          }
+          rects.push_back({box, id});
+          return Status::OK();
+        });
+    if (!st.ok()) return 1;
+    std::unique_ptr<GuttmanRTree> gtree;
+    if (!GuttmanRTree::BulkBuild(gpager.get(), rects, &gtree).ok()) return 1;
+
+    // An MX-CIF quadtree over the same boxes.
+    std::unique_ptr<Pager> qpager;
+    if (!Pager::Open(std::make_unique<MemFile>(popts.page_size), popts,
+                     &qpager)
+             .ok()) {
+      return 1;
+    }
+    Rect world = Rect::Empty();
+    for (const auto& [rect, id] : rects) world = world.Enclose(rect);
+    world = Rect(world.xlo - 1, world.ylo - 1, world.xhi + 1, world.yhi + 1);
+    std::unique_ptr<MxCifQuadtree> qtree;
+    if (!MxCifQuadtree::Create(qpager.get(), world, 8, &qtree).ok()) {
+      return 1;
+    }
+    for (const auto& [rect, id] : rects) {
+      if (!qtree->Insert(rect, id).ok()) return 1;
+    }
+
+    PrintTableHeader(
+        std::string(size == ObjectSize::kSmall ? "small" : "medium") +
+            " objects - avg per query",
+        {"struct", "type", "idx-pages", "cands", "dups", "space"});
+    for (SelectionType type : {SelectionType::kExist, SelectionType::kAll}) {
+      Rng rng(13579);
+      auto qs = MakeQueries(*ds.relation, type, 6, 0.10, 0.15, &rng);
+      const char* tname = type == SelectionType::kExist ? "EXIST" : "ALL";
+
+      Measurement t2 = MeasureDual(&ds, qs, QueryMethod::kT2);
+      PrintTableRow({"T2 k=3", tname, Fmt(t2.index_fetches),
+                     Fmt(t2.candidates), Fmt(t2.duplicates),
+                     Fmt(static_cast<double>(ds.dual->live_page_count()), 0)});
+
+      Measurement rp = MeasureRTree(&ds, qs);
+      PrintTableRow({"R+tree", tname, Fmt(rp.index_fetches),
+                     Fmt(rp.candidates), Fmt(rp.duplicates),
+                     Fmt(static_cast<double>(ds.rtree->live_page_count()), 0)});
+
+      // Guttman measurements, cold cache per query.
+      Measurement gm;
+      for (const CalibratedQuery& cq : qs) {
+        if (!gpager->DropCache().ok() || !ds.rel_pager->DropCache().ok()) {
+          return 1;
+        }
+        QueryStats stats;
+        Result<std::vector<TupleId>> r = RTreeSelect(
+            gtree.get(), ds.relation.get(), cq.type, cq.query, &stats);
+        if (!r.ok()) return 1;
+        gm.index_fetches += static_cast<double>(stats.index_page_fetches);
+        gm.candidates += static_cast<double>(stats.candidates);
+        gm.duplicates += static_cast<double>(stats.duplicates);
+      }
+      double nq = static_cast<double>(qs.size());
+      PrintTableRow({"R-tree", tname, Fmt(gm.index_fetches / nq),
+                     Fmt(gm.candidates / nq), Fmt(gm.duplicates / nq),
+                     Fmt(static_cast<double>(gtree->live_page_count()), 0)});
+
+      Measurement qm;
+      for (const CalibratedQuery& cq : qs) {
+        if (!qpager->DropCache().ok() || !ds.rel_pager->DropCache().ok()) {
+          return 1;
+        }
+        QueryStats stats;
+        Result<std::vector<TupleId>> r = RTreeSelect(
+            qtree.get(), ds.relation.get(), cq.type, cq.query, &stats);
+        if (!r.ok()) return 1;
+        qm.index_fetches += static_cast<double>(stats.index_page_fetches);
+        qm.candidates += static_cast<double>(stats.candidates);
+        qm.duplicates += static_cast<double>(stats.duplicates);
+      }
+      PrintTableRow({"quadtree", tname, Fmt(qm.index_fetches / nq),
+                     Fmt(qm.candidates / nq), Fmt(qm.duplicates / nq),
+                     Fmt(static_cast<double>(qtree->live_page_count()), 0)});
+    }
+  }
+  std::printf(
+      "\nExpected shape: the R-tree stores each object once (zero dups,\n"
+      "less space) but pays overlap at query time; the R+-tree trades\n"
+      "duplication for disjoint regions; the MX-CIF quadtree avoids\n"
+      "duplicates but wastes pages on sparse cells and keeps straddling\n"
+      "objects high in the tree. T2 undercuts the whole family on page\n"
+      "accesses at every configuration.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// A tiny constraint-database shell over the ConstraintDatabase facade.
+//
+// Commands (one per line; '#' starts a comment):
+//   insert <constraints>      e.g.  insert x >= 0, y >= 0, x + y <= 4
+//   query ALL|EXIST <ineq>    e.g.  query EXIST y >= 2x + 1
+//   show <id>                 print a stored tuple
+//   delete <id>
+//   stats                     relation/index sizes
+//
+// Run with "-" to read commands from stdin; with no arguments it executes a
+// built-in demo script (so the example is runnable unattended).
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "constraint/parser.h"
+#include "db/database.h"
+
+using namespace cdb;
+
+namespace {
+
+void RunLine(ConstraintDatabase* db, const std::string& line) {
+  std::string trimmed = line;
+  size_t pos = trimmed.find('#');
+  if (pos != std::string::npos) trimmed.resize(pos);
+  std::istringstream in(trimmed);
+  std::string cmd;
+  if (!(in >> cmd)) return;  // Blank line.
+  std::string rest;
+  std::getline(in, rest);
+
+  if (cmd == "insert") {
+    Result<TupleId> id = db->InsertText(rest);
+    if (id.ok()) {
+      std::printf("  -> tuple %u\n", id.value());
+    } else {
+      std::printf("  !! %s\n", id.status().ToString().c_str());
+    }
+  } else if (cmd == "query") {
+    QueryStats stats;
+    Result<std::vector<TupleId>> r = db->Query(rest, &stats);
+    if (!r.ok()) {
+      std::printf("  !! %s\n", r.status().ToString().c_str());
+      return;
+    }
+    std::printf("  -> {");
+    for (size_t i = 0; i < r.value().size(); ++i) {
+      std::printf("%s%u", i ? ", " : "", r.value()[i]);
+    }
+    std::printf("}  (%llu index pages)\n",
+                static_cast<unsigned long long>(stats.index_page_fetches));
+  } else if (cmd == "show") {
+    TupleId id = static_cast<TupleId>(std::stoul(rest));
+    GeneralizedTuple t;
+    Status st = db->Get(id, &t);
+    if (st.ok()) {
+      std::printf("  -> %s\n", FormatGeneralizedTuple(t).c_str());
+    } else {
+      std::printf("  !! %s\n", st.ToString().c_str());
+    }
+  } else if (cmd == "delete") {
+    TupleId id = static_cast<TupleId>(std::stoul(rest));
+    Status st = db->Delete(id);
+    std::printf("  -> %s\n", st.ok() ? "deleted" : st.ToString().c_str());
+  } else if (cmd == "explain") {
+    Result<std::string> plan = db->Explain(rest);
+    if (plan.ok()) {
+      std::printf("%s", plan.value().c_str());
+    } else {
+      std::printf("  !! %s\n", plan.status().ToString().c_str());
+    }
+  } else if (cmd == "stats") {
+    std::printf("  -> %llu tuples, %llu index pages, %llu data pages\n",
+                static_cast<unsigned long long>(db->size()),
+                static_cast<unsigned long long>(
+                    db->index_pager()->live_page_count()),
+                static_cast<unsigned long long>(
+                    db->relation_pager()->live_page_count()));
+  } else {
+    std::printf("  !! unknown command '%s'\n", cmd.c_str());
+  }
+}
+
+const char* kDemoScript[] = {
+    "# A few parcels and service areas",
+    "insert x >= 0, y >= 0, x + y <= 4",
+    "insert x >= 5, x <= 7, y >= 5, y <= 7",
+    "insert y >= 2x + 10, y <= 2x + 12, x >= 0",
+    "insert x <= 2, y >= 3            # unbounded coverage zone",
+    "insert x >= 1, x <= 0            # contradiction: rejected",
+    "stats",
+    "show 3",
+    "query EXIST y >= 6",
+    "query ALL y >= -1",
+    "query ALL x <= 8",
+    "query EXIST x >= 6.5",
+    "explain EXIST y >= 0.7x + 2",
+    "explain ALL x <= 8",
+    "delete 1",
+    "query EXIST y >= 6",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DatabaseOptions opts;
+  opts.in_memory = true;
+  opts.slopes = {-1.0, -0.3, 0.3, 1.0};
+  opts.index_options.support_vertical = true;
+  std::unique_ptr<ConstraintDatabase> db;
+  Status st = ConstraintDatabase::Open("shell", opts, &db);
+  if (!st.ok()) {
+    std::fprintf(stderr, "open: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  if (argc > 1 && std::string(argv[1]) == "-") {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      std::printf("> %s\n", line.c_str());
+      RunLine(db.get(), line);
+    }
+  } else {
+    for (const char* line : kDemoScript) {
+      std::printf("> %s\n", line);
+      RunLine(db.get(), line);
+    }
+  }
+  return 0;
+}

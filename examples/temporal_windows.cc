@@ -1,0 +1,103 @@
+// Temporal scenario (the paper's framing: "a powerful framework to model
+// spatial and *temporal* data"): each tuple is a forecast band over the
+// (t = time, v = value) plane — the forecast is valid for a time window and
+// bounds the value by linear envelopes (drift, ramps, open-ended windows).
+//
+// The selections map onto the index's query families:
+//   * "which forecasts allow the value to exceed the alert line v >= c·t+b
+//     at some moment"            -> EXIST half-plane
+//   * "which forecasts stay entirely under the cap"  -> ALL half-plane
+//   * "which forecasts are still valid after time T"  -> vertical queries
+//   * "which forecasts cross the horizontal band v in [lo, hi] at t = 0
+//     slope"                     -> slab selection (footnote 6's intervals)
+
+#include <cstdio>
+#include <vector>
+
+#include "constraint/parser.h"
+#include "dualindex/dual_index.h"
+#include "storage/file.h"
+
+using namespace cdb;
+
+namespace {
+
+void Check(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PagerOptions popts;
+  std::unique_ptr<Pager> rel_pager, idx_pager;
+  Check(Pager::Open(std::make_unique<MemFile>(popts.page_size), popts,
+                    &rel_pager));
+  Check(Pager::Open(std::make_unique<MemFile>(popts.page_size), popts,
+                    &idx_pager));
+  std::unique_ptr<Relation> forecasts;
+  Check(Relation::Open(rel_pager.get(), kInvalidPageId, &forecasts));
+
+  // x = hours from now, y = load (MW).
+  struct Forecast {
+    const char* name;
+    const char* band;
+  };
+  const std::vector<Forecast> bands = {
+      // Flat band for the next 24 h.
+      {"baseline", "x >= 0, x <= 24, y >= 40, y <= 55"},
+      // Morning ramp: rising envelope, valid 0-12 h.
+      {"ramp-up", "x >= 0, x <= 12, y >= 2x + 30, y <= 2x + 45"},
+      // Evening decay, valid 12-36 h.
+      {"decay", "x >= 12, x <= 36, y >= -x + 80, y <= -x + 95"},
+      // Open-ended drift: valid from 24 h on, no end (infinite tuple).
+      {"drift", "x >= 24, y >= 0.5x + 20, y <= 0.5x + 40"},
+      // Peak event, short window.
+      {"peak", "x >= 6, x <= 9, y >= 70, y <= 90"},
+  };
+  std::vector<std::string> names;
+  for (const Forecast& f : bands) {
+    GeneralizedTuple t;
+    Check(ParseGeneralizedTuple(f.band, &t));
+    Check(forecasts->Insert(t).status());
+    names.push_back(f.name);
+  }
+
+  DualIndexOptions opts;
+  opts.support_vertical = true;
+  std::unique_ptr<DualIndex> index;
+  Check(DualIndex::Build(idx_pager.get(), forecasts.get(),
+                         SlopeSet({-1.0, 0.0, 0.5, 2.0}), opts, &index));
+
+  auto print_ids = [&](const char* label,
+                       const Result<std::vector<TupleId>>& r) {
+    Check(r.status());
+    std::printf("%-52s:", label);
+    for (TupleId id : r.value()) std::printf(" %s", names[id].c_str());
+    std::printf("\n");
+  };
+
+  // Alert line: v >= 0.5 t + 60 — can the load reach it at any time?
+  print_ids("can reach alert line v >= 0.5t + 60 (EXIST)",
+            index->Select(SelectionType::kExist,
+                          HalfPlaneQuery(0.5, 60, Cmp::kGE),
+                          QueryMethod::kT2));
+  // Cap: v <= 0.5 t + 70 — which forecasts are guaranteed under it?
+  print_ids("guaranteed under cap v <= 0.5t + 70 (ALL)",
+            index->Select(SelectionType::kAll,
+                          HalfPlaneQuery(0.5, 70, Cmp::kLE),
+                          QueryMethod::kT2));
+  // Validity horizon: still valid at/after hour 20?
+  print_ids("valid at some time t >= 20 (vertical EXIST)",
+            index->SelectVertical(SelectionType::kExist, {20.0, Cmp::kGE}));
+  print_ids("entirely within the first day t <= 24 (vertical ALL)",
+            index->SelectVertical(SelectionType::kAll, {24.0, Cmp::kLE}));
+  // Load band: which forecasts intersect v in [50, 60] (slope-0 slab)?
+  print_ids("load can sit in the 50-60 MW band (slab EXIST)",
+            index->SelectSlab(SelectionType::kExist, 0.0, 50, 60));
+
+  return 0;
+}

@@ -1,0 +1,852 @@
+#include "btree/bplus_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "btree/node_layout.h"
+
+namespace cdb {
+
+namespace nb = btree_node;
+
+namespace {
+
+constexpr uint64_t kTreeMagic = 0xB7EE1DEA00000001ull;
+
+struct TreeMeta {
+  uint64_t magic;
+  PageId root;
+  uint32_t height;
+  uint64_t count;
+};
+
+}  // namespace
+
+// --- LeafCursor ----------------------------------------------------------
+
+Status LeafCursor::LoadLeaf(PageId id) {
+  Result<PageRef> ref = pager_->Fetch(id);
+  if (!ref.ok()) return ref.status();
+  if (!nb::IsLeaf(ref.value().data())) {
+    return Status::Corruption("leaf cursor reached a non-leaf page");
+  }
+  data_.assign(ref.value().data(), ref.value().data() + pager_->page_size());
+  leaf_ = id;
+  count_ = nb::Count(data_.data());
+  seek_pos_ = 0;
+  return Status::OK();
+}
+
+double LeafCursor::key(int i) const {
+  return nb::LeafEntry(data_.data(), static_cast<size_t>(i)).key;
+}
+
+uint32_t LeafCursor::value(int i) const {
+  return nb::LeafEntry(data_.data(), static_cast<size_t>(i)).value;
+}
+
+double LeafCursor::handicap(int slot) const {
+  return nb::Handicap(data_.data(), slot);
+}
+
+Status LeafCursor::NextLeaf() {
+  PageId next = nb::NextLeaf(data_.data());
+  if (next == kInvalidPageId) {
+    leaf_ = kInvalidPageId;
+    return Status::OK();
+  }
+  return LoadLeaf(next);
+}
+
+Status LeafCursor::PrevLeaf() {
+  PageId prev = nb::PrevLeaf(data_.data());
+  if (prev == kInvalidPageId) {
+    leaf_ = kInvalidPageId;
+    return Status::OK();
+  }
+  return LoadLeaf(prev);
+}
+
+// --- Construction --------------------------------------------------------
+
+Status BPlusTree::Create(Pager* pager, std::unique_ptr<BPlusTree>* out) {
+  Result<PageId> meta = pager->Allocate();
+  if (!meta.ok()) return meta.status();
+  Result<PageId> root = pager->Allocate();
+  if (!root.ok()) return root.status();
+
+  std::unique_ptr<BPlusTree> tree(new BPlusTree(pager, meta.value()));
+  tree->root_ = root.value();
+  tree->count_ = 0;
+  tree->height_ = 1;
+
+  Result<PageRef> ref = pager->Fetch(root.value());
+  if (!ref.ok()) return ref.status();
+  nb::SetType(ref.value().data(), /*leaf=*/true);
+  nb::SetCount(ref.value().data(), 0);
+  nb::SetNextLeaf(ref.value().data(), kInvalidPageId);
+  nb::SetPrevLeaf(ref.value().data(), kInvalidPageId);
+  nb::ResetHandicaps(ref.value().data());
+  ref.value().MarkDirty();
+
+  CDB_RETURN_IF_ERROR(tree->StoreMeta());
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status BPlusTree::Open(Pager* pager, PageId meta_page,
+                       std::unique_ptr<BPlusTree>* out) {
+  std::unique_ptr<BPlusTree> tree(new BPlusTree(pager, meta_page));
+  CDB_RETURN_IF_ERROR(tree->LoadMeta());
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status BPlusTree::BulkLoad(Pager* pager,
+                           std::vector<std::pair<double, uint32_t>> entries,
+                           double fill, std::unique_ptr<BPlusTree>* out) {
+  if (!(fill > 0.0 && fill <= 1.0)) {
+    return Status::InvalidArgument("fill factor must be in (0, 1]");
+  }
+  for (const auto& [k, v] : entries) {
+    (void)v;
+    if (std::isnan(k)) return Status::InvalidArgument("NaN key");
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const std::pair<double, uint32_t>& a,
+               const std::pair<double, uint32_t>& b) {
+              return nb::CKeyLess({a.first, a.second}, {b.first, b.second});
+            });
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i] == entries[i - 1]) {
+      return Status::InvalidArgument("duplicate (key, value) pair");
+    }
+  }
+
+  Result<PageId> meta = pager->Allocate();
+  if (!meta.ok()) return meta.status();
+  std::unique_ptr<BPlusTree> tree(new BPlusTree(pager, meta.value()));
+  tree->count_ = entries.size();
+
+  const size_t page_size = pager->page_size();
+  const size_t leaf_cap = nb::LeafCapacity(page_size);
+  const size_t leaf_min = leaf_cap / 2;
+
+  // Split `total` items into chunk sizes of ~per, keeping every chunk (and
+  // especially the last) at or above `min`: an underfull tail merges into
+  // its predecessor when the pair fits one node of capacity `cap`, and is
+  // rebalanced evenly otherwise (pool > cap >= 2*min guarantees both
+  // halves reach the minimum).
+  auto chunk_sizes = [](size_t total, size_t per, size_t min, size_t cap) {
+    std::vector<size_t> sizes;
+    size_t left = total;
+    while (left > 0) {
+      size_t take = std::min(per, left);
+      sizes.push_back(take);
+      left -= take;
+    }
+    if (sizes.size() >= 2 && sizes.back() < min) {
+      size_t pool = sizes.back() + sizes[sizes.size() - 2];
+      if (pool <= cap) {
+        sizes.pop_back();
+        sizes.back() = pool;
+      } else {
+        sizes[sizes.size() - 2] = pool - pool / 2;
+        sizes.back() = pool / 2;
+      }
+    }
+    return sizes;
+  };
+
+  // --- Leaves.
+  struct ChildRef {
+    nb::CKey first;
+    PageId page;
+  };
+  std::vector<ChildRef> level;
+  size_t per_leaf = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(leaf_cap) * fill));
+  per_leaf = std::max(per_leaf, std::min(leaf_min, entries.size()));
+  std::vector<size_t> sizes =
+      entries.empty()
+          ? std::vector<size_t>{0}
+          : chunk_sizes(entries.size(), per_leaf, leaf_min, leaf_cap);
+  size_t pos = 0;
+  PageId prev_leaf = kInvalidPageId;
+  for (size_t si = 0; si < sizes.size(); ++si) {
+    Result<PageId> page = pager->Allocate();
+    if (!page.ok()) return page.status();
+    Result<PageRef> ref = pager->Fetch(page.value());
+    if (!ref.ok()) return ref.status();
+    char* p = ref.value().data();
+    nb::SetType(p, /*leaf=*/true);
+    nb::SetCount(p, static_cast<uint16_t>(sizes[si]));
+    nb::SetPrevLeaf(p, prev_leaf);
+    nb::SetNextLeaf(p, kInvalidPageId);
+    nb::ResetHandicaps(p);
+    for (size_t i = 0; i < sizes[si]; ++i, ++pos) {
+      nb::SetLeafEntry(p, i, {entries[pos].first, entries[pos].second});
+    }
+    if (prev_leaf != kInvalidPageId) {
+      Result<PageRef> pref = pager->Fetch(prev_leaf);
+      if (!pref.ok()) return pref.status();
+      nb::SetNextLeaf(pref.value().data(), page.value());
+      pref.value().MarkDirty();
+    }
+    ref.value().MarkDirty();
+    nb::CKey first =
+        sizes[si] > 0 ? nb::LeafEntry(p, 0) : nb::CKey{0.0, 0};
+    level.push_back({first, page.value()});
+    prev_leaf = page.value();
+  }
+
+  // --- Internal levels.
+  const size_t icap = nb::InternalCapacity(page_size);
+  const size_t max_children = icap + 1;
+  const size_t min_children = icap / 2 + 1;
+  uint32_t height = 1;
+  while (level.size() > 1) {
+    size_t per = std::max<size_t>(
+        2, static_cast<size_t>(static_cast<double>(max_children) * fill));
+    std::vector<size_t> group =
+        chunk_sizes(level.size(), per, min_children, max_children);
+    std::vector<ChildRef> next;
+    size_t at = 0;
+    for (size_t gi = 0; gi < group.size(); ++gi) {
+      Result<PageId> page = pager->Allocate();
+      if (!page.ok()) return page.status();
+      Result<PageRef> ref = pager->Fetch(page.value());
+      if (!ref.ok()) return ref.status();
+      char* p = ref.value().data();
+      nb::SetType(p, /*leaf=*/false);
+      nb::SetCount(p, static_cast<uint16_t>(group[gi] - 1));
+      nb::SetChild(p, 0, level[at].page);
+      for (size_t i = 1; i < group[gi]; ++i) {
+        nb::SetInternalKey(p, i - 1, level[at + i].first);
+        nb::SetChild(p, i, level[at + i].page);
+      }
+      ref.value().MarkDirty();
+      next.push_back({level[at].first, page.value()});
+      at += group[gi];
+    }
+    level = std::move(next);
+    ++height;
+  }
+  tree->root_ = level.front().page;
+  tree->height_ = height;
+  CDB_RETURN_IF_ERROR(tree->StoreMeta());
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status BPlusTree::LoadMeta() {
+  Result<PageRef> ref = pager_->Fetch(meta_page_);
+  if (!ref.ok()) return ref.status();
+  TreeMeta meta;
+  std::memcpy(&meta, ref.value().data(), sizeof(meta));
+  if (meta.magic != kTreeMagic) {
+    return Status::Corruption("bad B+-tree meta magic");
+  }
+  root_ = meta.root;
+  height_ = meta.height;
+  count_ = meta.count;
+  return Status::OK();
+}
+
+Status BPlusTree::StoreMeta() {
+  Result<PageRef> ref = pager_->Fetch(meta_page_);
+  if (!ref.ok()) return ref.status();
+  TreeMeta meta{kTreeMagic, root_, height_, count_};
+  std::memcpy(ref.value().data(), &meta, sizeof(meta));
+  ref.value().MarkDirty();
+  return Status::OK();
+}
+
+// --- Insert ---------------------------------------------------------------
+
+Status BPlusTree::Insert(double key, uint32_t value) {
+  if (std::isnan(key)) return Status::InvalidArgument("NaN key");
+  SplitResult split;
+  CDB_RETURN_IF_ERROR(InsertRec(root_, key, value, &split));
+  if (split.split) {
+    Result<PageId> new_root = pager_->Allocate();
+    if (!new_root.ok()) return new_root.status();
+    Result<PageRef> ref = pager_->Fetch(new_root.value());
+    if (!ref.ok()) return ref.status();
+    char* p = ref.value().data();
+    nb::SetType(p, /*leaf=*/false);
+    nb::SetCount(p, 0);
+    nb::SetChild(p, 0, root_);
+    nb::InsertInternalEntry(p, 0, {split.sep_key, split.sep_value},
+                            split.right);
+    ref.value().MarkDirty();
+    root_ = new_root.value();
+    ++height_;
+  }
+  ++count_;
+  return StoreMeta();
+}
+
+Status BPlusTree::InsertRec(PageId page, double key, uint32_t value,
+                            SplitResult* out) {
+  out->split = false;
+  Result<PageRef> ref = pager_->Fetch(page);
+  if (!ref.ok()) return ref.status();
+  char* p = ref.value().data();
+  const nb::CKey ckey{key, value};
+
+  if (nb::IsLeaf(p)) {
+    size_t pos = nb::LeafLowerBound(p, ckey);
+    uint16_t n = nb::Count(p);
+    if (pos < n && nb::CKeyEq(nb::LeafEntry(p, pos), ckey)) {
+      return Status::InvalidArgument("duplicate (key, value) pair");
+    }
+    size_t cap = nb::LeafCapacity(pager_->page_size());
+    if (n < cap) {
+      nb::InsertLeafEntry(p, pos, ckey);
+      ref.value().MarkDirty();
+      return Status::OK();
+    }
+    // Split: upper half moves to a fresh right sibling.
+    Result<PageId> right_id = pager_->Allocate();
+    if (!right_id.ok()) return right_id.status();
+    Result<PageRef> rref = pager_->Fetch(right_id.value());
+    if (!rref.ok()) return rref.status();
+    char* r = rref.value().data();
+    nb::SetType(r, /*leaf=*/true);
+    size_t half = n / 2;
+    nb::SetCount(r, static_cast<uint16_t>(n - half));
+    for (size_t i = half; i < n; ++i) {
+      nb::SetLeafEntry(r, i - half, nb::LeafEntry(p, i));
+    }
+    nb::SetCount(p, static_cast<uint16_t>(half));
+    // Chain links.
+    PageId old_next = nb::NextLeaf(p);
+    nb::SetNextLeaf(r, old_next);
+    nb::SetPrevLeaf(r, page);
+    nb::SetNextLeaf(p, right_id.value());
+    if (old_next != kInvalidPageId) {
+      Result<PageRef> nref = pager_->Fetch(old_next);
+      if (!nref.ok()) return nref.status();
+      nb::SetPrevLeaf(nref.value().data(), right_id.value());
+      nref.value().MarkDirty();
+    }
+    // Handicaps: both halves inherit the original slots (conservative —
+    // never loses a qualifying tuple; see DESIGN.md).
+    for (int s = 0; s < nb::kHandicapSlots; ++s) {
+      nb::SetHandicap(r, s, nb::Handicap(p, s));
+    }
+    // Place the new entry.
+    nb::CKey sep = nb::LeafEntry(r, 0);
+    if (nb::CKeyLess(ckey, sep)) {
+      nb::InsertLeafEntry(p, nb::LeafLowerBound(p, ckey), ckey);
+    } else {
+      nb::InsertLeafEntry(r, nb::LeafLowerBound(r, ckey), ckey);
+    }
+    ref.value().MarkDirty();
+    rref.value().MarkDirty();
+    out->split = true;
+    sep = nb::LeafEntry(r, 0);
+    out->sep_key = sep.key;
+    out->sep_value = sep.value;
+    out->right = right_id.value();
+    return Status::OK();
+  }
+
+  // Internal node.
+  size_t idx = nb::DescendIndex(p, ckey);
+  PageId child = nb::Child(p, idx);
+  SplitResult child_split;
+  CDB_RETURN_IF_ERROR(InsertRec(child, key, value, &child_split));
+  if (!child_split.split) return Status::OK();
+
+  nb::InsertInternalEntry(p, idx,
+                          {child_split.sep_key, child_split.sep_value},
+                          child_split.right);
+  ref.value().MarkDirty();
+  uint16_t n = nb::Count(p);
+  size_t cap = nb::InternalCapacity(pager_->page_size());
+  if (n <= cap) return Status::OK();
+
+  // Split the internal node; the middle key is promoted (not kept).
+  Result<PageId> right_id = pager_->Allocate();
+  if (!right_id.ok()) return right_id.status();
+  Result<PageRef> rref = pager_->Fetch(right_id.value());
+  if (!rref.ok()) return rref.status();
+  char* r = rref.value().data();
+  nb::SetType(r, /*leaf=*/false);
+  size_t mid = n / 2;
+  nb::CKey promoted = nb::InternalKey(p, mid);
+  nb::SetCount(r, static_cast<uint16_t>(n - mid - 1));
+  nb::SetChild(r, 0, nb::Child(p, mid + 1));
+  for (size_t i = mid + 1; i < n; ++i) {
+    nb::SetInternalKey(r, i - mid - 1, nb::InternalKey(p, i));
+    nb::SetChild(r, i - mid, nb::Child(p, i + 1));
+  }
+  nb::SetCount(p, static_cast<uint16_t>(mid));
+  rref.value().MarkDirty();
+  out->split = true;
+  out->sep_key = promoted.key;
+  out->sep_value = promoted.value;
+  out->right = right_id.value();
+  return Status::OK();
+}
+
+// --- Delete ---------------------------------------------------------------
+
+Status BPlusTree::Delete(double key, uint32_t value) {
+  if (std::isnan(key)) return Status::InvalidArgument("NaN key");
+  bool underflow = false;
+  CDB_RETURN_IF_ERROR(DeleteRec(root_, key, value, &underflow));
+  // Shrink the root when an internal root has a single child.
+  Result<PageRef> ref = pager_->Fetch(root_);
+  if (!ref.ok()) return ref.status();
+  char* p = ref.value().data();
+  if (!nb::IsLeaf(p) && nb::Count(p) == 0) {
+    PageId only_child = nb::Child(p, 0);
+    PageId old_root = root_;
+    ref.value().Release();
+    CDB_RETURN_IF_ERROR(pager_->Free(old_root));
+    root_ = only_child;
+    --height_;
+  }
+  --count_;
+  return StoreMeta();
+}
+
+Status BPlusTree::DeleteRec(PageId page, double key, uint32_t value,
+                            bool* underflow) {
+  *underflow = false;
+  Result<PageRef> ref = pager_->Fetch(page);
+  if (!ref.ok()) return ref.status();
+  char* p = ref.value().data();
+  const nb::CKey ckey{key, value};
+
+  if (nb::IsLeaf(p)) {
+    size_t pos = nb::LeafLowerBound(p, ckey);
+    if (pos >= nb::Count(p) || !nb::CKeyEq(nb::LeafEntry(p, pos), ckey)) {
+      return Status::NotFound("(key, value) pair not in tree");
+    }
+    nb::RemoveLeafEntry(p, pos);
+    ref.value().MarkDirty();
+    *underflow = nb::Count(p) < nb::LeafCapacity(pager_->page_size()) / 2;
+    return Status::OK();
+  }
+
+  size_t idx = nb::DescendIndex(p, ckey);
+  PageId child = nb::Child(p, idx);
+  bool child_underflow = false;
+  CDB_RETURN_IF_ERROR(DeleteRec(child, key, value, &child_underflow));
+  if (child_underflow) {
+    CDB_RETURN_IF_ERROR(FixUnderflow(p, page, idx));
+    ref.value().MarkDirty();
+  }
+  *underflow = nb::Count(p) < nb::InternalCapacity(pager_->page_size()) / 2;
+  return Status::OK();
+}
+
+Status BPlusTree::FixUnderflow(char* parent, PageId /*parent_id*/,
+                               size_t child_idx) {
+  uint16_t pcount = nb::Count(parent);
+  PageId child_id = nb::Child(parent, child_idx);
+  Result<PageRef> cref = pager_->Fetch(child_id);
+  if (!cref.ok()) return cref.status();
+  char* c = cref.value().data();
+  const bool leaves = nb::IsLeaf(c);
+  const size_t min_count =
+      (leaves ? nb::LeafCapacity(pager_->page_size())
+              : nb::InternalCapacity(pager_->page_size())) /
+      2;
+
+  PageId left_id =
+      child_idx > 0 ? nb::Child(parent, child_idx - 1) : kInvalidPageId;
+  PageId right_id =
+      child_idx < pcount ? nb::Child(parent, child_idx + 1) : kInvalidPageId;
+
+  // --- Try borrowing from the left sibling.
+  if (left_id != kInvalidPageId) {
+    Result<PageRef> lref = pager_->Fetch(left_id);
+    if (!lref.ok()) return lref.status();
+    char* l = lref.value().data();
+    if (nb::Count(l) > min_count) {
+      if (leaves) {
+        nb::CKey moved = nb::LeafEntry(l, nb::Count(l) - 1);
+        nb::RemoveLeafEntry(l, nb::Count(l) - 1);
+        nb::InsertLeafEntry(c, 0, moved);
+        nb::SetInternalKey(parent, child_idx - 1, moved);
+        // Key ranges shifted between the two leaves: conservatively merge
+        // handicap slots into both.
+        for (int s = 0; s < nb::kHandicapSlots; ++s) {
+          double combined = s < 2 ? std::min(nb::Handicap(l, s),
+                                             nb::Handicap(c, s))
+                                  : std::max(nb::Handicap(l, s),
+                                             nb::Handicap(c, s));
+          nb::SetHandicap(l, s, combined);
+          nb::SetHandicap(c, s, combined);
+        }
+      } else {
+        // Rotate through the parent separator.
+        nb::CKey sep = nb::InternalKey(parent, child_idx - 1);
+        PageId borrowed = nb::Child(l, nb::Count(l));
+        nb::CKey l_last = nb::InternalKey(l, nb::Count(l) - 1);
+        PageId old_child0 = nb::Child(c, 0);
+        nb::InsertInternalEntry(c, 0, sep, old_child0);
+        nb::SetChild(c, 0, borrowed);
+        nb::SetInternalKey(parent, child_idx - 1, l_last);
+        nb::RemoveInternalEntry(l, nb::Count(l) - 1);
+      }
+      lref.value().MarkDirty();
+      cref.value().MarkDirty();
+      return Status::OK();
+    }
+  }
+
+  // --- Try borrowing from the right sibling.
+  if (right_id != kInvalidPageId) {
+    Result<PageRef> rref = pager_->Fetch(right_id);
+    if (!rref.ok()) return rref.status();
+    char* r = rref.value().data();
+    if (nb::Count(r) > min_count) {
+      if (leaves) {
+        nb::CKey moved = nb::LeafEntry(r, 0);
+        nb::RemoveLeafEntry(r, 0);
+        nb::InsertLeafEntry(c, nb::Count(c), moved);
+        nb::SetInternalKey(parent, child_idx, nb::LeafEntry(r, 0));
+        for (int s = 0; s < nb::kHandicapSlots; ++s) {
+          double combined = s < 2 ? std::min(nb::Handicap(r, s),
+                                             nb::Handicap(c, s))
+                                  : std::max(nb::Handicap(r, s),
+                                             nb::Handicap(c, s));
+          nb::SetHandicap(r, s, combined);
+          nb::SetHandicap(c, s, combined);
+        }
+      } else {
+        nb::CKey sep = nb::InternalKey(parent, child_idx);
+        PageId borrowed = nb::Child(r, 0);
+        nb::CKey r_first = nb::InternalKey(r, 0);
+        nb::InsertInternalEntry(c, nb::Count(c), sep, borrowed);
+        nb::SetChild(r, 0, nb::Child(r, 1));
+        nb::RemoveInternalEntry(r, 0);
+        nb::SetInternalKey(parent, child_idx, r_first);
+      }
+      rref.value().MarkDirty();
+      cref.value().MarkDirty();
+      return Status::OK();
+    }
+  }
+
+  // --- Merge. Prefer merging `child` into the left sibling; otherwise pull
+  // the right sibling into `child`.
+  if (left_id != kInvalidPageId) {
+    Result<PageRef> lref = pager_->Fetch(left_id);
+    if (!lref.ok()) return lref.status();
+    char* l = lref.value().data();
+    if (leaves) {
+      uint16_t ln = nb::Count(l), cn = nb::Count(c);
+      for (uint16_t i = 0; i < cn; ++i) {
+        nb::SetLeafEntry(l, ln + i, nb::LeafEntry(c, i));
+      }
+      nb::SetCount(l, static_cast<uint16_t>(ln + cn));
+      PageId next = nb::NextLeaf(c);
+      nb::SetNextLeaf(l, next);
+      if (next != kInvalidPageId) {
+        Result<PageRef> nref = pager_->Fetch(next);
+        if (!nref.ok()) return nref.status();
+        nb::SetPrevLeaf(nref.value().data(), left_id);
+        nref.value().MarkDirty();
+      }
+      for (int s = 0; s < nb::kHandicapSlots; ++s) {
+        nb::CombineHandicap(l, s, nb::Handicap(c, s));
+      }
+    } else {
+      nb::CKey sep = nb::InternalKey(parent, child_idx - 1);
+      nb::InsertInternalEntry(l, nb::Count(l), sep, nb::Child(c, 0));
+      uint16_t cn = nb::Count(c);
+      for (uint16_t i = 0; i < cn; ++i) {
+        nb::InsertInternalEntry(l, nb::Count(l), nb::InternalKey(c, i),
+                                nb::Child(c, i + 1));
+      }
+    }
+    lref.value().MarkDirty();
+    nb::RemoveInternalEntry(parent, child_idx - 1);
+    cref.value().Release();
+    return pager_->Free(child_id);
+  }
+
+  if (right_id != kInvalidPageId) {
+    Result<PageRef> rref = pager_->Fetch(right_id);
+    if (!rref.ok()) return rref.status();
+    char* r = rref.value().data();
+    if (leaves) {
+      uint16_t cn = nb::Count(c), rn = nb::Count(r);
+      for (uint16_t i = 0; i < rn; ++i) {
+        nb::SetLeafEntry(c, cn + i, nb::LeafEntry(r, i));
+      }
+      nb::SetCount(c, static_cast<uint16_t>(cn + rn));
+      PageId next = nb::NextLeaf(r);
+      nb::SetNextLeaf(c, next);
+      if (next != kInvalidPageId) {
+        Result<PageRef> nref = pager_->Fetch(next);
+        if (!nref.ok()) return nref.status();
+        nb::SetPrevLeaf(nref.value().data(), child_id);
+        nref.value().MarkDirty();
+      }
+      for (int s = 0; s < nb::kHandicapSlots; ++s) {
+        nb::CombineHandicap(c, s, nb::Handicap(r, s));
+      }
+    } else {
+      nb::CKey sep = nb::InternalKey(parent, child_idx);
+      nb::InsertInternalEntry(c, nb::Count(c), sep, nb::Child(r, 0));
+      uint16_t rn = nb::Count(r);
+      for (uint16_t i = 0; i < rn; ++i) {
+        nb::InsertInternalEntry(c, nb::Count(c), nb::InternalKey(r, i),
+                                nb::Child(r, i + 1));
+      }
+    }
+    cref.value().MarkDirty();
+    nb::RemoveInternalEntry(parent, child_idx);
+    rref.value().Release();
+    return pager_->Free(right_id);
+  }
+
+  // No siblings: only possible at the root, which has no minimum.
+  return Status::OK();
+}
+
+// --- Lookup / cursors ------------------------------------------------------
+
+Status BPlusTree::DescendToLeaf(double key, uint32_t value,
+                                PageId* leaf) const {
+  PageId page = root_;
+  const nb::CKey ckey{key, value};
+  for (uint32_t level = 0; level < height_ + 2; ++level) {
+    Result<PageRef> ref = pager_->Fetch(page);
+    if (!ref.ok()) return ref.status();
+    const char* p = ref.value().data();
+    if (nb::IsLeaf(p)) {
+      *leaf = page;
+      return Status::OK();
+    }
+    page = nb::Child(p, nb::DescendIndex(p, ckey));
+  }
+  return Status::Corruption("B+-tree deeper than recorded height");
+}
+
+Result<bool> BPlusTree::Contains(double key, uint32_t value) const {
+  if (std::isnan(key)) return Status::InvalidArgument("NaN key");
+  PageId leaf;
+  Status st = DescendToLeaf(key, value, &leaf);
+  if (!st.ok()) return st;
+  Result<PageRef> ref = pager_->Fetch(leaf);
+  if (!ref.ok()) return ref.status();
+  const char* p = ref.value().data();
+  const nb::CKey ckey{key, value};
+  size_t pos = nb::LeafLowerBound(p, ckey);
+  return pos < nb::Count(p) && nb::CKeyEq(nb::LeafEntry(p, pos), ckey);
+}
+
+Status BPlusTree::SeekLeaf(double key, LeafCursor* out) const {
+  if (std::isnan(key)) return Status::InvalidArgument("NaN key");
+  PageId leaf;
+  CDB_RETURN_IF_ERROR(DescendToLeaf(key, 0, &leaf));
+  out->pager_ = pager_;
+  CDB_RETURN_IF_ERROR(out->LoadLeaf(leaf));
+  out->seek_pos_ = static_cast<int>(
+      nb::LeafLowerBound(out->data_.data(), nb::CKey{key, 0}));
+  return Status::OK();
+}
+
+Status BPlusTree::SeekFirstLeaf(LeafCursor* out) const {
+  return SeekLeaf(-std::numeric_limits<double>::infinity(), out);
+}
+
+Status BPlusTree::SeekLastLeaf(LeafCursor* out) const {
+  PageId page = root_;
+  for (uint32_t level = 0; level < height_ + 2; ++level) {
+    Result<PageRef> ref = pager_->Fetch(page);
+    if (!ref.ok()) return ref.status();
+    const char* p = ref.value().data();
+    if (nb::IsLeaf(p)) {
+      out->pager_ = pager_;
+      CDB_RETURN_IF_ERROR(out->LoadLeaf(page));
+      out->seek_pos_ = out->count_;
+      return Status::OK();
+    }
+    page = nb::Child(p, nb::Count(p));
+  }
+  return Status::Corruption("B+-tree deeper than recorded height");
+}
+
+// --- Handicaps --------------------------------------------------------------
+
+Status BPlusTree::MergeHandicap(double at, int slot, double v) {
+  if (std::isnan(at) || std::isnan(v)) {
+    return Status::InvalidArgument("NaN handicap");
+  }
+  if (slot < 0 || slot >= nb::kHandicapSlots) {
+    return Status::InvalidArgument("handicap slot out of range");
+  }
+  PageId leaf;
+  CDB_RETURN_IF_ERROR(DescendToLeaf(at, 0, &leaf));
+  Result<PageRef> ref = pager_->Fetch(leaf);
+  if (!ref.ok()) return ref.status();
+  nb::CombineHandicap(ref.value().data(), slot, v);
+  ref.value().MarkDirty();
+  return Status::OK();
+}
+
+Status BPlusTree::ResetHandicaps() {
+  LeafCursor cur;
+  CDB_RETURN_IF_ERROR(SeekFirstLeaf(&cur));
+  while (cur.valid()) {
+    Result<PageRef> ref = pager_->Fetch(cur.leaf_);
+    if (!ref.ok()) return ref.status();
+    nb::ResetHandicaps(ref.value().data());
+    ref.value().MarkDirty();
+    CDB_RETURN_IF_ERROR(cur.NextLeaf());
+  }
+  return Status::OK();
+}
+
+// --- Maintenance -------------------------------------------------------------
+
+namespace {
+
+Status DestroyRec(Pager* pager, PageId page) {
+  Result<PageRef> ref = pager->Fetch(page);
+  if (!ref.ok()) return ref.status();
+  if (!nb::IsLeaf(ref.value().data())) {
+    uint16_t n = nb::Count(ref.value().data());
+    std::vector<PageId> children;
+    for (size_t i = 0; i <= n; ++i) {
+      children.push_back(nb::Child(ref.value().data(), i));
+    }
+    ref.value().Release();
+    for (PageId child : children) {
+      CDB_RETURN_IF_ERROR(DestroyRec(pager, child));
+    }
+  } else {
+    ref.value().Release();
+  }
+  return pager->Free(page);
+}
+
+}  // namespace
+
+Status BPlusTree::Destroy() {
+  CDB_RETURN_IF_ERROR(DestroyRec(pager_, root_));
+  CDB_RETURN_IF_ERROR(pager_->Free(meta_page_));
+  root_ = kInvalidPageId;
+  return Status::OK();
+}
+
+// --- Invariant checking -------------------------------------------------------
+
+Status BPlusTree::CheckNode(PageId page, bool has_lo, double lo_key,
+                            uint32_t lo_val, bool has_hi, double hi_key,
+                            uint32_t hi_val, uint32_t depth,
+                            uint64_t* entries) const {
+  Result<PageRef> ref = pager_->Fetch(page);
+  if (!ref.ok()) return ref.status();
+  const char* p = ref.value().data();
+  const nb::CKey lo{lo_key, lo_val}, hi{hi_key, hi_val};
+
+  if (nb::IsLeaf(p)) {
+    if (depth + 1 != height_) {
+      return Status::Corruption("leaf at wrong depth");
+    }
+    uint16_t n = nb::Count(p);
+    if (page != root_ && n < nb::LeafCapacity(pager_->page_size()) / 2) {
+      return Status::Corruption("leaf under minimum occupancy");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      nb::CKey e = nb::LeafEntry(p, i);
+      if (std::isnan(e.key)) return Status::Corruption("NaN key in leaf");
+      if (i > 0 && !nb::CKeyLess(nb::LeafEntry(p, i - 1), e)) {
+        return Status::Corruption("leaf entries out of order");
+      }
+      if (has_lo && nb::CKeyLess(e, lo)) {
+        return Status::Corruption("leaf entry below separator bound");
+      }
+      if (has_hi && !nb::CKeyLess(e, hi)) {
+        return Status::Corruption("leaf entry above separator bound");
+      }
+    }
+    *entries += n;
+    return Status::OK();
+  }
+
+  if (depth + 1 >= height_) return Status::Corruption("internal too deep");
+  uint16_t n = nb::Count(p);
+  if (page != root_ && n < nb::InternalCapacity(pager_->page_size()) / 2) {
+    return Status::Corruption("internal node under minimum occupancy");
+  }
+  if (page == root_ && n == 0 && height_ > 1) {
+    return Status::Corruption("internal root with single child not shrunk");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    nb::CKey k = nb::InternalKey(p, i);
+    if (i > 0 && !nb::CKeyLess(nb::InternalKey(p, i - 1), k)) {
+      return Status::Corruption("internal keys out of order");
+    }
+    if (has_lo && nb::CKeyLess(k, lo)) {
+      return Status::Corruption("internal key below bound");
+    }
+    if (has_hi && !nb::CKeyLess(k, hi)) {
+      return Status::Corruption("internal key above bound");
+    }
+  }
+  // Recurse with refined bounds. Copy what we need, then release the pin so
+  // deep trees do not exhaust the buffer pool.
+  std::vector<nb::CKey> keys(n);
+  std::vector<PageId> children(n + 1);
+  for (size_t i = 0; i < n; ++i) keys[i] = nb::InternalKey(p, i);
+  for (size_t i = 0; i <= n; ++i) children[i] = nb::Child(p, i);
+  ref.value().Release();
+  for (size_t i = 0; i <= n; ++i) {
+    bool clo = i > 0 || has_lo;
+    nb::CKey blo = i > 0 ? keys[i - 1] : lo;
+    bool chi = i < n || has_hi;
+    nb::CKey bhi = i < n ? keys[i] : hi;
+    CDB_RETURN_IF_ERROR(CheckNode(children[i], clo, blo.key, blo.value, chi,
+                                  bhi.key, bhi.value, depth + 1, entries));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::CheckInvariants() const {
+  uint64_t entries = 0;
+  CDB_RETURN_IF_ERROR(
+      CheckNode(root_, false, 0, 0, false, 0, 0, /*depth=*/0, &entries));
+  if (entries != count_) {
+    return Status::Corruption("entry count mismatch: tree says " +
+                              std::to_string(count_) + ", found " +
+                              std::to_string(entries));
+  }
+  // Leaf chain must visit every entry in order.
+  LeafCursor cur;
+  CDB_RETURN_IF_ERROR(SeekFirstLeaf(&cur));
+  uint64_t chain_entries = 0;
+  bool have_prev = false;
+  nb::CKey prev{0, 0};
+  while (cur.valid()) {
+    for (int i = 0; i < cur.entry_count(); ++i) {
+      nb::CKey e{cur.key(i), cur.value(i)};
+      if (have_prev && !nb::CKeyLess(prev, e)) {
+        return Status::Corruption("leaf chain out of order");
+      }
+      prev = e;
+      have_prev = true;
+      ++chain_entries;
+    }
+    CDB_RETURN_IF_ERROR(cur.NextLeaf());
+  }
+  if (chain_entries != count_) {
+    return Status::Corruption("leaf chain count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace cdb

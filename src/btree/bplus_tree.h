@@ -1,0 +1,175 @@
+// Disk-based B+-tree over (double key -> uint32 value) pairs.
+//
+// This is the indexing substrate of the paper (Section 3): for every slope
+// in the predefined set S the dual index keeps two of these trees, storing
+// TOP^P / BOT^P surface values. Design points driven by the paper:
+//
+//  * Duplicate keys are first-class (many tuples share a surface value);
+//    entries are ordered by the composite (key, value).
+//  * Leaves are chained in both directions so ALL/EXIST selections can
+//    sweep upward or downward from the seek position (Section 3).
+//  * Every leaf carries four "handicap" slots (Section 4.2) that technique
+//    T2 reads during its first sweep. Slots 0 and 1 combine by minimum
+//    ("low" handicaps), slots 2 and 3 by maximum ("high"). The tree keeps
+//    them conservatively correct across splits (copy), merges and
+//    redistributions (combine); exact recomputation is the index's job
+//    (DualIndex::RebuildHandicaps).
+//  * Keys may be ±infinity (dual values of unbounded polyhedra); NaN is
+//    rejected.
+//
+// Complexity matches Theorem 3.1: search/insert/delete O(log_B n), range
+// reporting O(log_B n + t/B) page accesses.
+
+#ifndef CDB_BTREE_BPLUS_TREE_H_
+#define CDB_BTREE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/pager.h"
+
+namespace cdb {
+
+class BPlusTree;
+
+/// Leaf-granular iterator. T2 reads whole leaves: the handicap slots plus
+/// the qualifying entries. Movement costs exactly one page fetch per leaf.
+/// Cursors are invalidated by any tree mutation.
+class LeafCursor {
+ public:
+  LeafCursor() = default;
+
+  bool valid() const { return leaf_ != kInvalidPageId; }
+
+  /// Number of entries in the current leaf.
+  int entry_count() const { return count_; }
+  double key(int i) const;
+  uint32_t value(int i) const;
+
+  /// Position of the first entry >= the seek composite within this leaf
+  /// (only meaningful on the leaf returned by SeekLeaf; may equal
+  /// entry_count()).
+  int seek_pos() const { return seek_pos_; }
+
+  /// Handicap slot of the current leaf (see bplus_tree.h file comment).
+  double handicap(int slot) const;
+
+  /// Moves to the next/previous leaf in key order; the cursor becomes
+  /// invalid past either end.
+  Status NextLeaf();
+  Status PrevLeaf();
+
+ private:
+  friend class BPlusTree;
+  Status LoadLeaf(PageId id);
+
+  Pager* pager_ = nullptr;
+  PageId leaf_ = kInvalidPageId;
+  int count_ = 0;
+  int seek_pos_ = 0;
+  // Materialized copy of the leaf content; keeps the page unpinned between
+  // moves and the read path simple.
+  std::vector<char> data_;
+};
+
+/// See file comment.
+class BPlusTree {
+ public:
+  /// Creates an empty tree in `pager` (caller owns the pager). The tree's
+  /// identity is its meta page id.
+  static Status Create(Pager* pager, std::unique_ptr<BPlusTree>* out);
+
+  /// Opens an existing tree rooted at `meta_page`.
+  static Status Open(Pager* pager, PageId meta_page,
+                     std::unique_ptr<BPlusTree>* out);
+
+  /// Builds a tree from entries in one pass. `entries` are sorted
+  /// internally by the composite (key, value) order and must contain no
+  /// exact duplicates and no NaN keys. Leaves are packed at `fill` of
+  /// capacity (0 < fill <= 1), leaving split slack for later inserts.
+  /// Far cheaper than repeated Insert() and yields denser pages.
+  static Status BulkLoad(Pager* pager,
+                         std::vector<std::pair<double, uint32_t>> entries,
+                         double fill, std::unique_ptr<BPlusTree>* out);
+
+  /// Meta page id; persist to reopen the tree.
+  PageId meta_page() const { return meta_page_; }
+
+  /// Inserts (key, value). Duplicate keys are allowed; the exact (key,
+  /// value) pair must be unique. NaN keys are rejected.
+  Status Insert(double key, uint32_t value);
+
+  /// Removes the exact (key, value) pair; NotFound when absent.
+  Status Delete(double key, uint32_t value);
+
+  /// True when the exact pair is present.
+  Result<bool> Contains(double key, uint32_t value) const;
+
+  /// Number of entries.
+  uint64_t size() const { return count_; }
+
+  /// Tree height (1 = root is a leaf).
+  uint32_t height() const { return height_; }
+
+  /// Positions `out` at the leaf whose key range contains `key`, with
+  /// seek_pos() at the first entry >= (key, min value). Valid even when the
+  /// leaf holds no qualifying entry — T2 needs the leaf's handicaps
+  /// regardless.
+  Status SeekLeaf(double key, LeafCursor* out) const;
+
+  /// Positions `out` at the first / last leaf.
+  Status SeekFirstLeaf(LeafCursor* out) const;
+  Status SeekLastLeaf(LeafCursor* out) const;
+
+  /// Folds `v` into handicap `slot` of the leaf whose range contains `at`
+  /// (min for slots 0-1, max for 2-3).
+  Status MergeHandicap(double at, int slot, double v);
+
+  /// Resets every leaf's handicaps to the neutral values.
+  Status ResetHandicaps();
+
+  /// Frees every page of the tree (the tree object must not be used after).
+  Status Destroy();
+
+  /// Internal consistency check (ordering, separators, chain links, counts);
+  /// used by tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    double sep_key = 0.0;
+    uint32_t sep_value = 0;
+    PageId right = kInvalidPageId;
+  };
+
+  BPlusTree(Pager* pager, PageId meta_page)
+      : pager_(pager), meta_page_(meta_page) {}
+
+  Status LoadMeta();
+  Status StoreMeta();
+
+  Status InsertRec(PageId page, double key, uint32_t value, SplitResult* out);
+  // Returns (via *underflow) whether `page` dropped below minimum occupancy.
+  Status DeleteRec(PageId page, double key, uint32_t value, bool* underflow);
+  // Fixes an underflowing child i of internal node `parent`.
+  Status FixUnderflow(char* parent, PageId parent_id, size_t child_idx);
+
+  Status DescendToLeaf(double key, uint32_t value, PageId* leaf) const;
+  Status CheckNode(PageId page, bool has_lo, double lo_key, uint32_t lo_val,
+                   bool has_hi, double hi_key, uint32_t hi_val,
+                   uint32_t depth, uint64_t* entries) const;
+
+  Pager* pager_;
+  PageId meta_page_;
+  PageId root_ = kInvalidPageId;
+  uint64_t count_ = 0;
+  uint32_t height_ = 1;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_BTREE_BPLUS_TREE_H_

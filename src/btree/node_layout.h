@@ -1,0 +1,226 @@
+// On-page layout of B+-tree nodes (internal header; not part of the public
+// API).
+//
+// All multi-byte fields are accessed through memcpy to keep the layout
+// alignment-free. Entries are ordered by the composite key (key double,
+// value u32) — making every entry unique even when many tuples share a
+// TOP/BOT value, which keeps insert/delete/split logic a textbook total
+// order.
+//
+// Leaf page:
+//   u8  type (=0)   u8 pad   u16 count
+//   u32 next_leaf   u32 prev_leaf
+//   f64 handicap[4]             (slots 0,1 combine by min; 2,3 by max)
+//   entries: count * { f64 key, u32 value }
+//
+// Internal page:
+//   u8  type (=1)   u8 pad   u16 count
+//   u32 child0
+//   entries: count * { f64 key, u32 value, u32 child }
+//     child(i+1) holds composites >= (key_i, value_i); child0 the rest.
+
+#ifndef CDB_BTREE_NODE_LAYOUT_H_
+#define CDB_BTREE_NODE_LAYOUT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "storage/pager.h"
+
+namespace cdb {
+namespace btree_node {
+
+/// Composite key: (key, value) pairs are totally ordered and unique.
+struct CKey {
+  double key;
+  uint32_t value;
+};
+
+inline bool CKeyLess(const CKey& a, const CKey& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.value < b.value;
+}
+inline bool CKeyEq(const CKey& a, const CKey& b) {
+  return a.key == b.key && a.value == b.value;
+}
+
+inline constexpr size_t kLeafHeader = 4 + 8 + 32;       // 44 bytes.
+inline constexpr size_t kLeafEntry = 12;                // f64 + u32.
+inline constexpr size_t kInternalHeader = 4 + 4;        // 8 bytes.
+inline constexpr size_t kInternalEntry = 16;            // f64 + u32 + u32.
+inline constexpr int kHandicapSlots = 4;
+
+/// Neutral handicap per slot: +inf for min-combined slots (0, 1), -inf for
+/// max-combined slots (2, 3).
+inline double NeutralHandicap(int slot) {
+  return slot < 2 ? std::numeric_limits<double>::infinity()
+                  : -std::numeric_limits<double>::infinity();
+}
+
+inline size_t LeafCapacity(size_t page_size) {
+  return (page_size - kLeafHeader) / kLeafEntry;
+}
+inline size_t InternalCapacity(size_t page_size) {
+  // One slot is reserved so inserts can transiently overflow before the
+  // node is split.
+  return (page_size - kInternalHeader - 4) / kInternalEntry - 1;
+}
+
+// --- Common header -----------------------------------------------------
+
+inline bool IsLeaf(const char* p) { return p[0] == 0; }
+inline void SetType(char* p, bool leaf) { p[0] = leaf ? 0 : 1; }
+
+inline uint16_t Count(const char* p) {
+  uint16_t c;
+  std::memcpy(&c, p + 2, 2);
+  return c;
+}
+inline void SetCount(char* p, uint16_t c) { std::memcpy(p + 2, &c, 2); }
+
+// --- Leaf accessors ----------------------------------------------------
+
+inline PageId NextLeaf(const char* p) {
+  PageId id;
+  std::memcpy(&id, p + 4, 4);
+  return id;
+}
+inline void SetNextLeaf(char* p, PageId id) { std::memcpy(p + 4, &id, 4); }
+
+inline PageId PrevLeaf(const char* p) {
+  PageId id;
+  std::memcpy(&id, p + 8, 4);
+  return id;
+}
+inline void SetPrevLeaf(char* p, PageId id) { std::memcpy(p + 8, &id, 4); }
+
+inline double Handicap(const char* p, int slot) {
+  double v;
+  std::memcpy(&v, p + 12 + 8 * slot, 8);
+  return v;
+}
+inline void SetHandicap(char* p, int slot, double v) {
+  std::memcpy(p + 12 + 8 * slot, &v, 8);
+}
+inline void ResetHandicaps(char* p) {
+  for (int s = 0; s < kHandicapSlots; ++s) SetHandicap(p, s, NeutralHandicap(s));
+}
+/// Folds `v` into `slot` respecting its min/max polarity.
+inline void CombineHandicap(char* p, int slot, double v) {
+  double cur = Handicap(p, slot);
+  SetHandicap(p, slot, slot < 2 ? (v < cur ? v : cur) : (v > cur ? v : cur));
+}
+
+inline CKey LeafEntry(const char* p, size_t i) {
+  CKey e;
+  std::memcpy(&e.key, p + kLeafHeader + i * kLeafEntry, 8);
+  std::memcpy(&e.value, p + kLeafHeader + i * kLeafEntry + 8, 4);
+  return e;
+}
+inline void SetLeafEntry(char* p, size_t i, const CKey& e) {
+  std::memcpy(p + kLeafHeader + i * kLeafEntry, &e.key, 8);
+  std::memcpy(p + kLeafHeader + i * kLeafEntry + 8, &e.value, 4);
+}
+inline void InsertLeafEntry(char* p, size_t i, const CKey& e) {
+  uint16_t n = Count(p);
+  char* base = p + kLeafHeader;
+  std::memmove(base + (i + 1) * kLeafEntry, base + i * kLeafEntry,
+               (n - i) * kLeafEntry);
+  SetLeafEntry(p, i, e);
+  SetCount(p, static_cast<uint16_t>(n + 1));
+}
+inline void RemoveLeafEntry(char* p, size_t i) {
+  uint16_t n = Count(p);
+  char* base = p + kLeafHeader;
+  std::memmove(base + i * kLeafEntry, base + (i + 1) * kLeafEntry,
+               (n - i - 1) * kLeafEntry);
+  SetCount(p, static_cast<uint16_t>(n - 1));
+}
+
+// --- Internal accessors -------------------------------------------------
+
+inline PageId Child(const char* p, size_t i) {
+  PageId id;
+  if (i == 0) {
+    std::memcpy(&id, p + 4, 4);
+  } else {
+    std::memcpy(&id, p + kInternalHeader + (i - 1) * kInternalEntry + 12, 4);
+  }
+  return id;
+}
+inline void SetChild(char* p, size_t i, PageId id) {
+  if (i == 0) {
+    std::memcpy(p + 4, &id, 4);
+  } else {
+    std::memcpy(p + kInternalHeader + (i - 1) * kInternalEntry + 12, &id, 4);
+  }
+}
+
+inline CKey InternalKey(const char* p, size_t i) {
+  CKey e;
+  std::memcpy(&e.key, p + kInternalHeader + i * kInternalEntry, 8);
+  std::memcpy(&e.value, p + kInternalHeader + i * kInternalEntry + 8, 4);
+  return e;
+}
+inline void SetInternalKey(char* p, size_t i, const CKey& e) {
+  std::memcpy(p + kInternalHeader + i * kInternalEntry, &e.key, 8);
+  std::memcpy(p + kInternalHeader + i * kInternalEntry + 8, &e.value, 4);
+}
+
+/// Inserts separator `e` at key position i with `right` as child i+1.
+inline void InsertInternalEntry(char* p, size_t i, const CKey& e,
+                                PageId right) {
+  uint16_t n = Count(p);
+  char* base = p + kInternalHeader;
+  std::memmove(base + (i + 1) * kInternalEntry, base + i * kInternalEntry,
+               (n - i) * kInternalEntry);
+  SetInternalKey(p, i, e);
+  std::memcpy(base + i * kInternalEntry + 12, &right, 4);
+  SetCount(p, static_cast<uint16_t>(n + 1));
+}
+
+/// Removes separator i together with child i+1.
+inline void RemoveInternalEntry(char* p, size_t i) {
+  uint16_t n = Count(p);
+  char* base = p + kInternalHeader;
+  std::memmove(base + i * kInternalEntry, base + (i + 1) * kInternalEntry,
+               (n - i - 1) * kInternalEntry);
+  SetCount(p, static_cast<uint16_t>(n - 1));
+}
+
+/// Index of the child to descend into for composite `c`: the first i with
+/// c < key_i, else count (child(i) convention in the header comment).
+inline size_t DescendIndex(const char* p, const CKey& c) {
+  uint16_t n = Count(p);
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (CKeyLess(c, InternalKey(p, mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+/// First entry index in a leaf with entry >= c (may be count).
+inline size_t LeafLowerBound(const char* p, const CKey& c) {
+  uint16_t n = Count(p);
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (CKeyLess(LeafEntry(p, mid), c)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace btree_node
+}  // namespace cdb
+
+#endif  // CDB_BTREE_NODE_LAYOUT_H_

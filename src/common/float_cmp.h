@@ -1,0 +1,57 @@
+// Epsilon-aware floating-point comparisons for the geometry layer.
+//
+// The dual transform and polyhedron predicates operate on doubles derived
+// from user constraints; all sign tests go through these helpers so the
+// tolerance is applied uniformly. The tolerance is absolute-plus-relative:
+// suitable for the coordinate magnitudes used in constraint databases (the
+// paper's working window is [-50, 50]^2).
+
+#ifndef CDB_COMMON_FLOAT_CMP_H_
+#define CDB_COMMON_FLOAT_CMP_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdb {
+
+/// Default comparison tolerance.
+inline constexpr double kEps = 1e-9;
+
+/// True when |a - b| is within eps, scaled by the magnitudes involved.
+inline bool ApproxEq(double a, double b, double eps = kEps) {
+  if (a == b) return true;  // Covers equal infinities.
+  if (std::isinf(a) || std::isinf(b)) return false;
+  double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= eps * scale;
+}
+
+/// a < b beyond tolerance.
+inline bool DefinitelyLess(double a, double b, double eps = kEps) {
+  if (std::isinf(a) || std::isinf(b)) return a < b;
+  double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return b - a > eps * scale;
+}
+
+/// a > b beyond tolerance.
+inline bool DefinitelyGreater(double a, double b, double eps = kEps) {
+  return DefinitelyLess(b, a, eps);
+}
+
+/// a <= b up to tolerance.
+inline bool LessOrEq(double a, double b, double eps = kEps) {
+  return !DefinitelyGreater(a, b, eps);
+}
+
+/// a >= b up to tolerance.
+inline bool GreaterOrEq(double a, double b, double eps = kEps) {
+  return !DefinitelyLess(a, b, eps);
+}
+
+/// True when |a| is within tolerance of zero.
+inline bool ApproxZero(double a, double eps = kEps) {
+  return std::fabs(a) <= eps;
+}
+
+}  // namespace cdb
+
+#endif  // CDB_COMMON_FLOAT_CMP_H_

@@ -1,0 +1,37 @@
+// I/O statistics counters.
+//
+// The paper's evaluation (Figures 8-9) is expressed in page accesses, so the
+// buffer pool attributes every page fetch to an IoStats instance that the
+// benchmark harness can snapshot and reset around each query.
+
+#ifndef CDB_COMMON_IO_STATS_H_
+#define CDB_COMMON_IO_STATS_H_
+
+#include <cstdint>
+
+namespace cdb {
+
+/// Counters for page-level I/O. "Fetches" counts every logical page access
+/// through the buffer pool; "reads"/"writes" count the subset that reached
+/// the backing file (buffer-pool misses and evictions).
+struct IoStats {
+  uint64_t page_fetches = 0;
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t pages_allocated = 0;
+
+  void Reset() { *this = IoStats(); }
+
+  IoStats Delta(const IoStats& earlier) const {
+    IoStats d;
+    d.page_fetches = page_fetches - earlier.page_fetches;
+    d.page_reads = page_reads - earlier.page_reads;
+    d.page_writes = page_writes - earlier.page_writes;
+    d.pages_allocated = pages_allocated - earlier.pages_allocated;
+    return d;
+  }
+};
+
+}  // namespace cdb
+
+#endif  // CDB_COMMON_IO_STATS_H_

@@ -1,0 +1,70 @@
+// Result<T>: a value-or-Status union, the companion of Status for functions
+// that produce a value on success.
+
+#ifndef CDB_COMMON_RESULT_H_
+#define CDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cdb {
+
+/// Holds either a value of type T or a non-OK Status.
+///
+/// Usage:
+///   Result<PageId> r = pager.Allocate();
+///   if (!r.ok()) return r.status();
+///   PageId id = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a Result expression, or assigns its value.
+#define CDB_ASSIGN_OR_RETURN(lhs, expr)          \
+  lhs = ({                                       \
+    auto _res = (expr);                          \
+    if (!_res.ok()) return _res.status();        \
+    std::move(_res).value();                     \
+  })
+
+}  // namespace cdb
+
+#endif  // CDB_COMMON_RESULT_H_

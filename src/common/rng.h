@@ -1,0 +1,40 @@
+// Deterministic random number generation for workloads and tests.
+
+#ifndef CDB_COMMON_RNG_H_
+#define CDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace cdb {
+
+/// Seeded pseudo-random generator. All workload generation and randomized
+/// tests draw from an Rng so runs are reproducible from the seed alone.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_COMMON_RNG_H_

@@ -1,0 +1,11 @@
+#include "constraint/generalized_tuple.h"
+
+#include "geometry/lp2d.h"
+
+namespace cdb {
+
+bool GeneralizedTuple::IsSatisfiable() const {
+  return IsSatisfiable2D(constraints_);
+}
+
+}  // namespace cdb

@@ -1,0 +1,249 @@
+#include "constraint/relation.h"
+
+#include <cstring>
+#include <functional>
+
+namespace cdb {
+
+namespace {
+
+// Data-page header.
+struct PageHeader {
+  PageId next;
+  PageId prev;
+  uint16_t used;          // Bytes consumed including the header.
+  uint16_t live_records;
+};
+
+constexpr size_t kHeaderSize = sizeof(PageHeader);
+constexpr uint8_t kLiveFlag = 1;
+
+// Record layout: id u32 | m u16 | flags u8 | per-constraint 25 bytes
+// (a f64, b f64, c f64, cmp u8).
+constexpr size_t kRecordFixed = 7;
+constexpr size_t kPerConstraint = 25;
+
+size_t RecordLength(size_t m) { return kRecordFixed + m * kPerConstraint; }
+
+void ReadHeader(const char* page, PageHeader* h) {
+  std::memcpy(h, page, sizeof(*h));
+}
+void WriteHeader(char* page, const PageHeader& h) {
+  std::memcpy(page, &h, sizeof(h));
+}
+
+void SerializeRecord(char* dst, TupleId id, const GeneralizedTuple& tuple,
+                     uint8_t flags) {
+  uint16_t m = static_cast<uint16_t>(tuple.size());
+  std::memcpy(dst, &id, 4);
+  std::memcpy(dst + 4, &m, 2);
+  dst[6] = static_cast<char>(flags);
+  char* p = dst + kRecordFixed;
+  for (const Constraint2D& c : tuple.constraints()) {
+    std::memcpy(p, &c.a, 8);
+    std::memcpy(p + 8, &c.b, 8);
+    std::memcpy(p + 16, &c.c, 8);
+    p[24] = static_cast<char>(c.cmp == Cmp::kLE ? 0 : 1);
+    p += kPerConstraint;
+  }
+}
+
+void DeserializeRecord(const char* src, TupleId* id, uint8_t* flags,
+                       GeneralizedTuple* tuple) {
+  uint16_t m;
+  std::memcpy(id, src, 4);
+  std::memcpy(&m, src + 4, 2);
+  *flags = static_cast<uint8_t>(src[6]);
+  std::vector<Constraint2D> cons;
+  cons.reserve(m);
+  const char* p = src + kRecordFixed;
+  for (uint16_t i = 0; i < m; ++i) {
+    Constraint2D c;
+    std::memcpy(&c.a, p, 8);
+    std::memcpy(&c.b, p + 8, 8);
+    std::memcpy(&c.c, p + 16, 8);
+    c.cmp = p[24] == 0 ? Cmp::kLE : Cmp::kGE;
+    cons.push_back(c);
+    p += kPerConstraint;
+  }
+  *tuple = GeneralizedTuple(std::move(cons));
+}
+
+uint16_t RecordConstraintCount(const char* src) {
+  uint16_t m;
+  std::memcpy(&m, src + 4, 2);
+  return m;
+}
+
+}  // namespace
+
+Status Relation::Open(Pager* pager, PageId root_page,
+                      std::unique_ptr<Relation>* out) {
+  std::unique_ptr<Relation> rel(new Relation(pager));
+  if (root_page == kInvalidPageId) {
+    Result<PageId> id = pager->Allocate();
+    if (!id.ok()) return id.status();
+    rel->root_page_ = rel->tail_page_ = id.value();
+    Result<PageRef> ref = pager->Fetch(id.value());
+    if (!ref.ok()) return ref.status();
+    PageHeader h{kInvalidPageId, kInvalidPageId,
+                 static_cast<uint16_t>(kHeaderSize), 0};
+    WriteHeader(ref.value().data(), h);
+    ref.value().MarkDirty();
+  } else {
+    rel->root_page_ = root_page;
+    CDB_RETURN_IF_ERROR(rel->RebuildDirectory());
+  }
+  *out = std::move(rel);
+  return Status::OK();
+}
+
+Status Relation::RebuildDirectory() {
+  PageId page = root_page_;
+  PageId prev = kInvalidPageId;
+  while (page != kInvalidPageId) {
+    Result<PageRef> ref = pager_->Fetch(page);
+    if (!ref.ok()) return ref.status();
+    PageHeader h;
+    ReadHeader(ref.value().data(), &h);
+    size_t off = kHeaderSize;
+    while (off < h.used) {
+      const char* rec = ref.value().data() + off;
+      TupleId id;
+      uint8_t flags;
+      std::memcpy(&id, rec, 4);
+      flags = static_cast<uint8_t>(rec[6]);
+      uint16_t m = RecordConstraintCount(rec);
+      if (directory_.size() <= id) directory_.resize(id + 1);
+      directory_[id] = {page, static_cast<uint16_t>(off),
+                        (flags & kLiveFlag) != 0};
+      if (flags & kLiveFlag) ++live_count_;
+      off += RecordLength(m);
+    }
+    prev = page;
+    page = h.next;
+  }
+  tail_page_ = prev == kInvalidPageId ? root_page_ : prev;
+  return Status::OK();
+}
+
+Result<TupleId> Relation::Insert(const GeneralizedTuple& tuple) {
+  if (tuple.empty()) {
+    return Status::InvalidArgument("tuple must have at least one constraint");
+  }
+  size_t len = RecordLength(tuple.size());
+  if (len + kHeaderSize > pager_->page_size()) {
+    return Status::InvalidArgument("tuple too large for a page");
+  }
+  TupleId id = static_cast<TupleId>(directory_.size());
+
+  Result<PageRef> tail = pager_->Fetch(tail_page_);
+  if (!tail.ok()) return tail.status();
+  PageHeader h;
+  ReadHeader(tail.value().data(), &h);
+
+  if (h.used + len > pager_->page_size()) {
+    // Start a new tail page.
+    Result<PageId> fresh = pager_->Allocate();
+    if (!fresh.ok()) return fresh.status();
+    Result<PageRef> fresh_ref = pager_->Fetch(fresh.value());
+    if (!fresh_ref.ok()) return fresh_ref.status();
+    PageHeader nh{kInvalidPageId, tail_page_,
+                  static_cast<uint16_t>(kHeaderSize), 0};
+    WriteHeader(fresh_ref.value().data(), nh);
+    fresh_ref.value().MarkDirty();
+    h.next = fresh.value();
+    WriteHeader(tail.value().data(), h);
+    tail.value().MarkDirty();
+    tail_page_ = fresh.value();
+    tail = std::move(fresh_ref);
+    h = nh;
+  }
+
+  SerializeRecord(tail.value().data() + h.used, id, tuple, kLiveFlag);
+  directory_.push_back({tail_page_, h.used, true});
+  h.used = static_cast<uint16_t>(h.used + len);
+  ++h.live_records;
+  WriteHeader(tail.value().data(), h);
+  tail.value().MarkDirty();
+  ++live_count_;
+  return id;
+}
+
+Status Relation::Get(TupleId id, GeneralizedTuple* out) const {
+  if (id >= directory_.size() || !directory_[id].live) {
+    return Status::NotFound("tuple " + std::to_string(id));
+  }
+  const Location& loc = directory_[id];
+  Result<PageRef> ref = pager_->Fetch(loc.page);
+  if (!ref.ok()) return ref.status();
+  TupleId stored;
+  uint8_t flags;
+  DeserializeRecord(ref.value().data() + loc.offset, &stored, &flags, out);
+  if (stored != id || !(flags & kLiveFlag)) {
+    return Status::Corruption("directory/page mismatch for tuple " +
+                              std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status Relation::Delete(TupleId id) {
+  if (id >= directory_.size() || !directory_[id].live) {
+    return Status::NotFound("tuple " + std::to_string(id));
+  }
+  Location& loc = directory_[id];
+  Result<PageRef> ref = pager_->Fetch(loc.page);
+  if (!ref.ok()) return ref.status();
+  ref.value().data()[loc.offset + 6] = 0;  // Clear the live flag.
+  PageHeader h;
+  ReadHeader(ref.value().data(), &h);
+  --h.live_records;
+  WriteHeader(ref.value().data(), h);
+  ref.value().MarkDirty();
+  loc.live = false;
+  --live_count_;
+
+  // Unlink and free a fully-dead page, unless it is the only page.
+  if (h.live_records == 0 && !(loc.page == root_page_ && h.next == kInvalidPageId)) {
+    PageId dead = loc.page;
+    PageId prev = h.prev, next = h.next;
+    ref.value().Release();
+    if (prev != kInvalidPageId) {
+      Result<PageRef> p = pager_->Fetch(prev);
+      if (!p.ok()) return p.status();
+      PageHeader ph;
+      ReadHeader(p.value().data(), &ph);
+      ph.next = next;
+      WriteHeader(p.value().data(), ph);
+      p.value().MarkDirty();
+    } else {
+      root_page_ = next;
+    }
+    if (next != kInvalidPageId) {
+      Result<PageRef> n = pager_->Fetch(next);
+      if (!n.ok()) return n.status();
+      PageHeader nh;
+      ReadHeader(n.value().data(), &nh);
+      nh.prev = prev;
+      WriteHeader(n.value().data(), nh);
+      n.value().MarkDirty();
+    } else {
+      tail_page_ = prev;
+    }
+    CDB_RETURN_IF_ERROR(pager_->Free(dead));
+  }
+  return Status::OK();
+}
+
+Status Relation::ForEach(
+    const std::function<Status(TupleId, const GeneralizedTuple&)>& fn) const {
+  for (TupleId id = 0; id < directory_.size(); ++id) {
+    if (!directory_[id].live) continue;
+    GeneralizedTuple tuple;
+    CDB_RETURN_IF_ERROR(Get(id, &tuple));
+    CDB_RETURN_IF_ERROR(fn(id, tuple));
+  }
+  return Status::OK();
+}
+
+}  // namespace cdb

@@ -1,0 +1,81 @@
+// Generalized relation: a persistent, paged store of generalized tuples.
+//
+// Tuples are serialized into data pages managed by a Pager; every Get()
+// costs one page fetch, which is how the benchmark harness charges the
+// refinement step of the approximation techniques. The id -> location
+// directory is kept in memory and rebuilt by scanning on Open (records are
+// self-describing), keeping the on-disk format simple and the page count —
+// the Figure 10 space metric — free of directory overhead for all
+// structures alike.
+
+#ifndef CDB_CONSTRAINT_RELATION_H_
+#define CDB_CONSTRAINT_RELATION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "constraint/generalized_tuple.h"
+#include "storage/pager.h"
+
+namespace cdb {
+
+/// See file comment.
+class Relation {
+ public:
+  /// Opens a relation stored in `pager` (which the caller owns and must keep
+  /// alive). `root_page` is the first data page of an existing relation, or
+  /// kInvalidPageId to create a new one.
+  static Status Open(Pager* pager, PageId root_page,
+                     std::unique_ptr<Relation>* out);
+
+  /// First data page; persist it to reopen the relation later.
+  PageId root_page() const { return root_page_; }
+
+  /// The backing pager (for I/O accounting by callers).
+  Pager* pager() const { return pager_; }
+
+  /// Appends a tuple and returns its id. The tuple must have at least one
+  /// constraint and fit a page (constraint count is bounded by the page
+  /// size; ~40 constraints at 1 KiB pages — generalized tuples in the paper
+  /// have 3-6).
+  Result<TupleId> Insert(const GeneralizedTuple& tuple);
+
+  /// Fetches tuple `id`. Costs one page access.
+  Status Get(TupleId id, GeneralizedTuple* out) const;
+
+  /// Tombstones tuple `id`. Its page is returned to the pager when the last
+  /// live record on it is deleted.
+  Status Delete(TupleId id);
+
+  /// Number of live tuples.
+  uint64_t size() const { return live_count_; }
+
+  /// Calls fn(id, tuple) for every live tuple in id order. Stops and
+  /// propagates the first non-OK status returned by fn.
+  Status ForEach(
+      const std::function<Status(TupleId, const GeneralizedTuple&)>& fn) const;
+
+ private:
+  struct Location {
+    PageId page = kInvalidPageId;
+    uint16_t offset = 0;
+    bool live = false;
+  };
+
+  explicit Relation(Pager* pager) : pager_(pager) {}
+
+  Status RebuildDirectory();
+
+  Pager* pager_;
+  PageId root_page_ = kInvalidPageId;
+  PageId tail_page_ = kInvalidPageId;
+  std::vector<Location> directory_;  // Indexed by TupleId.
+  uint64_t live_count_ = 0;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_CONSTRAINT_RELATION_H_

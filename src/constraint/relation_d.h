@@ -1,0 +1,62 @@
+// d-dimensional generalized relation: the paged store for GeneralizedTupleD
+// (Section 4.4 workloads). Mirrors Relation's design: self-describing
+// records on a doubly-linked page chain, an in-memory directory rebuilt on
+// open, one page access per Get.
+
+#ifndef CDB_CONSTRAINT_RELATION_D_H_
+#define CDB_CONSTRAINT_RELATION_D_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "constraint/generalized_tuple.h"
+#include "storage/pager.h"
+
+namespace cdb {
+
+/// See file comment.
+class RelationD {
+ public:
+  /// Opens a d-dimensional relation in `pager`; kInvalidPageId creates a
+  /// fresh one. All tuples of one relation share the dimension `dim`.
+  static Status Open(Pager* pager, size_t dim, PageId root_page,
+                     std::unique_ptr<RelationD>* out);
+
+  PageId root_page() const { return root_page_; }
+  size_t dim() const { return dim_; }
+  Pager* pager() const { return pager_; }
+
+  Result<TupleId> Insert(const GeneralizedTupleD& tuple);
+  Status Get(TupleId id, GeneralizedTupleD* out) const;
+  Status Delete(TupleId id);
+  uint64_t size() const { return live_count_; }
+
+  Status ForEach(
+      const std::function<Status(TupleId, const GeneralizedTupleD&)>& fn)
+      const;
+
+ private:
+  struct Location {
+    PageId page = kInvalidPageId;
+    uint16_t offset = 0;
+    bool live = false;
+  };
+
+  RelationD(Pager* pager, size_t dim) : pager_(pager), dim_(dim) {}
+
+  Status RebuildDirectory();
+
+  Pager* pager_;
+  size_t dim_;
+  PageId root_page_ = kInvalidPageId;
+  PageId tail_page_ = kInvalidPageId;
+  std::vector<Location> directory_;
+  uint64_t live_count_ = 0;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_CONSTRAINT_RELATION_D_H_

@@ -1,0 +1,203 @@
+// DualIndex — the paper's contribution: ALL/EXIST half-plane selection over
+// a generalized relation via the dual representation, backed by B+-trees.
+//
+// For every slope a_i in the predefined set S the index maintains
+//   B_i^up   keyed by TOP^P(a_i)   and   B_i^down keyed by BOT^P(a_i)
+// (Section 3). A query whose slope is in S is answered exactly by one
+// B+-tree sweep; otherwise either
+//   T1 (Section 4.1): two app-queries with slopes in S, union + refinement
+//      (duplicates possible), or
+//   T2 (Section 4.2/4.3): a single B+-tree is swept twice — upward and
+//      downward from the query intercept — using per-leaf handicap values
+//      to bound the second sweep; duplicate-free by construction.
+// Both techniques return a superset of the answer; a refinement step
+// (exact LP predicates on the stored constraints) removes false hits.
+//
+// Unbounded tuples are stored as ±infinity keys — the index never
+// approximates objects, only queries (the paper's central design point).
+
+#ifndef CDB_DUALINDEX_DUAL_INDEX_H_
+#define CDB_DUALINDEX_DUAL_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "constraint/naive_eval.h"
+#include "constraint/relation.h"
+#include "dualindex/app_query.h"
+#include "dualindex/slope_set.h"
+
+namespace cdb {
+
+/// Query-execution strategy.
+enum class QueryMethod {
+  kAuto,        // Exact when the slope is in S; otherwise T2.
+  kRestricted,  // Require the slope to be in S (error otherwise).
+  kT1,          // Two app-queries (Section 4.1).
+  kT2,          // Single-tree handicap search (Section 4.2).
+};
+
+/// Per-query execution statistics, the paper's evaluation currency.
+struct QueryStats {
+  uint64_t index_page_fetches = 0;  // B+-tree page accesses (logical; each
+                                    // leaf is visited exactly once).
+  uint64_t tuple_page_fetches = 0;  // Relation pages physically read by the
+                                    // refinement step (candidates are
+                                    // visited in id order, so buffered
+                                    // re-reads of a page are not charged).
+  uint64_t candidates = 0;          // Entries returned by sweeps.
+  uint64_t duplicates = 0;          // Candidates seen more than once (T1).
+  uint64_t false_hits = 0;          // Candidates removed by refinement.
+  uint64_t results = 0;
+  bool used_wrap_fallback = false;  // T2 delegated to T1 (slope outside S).
+};
+
+struct DualIndexOptions {
+  /// Use the exact interval extrema (minimax LPs) for the ALL-family
+  /// assignment values instead of the paper's TOP/BOT endpoint bounds
+  /// (ablation E9 in DESIGN.md). Both are safe; tight shortens second
+  /// sweeps at higher build cost.
+  bool tight_assignment = false;
+
+  /// Skip the refinement step and return the raw candidate superset.
+  /// Exact queries (slope in S) are never refined — they are exact.
+  bool refine = true;
+
+  /// Anchor x for T1 app-query lines (see PlanAppQueries).
+  double anchor_x = 0.0;
+
+  /// Maintain two additional B+-trees over the tuples' x-extent support
+  /// values (min/max of x), enabling *exact* vertical half-plane queries
+  /// x θ c (the paper's footnote 4 extension). Costs ~2/k extra space.
+  bool support_vertical = false;
+};
+
+/// Everything needed to reopen a DualIndex from its pager: the slope set,
+/// the options it was built with, and the meta pages of its B+-trees.
+/// Persisted by ConstraintDatabase's catalog.
+struct DualIndexManifest {
+  std::vector<double> slopes;
+  bool tight_assignment = false;
+  bool support_vertical = false;
+  std::vector<PageId> up_metas;
+  std::vector<PageId> down_metas;
+  PageId xmax_meta = kInvalidPageId;
+  PageId xmin_meta = kInvalidPageId;
+};
+
+/// See file comment. The index does not own the pager or the relation.
+class DualIndex {
+ public:
+  /// Creates an empty index over `slopes` in `pager`, then bulk-loads every
+  /// live tuple of `relation`. The relation is also the refinement source;
+  /// keep it alive and in sync via Insert/Remove.
+  static Status Build(Pager* pager, Relation* relation, SlopeSet slopes,
+                      const DualIndexOptions& options,
+                      std::unique_ptr<DualIndex>* out);
+
+  /// Reattaches to an existing index previously described by Manifest().
+  static Status Open(Pager* pager, Relation* relation,
+                     const DualIndexManifest& manifest,
+                     const DualIndexOptions& runtime_options,
+                     std::unique_ptr<DualIndex>* out);
+
+  /// Description sufficient to Open() this index later.
+  DualIndexManifest Manifest() const;
+
+  /// Adds a tuple to all 2k trees (and folds its handicap contributions).
+  /// The tuple must be satisfiable and already stored in the relation under
+  /// `id`. O(k log_B n) page accesses (Theorem 3.1/4.1).
+  Status Insert(TupleId id, const GeneralizedTuple& tuple);
+
+  /// Removes a tuple from all trees. Handicaps are left conservatively
+  /// stale (see DESIGN.md decision 2); call RebuildHandicaps() to restore
+  /// exact values.
+  Status Remove(TupleId id, const GeneralizedTuple& tuple);
+
+  /// Executes ALL(q, r) or EXIST(q, r). Results are sorted by tuple id.
+  Result<std::vector<TupleId>> Select(SelectionType type,
+                                      const HalfPlaneQuery& q,
+                                      QueryMethod method,
+                                      QueryStats* stats = nullptr);
+
+  /// Exact vertical selection (x θ c). Requires
+  /// DualIndexOptions::support_vertical; one sweep, no refinement.
+  Result<std::vector<TupleId>> SelectVertical(SelectionType type,
+                                              const VerticalQuery& q,
+                                              QueryStats* stats = nullptr);
+
+  /// Slab selection: the region between two parallel lines,
+  ///   b_lo <= y - slope*x <= b_hi.
+  /// ALL = extension inside the slab (BOT >= b_lo and TOP <= b_hi);
+  /// EXIST = extension meets the slab (TOP >= b_lo and BOT <= b_hi).
+  /// Exact, via set algebra over B^up/B^down sweeps — the "interval
+  /// management" view of the paper's footnote 6 (each tuple is the interval
+  /// [BOT, TOP] at the query slope). Requires slope in S.
+  Result<std::vector<TupleId>> SelectSlab(SelectionType type, double slope,
+                                          double b_lo, double b_hi,
+                                          QueryStats* stats = nullptr);
+
+  /// Recomputes every handicap value exactly from the relation contents.
+  Status RebuildHandicaps();
+
+  /// Human-readable, single-line-per-step description of how Select()
+  /// would execute the query (tree choice, sweep directions, app-query
+  /// plan, fallbacks) — without running it.
+  std::string Explain(SelectionType type, const HalfPlaneQuery& q,
+                      QueryMethod method) const;
+
+  const SlopeSet& slopes() const { return slopes_; }
+
+  /// Pages currently used by the index (Figure 10 metric).
+  uint64_t live_page_count() const { return pager_->live_page_count(); }
+
+ private:
+  DualIndex(Pager* pager, Relation* relation, SlopeSet slopes,
+            const DualIndexOptions& options)
+      : pager_(pager),
+        relation_(relation),
+        slopes_(std::move(slopes)),
+        options_(options) {}
+
+  // Handicap contributions of one tuple for tree i on the interval toward
+  // neighbour `other` (Section 4.2 assignment values).
+  Status FoldHandicaps(size_t i, size_t other, const GeneralizedTuple& tuple,
+                       double top_i, double bot_i);
+
+  // Sweeps tree `tree` starting at `intercept`: upward collects entries with
+  // key >= intercept, downward key < intercept... (exact semantics in .cc).
+  Status SweepCollect(BPlusTree* tree, double from, bool upward, int slot,
+                      std::vector<TupleId>* out, double* handicap_bound,
+                      QueryStats* stats);
+  Status SweepSecond(BPlusTree* tree, double from, bool downward, double bound,
+                     std::vector<TupleId>* out, QueryStats* stats);
+
+  // Executes one exact (slope in S) selection; appends ids to out.
+  Status RunExact(const AppQuery& aq, std::vector<TupleId>* out,
+                  QueryStats* stats);
+
+  Result<std::vector<TupleId>> SelectT1(SelectionType type,
+                                        const HalfPlaneQuery& q,
+                                        QueryStats* stats);
+  Result<std::vector<TupleId>> SelectT2(SelectionType type,
+                                        const HalfPlaneQuery& q,
+                                        QueryStats* stats);
+
+  // Removes candidates failing the exact predicate (when options_.refine).
+  Status Refine(SelectionType type, const HalfPlaneQuery& q,
+                std::vector<TupleId>* ids, QueryStats* stats);
+
+  Pager* pager_;
+  Relation* relation_;
+  SlopeSet slopes_;
+  DualIndexOptions options_;
+  std::vector<std::unique_ptr<BPlusTree>> up_;    // TOP^P(a_i) trees.
+  std::vector<std::unique_ptr<BPlusTree>> down_;  // BOT^P(a_i) trees.
+  std::unique_ptr<BPlusTree> xmax_;  // max x per tuple (vertical queries).
+  std::unique_ptr<BPlusTree> xmin_;  // min x per tuple.
+};
+
+}  // namespace cdb
+
+#endif  // CDB_DUALINDEX_DUAL_INDEX_H_

@@ -1,0 +1,63 @@
+#include "dualindex/slope_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cdb {
+
+SlopeSet::SlopeSet(std::vector<double> slopes) : slopes_(std::move(slopes)) {
+  assert(!slopes_.empty());
+  std::sort(slopes_.begin(), slopes_.end());
+  slopes_.erase(std::unique(slopes_.begin(), slopes_.end()), slopes_.end());
+}
+
+SlopeSet SlopeSet::UniformInAngle(size_t k, double angle_lo, double angle_hi) {
+  assert(k >= 1);
+  std::vector<double> slopes;
+  slopes.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    // Endpoint-inclusive spacing: the extreme slopes of S bracket the whole
+    // angle range, so queries drawn from it never fall in the wrap-around
+    // region (k = 1 degenerates to the range midpoint).
+    double t = k == 1 ? 0.5
+                      : static_cast<double>(i) / static_cast<double>(k - 1);
+    double angle = angle_lo + t * (angle_hi - angle_lo);
+    slopes.push_back(std::tan(angle));
+  }
+  return SlopeSet(std::move(slopes));
+}
+
+SlopeLocation SlopeSet::Locate(double a) const {
+  if (a < slopes_.front()) {
+    return {SlopeLocation::Kind::kBelowMin, 0};
+  }
+  if (a > slopes_.back()) {
+    return {SlopeLocation::Kind::kAboveMax, slopes_.size() - 1};
+  }
+  auto it = std::lower_bound(slopes_.begin(), slopes_.end(), a);
+  size_t i = static_cast<size_t>(it - slopes_.begin());
+  if (it != slopes_.end() && *it == a) {
+    return {SlopeLocation::Kind::kExact, i};
+  }
+  // slopes_[i-1] < a < slopes_[i]; report the left neighbour.
+  return {SlopeLocation::Kind::kBetween, i - 1};
+}
+
+size_t SlopeSet::Nearest(double a) const {
+  SlopeLocation loc = Locate(a);
+  switch (loc.kind) {
+    case SlopeLocation::Kind::kExact:
+    case SlopeLocation::Kind::kBelowMin:
+      return loc.index;
+    case SlopeLocation::Kind::kAboveMax:
+      return slopes_.size() - 1;
+    case SlopeLocation::Kind::kBetween:
+      return a - slopes_[loc.index] <= slopes_[loc.index + 1] - a
+                 ? loc.index
+                 : loc.index + 1;
+  }
+  return 0;
+}
+
+}  // namespace cdb

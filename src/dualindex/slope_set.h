@@ -1,0 +1,58 @@
+// The predefined slope set S (Section 3): the angular coefficients for
+// which the dual index maintains B+-tree pairs.
+
+#ifndef CDB_DUALINDEX_SLOPE_SET_H_
+#define CDB_DUALINDEX_SLOPE_SET_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cdb {
+
+/// Where a query slope falls relative to S.
+struct SlopeLocation {
+  enum class Kind {
+    kExact,       // slope == slopes[index]
+    kBetween,     // slopes[index] < slope < slopes[index + 1]
+    kBelowMin,    // slope < slopes.front() (wrap-around region)
+    kAboveMax,    // slope > slopes.back()  (wrap-around region)
+  };
+  Kind kind;
+  size_t index = 0;  // Meaning depends on kind (kBetween: left neighbour).
+};
+
+/// Immutable, sorted set of angular coefficients.
+class SlopeSet {
+ public:
+  /// `slopes` must be non-empty; duplicates are removed and order enforced.
+  explicit SlopeSet(std::vector<double> slopes);
+
+  /// k slopes whose *angles* are evenly spaced over (angle_lo, angle_hi),
+  /// mirroring the paper's workload, whose constraint angles span
+  /// (0, pi) \ {pi/2}. Angles are measured against the x-axis; slopes are
+  /// their tangents. Requires the interval to avoid ±pi/2.
+  static SlopeSet UniformInAngle(size_t k, double angle_lo, double angle_hi);
+
+  size_t size() const { return slopes_.size(); }
+  double slope(size_t i) const { return slopes_[i]; }
+  const std::vector<double>& slopes() const { return slopes_; }
+
+  /// Classifies `a` against the set (exact double match for kExact).
+  SlopeLocation Locate(double a) const;
+
+  /// Index of the slope nearest to `a` in slope distance.
+  size_t Nearest(double a) const;
+
+  /// Midpoint between consecutive slopes i and i+1 — the worst-case
+  /// approximation boundary of Section 4.2.
+  double Midpoint(size_t i) const {
+    return (slopes_[i] + slopes_[i + 1]) / 2.0;
+  }
+
+ private:
+  std::vector<double> slopes_;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_DUALINDEX_SLOPE_SET_H_

@@ -1,0 +1,327 @@
+#include "dualindex/stabbing_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace cdb {
+
+namespace {
+
+// Node page layout:
+//   f64 center | u32 left | u32 right | u16 n | u16 inline_per_list
+//   u32 lo_overflow | u32 hi_overflow                      (32 bytes)
+//   inline ByLo entries, then inline ByHi entries          (12 bytes each)
+// Overflow page layout: u32 next | u16 count | u16 pad | entries.
+constexpr size_t kNodeHeader = 32;
+constexpr size_t kOverflowHeader = 8;
+constexpr size_t kEntry = 12;
+
+struct NodeHeader {
+  double center;
+  PageId left, right;
+  uint16_t n, inline_per_list;
+  PageId lo_overflow, hi_overflow;
+};
+
+void ReadNodeHeader(const char* p, NodeHeader* h) {
+  std::memcpy(&h->center, p, 8);
+  std::memcpy(&h->left, p + 8, 4);
+  std::memcpy(&h->right, p + 12, 4);
+  std::memcpy(&h->n, p + 16, 2);
+  std::memcpy(&h->inline_per_list, p + 18, 2);
+  std::memcpy(&h->lo_overflow, p + 20, 4);
+  std::memcpy(&h->hi_overflow, p + 24, 4);
+}
+
+void WriteNodeHeader(char* p, const NodeHeader& h) {
+  std::memcpy(p, &h.center, 8);
+  std::memcpy(p + 8, &h.left, 4);
+  std::memcpy(p + 12, &h.right, 4);
+  std::memcpy(p + 16, &h.n, 2);
+  std::memcpy(p + 18, &h.inline_per_list, 2);
+  std::memcpy(p + 20, &h.lo_overflow, 4);
+  std::memcpy(p + 24, &h.hi_overflow, 4);
+}
+
+void PutEntry(char* base, size_t i, double value, uint32_t id) {
+  std::memcpy(base + i * kEntry, &value, 8);
+  std::memcpy(base + i * kEntry + 8, &id, 4);
+}
+
+void GetEntry(const char* base, size_t i, double* value, uint32_t* id) {
+  std::memcpy(value, base + i * kEntry, 8);
+  std::memcpy(id, base + i * kEntry + 8, 4);
+}
+
+}  // namespace
+
+Status StabbingIndex::Build(Pager* pager, std::vector<StabInterval> intervals,
+                            std::unique_ptr<StabbingIndex>* out) {
+  for (const StabInterval& iv : intervals) {
+    if (std::isnan(iv.lo) || std::isnan(iv.hi) || !(iv.lo <= iv.hi)) {
+      return Status::InvalidArgument("interval must satisfy lo <= hi");
+    }
+  }
+  std::unique_ptr<StabbingIndex> index(new StabbingIndex(pager));
+  index->count_ = intervals.size();
+  if (!intervals.empty()) {
+    Result<PageId> root = index->BuildRec(std::move(intervals), 1);
+    if (!root.ok()) return root.status();
+    index->root_ = root.value();
+  }
+  *out = std::move(index);
+  return Status::OK();
+}
+
+Result<PageId> StabbingIndex::BuildRec(std::vector<StabInterval> intervals,
+                                       uint32_t depth) {
+  height_ = std::max(height_, depth);
+
+  // Center: median endpoint, preferring finite ones so degenerate sets of
+  // unbounded intervals still split.
+  std::vector<double> endpoints;
+  endpoints.reserve(intervals.size() * 2);
+  for (const StabInterval& iv : intervals) {
+    if (std::isfinite(iv.lo)) endpoints.push_back(iv.lo);
+    if (std::isfinite(iv.hi)) endpoints.push_back(iv.hi);
+  }
+  double center;
+  if (endpoints.empty()) {
+    center = 0.0;  // Every interval is (-inf, +inf)-ish; all stay here.
+  } else {
+    size_t mid = endpoints.size() / 2;
+    std::nth_element(endpoints.begin(),
+                     endpoints.begin() + static_cast<long>(mid),
+                     endpoints.end());
+    center = endpoints[static_cast<long>(mid)];
+  }
+
+  std::vector<StabInterval> here, left, right;
+  for (StabInterval& iv : intervals) {
+    if (iv.hi < center) {
+      left.push_back(iv);
+    } else if (iv.lo > center) {
+      right.push_back(iv);
+    } else {
+      here.push_back(iv);
+    }
+  }
+  intervals.clear();
+
+  NodeHeader h;
+  h.center = center;
+  h.left = kInvalidPageId;
+  h.right = kInvalidPageId;
+  h.n = static_cast<uint16_t>(here.size());
+  h.lo_overflow = kInvalidPageId;
+  h.hi_overflow = kInvalidPageId;
+
+  if (!left.empty()) {
+    Result<PageId> child = BuildRec(std::move(left), depth + 1);
+    if (!child.ok()) return child.status();
+    h.left = child.value();
+  }
+  if (!right.empty()) {
+    Result<PageId> child = BuildRec(std::move(right), depth + 1);
+    if (!child.ok()) return child.status();
+    h.right = child.value();
+  }
+
+  // The two orderings of the node's intervals.
+  std::vector<StabInterval> by_lo = here, by_hi = std::move(here);
+  std::sort(by_lo.begin(), by_lo.end(),
+            [](const StabInterval& a, const StabInterval& b) {
+              return a.lo < b.lo;
+            });
+  std::sort(by_hi.begin(), by_hi.end(),
+            [](const StabInterval& a, const StabInterval& b) {
+              return a.hi > b.hi;
+            });
+
+  const size_t page_size = pager_->page_size();
+  const size_t inline_cap = (page_size - kNodeHeader) / (2 * kEntry);
+  h.inline_per_list =
+      static_cast<uint16_t>(std::min(inline_cap, by_lo.size()));
+
+  // Overflow chains hold the tails beyond the inline region.
+  auto write_chain = [&](const std::vector<StabInterval>& list, bool use_lo,
+                         PageId* head) -> Status {
+    *head = kInvalidPageId;
+    size_t start = h.inline_per_list;
+    if (list.size() <= start) return Status::OK();
+    const size_t per_page = (page_size - kOverflowHeader) / kEntry;
+    // Write back-to-front so each page links forward.
+    PageId next = kInvalidPageId;
+    size_t remaining = list.size() - start;
+    size_t last_chunk = remaining % per_page;
+    if (last_chunk == 0) last_chunk = per_page;
+    size_t pos = list.size();
+    while (pos > start) {
+      size_t chunk = (pos == list.size()) ? last_chunk : per_page;
+      pos -= chunk;
+      Result<PageId> page = pager_->Allocate();
+      if (!page.ok()) return page.status();
+      Result<PageRef> ref = pager_->Fetch(page.value());
+      if (!ref.ok()) return ref.status();
+      char* p = ref.value().data();
+      std::memcpy(p, &next, 4);
+      uint16_t cnt = static_cast<uint16_t>(chunk);
+      std::memcpy(p + 4, &cnt, 2);
+      std::memset(p + 6, 0, 2);
+      for (size_t i = 0; i < chunk; ++i) {
+        const StabInterval& iv = list[pos + i];
+        PutEntry(p + kOverflowHeader, i, use_lo ? iv.lo : iv.hi, iv.id);
+      }
+      ref.value().MarkDirty();
+      next = page.value();
+    }
+    *head = next;
+    return Status::OK();
+  };
+  Status st = write_chain(by_lo, /*use_lo=*/true, &h.lo_overflow);
+  if (!st.ok()) return st;
+  st = write_chain(by_hi, /*use_lo=*/false, &h.hi_overflow);
+  if (!st.ok()) return st;
+
+  Result<PageId> node = pager_->Allocate();
+  if (!node.ok()) return node.status();
+  Result<PageRef> ref = pager_->Fetch(node.value());
+  if (!ref.ok()) return ref.status();
+  char* p = ref.value().data();
+  WriteNodeHeader(p, h);
+  char* lo_base = p + kNodeHeader;
+  char* hi_base = lo_base + h.inline_per_list * kEntry;
+  for (size_t i = 0; i < h.inline_per_list; ++i) {
+    PutEntry(lo_base, i, by_lo[i].lo, by_lo[i].id);
+    PutEntry(hi_base, i, by_hi[i].hi, by_hi[i].id);
+  }
+  ref.value().MarkDirty();
+  return node.value();
+}
+
+namespace {
+
+// Scans a node's list (inline region + overflow chain) in order, invoking
+// fn(value, id); fn returns false to stop the scan.
+template <typename Fn>
+Status ScanList(Pager* pager, const char* node_page, bool lo_list,
+                const NodeHeader& h, uint64_t* fetches, const Fn& fn) {
+  const char* base = node_page + kNodeHeader +
+                     (lo_list ? 0 : h.inline_per_list * kEntry);
+  for (size_t i = 0; i < h.inline_per_list; ++i) {
+    double value;
+    uint32_t id;
+    GetEntry(base, i, &value, &id);
+    if (!fn(value, id)) return Status::OK();
+  }
+  PageId chain = lo_list ? h.lo_overflow : h.hi_overflow;
+  while (chain != kInvalidPageId) {
+    Result<PageRef> ref = pager->Fetch(chain);
+    if (!ref.ok()) return ref.status();
+    if (fetches != nullptr) ++*fetches;
+    const char* p = ref.value().data();
+    PageId next;
+    uint16_t cnt;
+    std::memcpy(&next, p, 4);
+    std::memcpy(&cnt, p + 4, 2);
+    for (size_t i = 0; i < cnt; ++i) {
+      double value;
+      uint32_t id;
+      GetEntry(p + kOverflowHeader, i, &value, &id);
+      if (!fn(value, id)) return Status::OK();
+    }
+    chain = next;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status StabbingIndex::StabRec(PageId node, double v,
+                              std::vector<TupleId>* out,
+                              uint64_t* fetches) const {
+  if (node == kInvalidPageId) return Status::OK();
+  Result<PageRef> ref = pager_->Fetch(node);
+  if (!ref.ok()) return ref.status();
+  if (fetches != nullptr) ++*fetches;
+  NodeHeader h;
+  ReadNodeHeader(ref.value().data(), &h);
+  if (v < h.center) {
+    // Node intervals all reach the center; those with lo <= v contain v.
+    CDB_RETURN_IF_ERROR(ScanList(pager_, ref.value().data(), /*lo_list=*/true,
+                                 h, fetches, [&](double lo, uint32_t id) {
+                                   if (lo > v) return false;
+                                   out->push_back(id);
+                                   return true;
+                                 }));
+    PageId left = h.left;
+    ref.value().Release();
+    return StabRec(left, v, out, fetches);
+  }
+  // v >= center: those with hi >= v contain v.
+  CDB_RETURN_IF_ERROR(ScanList(pager_, ref.value().data(), /*lo_list=*/false,
+                               h, fetches, [&](double hi, uint32_t id) {
+                                 if (hi < v) return false;
+                                 out->push_back(id);
+                                 return true;
+                               }));
+  PageId right = h.right;
+  ref.value().Release();
+  return StabRec(right, v, out, fetches);
+}
+
+Result<std::vector<TupleId>> StabbingIndex::Stab(double v,
+                                                 uint64_t* page_fetches) const {
+  if (std::isnan(v)) return Status::InvalidArgument("NaN stab value");
+  std::vector<TupleId> out;
+  CDB_RETURN_IF_ERROR(StabRec(root_, v, &out, page_fetches));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status StabbingIndex::LowInRangeRec(PageId node, double v1, double v2,
+                                    std::vector<TupleId>* out,
+                                    uint64_t* fetches) const {
+  if (node == kInvalidPageId) return Status::OK();
+  Result<PageRef> ref = pager_->Fetch(node);
+  if (!ref.ok()) return ref.status();
+  if (fetches != nullptr) ++*fetches;
+  NodeHeader h;
+  ReadNodeHeader(ref.value().data(), &h);
+  if (v1 < h.center) {
+    // Node intervals have lo <= center; collect those with v1 < lo <= v2.
+    CDB_RETURN_IF_ERROR(ScanList(pager_, ref.value().data(), /*lo_list=*/true,
+                                 h, fetches, [&](double lo, uint32_t id) {
+                                   if (lo > v2) return false;
+                                   if (lo > v1) out->push_back(id);
+                                   return true;
+                                 }));
+  }
+  PageId left = h.left, right = h.right;
+  double center = h.center;
+  ref.value().Release();
+  if (v1 < center) {
+    CDB_RETURN_IF_ERROR(LowInRangeRec(left, v1, v2, out, fetches));
+  }
+  if (v2 > center) {
+    CDB_RETURN_IF_ERROR(LowInRangeRec(right, v1, v2, out, fetches));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TupleId>> StabbingIndex::Intersecting(
+    double v1, double v2, uint64_t* page_fetches) const {
+  if (std::isnan(v1) || std::isnan(v2) || !(v1 <= v2)) {
+    return Status::InvalidArgument("band requires v1 <= v2");
+  }
+  // Intersecting [v1, v2] = contains(v1) ∪ {lo in (v1, v2]} — disjoint.
+  std::vector<TupleId> out;
+  CDB_RETURN_IF_ERROR(StabRec(root_, v1, &out, page_fetches));
+  CDB_RETURN_IF_ERROR(LowInRangeRec(root_, v1, v2, &out, page_fetches));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cdb

@@ -1,0 +1,83 @@
+// External-memory interval stabbing index — the paper's footnote 6:
+// "Another solution to the same problem can be provided by reducing ALL and
+// EXIST selections to the 1-dimensional interval management problem."
+//
+// At a fixed slope a, every tuple is the interval [BOT^P(a), TOP^P(a)] of
+// intercepts of lines y = a*x + b that meet it. A *stabbing* query "which
+// intervals contain v" answers EXIST for the degenerate slab (the line
+// y = a*x + v) in O(log n + t/B) page accesses — strictly output-sensitive,
+// unlike the B+-tree slab intersection whose cost is bounded by the larger
+// one-sided sweep. Combined with a one-sided B+-tree range, it also answers
+// band (slab) EXIST output-sensitively.
+//
+// Structure: a static centered interval tree on pages. Each node stores a
+// center value and the intervals containing it, twice: sorted ascending by
+// low endpoint and descending by high endpoint (inline in the node page,
+// with overflow chains for crowded centers); intervals entirely below /
+// above the center hang off the left / right child. Centers are endpoint
+// medians, so the height is O(log n). The index is rebuilt, not updated —
+// the dynamic variants (priority search trees, Arge & Vitter's optimal
+// external interval management, the paper's citation [3]) are out of scope.
+
+#ifndef CDB_DUALINDEX_STABBING_INDEX_H_
+#define CDB_DUALINDEX_STABBING_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "constraint/generalized_tuple.h"
+#include "storage/pager.h"
+
+namespace cdb {
+
+/// A closed interval owned by a tuple. Infinite endpoints are allowed
+/// (unbounded tuples).
+struct StabInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  TupleId id = 0;
+};
+
+/// See file comment. Does not own the pager.
+class StabbingIndex {
+ public:
+  /// Builds the tree from `intervals` (lo <= hi required, NaN rejected).
+  static Status Build(Pager* pager, std::vector<StabInterval> intervals,
+                      std::unique_ptr<StabbingIndex>* out);
+
+  /// All interval ids with lo <= v <= hi, sorted. `page_fetches` (optional)
+  /// receives the page-access count.
+  Result<std::vector<TupleId>> Stab(double v,
+                                    uint64_t* page_fetches = nullptr) const;
+
+  /// All interval ids intersecting [v1, v2] (v1 <= v2), sorted.
+  /// Output-sensitive: Stab(v1) plus the intervals whose low endpoint lies
+  /// in (v1, v2].
+  Result<std::vector<TupleId>> Intersecting(
+      double v1, double v2, uint64_t* page_fetches = nullptr) const;
+
+  uint64_t interval_count() const { return count_; }
+  uint64_t live_page_count() const { return pager_->live_page_count(); }
+  uint32_t height() const { return height_; }
+
+ private:
+  explicit StabbingIndex(Pager* pager) : pager_(pager) {}
+
+  Result<PageId> BuildRec(std::vector<StabInterval> intervals,
+                          uint32_t depth);
+  Status StabRec(PageId node, double v, std::vector<TupleId>* out,
+                 uint64_t* fetches) const;
+  Status LowInRangeRec(PageId node, double v1, double v2,
+                       std::vector<TupleId>* out, uint64_t* fetches) const;
+
+  Pager* pager_;
+  PageId root_ = kInvalidPageId;
+  uint64_t count_ = 0;
+  uint32_t height_ = 0;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_DUALINDEX_STABBING_INDEX_H_

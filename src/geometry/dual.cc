@@ -1,0 +1,163 @@
+#include "geometry/dual.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/float_cmp.h"
+#include "geometry/lp2d.h"
+#include "geometry/polyhedron2d.h"
+
+namespace cdb {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+double TopValue(const std::vector<Constraint2D>& constraints, double slope) {
+  Lp2DResult r = MaximizeLinear2D(constraints, -slope, 1.0);
+  switch (r.status) {
+    case LpStatus::kOptimal:
+      return r.value;
+    case LpStatus::kUnbounded:
+      return kInf;
+    case LpStatus::kInfeasible:
+      return kNaN;
+  }
+  return kNaN;
+}
+
+double BotValue(const std::vector<Constraint2D>& constraints, double slope) {
+  Lp2DResult r = MaximizeLinear2D(constraints, slope, -1.0);
+  switch (r.status) {
+    case LpStatus::kOptimal:
+      return -r.value;
+    case LpStatus::kUnbounded:
+      return -kInf;
+    case LpStatus::kInfeasible:
+      return kNaN;
+  }
+  return kNaN;
+}
+
+double XMaxValue(const std::vector<Constraint2D>& constraints) {
+  Lp2DResult r = MaximizeLinear2D(constraints, 1.0, 0.0);
+  if (r.status == LpStatus::kInfeasible) return kNaN;
+  if (r.status == LpStatus::kUnbounded) return kInf;
+  return r.value;
+}
+
+double XMinValue(const std::vector<Constraint2D>& constraints) {
+  Lp2DResult r = MaximizeLinear2D(constraints, -1.0, 0.0);
+  if (r.status == LpStatus::kInfeasible) return kNaN;
+  if (r.status == LpStatus::kUnbounded) return -kInf;
+  return -r.value;
+}
+
+bool ExactAll(const std::vector<Constraint2D>& constraints,
+              const HalfPlaneQuery& q) {
+  if (q.cmp == Cmp::kGE) {
+    double bot = BotValue(constraints, q.slope);
+    return !std::isnan(bot) && LessOrEq(q.intercept, bot);
+  }
+  double top = TopValue(constraints, q.slope);
+  return !std::isnan(top) && GreaterOrEq(q.intercept, top);
+}
+
+bool ExactExist(const std::vector<Constraint2D>& constraints,
+                const HalfPlaneQuery& q) {
+  if (q.cmp == Cmp::kGE) {
+    double top = TopValue(constraints, q.slope);
+    return !std::isnan(top) && LessOrEq(q.intercept, top);
+  }
+  double bot = BotValue(constraints, q.slope);
+  return !std::isnan(bot) && GreaterOrEq(q.intercept, bot);
+}
+
+double MaxTopOverInterval(const std::vector<Constraint2D>& constraints,
+                          double s1, double s2) {
+  double a = TopValue(constraints, s1);
+  double b = TopValue(constraints, s2);
+  if (std::isnan(a) || std::isnan(b)) return kNaN;
+  return std::max(a, b);
+}
+
+double MinBotOverInterval(const std::vector<Constraint2D>& constraints,
+                          double s1, double s2) {
+  double a = BotValue(constraints, s1);
+  double b = BotValue(constraints, s2);
+  if (std::isnan(a) || std::isnan(b)) return kNaN;
+  return std::min(a, b);
+}
+
+namespace {
+
+// Builds the minimax LP over variables (s, z) from the V-representation.
+// For the BOT case: maximize z subject to
+//   z <= v_y - s * v_x              for every vertex v (BOT is the min)
+//   s * d_x - d_y <= 0              for every ray d (BOT finite at s)
+//   s1 <= s <= s2.
+// For the TOP case signs flip (minimize z, z >= ..., rays bound above).
+double IntervalMinimax(const Polyhedron2D& poly, double s1, double s2,
+                       bool bot_case) {
+  std::vector<Constraint2D> lp;
+  lp.reserve(poly.vertices.size() + poly.rays.size() + 2);
+  for (const Vec2& v : poly.vertices) {
+    if (bot_case) {
+      // z - v_y + s*v_x <= 0  ->  (a=v_x)s + (b=1)z + (c=-v_y) <= 0.
+      lp.emplace_back(v.x, 1.0, -v.y, Cmp::kLE);
+    } else {
+      // v_y - s*v_x - z <= 0  ->  (a=-v_x)s + (b=-1)z + (c=v_y) <= 0.
+      lp.emplace_back(-v.x, -1.0, v.y, Cmp::kLE);
+    }
+  }
+  for (const Vec2& d : poly.rays) {
+    if (bot_case) {
+      // Finiteness of BOT at s: d_y - s*d_x >= 0  ->  s*d_x - d_y <= 0.
+      lp.emplace_back(d.x, 0.0, -d.y, Cmp::kLE);
+    } else {
+      // Finiteness of TOP at s: d_y - s*d_x <= 0  ->  -s*d_x + d_y <= 0.
+      lp.emplace_back(-d.x, 0.0, d.y, Cmp::kLE);
+    }
+  }
+  lp.emplace_back(1.0, 0.0, -s2, Cmp::kLE);  // s <= s2
+  lp.emplace_back(1.0, 0.0, -s1, Cmp::kGE);  // s >= s1
+
+  Lp2DResult r = MaximizeLinear2D(lp, 0.0, bot_case ? 1.0 : -1.0);
+  if (r.status == LpStatus::kInfeasible) {
+    // The surface is infinite over the whole interval.
+    return bot_case ? -kInf : kInf;
+  }
+  if (r.status == LpStatus::kUnbounded) {
+    // Cannot happen with at least one vertex constraint; be conservative.
+    return bot_case ? kInf : -kInf;
+  }
+  return bot_case ? r.value : -r.value;
+}
+
+}  // namespace
+
+double MaxBotOverInterval(const std::vector<Constraint2D>& constraints,
+                          double s1, double s2) {
+  Polyhedron2D poly = Polyhedron2D::FromConstraints(constraints);
+  if (!poly.feasible) return kNaN;
+  if (!poly.pointed || poly.vertices.empty()) {
+    return MaxTopOverInterval(constraints, s1, s2);  // Safe dominating bound.
+  }
+  return IntervalMinimax(poly, s1, s2, /*bot_case=*/true);
+}
+
+double MinTopOverInterval(const std::vector<Constraint2D>& constraints,
+                          double s1, double s2) {
+  Polyhedron2D poly = Polyhedron2D::FromConstraints(constraints);
+  if (!poly.feasible) return kNaN;
+  if (!poly.pointed || poly.vertices.empty()) {
+    return MinBotOverInterval(constraints, s1, s2);  // Safe dominated bound.
+  }
+  return IntervalMinimax(poly, s1, s2, /*bot_case=*/false);
+}
+
+}  // namespace cdb

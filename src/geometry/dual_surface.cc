@@ -1,0 +1,118 @@
+#include "geometry/dual_surface.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/float_cmp.h"
+
+namespace cdb {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double LineAt(const Vec2& v, double s) { return v.y - s * v.x; }
+
+// Representative point of [lo, hi] for piece identification.
+double Midpoint(double lo, double hi) {
+  if (std::isinf(lo) && std::isinf(hi)) return 0.0;
+  if (std::isinf(lo)) return hi - 1.0;
+  if (std::isinf(hi)) return lo + 1.0;
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace
+
+double DualSurface::Eval(double s, bool top) const {
+  if (!valid) return std::numeric_limits<double>::quiet_NaN();
+  if (DefinitelyLess(s, finite_lo) || DefinitelyGreater(s, finite_hi)) {
+    return top ? kInf : -kInf;
+  }
+  for (const SurfacePiece& p : pieces) {
+    if (LessOrEq(p.lo, s) && LessOrEq(s, p.hi)) {
+      return p.vy - s * p.vx;
+    }
+  }
+  // Domain clamp for values epsilon-outside the recorded pieces.
+  if (!pieces.empty()) {
+    const SurfacePiece& p = s < pieces.front().lo ? pieces.front()
+                                                  : pieces.back();
+    return p.vy - s * p.vx;
+  }
+  return top ? kInf : -kInf;
+}
+
+DualSurface BuildDualSurface(const Polyhedron2D& poly, bool top) {
+  DualSurface surf;
+  if (!poly.feasible || !poly.pointed || poly.vertices.empty()) return surf;
+
+  // Finite domain from the recession rays.
+  double lo = -kInf, hi = kInf;
+  bool empty_domain = false;
+  for (const Vec2& d : poly.rays) {
+    // TOP finite at s requires d_y - s*d_x <= 0; BOT requires >= 0.
+    double flip = top ? 1.0 : -1.0;
+    double dy = flip * d.y, dx = flip * d.x;
+    // Need dy - s*dx <= 0.
+    if (ApproxZero(dx)) {
+      if (dy > kEps) empty_domain = true;
+    } else if (dx > 0) {
+      lo = std::max(lo, dy / dx);
+    } else {
+      hi = std::min(hi, dy / dx);
+    }
+  }
+  surf.valid = true;
+  if (empty_domain || lo > hi + kEps) {
+    surf.finite_lo = 1.0;
+    surf.finite_hi = -1.0;  // Empty domain: infinite everywhere.
+    return surf;
+  }
+  surf.finite_lo = lo;
+  surf.finite_hi = hi;
+
+  // Candidate breakpoints: pairwise equal-value slopes of the vertex lines.
+  std::vector<double> cuts;
+  cuts.push_back(lo);
+  cuts.push_back(hi);
+  const auto& vs = poly.vertices;
+  for (size_t i = 0; i < vs.size(); ++i) {
+    for (size_t j = i + 1; j < vs.size(); ++j) {
+      double dx = vs[i].x - vs[j].x;
+      if (ApproxZero(dx)) continue;
+      double s = (vs[i].y - vs[j].y) / dx;
+      if (GreaterOrEq(s, lo) && LessOrEq(s, hi)) cuts.push_back(s);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end(),
+                         [](double a, double b) { return ApproxEq(a, b); }),
+             cuts.end());
+
+  for (size_t i = 0; i + 1 < cuts.size() || cuts.size() == 1; ++i) {
+    double a = cuts[i];
+    double b = (cuts.size() == 1) ? cuts[i] : cuts[i + 1];
+    double mid = Midpoint(a, b);
+    size_t best = 0;
+    double best_val = LineAt(vs[0], mid);
+    for (size_t k = 1; k < vs.size(); ++k) {
+      double val = LineAt(vs[k], mid);
+      if ((top && val > best_val) || (!top && val < best_val)) {
+        best_val = val;
+        best = k;
+      }
+    }
+    if (!surf.pieces.empty() &&
+        ApproxEq(surf.pieces.back().vx, vs[best].x) &&
+        ApproxEq(surf.pieces.back().vy, vs[best].y)) {
+      surf.pieces.back().hi = b;  // Merge with the previous piece.
+    } else {
+      surf.pieces.push_back({a, b, vs[best].x, vs[best].y});
+    }
+    if (cuts.size() == 1) break;
+  }
+  return surf;
+}
+
+}  // namespace cdb

@@ -1,0 +1,50 @@
+// Explicit piecewise-linear dual surfaces TOP^P / BOT^P as functions of the
+// slope (Section 2.1: the TOP graph is the upper envelope of the dual lines
+// of the polyhedron's vertices; equivalently, the dual of the upper hull).
+//
+// The index itself evaluates TOP/BOT pointwise through lp2d; this module
+// provides the structural form — breakpoints and active pieces — used by
+// tests (cross-validation of the hull/envelope isomorphism) and by tooling
+// that wants to plot or reason about the surfaces.
+
+#ifndef CDB_GEOMETRY_DUAL_SURFACE_H_
+#define CDB_GEOMETRY_DUAL_SURFACE_H_
+
+#include <vector>
+
+#include "geometry/linear_constraint.h"
+#include "geometry/polyhedron2d.h"
+
+namespace cdb {
+
+/// One linear piece of a dual surface: value(s) = intercept - s * vx on
+/// [lo, hi] (the dual line of the primal vertex (vx, intercept)).
+struct SurfacePiece {
+  double lo;         // Slope interval start (may be -inf).
+  double hi;         // Slope interval end (may be +inf).
+  double vx;         // Primal vertex x (negated slope of the dual line).
+  double vy;         // Primal vertex y (value at slope 0).
+};
+
+/// Piecewise-linear representation of TOP^P or BOT^P over the slopes where
+/// the surface is finite. `finite_lo`/`finite_hi` bound that domain
+/// (±infinity when finite everywhere); outside it the surface is +inf (TOP)
+/// or -inf (BOT).
+struct DualSurface {
+  bool valid = false;       // False for infeasible or non-pointed input.
+  double finite_lo = 0.0;
+  double finite_hi = 0.0;
+  std::vector<SurfacePiece> pieces;  // Ordered by slope interval.
+
+  /// Evaluates the surface at slope s (±inf outside the finite domain).
+  double Eval(double s, bool top) const;
+};
+
+/// Builds the TOP surface (upper envelope of vertex dual lines) when `top`,
+/// else the BOT surface (lower envelope). Requires a pointed feasible
+/// polyhedron; returns an invalid surface otherwise.
+DualSurface BuildDualSurface(const Polyhedron2D& poly, bool top);
+
+}  // namespace cdb
+
+#endif  // CDB_GEOMETRY_DUAL_SURFACE_H_

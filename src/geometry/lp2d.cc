@@ -1,0 +1,115 @@
+#include "geometry/lp2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cdb {
+
+namespace {
+
+// Candidate vertices are enumerated inside a box of this half-width; real
+// workload coordinates are orders of magnitude smaller (the paper's window
+// is [-50, 50]^2), so the box never truncates a bounded optimum.
+constexpr double kBox = 1e9;
+
+// Constraint normalized to nx*x + ny*y <= rhs.
+struct NormCon {
+  double nx, ny, rhs;
+};
+
+std::vector<NormCon> Normalize(const std::vector<Constraint2D>& cons) {
+  std::vector<NormCon> out;
+  out.reserve(cons.size());
+  for (const Constraint2D& c : cons) {
+    if (c.cmp == Cmp::kLE) {
+      out.push_back({c.a, c.b, -c.c});
+    } else {
+      out.push_back({-c.a, -c.b, c.c});
+    }
+  }
+  return out;
+}
+
+bool Feasible(const std::vector<NormCon>& cons, const Vec2& p, double eps) {
+  for (const NormCon& c : cons) {
+    double lhs = c.nx * p.x + c.ny * p.y;
+    double scale = std::max(
+        {1.0, std::fabs(lhs), std::fabs(c.rhs)});
+    if (lhs - c.rhs > eps * scale) return false;
+  }
+  return true;
+}
+
+struct BoxedResult {
+  bool feasible = false;
+  double value = -std::numeric_limits<double>::infinity();
+  Vec2 point;
+};
+
+// Maximizes (cx, cy) over `cons` intersected with the box |x|,|y| <= box.
+// The clipped region, if non-empty, is a polytope, so enumerating pairwise
+// boundary intersections finds an optimal vertex.
+BoxedResult SolveBoxed(std::vector<NormCon> cons, double cx, double cy,
+                       double box) {
+  cons.push_back({1.0, 0.0, box});
+  cons.push_back({-1.0, 0.0, box});
+  cons.push_back({0.0, 1.0, box});
+  cons.push_back({0.0, -1.0, box});
+
+  BoxedResult best;
+  const size_t m = cons.size();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      const NormCon& ci = cons[i];
+      const NormCon& cj = cons[j];
+      double det = ci.nx * cj.ny - ci.ny * cj.nx;
+      double det_scale =
+          std::max(1e-30, std::hypot(ci.nx, ci.ny) * std::hypot(cj.nx, cj.ny));
+      if (std::fabs(det) < 1e-12 * det_scale) continue;
+      Vec2 p{(ci.rhs * cj.ny - ci.ny * cj.rhs) / det,
+             (ci.nx * cj.rhs - ci.rhs * cj.nx) / det};
+      if (!std::isfinite(p.x) || !std::isfinite(p.y)) continue;
+      if (!Feasible(cons, p, kEps)) continue;
+      double v = cx * p.x + cy * p.y;
+      if (!best.feasible || v > best.value) {
+        best.feasible = true;
+        best.value = v;
+        best.point = p;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Lp2DResult MaximizeLinear2D(const std::vector<Constraint2D>& constraints,
+                            double cx, double cy) {
+  std::vector<NormCon> norm = Normalize(constraints);
+
+  BoxedResult base = SolveBoxed(norm, cx, cy, kBox);
+  if (!base.feasible) {
+    return {LpStatus::kInfeasible, 0.0, Vec2()};
+  }
+
+  // Recession-cone probe: the program is unbounded iff there is a direction
+  // d with n·d <= 0 for every constraint and c·d > 0. Restricting d to the
+  // unit box makes the probe itself a bounded LP; d = 0 keeps it feasible.
+  std::vector<NormCon> cone = norm;
+  for (NormCon& c : cone) c.rhs = 0.0;
+  BoxedResult ray = SolveBoxed(cone, cx, cy, 1.0);
+  double c_scale = std::max({1.0, std::fabs(cx), std::fabs(cy)});
+  if (ray.feasible && ray.value > 1e-7 * c_scale) {
+    return {LpStatus::kUnbounded, 0.0, Vec2()};
+  }
+
+  return {LpStatus::kOptimal, base.value, base.point};
+}
+
+bool IsSatisfiable2D(const std::vector<Constraint2D>& constraints) {
+  std::vector<NormCon> norm = Normalize(constraints);
+  return SolveBoxed(norm, 0.0, 0.0, kBox).feasible;
+}
+
+}  // namespace cdb

@@ -1,0 +1,48 @@
+// Exact (epsilon-tolerant) 2-variable linear programming.
+//
+// This is the workhorse oracle of the whole system: TOP^P and BOT^P values
+// (support-function evaluations of a polyhedron at a slope) reduce to
+// maximizing a linear objective over the constraint conjunction, and every
+// refinement / ground-truth check routes through here.
+//
+// The solver classifies the program as infeasible / unbounded / optimal and
+// correctly handles vertex-free feasible regions (half-planes, strips,
+// lines, the whole plane), which arise naturally for the paper's unbounded
+// generalized tuples.
+
+#ifndef CDB_GEOMETRY_LP2D_H_
+#define CDB_GEOMETRY_LP2D_H_
+
+#include <vector>
+
+#include "geometry/linear_constraint.h"
+#include "geometry/vec.h"
+
+namespace cdb {
+
+enum class LpStatus { kOptimal, kUnbounded, kInfeasible };
+
+/// Outcome of a 2-D LP. `value`/`point` are meaningful only for kOptimal.
+struct Lp2DResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double value = 0.0;
+  Vec2 point;
+};
+
+/// Maximizes cx*x + cy*y subject to the conjunction `constraints`.
+///
+/// Implementation: candidate-vertex enumeration inside a large bounding box
+/// (which guarantees the clipped region is a polytope with vertices),
+/// followed by an exact recession-cone probe to separate "optimal on the
+/// box" from genuine unboundedness. Intended for the small constraint
+/// counts of generalized tuples (the paper uses 3-6 constraints per tuple);
+/// complexity is O(m^3).
+Lp2DResult MaximizeLinear2D(const std::vector<Constraint2D>& constraints,
+                            double cx, double cy);
+
+/// True when the conjunction has at least one solution.
+bool IsSatisfiable2D(const std::vector<Constraint2D>& constraints);
+
+}  // namespace cdb
+
+#endif  // CDB_GEOMETRY_LP2D_H_

@@ -1,0 +1,261 @@
+#include "geometry/lpd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace cdb {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Dense simplex tableau for: maximize c·y, M y <= rhs, y >= 0.
+// Rows are constraints with slack variables; two-phase with artificials for
+// negative right-hand sides; Bland's rule for anti-cycling.
+class Simplex {
+ public:
+  // m constraints, n structural variables.
+  Simplex(std::vector<std::vector<double>> m_rows, std::vector<double> rhs,
+          std::vector<double> c)
+      : m_(m_rows.size()), n_(c.size()), rows_(std::move(m_rows)),
+        rhs_(std::move(rhs)), c_(std::move(c)) {}
+
+  // Returns status; on kOptimal fills value and the structural solution.
+  LpStatus Solve(double* value, std::vector<double>* solution) {
+    // Normalize rows so rhs >= 0, then add slack + artificial columns.
+    // Column layout: [0, n_) structural, [n_, n_+m_) slack,
+    // [n_+m_, n_+m_+n_art) artificial.
+    std::vector<int> art_of_row(m_, -1);
+    size_t n_art = 0;
+    for (size_t i = 0; i < m_; ++i) {
+      double slack_sign = 1.0;
+      if (rhs_[i] < 0) {
+        for (double& v : rows_[i]) v = -v;
+        rhs_[i] = -rhs_[i];
+        slack_sign = -1.0;
+      }
+      slack_sign_.push_back(slack_sign);
+      if (slack_sign < 0) art_of_row[i] = static_cast<int>(n_art++);
+    }
+    total_cols_ = n_ + m_ + n_art;
+    frozen_from_ = total_cols_;  // All columns eligible during phase 1.
+
+    tab_.assign(m_, std::vector<double>(total_cols_ + 1, 0.0));
+    basis_.assign(m_, 0);
+    for (size_t i = 0; i < m_; ++i) {
+      for (size_t j = 0; j < n_; ++j) tab_[i][j] = rows_[i][j];
+      tab_[i][n_ + i] = slack_sign_[i];
+      tab_[i][total_cols_] = rhs_[i];
+      if (art_of_row[i] >= 0) {
+        size_t aj = n_ + m_ + static_cast<size_t>(art_of_row[i]);
+        tab_[i][aj] = 1.0;
+        basis_[i] = aj;
+      } else {
+        basis_[i] = n_ + i;
+      }
+    }
+
+    if (n_art > 0) {
+      // Phase 1: minimize sum of artificials == maximize -sum.
+      std::vector<double> obj(total_cols_, 0.0);
+      for (size_t j = n_ + m_; j < total_cols_; ++j) obj[j] = -1.0;
+      double p1value;
+      if (!RunPhase(obj, &p1value)) {
+        // Phase 1 objective is bounded by construction; reaching here means
+        // a numerical failure — report infeasible conservatively.
+        return LpStatus::kInfeasible;
+      }
+      if (p1value < -1e-7) return LpStatus::kInfeasible;
+      // Pivot any artificial still in the basis out (or confirm its row is
+      // degenerate), then freeze artificial columns at zero.
+      for (size_t i = 0; i < m_; ++i) {
+        if (basis_[i] >= n_ + m_) {
+          bool pivoted = false;
+          for (size_t j = 0; j < n_ + m_ && !pivoted; ++j) {
+            if (std::fabs(tab_[i][j]) > kTol) {
+              Pivot(i, j);
+              pivoted = true;
+            }
+          }
+          // If no pivot column exists the row is all-zero (redundant).
+        }
+      }
+      frozen_from_ = n_ + m_;
+    } else {
+      frozen_from_ = total_cols_;
+    }
+
+    // Phase 2.
+    std::vector<double> obj(total_cols_, 0.0);
+    for (size_t j = 0; j < n_; ++j) obj[j] = c_[j];
+    double v;
+    if (!RunPhase(obj, &v)) return LpStatus::kUnbounded;
+    *value = v;
+    solution->assign(n_, 0.0);
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) (*solution)[basis_[i]] = tab_[i][total_cols_];
+    }
+    return LpStatus::kOptimal;
+  }
+
+ private:
+  // Runs the simplex on the given objective. Returns false on unboundedness.
+  bool RunPhase(const std::vector<double>& obj, double* value) {
+    // Reduced costs: z_j - c_j computed from scratch each iteration (sizes
+    // are tiny; clarity over constant factors).
+    for (int iter = 0; iter < 100000; ++iter) {
+      int enter = -1;
+      for (size_t j = 0; j < frozen_from_cap(); ++j) {
+        double red = obj[j];
+        for (size_t i = 0; i < m_; ++i) red -= obj[basis_[i]] * tab_[i][j];
+        if (red > kTol) {  // Bland: first improving column.
+          enter = static_cast<int>(j);
+          break;
+        }
+      }
+      if (enter < 0) {
+        double v = 0.0;
+        for (size_t i = 0; i < m_; ++i) {
+          v += obj[basis_[i]] * tab_[i][total_cols_];
+        }
+        *value = v;
+        return true;
+      }
+      // Ratio test, Bland ties by smallest basis index.
+      int leave = -1;
+      double best_ratio = 0.0;
+      for (size_t i = 0; i < m_; ++i) {
+        double a = tab_[i][enter];
+        if (a > kTol) {
+          double ratio = tab_[i][total_cols_] / a;
+          if (leave < 0 || ratio < best_ratio - kTol ||
+              (ratio < best_ratio + kTol &&
+               basis_[i] < basis_[static_cast<size_t>(leave)])) {
+            leave = static_cast<int>(i);
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (leave < 0) return false;  // Unbounded.
+      Pivot(static_cast<size_t>(leave), static_cast<size_t>(enter));
+    }
+    return false;  // Iteration safety net; treat as unbounded/failed.
+  }
+
+  size_t frozen_from_cap() const { return frozen_from_; }
+
+  void Pivot(size_t row, size_t col) {
+    double piv = tab_[row][col];
+    assert(std::fabs(piv) > 0);
+    for (double& v : tab_[row]) v /= piv;
+    for (size_t i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      double f = tab_[i][col];
+      if (std::fabs(f) < 1e-14) continue;
+      for (size_t j = 0; j <= total_cols_; ++j) {
+        tab_[i][j] -= f * tab_[row][j];
+      }
+    }
+    basis_[row] = col;
+  }
+
+  size_t m_, n_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> rhs_;
+  std::vector<double> c_;
+  std::vector<double> slack_sign_;
+  std::vector<std::vector<double>> tab_;
+  std::vector<size_t> basis_;
+  size_t total_cols_ = 0;
+  size_t frozen_from_ = 0;
+};
+
+}  // namespace
+
+LpDResult MaximizeLinearD(const std::vector<ConstraintD>& constraints,
+                          const std::vector<double>& objective) {
+  const size_t d = objective.size();
+  // Free variables x are split as x = u - w with u, w >= 0.
+  const size_t n = 2 * d;
+  std::vector<std::vector<double>> rows;
+  std::vector<double> rhs;
+  for (const ConstraintD& con : constraints) {
+    assert(con.dim() == d);
+    std::vector<double> row(n, 0.0);
+    double sign = con.cmp == Cmp::kLE ? 1.0 : -1.0;
+    for (size_t j = 0; j < d; ++j) {
+      row[j] = sign * con.a[j];
+      row[d + j] = -sign * con.a[j];
+    }
+    rows.push_back(std::move(row));
+    rhs.push_back(-sign * con.c);
+  }
+  std::vector<double> c(n, 0.0);
+  for (size_t j = 0; j < d; ++j) {
+    c[j] = objective[j];
+    c[d + j] = -objective[j];
+  }
+
+  Simplex simplex(std::move(rows), std::move(rhs), std::move(c));
+  LpDResult out;
+  std::vector<double> sol;
+  out.status = simplex.Solve(&out.value, &sol);
+  if (out.status == LpStatus::kOptimal) {
+    out.point.resize(d);
+    for (size_t j = 0; j < d; ++j) out.point[j] = sol[j] - sol[d + j];
+  }
+  return out;
+}
+
+bool IsSatisfiableD(const std::vector<ConstraintD>& constraints, size_t dim) {
+  std::vector<double> zero(dim, 0.0);
+  return MaximizeLinearD(constraints, zero).status != LpStatus::kInfeasible;
+}
+
+double TopValueD(const std::vector<ConstraintD>& constraints,
+                 const std::vector<double>& slope) {
+  std::vector<double> obj(slope.size() + 1);
+  for (size_t i = 0; i < slope.size(); ++i) obj[i] = -slope[i];
+  obj[slope.size()] = 1.0;
+  LpDResult r = MaximizeLinearD(constraints, obj);
+  if (r.status == LpStatus::kInfeasible) return kNaN;
+  if (r.status == LpStatus::kUnbounded) return kInf;
+  return r.value;
+}
+
+double BotValueD(const std::vector<ConstraintD>& constraints,
+                 const std::vector<double>& slope) {
+  std::vector<double> obj(slope.size() + 1);
+  for (size_t i = 0; i < slope.size(); ++i) obj[i] = slope[i];
+  obj[slope.size()] = -1.0;
+  LpDResult r = MaximizeLinearD(constraints, obj);
+  if (r.status == LpStatus::kInfeasible) return kNaN;
+  if (r.status == LpStatus::kUnbounded) return -kInf;
+  return -r.value;
+}
+
+bool ExactAllD(const std::vector<ConstraintD>& constraints,
+               const HalfPlaneQueryD& q) {
+  if (q.cmp == Cmp::kGE) {
+    double bot = BotValueD(constraints, q.slope);
+    return !std::isnan(bot) && LessOrEq(q.intercept, bot);
+  }
+  double top = TopValueD(constraints, q.slope);
+  return !std::isnan(top) && GreaterOrEq(q.intercept, top);
+}
+
+bool ExactExistD(const std::vector<ConstraintD>& constraints,
+                 const HalfPlaneQueryD& q) {
+  if (q.cmp == Cmp::kGE) {
+    double top = TopValueD(constraints, q.slope);
+    return !std::isnan(top) && LessOrEq(q.intercept, top);
+  }
+  double bot = BotValueD(constraints, q.slope);
+  return !std::isnan(bot) && GreaterOrEq(q.intercept, bot);
+}
+
+}  // namespace cdb

@@ -1,0 +1,160 @@
+#include "geometry/polyhedron2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/lp2d.h"
+
+namespace cdb {
+
+namespace {
+
+// Normalized form nx*x + ny*y <= rhs, shared with the cone computation.
+struct NormCon {
+  double nx, ny, rhs;
+};
+
+std::vector<NormCon> Normalize(const std::vector<Constraint2D>& cons) {
+  std::vector<NormCon> out;
+  out.reserve(cons.size());
+  for (const Constraint2D& c : cons) {
+    if (c.cmp == Cmp::kLE) {
+      out.push_back({c.a, c.b, -c.c});
+    } else {
+      out.push_back({-c.a, -c.b, c.c});
+    }
+  }
+  return out;
+}
+
+bool InCone(const std::vector<NormCon>& cons, const Vec2& d, double eps) {
+  for (const NormCon& c : cons) {
+    double len = std::max(1.0, std::hypot(c.nx, c.ny));
+    if (c.nx * d.x + c.ny * d.y > eps * len) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Polyhedron2D Polyhedron2D::FromConstraints(
+    const std::vector<Constraint2D>& constraints) {
+  Polyhedron2D poly;
+  poly.feasible = IsSatisfiable2D(constraints);
+  if (!poly.feasible) return poly;
+
+  std::vector<NormCon> norm = Normalize(constraints);
+
+  // --- Recession cone: extreme-ray candidates are the boundary directions
+  // of individual constraints (every extreme ray of an intersection of
+  // half-planes through the origin lies on some boundary).
+  size_t effective = 0;
+  for (const NormCon& c : norm) {
+    if (std::hypot(c.nx, c.ny) >= 1e-30) ++effective;
+  }
+  bool whole_plane_cone = effective == 0;
+  bool contains_line = whole_plane_cone;
+  std::vector<Vec2> rays;
+  for (const NormCon& c : norm) {
+    double len = std::hypot(c.nx, c.ny);
+    if (len < 1e-30) {
+      // Degenerate 0*x + 0*y <= rhs constraint; it is either trivially true
+      // (no cone restriction) or was already caught by infeasibility.
+      continue;
+    }
+    for (double sign : {1.0, -1.0}) {
+      Vec2 d{sign * c.ny / len, -sign * c.nx / len};
+      if (!InCone(norm, d, kEps)) continue;
+      if (InCone(norm, Vec2{-d.x, -d.y}, kEps)) contains_line = true;
+      bool dup = false;
+      for (const Vec2& r : rays) {
+        if (ApproxEq(r.x, d.x) && ApproxEq(r.y, d.y)) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) rays.push_back(d);
+    }
+  }
+  if (whole_plane_cone) {
+    // Whole plane: represent with the four axis directions for callers that
+    // only need "is direction unbounded" probes.
+    rays = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  }
+  poly.rays = std::move(rays);
+  poly.bounded = poly.rays.empty();
+  poly.pointed = !contains_line;
+
+  if (!poly.pointed) return poly;  // No vertex representation.
+
+  // --- Vertices: feasible pairwise boundary intersections.
+  std::vector<Vec2> verts;
+  const size_t m = norm.size();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      const NormCon& ci = norm[i];
+      const NormCon& cj = norm[j];
+      double det = ci.nx * cj.ny - ci.ny * cj.nx;
+      double det_scale =
+          std::max(1e-30, std::hypot(ci.nx, ci.ny) * std::hypot(cj.nx, cj.ny));
+      if (std::fabs(det) < 1e-12 * det_scale) continue;
+      Vec2 p{(ci.rhs * cj.ny - ci.ny * cj.rhs) / det,
+             (ci.nx * cj.rhs - ci.rhs * cj.nx) / det};
+      if (!std::isfinite(p.x) || !std::isfinite(p.y)) continue;
+      bool ok = true;
+      for (const NormCon& c : norm) {
+        double lhs = c.nx * p.x + c.ny * p.y;
+        double scale = std::max({1.0, std::fabs(lhs), std::fabs(c.rhs)});
+        if (lhs - c.rhs > kEps * scale) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      bool dup = false;
+      for (const Vec2& v : verts) {
+        if (ApproxEq(v.x, p.x, 1e-7) && ApproxEq(v.y, p.y, 1e-7)) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) verts.push_back(p);
+    }
+  }
+
+  // Counter-clockwise order around the centroid.
+  if (verts.size() > 2) {
+    Vec2 centroid{0, 0};
+    for (const Vec2& v : verts) centroid = centroid + v;
+    centroid = centroid * (1.0 / static_cast<double>(verts.size()));
+    std::sort(verts.begin(), verts.end(), [&](const Vec2& a, const Vec2& b) {
+      return std::atan2(a.y - centroid.y, a.x - centroid.x) <
+             std::atan2(b.y - centroid.y, b.x - centroid.x);
+    });
+  }
+  poly.vertices = std::move(verts);
+  return poly;
+}
+
+bool BoundingRect(const std::vector<Constraint2D>& constraints, Rect* out) {
+  Lp2DResult max_x = MaximizeLinear2D(constraints, 1.0, 0.0);
+  if (max_x.status != LpStatus::kOptimal) return false;
+  Lp2DResult min_x = MaximizeLinear2D(constraints, -1.0, 0.0);
+  if (min_x.status != LpStatus::kOptimal) return false;
+  Lp2DResult max_y = MaximizeLinear2D(constraints, 0.0, 1.0);
+  if (max_y.status != LpStatus::kOptimal) return false;
+  Lp2DResult min_y = MaximizeLinear2D(constraints, 0.0, -1.0);
+  if (min_y.status != LpStatus::kOptimal) return false;
+  *out = Rect(-min_x.value, -min_y.value, max_x.value, max_y.value);
+  return true;
+}
+
+bool ContainsPoint(const std::vector<Constraint2D>& constraints,
+                   const Vec2& p) {
+  for (const Constraint2D& c : constraints) {
+    if (!c.Satisfies(p)) return false;
+  }
+  return true;
+}
+
+}  // namespace cdb

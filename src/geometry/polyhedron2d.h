@@ -1,0 +1,48 @@
+// V-representation of the 2-D convex polyhedron described by a constraint
+// conjunction: vertices, extreme recession rays, pointedness, boundedness.
+//
+// Generalized tuples in constraint databases are exactly such (possibly
+// unbounded, possibly empty) polyhedra; the R+-tree baseline needs their
+// bounding rectangles, the tight T2 assignment mode needs vertices and rays,
+// and examples/tests need containment checks.
+
+#ifndef CDB_GEOMETRY_POLYHEDRON2D_H_
+#define CDB_GEOMETRY_POLYHEDRON2D_H_
+
+#include <vector>
+
+#include "geometry/linear_constraint.h"
+#include "geometry/rect.h"
+#include "geometry/vec.h"
+
+namespace cdb {
+
+/// V-representation of a 2-D convex polyhedron. For a pointed polyhedron
+/// P = conv(vertices) + cone(rays); non-pointed feasible regions (regions
+/// containing a full line: half-planes, strips, lines, the whole plane)
+/// have `pointed == false` and an empty vertex list.
+struct Polyhedron2D {
+  bool feasible = false;
+  bool bounded = false;
+  bool pointed = false;
+  /// Extreme points in counter-clockwise order (empty when not pointed).
+  std::vector<Vec2> vertices;
+  /// Extreme recession directions, unit length (empty when bounded).
+  std::vector<Vec2> rays;
+
+  /// Builds the V-representation from a constraint conjunction.
+  static Polyhedron2D FromConstraints(
+      const std::vector<Constraint2D>& constraints);
+};
+
+/// Minimal bounding rectangle of the constraint region. Requires the region
+/// to be non-empty and bounded; returns false otherwise.
+bool BoundingRect(const std::vector<Constraint2D>& constraints, Rect* out);
+
+/// True when `p` satisfies every constraint (within tolerance).
+bool ContainsPoint(const std::vector<Constraint2D>& constraints,
+                   const Vec2& p);
+
+}  // namespace cdb
+
+#endif  // CDB_GEOMETRY_POLYHEDRON2D_H_

@@ -1,0 +1,427 @@
+#include "rtree/guttman_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rtree/node_io.h"
+
+namespace cdb {
+
+namespace {
+
+using rnode::Entry;
+using rnode::MbrOf;
+using rnode::NodeCapacity;
+using rnode::ReadNode;
+using rnode::WriteNode;
+
+size_t MinFill(size_t cap) { return std::max<size_t>(1, cap * 2 / 5); }
+
+double Enlargement(const Rect& base, const Rect& add) {
+  return base.Enclose(add).Area() - base.Area();
+}
+
+// Guttman's quadratic split: distributes `entries` into two groups.
+void QuadraticSplit(std::vector<Entry> entries, size_t cap,
+                    std::vector<Entry>* g1, std::vector<Entry>* g2) {
+  g1->clear();
+  g2->clear();
+  // PickSeeds: the pair wasting the most area together.
+  size_t s1 = 0, s2 = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      double waste = entries[i].rect.Enclose(entries[j].rect).Area() -
+                     entries[i].rect.Area() - entries[j].rect.Area();
+      if (waste > worst) {
+        worst = waste;
+        s1 = i;
+        s2 = j;
+      }
+    }
+  }
+  g1->push_back(entries[s1]);
+  g2->push_back(entries[s2]);
+  Rect r1 = entries[s1].rect, r2 = entries[s2].rect;
+  std::vector<bool> used(entries.size(), false);
+  used[s1] = used[s2] = true;
+  size_t remaining = entries.size() - 2;
+  const size_t min_fill = MinFill(cap);
+
+  while (remaining > 0) {
+    // Force assignment when a group must take all the rest to reach the
+    // minimum fill.
+    if (g1->size() + remaining == min_fill) {
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (!used[i]) {
+          g1->push_back(entries[i]);
+          used[i] = true;
+        }
+      }
+      break;
+    }
+    if (g2->size() + remaining == min_fill) {
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (!used[i]) {
+          g2->push_back(entries[i]);
+          used[i] = true;
+        }
+      }
+      break;
+    }
+    // PickNext: the entry with the strongest group preference.
+    size_t best = 0;
+    double best_diff = -1;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (used[i]) continue;
+      double d = std::fabs(Enlargement(r1, entries[i].rect) -
+                           Enlargement(r2, entries[i].rect));
+      if (d > best_diff) {
+        best_diff = d;
+        best = i;
+      }
+    }
+    used[best] = true;
+    --remaining;
+    double e1 = Enlargement(r1, entries[best].rect);
+    double e2 = Enlargement(r2, entries[best].rect);
+    bool to_first = e1 < e2 || (e1 == e2 && r1.Area() <= r2.Area());
+    if (to_first) {
+      g1->push_back(entries[best]);
+      r1 = r1.Enclose(entries[best].rect);
+    } else {
+      g2->push_back(entries[best]);
+      r2 = r2.Enclose(entries[best].rect);
+    }
+  }
+}
+
+}  // namespace
+
+Status GuttmanRTree::Create(Pager* pager, std::unique_ptr<GuttmanRTree>* out) {
+  std::unique_ptr<GuttmanRTree> tree(new GuttmanRTree(pager));
+  Result<PageId> root = pager->Allocate();
+  if (!root.ok()) return root.status();
+  tree->root_ = root.value();
+  CDB_RETURN_IF_ERROR(WriteNode(pager, tree->root_, /*leaf=*/true, {}));
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status GuttmanRTree::BulkBuild(Pager* pager,
+                               std::vector<std::pair<Rect, TupleId>> input,
+                               std::unique_ptr<GuttmanRTree>* out) {
+  std::unique_ptr<GuttmanRTree> tree(new GuttmanRTree(pager));
+  tree->count_ = input.size();
+  const size_t cap = NodeCapacity(pager->page_size());
+  const size_t fill = std::max<size_t>(2, cap * 7 / 10);
+
+  if (input.empty()) return Create(pager, out);
+
+  std::vector<Entry> level;
+  for (const auto& [rect, id] : input) {
+    if (rect.IsEmpty()) {
+      return Status::InvalidArgument("R-tree entries must be bounded");
+    }
+    level.push_back({rect, id});
+  }
+
+  bool leaf_level = true;
+  uint32_t height = 0;
+  while (true) {
+    ++height;
+    if (level.size() <= cap) {
+      Result<PageId> root = pager->Allocate();
+      if (!root.ok()) return root.status();
+      CDB_RETURN_IF_ERROR(WriteNode(pager, root.value(), leaf_level, level));
+      tree->root_ = root.value();
+      tree->height_ = height;
+      break;
+    }
+    // STR: sqrt(n/fill) vertical slabs by x-center, nodes by y-center.
+    size_t node_count = (level.size() + fill - 1) / fill;
+    size_t slabs = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(node_count))));
+    size_t per_slab = (level.size() + slabs - 1) / slabs;
+    std::sort(level.begin(), level.end(), [](const Entry& a, const Entry& b) {
+      return a.rect.xlo + a.rect.xhi < b.rect.xlo + b.rect.xhi;
+    });
+    std::vector<Entry> next;
+    for (size_t s = 0; s < level.size(); s += per_slab) {
+      size_t slab_end = std::min(level.size(), s + per_slab);
+      std::sort(level.begin() + static_cast<long>(s),
+                level.begin() + static_cast<long>(slab_end),
+                [](const Entry& a, const Entry& b) {
+                  return a.rect.ylo + a.rect.yhi < b.rect.ylo + b.rect.yhi;
+                });
+      for (size_t i = s; i < slab_end; i += fill) {
+        size_t end = std::min(slab_end, i + fill);
+        std::vector<Entry> node(level.begin() + static_cast<long>(i),
+                                level.begin() + static_cast<long>(end));
+        Result<PageId> page = pager->Allocate();
+        if (!page.ok()) return page.status();
+        CDB_RETURN_IF_ERROR(WriteNode(pager, page.value(), leaf_level, node));
+        next.push_back({MbrOf(node), page.value()});
+      }
+    }
+    level = std::move(next);
+    leaf_level = false;
+  }
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+// --- Search ------------------------------------------------------------------
+
+template <typename Pred>
+Status GuttmanRTree::SearchRec(PageId page, const Pred& pred,
+                               std::vector<TupleId>* out,
+                               RTreeStats* stats) const {
+  bool leaf;
+  std::vector<Entry> entries;
+  CDB_RETURN_IF_ERROR(ReadNode(pager_, page, &leaf, &entries,
+                               stats != nullptr ? &stats->page_fetches
+                                                : nullptr));
+  for (const Entry& e : entries) {
+    if (stats != nullptr) ++stats->entries_scanned;
+    if (!pred(e.rect)) continue;
+    if (leaf) {
+      out->push_back(e.id);
+    } else {
+      CDB_RETURN_IF_ERROR(SearchRec(e.id, pred, out, stats));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TupleId>> GuttmanRTree::SearchHalfPlane(
+    const HalfPlaneQuery& q, RTreeStats* stats) {
+  std::vector<TupleId> out;
+  Status st = SearchRec(
+      root_, [&](const Rect& r) { return r.IntersectsHalfPlane(q); }, &out,
+      stats);
+  if (!st.ok()) return st;
+  std::sort(out.begin(), out.end());
+  return out;  // No duplicates by construction (each object stored once).
+}
+
+Result<std::vector<TupleId>> GuttmanRTree::SearchRect(const Rect& window,
+                                                      RTreeStats* stats) {
+  std::vector<TupleId> out;
+  Status st = SearchRec(
+      root_, [&](const Rect& r) { return r.Intersects(window); }, &out,
+      stats);
+  if (!st.ok()) return st;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// --- Insert ------------------------------------------------------------------
+
+Status GuttmanRTree::InsertRec(PageId page, uint32_t level, const Rect& rect,
+                               uint32_t id, uint32_t target_level, Rect* mbr,
+                               SplitEntry* split) {
+  bool leaf;
+  std::vector<Entry> entries;
+  CDB_RETURN_IF_ERROR(ReadNode(pager_, page, &leaf, &entries, nullptr));
+  const size_t cap = NodeCapacity(pager_->page_size());
+
+  if (level == target_level) {
+    entries.push_back({rect, id});
+  } else {
+    // ChooseSubtree: least area enlargement, ties by smaller area.
+    size_t best = 0;
+    double best_growth = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      double growth = Enlargement(entries[i].rect, rect);
+      double area = entries[i].rect.Area();
+      if (growth < best_growth ||
+          (growth == best_growth && area < best_area)) {
+        best_growth = growth;
+        best_area = area;
+        best = i;
+      }
+    }
+    Rect child_mbr;
+    SplitEntry child_split;
+    CDB_RETURN_IF_ERROR(InsertRec(entries[best].id, level + 1, rect, id,
+                                  target_level, &child_mbr, &child_split));
+    entries[best].rect = child_mbr;
+    if (child_split.split) {
+      entries.push_back({child_split.rect, child_split.page});
+    }
+  }
+
+  split->split = false;
+  if (entries.size() <= cap) {
+    *mbr = MbrOf(entries);
+    return WriteNode(pager_, page, leaf, entries);
+  }
+
+  std::vector<Entry> g1, g2;
+  QuadraticSplit(std::move(entries), cap, &g1, &g2);
+  Result<PageId> sibling = pager_->Allocate();
+  if (!sibling.ok()) return sibling.status();
+  CDB_RETURN_IF_ERROR(WriteNode(pager_, page, leaf, g1));
+  CDB_RETURN_IF_ERROR(WriteNode(pager_, sibling.value(), leaf, g2));
+  *mbr = MbrOf(g1);
+  split->split = true;
+  split->rect = MbrOf(g2);
+  split->page = sibling.value();
+  return Status::OK();
+}
+
+Status GuttmanRTree::Insert(const Rect& rect, TupleId id) {
+  if (rect.IsEmpty()) {
+    return Status::InvalidArgument("R-tree entries must be bounded");
+  }
+  Rect mbr;
+  SplitEntry split;
+  CDB_RETURN_IF_ERROR(
+      InsertRec(root_, 0, rect, id, height_ - 1, &mbr, &split));
+  if (split.split) {
+    Result<PageId> new_root = pager_->Allocate();
+    if (!new_root.ok()) return new_root.status();
+    std::vector<Entry> root_entries{{mbr, root_}, {split.rect, split.page}};
+    CDB_RETURN_IF_ERROR(
+        WriteNode(pager_, new_root.value(), /*leaf=*/false, root_entries));
+    root_ = new_root.value();
+    ++height_;
+  }
+  ++count_;
+  return Status::OK();
+}
+
+// --- Delete ------------------------------------------------------------------
+
+namespace {
+
+// Gathers every (rect, id) leaf entry beneath `page` and frees the subtree.
+Status GatherAndFree(Pager* pager, PageId page,
+                     std::vector<std::pair<Rect, TupleId>>* orphans) {
+  bool leaf;
+  std::vector<Entry> entries;
+  CDB_RETURN_IF_ERROR(ReadNode(pager, page, &leaf, &entries, nullptr));
+  if (leaf) {
+    for (const Entry& e : entries) orphans->push_back({e.rect, e.id});
+  } else {
+    for (const Entry& e : entries) {
+      CDB_RETURN_IF_ERROR(GatherAndFree(pager, e.id, orphans));
+    }
+  }
+  return pager->Free(page);
+}
+
+}  // namespace
+
+Status GuttmanRTree::DeleteRec(PageId page, uint32_t level, const Rect& rect,
+                               TupleId id, bool* removed, bool* underflow,
+                               Rect* mbr,
+                               std::vector<std::pair<Rect, TupleId>>* orphans) {
+  bool leaf;
+  std::vector<Entry> entries;
+  CDB_RETURN_IF_ERROR(ReadNode(pager_, page, &leaf, &entries, nullptr));
+  const size_t min_fill = MinFill(NodeCapacity(pager_->page_size()));
+  *removed = false;
+  *underflow = false;
+
+  if (leaf) {
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].id == id && entries[i].rect.Intersects(rect)) {
+        entries.erase(entries.begin() + static_cast<long>(i));
+        *removed = true;
+        break;
+      }
+    }
+    if (!*removed) return Status::OK();
+    CDB_RETURN_IF_ERROR(WriteNode(pager_, page, true, entries));
+    *mbr = MbrOf(entries);
+    *underflow = entries.size() < min_fill;
+    return Status::OK();
+  }
+
+  for (size_t i = 0; i < entries.size() && !*removed; ++i) {
+    if (!entries[i].rect.Intersects(rect)) continue;
+    bool child_removed = false, child_underflow = false;
+    Rect child_mbr;
+    CDB_RETURN_IF_ERROR(DeleteRec(entries[i].id, level + 1, rect, id,
+                                  &child_removed, &child_underflow,
+                                  &child_mbr, orphans));
+    if (!child_removed) continue;
+    *removed = true;
+    if (child_underflow) {
+      // CondenseTree: orphan the underfull child's entries and drop it.
+      CDB_RETURN_IF_ERROR(GatherAndFree(pager_, entries[i].id, orphans));
+      entries.erase(entries.begin() + static_cast<long>(i));
+    } else {
+      entries[i].rect = child_mbr;
+    }
+    CDB_RETURN_IF_ERROR(WriteNode(pager_, page, false, entries));
+    *mbr = MbrOf(entries);
+    *underflow = entries.size() < min_fill;
+  }
+  return Status::OK();
+}
+
+Status GuttmanRTree::Delete(const Rect& rect, TupleId id) {
+  bool removed = false, underflow = false;
+  Rect mbr;
+  std::vector<std::pair<Rect, TupleId>> orphans;
+  CDB_RETURN_IF_ERROR(
+      DeleteRec(root_, 0, rect, id, &removed, &underflow, &mbr, &orphans));
+  if (!removed) return Status::NotFound("entry not in R-tree");
+  --count_;
+
+  // Shrink a root that lost all but one child.
+  while (true) {
+    bool leaf;
+    std::vector<Entry> entries;
+    CDB_RETURN_IF_ERROR(ReadNode(pager_, root_, &leaf, &entries, nullptr));
+    if (leaf || entries.size() != 1) break;
+    PageId old_root = root_;
+    root_ = entries[0].id;
+    CDB_RETURN_IF_ERROR(pager_->Free(old_root));
+    --height_;
+  }
+
+  // Reinsert orphaned leaf entries (count_ is unaffected: they were never
+  // logically deleted).
+  for (const auto& [orect, oid] : orphans) {
+    CDB_RETURN_IF_ERROR(Insert(orect, oid));
+    --count_;  // Insert() bumped it.
+  }
+  return Status::OK();
+}
+
+// --- Invariants -----------------------------------------------------------------
+
+Status GuttmanRTree::CheckRec(PageId page, uint32_t depth,
+                              const Rect& region) const {
+  bool leaf;
+  std::vector<Entry> entries;
+  CDB_RETURN_IF_ERROR(ReadNode(pager_, page, &leaf, &entries, nullptr));
+  Rect grown(region.xlo - 1e-9, region.ylo - 1e-9, region.xhi + 1e-9,
+             region.yhi + 1e-9);
+  for (const Entry& e : entries) {
+    if (!grown.Contains(e.rect)) {
+      return Status::Corruption("entry escapes its node MBR");
+    }
+  }
+  if (leaf) {
+    if (depth + 1 != height_) return Status::Corruption("leaf at wrong depth");
+    return Status::OK();
+  }
+  if (depth + 1 >= height_) return Status::Corruption("internal too deep");
+  for (const Entry& e : entries) {
+    CDB_RETURN_IF_ERROR(CheckRec(e.id, depth + 1, e.rect));
+  }
+  return Status::OK();
+}
+
+Status GuttmanRTree::CheckInvariants() const {
+  return CheckRec(root_, 0, Rect(-1e300, -1e300, 1e300, 1e300));
+}
+
+}  // namespace cdb

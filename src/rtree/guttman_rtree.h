@@ -1,0 +1,85 @@
+// Classic R-tree (Guttman, SIGMOD 1984) — the other member of the
+// rectangle-index family the paper's related work discusses (and the
+// R+-tree's point of departure).
+//
+// Unlike the R+-tree, node regions may overlap and each object is stored
+// exactly once (no clipping, no duplicates); searches pay by descending
+// every overlapping subtree instead. Insertion uses ChooseLeaf by least
+// area enlargement and Guttman's quadratic split; deletion condenses
+// underfull nodes by reinserting their entries. Bulk construction packs
+// leaves Sort-Tile-Recursive.
+//
+// Used as an additional baseline in bench/rtree_family.
+
+#ifndef CDB_RTREE_GUTTMAN_RTREE_H_
+#define CDB_RTREE_GUTTMAN_RTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "constraint/generalized_tuple.h"
+#include "geometry/rect.h"
+#include "rtree/rplus_tree.h"  // RTreeStats
+#include "storage/pager.h"
+
+namespace cdb {
+
+/// See file comment. Does not own the pager.
+class GuttmanRTree {
+ public:
+  static Status Create(Pager* pager, std::unique_ptr<GuttmanRTree>* out);
+
+  /// STR-packed construction.
+  static Status BulkBuild(Pager* pager,
+                          std::vector<std::pair<Rect, TupleId>> entries,
+                          std::unique_ptr<GuttmanRTree>* out);
+
+  Status Insert(const Rect& rect, TupleId id);
+
+  /// Removes the (rect, id) entry; NotFound when absent.
+  Status Delete(const Rect& rect, TupleId id);
+
+  Result<std::vector<TupleId>> SearchHalfPlane(const HalfPlaneQuery& q,
+                                               RTreeStats* stats = nullptr);
+  Result<std::vector<TupleId>> SearchRect(const Rect& window,
+                                          RTreeStats* stats = nullptr);
+
+  uint64_t entry_count() const { return count_; }
+  uint32_t height() const { return height_; }
+  uint64_t live_page_count() const { return pager_->live_page_count(); }
+
+  /// Depth uniformity, MBR containment, minimum fill.
+  Status CheckInvariants() const;
+
+ private:
+  explicit GuttmanRTree(Pager* pager) : pager_(pager) {}
+
+  template <typename Pred>
+  Status SearchRec(PageId page, const Pred& pred, std::vector<TupleId>* out,
+                   RTreeStats* stats) const;
+
+  // Returns (via *split) a new sibling entry when `page` was split.
+  struct SplitEntry {
+    bool split = false;
+    Rect rect;
+    PageId page = kInvalidPageId;
+  };
+  Status InsertRec(PageId page, uint32_t level, const Rect& rect, uint32_t id,
+                   uint32_t target_level, Rect* mbr, SplitEntry* split);
+
+  Status DeleteRec(PageId page, uint32_t level, const Rect& rect, TupleId id,
+                   bool* removed, bool* underflow, Rect* mbr,
+                   std::vector<std::pair<Rect, TupleId>>* orphans);
+
+  Status CheckRec(PageId page, uint32_t depth, const Rect& region) const;
+
+  Pager* pager_;
+  PageId root_ = kInvalidPageId;
+  uint32_t height_ = 1;
+  uint64_t count_ = 0;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_RTREE_GUTTMAN_RTREE_H_

@@ -1,0 +1,93 @@
+// Shared on-page layout for R-family tree nodes (internal header).
+//
+//   u8 type (0 leaf, 1 internal) | u8 pad | u16 count | u32 pad
+//   count * { f64 xlo, f64 ylo, f64 xhi, f64 yhi, u32 id-or-child }
+//
+// Used by both the R+-tree (rplus_tree.cc) and the Guttman R-tree
+// (guttman_rtree.cc).
+
+#ifndef CDB_RTREE_NODE_IO_H_
+#define CDB_RTREE_NODE_IO_H_
+
+#include <cstring>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "storage/pager.h"
+
+namespace cdb {
+namespace rnode {
+
+struct Entry {
+  Rect rect;
+  uint32_t id;  // Tuple id at leaves; child page id internally.
+};
+
+inline constexpr size_t kHeader = 8;
+inline constexpr size_t kEntrySize = 36;
+
+inline size_t NodeCapacity(size_t page_size) {
+  return (page_size - kHeader) / kEntrySize;
+}
+
+inline Status WriteNode(Pager* pager, PageId page, bool leaf,
+                        const std::vector<Entry>& entries) {
+  Result<PageRef> ref = pager->Fetch(page);
+  if (!ref.ok()) return ref.status();
+  char* p = ref.value().data();
+  p[0] = leaf ? 0 : 1;
+  p[1] = 0;
+  uint16_t n = static_cast<uint16_t>(entries.size());
+  std::memcpy(p + 2, &n, 2);
+  std::memset(p + 4, 0, 4);
+  char* e = p + kHeader;
+  for (const Entry& entry : entries) {
+    std::memcpy(e, &entry.rect.xlo, 8);
+    std::memcpy(e + 8, &entry.rect.ylo, 8);
+    std::memcpy(e + 16, &entry.rect.xhi, 8);
+    std::memcpy(e + 24, &entry.rect.yhi, 8);
+    std::memcpy(e + 32, &entry.id, 4);
+    e += kEntrySize;
+  }
+  ref.value().MarkDirty();
+  return Status::OK();
+}
+
+/// Reads a node; counts one page fetch into `fetches` when non-null.
+inline Status ReadNode(const Pager* pager_const, PageId page, bool* leaf,
+                       std::vector<Entry>* entries,
+                       uint64_t* fetches = nullptr) {
+  Pager* pager = const_cast<Pager*>(pager_const);
+  Result<PageRef> ref = pager->Fetch(page);
+  if (!ref.ok()) return ref.status();
+  if (fetches != nullptr) ++*fetches;
+  const char* p = ref.value().data();
+  *leaf = p[0] == 0;
+  uint16_t n;
+  std::memcpy(&n, p + 2, 2);
+  entries->clear();
+  entries->reserve(n);
+  const char* e = p + kHeader;
+  for (uint16_t i = 0; i < n; ++i) {
+    Entry entry;
+    std::memcpy(&entry.rect.xlo, e, 8);
+    std::memcpy(&entry.rect.ylo, e + 8, 8);
+    std::memcpy(&entry.rect.xhi, e + 16, 8);
+    std::memcpy(&entry.rect.yhi, e + 24, 8);
+    std::memcpy(&entry.id, e + 32, 4);
+    entries->push_back(entry);
+    e += kEntrySize;
+  }
+  return Status::OK();
+}
+
+inline Rect MbrOf(const std::vector<Entry>& entries) {
+  Rect r = Rect::Empty();
+  for (const Entry& e : entries) r = r.Enclose(e.rect);
+  return r;
+}
+
+}  // namespace rnode
+}  // namespace cdb
+
+#endif  // CDB_RTREE_NODE_IO_H_

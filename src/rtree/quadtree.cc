@@ -1,0 +1,355 @@
+#include "rtree/quadtree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cdb {
+
+namespace {
+
+// Cell page: u32 child[4] | u16 count | u16 pad | u32 overflow | entries.
+// Overflow page: u32 next | u16 count | u16 pad | entries.
+constexpr size_t kCellHeader = 24;
+constexpr size_t kOverflowHeader = 8;
+constexpr size_t kEntrySize = 36;
+
+size_t CellCapacity(size_t page_size) {
+  return (page_size - kCellHeader) / kEntrySize;
+}
+size_t OverflowCapacity(size_t page_size) {
+  return (page_size - kOverflowHeader) / kEntrySize;
+}
+
+struct CellEntry {
+  Rect rect;
+  TupleId id;
+};
+
+void PutEntry(char* base, size_t i, const CellEntry& e) {
+  std::memcpy(base + i * kEntrySize, &e.rect.xlo, 8);
+  std::memcpy(base + i * kEntrySize + 8, &e.rect.ylo, 8);
+  std::memcpy(base + i * kEntrySize + 16, &e.rect.xhi, 8);
+  std::memcpy(base + i * kEntrySize + 24, &e.rect.yhi, 8);
+  std::memcpy(base + i * kEntrySize + 32, &e.id, 4);
+}
+
+CellEntry GetEntry(const char* base, size_t i) {
+  CellEntry e;
+  std::memcpy(&e.rect.xlo, base + i * kEntrySize, 8);
+  std::memcpy(&e.rect.ylo, base + i * kEntrySize + 8, 8);
+  std::memcpy(&e.rect.xhi, base + i * kEntrySize + 16, 8);
+  std::memcpy(&e.rect.yhi, base + i * kEntrySize + 24, 8);
+  std::memcpy(&e.id, base + i * kEntrySize + 32, 4);
+  return e;
+}
+
+PageId GetChild(const char* p, int q) {
+  PageId id;
+  std::memcpy(&id, p + 4 * q, 4);
+  return id;
+}
+void SetChild(char* p, int q, PageId id) { std::memcpy(p + 4 * q, &id, 4); }
+uint16_t GetCount(const char* p) {
+  uint16_t c;
+  std::memcpy(&c, p + 16, 2);
+  return c;
+}
+void SetCount(char* p, uint16_t c) { std::memcpy(p + 16, &c, 2); }
+PageId GetOverflow(const char* p) {
+  PageId id;
+  std::memcpy(&id, p + 20, 4);
+  return id;
+}
+void SetOverflow(char* p, PageId id) { std::memcpy(p + 20, &id, 4); }
+
+/// Quadrant q (0..3 = SW, SE, NW, NE) of a cell rect.
+Rect Quadrant(const Rect& r, int q) {
+  double mx = (r.xlo + r.xhi) / 2, my = (r.ylo + r.yhi) / 2;
+  switch (q) {
+    case 0: return Rect(r.xlo, r.ylo, mx, my);
+    case 1: return Rect(mx, r.ylo, r.xhi, my);
+    case 2: return Rect(r.xlo, my, mx, r.yhi);
+    default: return Rect(mx, my, r.xhi, r.yhi);
+  }
+}
+
+/// Quadrant fully containing `rect` (strictly inside one half per axis), or
+/// -1 when it straddles a center line.
+int ContainingQuadrant(const Rect& cell, const Rect& rect) {
+  double mx = (cell.xlo + cell.xhi) / 2, my = (cell.ylo + cell.yhi) / 2;
+  int qx;
+  if (rect.xhi <= mx) {
+    qx = 0;
+  } else if (rect.xlo >= mx) {
+    qx = 1;
+  } else {
+    return -1;
+  }
+  int qy;
+  if (rect.yhi <= my) {
+    qy = 0;
+  } else if (rect.ylo >= my) {
+    qy = 1;
+  } else {
+    return -1;
+  }
+  return qx + 2 * qy;
+}
+
+}  // namespace
+
+Status MxCifQuadtree::Create(Pager* pager, const Rect& world,
+                             uint32_t max_depth,
+                             std::unique_ptr<MxCifQuadtree>* out) {
+  if (world.IsEmpty()) return Status::InvalidArgument("empty world rect");
+  std::unique_ptr<MxCifQuadtree> tree(
+      new MxCifQuadtree(pager, world, max_depth));
+  Result<PageId> root = pager->Allocate();
+  if (!root.ok()) return root.status();
+  tree->root_ = root.value();  // Freshly allocated pages are zeroed:
+                               // children/overflow = kInvalidPageId, count 0.
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+Status MxCifQuadtree::InsertRec(PageId cell, const Rect& cell_rect,
+                                uint32_t depth, const Rect& rect,
+                                TupleId id) {
+  Result<PageRef> ref = pager_->Fetch(cell);
+  if (!ref.ok()) return ref.status();
+  char* p = ref.value().data();
+
+  if (depth < max_depth_) {
+    int q = ContainingQuadrant(cell_rect, rect);
+    if (q >= 0) {
+      PageId child = GetChild(p, q);
+      if (child == kInvalidPageId) {
+        Result<PageId> fresh = pager_->Allocate();
+        if (!fresh.ok()) return fresh.status();
+        child = fresh.value();
+        SetChild(p, q, child);
+        ref.value().MarkDirty();
+      }
+      Rect qr = Quadrant(cell_rect, q);
+      ref.value().Release();
+      return InsertRec(child, qr, depth + 1, rect, id);
+    }
+  }
+
+  // Stays at this cell.
+  const size_t cap = CellCapacity(pager_->page_size());
+  uint16_t n = GetCount(p);
+  if (n < cap) {
+    PutEntry(p + kCellHeader, n, {rect, id});
+    SetCount(p, static_cast<uint16_t>(n + 1));
+    ref.value().MarkDirty();
+    return Status::OK();
+  }
+  // Overflow chain: first page with space, else a new head.
+  const size_t ocap = OverflowCapacity(pager_->page_size());
+  PageId chain = GetOverflow(p);
+  PageId cur = chain;
+  while (cur != kInvalidPageId) {
+    Result<PageRef> oref = pager_->Fetch(cur);
+    if (!oref.ok()) return oref.status();
+    char* op = oref.value().data();
+    uint16_t oc;
+    std::memcpy(&oc, op + 4, 2);
+    if (oc < ocap) {
+      PutEntry(op + kOverflowHeader, oc, {rect, id});
+      ++oc;
+      std::memcpy(op + 4, &oc, 2);
+      oref.value().MarkDirty();
+      return Status::OK();
+    }
+    std::memcpy(&cur, op, 4);
+  }
+  Result<PageId> fresh = pager_->Allocate();
+  if (!fresh.ok()) return fresh.status();
+  Result<PageRef> oref = pager_->Fetch(fresh.value());
+  if (!oref.ok()) return oref.status();
+  char* op = oref.value().data();
+  std::memcpy(op, &chain, 4);
+  uint16_t one = 1;
+  std::memcpy(op + 4, &one, 2);
+  PutEntry(op + kOverflowHeader, 0, {rect, id});
+  oref.value().MarkDirty();
+  SetOverflow(p, fresh.value());
+  ref.value().MarkDirty();
+  return Status::OK();
+}
+
+Status MxCifQuadtree::Insert(const Rect& rect, TupleId id) {
+  if (rect.IsEmpty()) {
+    return Status::InvalidArgument("quadtree entries must be bounded");
+  }
+  if (!world_.Contains(rect)) {
+    return Status::InvalidArgument("rect outside the quadtree world");
+  }
+  CDB_RETURN_IF_ERROR(InsertRec(root_, world_, 0, rect, id));
+  ++count_;
+  return Status::OK();
+}
+
+template <typename Pred>
+Status MxCifQuadtree::SearchRec(PageId cell, const Rect& cell_rect,
+                                const Pred& pred, std::vector<TupleId>* out,
+                                RTreeStats* stats) const {
+  Result<PageRef> ref = pager_->Fetch(cell);
+  if (!ref.ok()) return ref.status();
+  if (stats != nullptr) ++stats->page_fetches;
+  const char* p = ref.value().data();
+  uint16_t n = GetCount(p);
+  for (size_t i = 0; i < n; ++i) {
+    CellEntry e = GetEntry(p + kCellHeader, i);
+    if (stats != nullptr) ++stats->entries_scanned;
+    if (pred(e.rect)) out->push_back(e.id);
+  }
+  PageId chain = GetOverflow(p);
+  while (chain != kInvalidPageId) {
+    Result<PageRef> oref = pager_->Fetch(chain);
+    if (!oref.ok()) return oref.status();
+    if (stats != nullptr) ++stats->page_fetches;
+    const char* op = oref.value().data();
+    uint16_t oc;
+    std::memcpy(&oc, op + 4, 2);
+    for (size_t i = 0; i < oc; ++i) {
+      CellEntry e = GetEntry(op + kOverflowHeader, i);
+      if (stats != nullptr) ++stats->entries_scanned;
+      if (pred(e.rect)) out->push_back(e.id);
+    }
+    std::memcpy(&chain, op, 4);
+  }
+  PageId children[4];
+  for (int q = 0; q < 4; ++q) children[q] = GetChild(p, q);
+  ref.value().Release();
+  for (int q = 0; q < 4; ++q) {
+    if (children[q] == kInvalidPageId) continue;
+    Rect qr = Quadrant(cell_rect, q);
+    // Prune subtrees whose whole cell fails a rect-level test: the
+    // predicate is monotone (region intersection), so testing the cell
+    // rect is sound.
+    if (!pred(qr)) continue;
+    CDB_RETURN_IF_ERROR(SearchRec(children[q], qr, pred, out, stats));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TupleId>> MxCifQuadtree::SearchHalfPlane(
+    const HalfPlaneQuery& q, RTreeStats* stats) {
+  std::vector<TupleId> out;
+  Status st = SearchRec(
+      root_, world_, [&](const Rect& r) { return r.IntersectsHalfPlane(q); },
+      &out, stats);
+  if (!st.ok()) return st;
+  std::sort(out.begin(), out.end());
+  return out;  // MX-CIF stores each object once: no duplicates.
+}
+
+Result<std::vector<TupleId>> MxCifQuadtree::SearchRect(const Rect& window,
+                                                       RTreeStats* stats) {
+  std::vector<TupleId> out;
+  Status st = SearchRec(
+      root_, world_, [&](const Rect& r) { return r.Intersects(window); },
+      &out, stats);
+  if (!st.ok()) return st;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status MxCifQuadtree::DeleteRec(PageId cell, const Rect& cell_rect,
+                                const Rect& rect, TupleId id, bool* removed) {
+  // The insert path is deterministic, so follow it.
+  Result<PageRef> ref = pager_->Fetch(cell);
+  if (!ref.ok()) return ref.status();
+  char* p = ref.value().data();
+  int q = ContainingQuadrant(cell_rect, rect);
+  if (q >= 0 && GetChild(p, q) != kInvalidPageId) {
+    // The object may be deeper (it was inserted when depth allowed), or at
+    // this cell if max_depth stopped it; try deeper first.
+    PageId child = GetChild(p, q);
+    Rect qr = Quadrant(cell_rect, q);
+    ref.value().Release();
+    CDB_RETURN_IF_ERROR(DeleteRec(child, qr, rect, id, removed));
+    if (*removed) return Status::OK();
+    Result<PageRef> again = pager_->Fetch(cell);
+    if (!again.ok()) return again.status();
+    ref = std::move(again);
+    p = ref.value().data();
+  }
+
+  // Gather the whole cell list, remove the entry, rewrite compacted.
+  std::vector<CellEntry> entries;
+  uint16_t n = GetCount(p);
+  for (size_t i = 0; i < n; ++i) entries.push_back(GetEntry(p + kCellHeader, i));
+  std::vector<PageId> chain_pages;
+  PageId chain = GetOverflow(p);
+  while (chain != kInvalidPageId) {
+    chain_pages.push_back(chain);
+    Result<PageRef> oref = pager_->Fetch(chain);
+    if (!oref.ok()) return oref.status();
+    const char* op = oref.value().data();
+    uint16_t oc;
+    std::memcpy(&oc, op + 4, 2);
+    for (size_t i = 0; i < oc; ++i) {
+      entries.push_back(GetEntry(op + kOverflowHeader, i));
+    }
+    std::memcpy(&chain, op, 4);
+  }
+  auto it = std::find_if(entries.begin(), entries.end(), [&](const CellEntry& e) {
+    return e.id == id && e.rect.Contains(rect) && rect.Contains(e.rect);
+  });
+  if (it == entries.end()) return Status::OK();  // Not here.
+  entries.erase(it);
+  *removed = true;
+
+  // Rewrite: inline region first, remainder into reused overflow pages.
+  const size_t cap = CellCapacity(pager_->page_size());
+  const size_t ocap = OverflowCapacity(pager_->page_size());
+  size_t inline_n = std::min(cap, entries.size());
+  for (size_t i = 0; i < inline_n; ++i) PutEntry(p + kCellHeader, i, entries[i]);
+  SetCount(p, static_cast<uint16_t>(inline_n));
+  size_t pos = inline_n;
+  PageId prev_link = kInvalidPageId;
+  size_t used_chain = 0;
+  // Rebuild the chain front-to-back over the reused pages.
+  std::vector<std::pair<PageId, std::pair<size_t, size_t>>> assignments;
+  while (pos < entries.size() && used_chain < chain_pages.size()) {
+    size_t take = std::min(ocap, entries.size() - pos);
+    assignments.push_back({chain_pages[used_chain], {pos, take}});
+    pos += take;
+    ++used_chain;
+  }
+  // Write pages in reverse so next links are known.
+  for (size_t i = assignments.size(); i-- > 0;) {
+    Result<PageRef> oref = pager_->Fetch(assignments[i].first);
+    if (!oref.ok()) return oref.status();
+    char* op = oref.value().data();
+    std::memcpy(op, &prev_link, 4);
+    uint16_t cnt = static_cast<uint16_t>(assignments[i].second.second);
+    std::memcpy(op + 4, &cnt, 2);
+    for (size_t j = 0; j < cnt; ++j) {
+      PutEntry(op + kOverflowHeader, j,
+               entries[assignments[i].second.first + j]);
+    }
+    oref.value().MarkDirty();
+    prev_link = assignments[i].first;
+  }
+  SetOverflow(p, prev_link);
+  ref.value().MarkDirty();
+  // Free surplus overflow pages.
+  for (size_t i = used_chain; i < chain_pages.size(); ++i) {
+    CDB_RETURN_IF_ERROR(pager_->Free(chain_pages[i]));
+  }
+  return Status::OK();
+}
+
+Status MxCifQuadtree::Delete(const Rect& rect, TupleId id) {
+  bool removed = false;
+  CDB_RETURN_IF_ERROR(DeleteRec(root_, world_, rect, id, &removed));
+  if (!removed) return Status::NotFound("entry not in quadtree");
+  --count_;
+  return Status::OK();
+}
+
+}  // namespace cdb

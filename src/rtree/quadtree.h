@@ -1,0 +1,71 @@
+// MX-CIF quadtree — the third rectangle-family structure the paper's
+// Section 1 cites ("derived from R-tree, R+-tree, quadtree or their
+// variants"). Kedem's MX-CIF variant stores each rectangle at the smallest
+// quadtree cell that fully contains it, so objects are never duplicated and
+// cells subdivide on demand. Queries descend every cell intersecting the
+// search region and test the rectangles stored along the way.
+//
+// Disk layout: one page per allocated cell (header + rectangle entries,
+// with overflow chains for crowded cells — rectangles straddling a cell's
+// center lines cannot be pushed down, so a cell's list is unbounded).
+// Bounded objects only, like the rest of the rectangle family.
+
+#ifndef CDB_RTREE_QUADTREE_H_
+#define CDB_RTREE_QUADTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "constraint/generalized_tuple.h"
+#include "geometry/rect.h"
+#include "rtree/rplus_tree.h"  // RTreeStats
+#include "storage/pager.h"
+
+namespace cdb {
+
+/// See file comment. Does not own the pager.
+class MxCifQuadtree {
+ public:
+  /// Creates an empty tree over the world square `world` (objects must fit
+  /// inside it). `max_depth` bounds subdivision.
+  static Status Create(Pager* pager, const Rect& world, uint32_t max_depth,
+                       std::unique_ptr<MxCifQuadtree>* out);
+
+  Status Insert(const Rect& rect, TupleId id);
+
+  /// Removes the (rect, id) entry; NotFound when absent.
+  Status Delete(const Rect& rect, TupleId id);
+
+  Result<std::vector<TupleId>> SearchHalfPlane(const HalfPlaneQuery& q,
+                                               RTreeStats* stats = nullptr);
+  Result<std::vector<TupleId>> SearchRect(const Rect& window,
+                                          RTreeStats* stats = nullptr);
+
+  uint64_t entry_count() const { return count_; }
+  uint64_t live_page_count() const { return pager_->live_page_count(); }
+
+ private:
+  MxCifQuadtree(Pager* pager, const Rect& world, uint32_t max_depth)
+      : pager_(pager), world_(world), max_depth_(max_depth) {}
+
+  // Cell helpers work on the geometric decomposition; cells are allocated
+  // lazily on first insert.
+  Status InsertRec(PageId cell, const Rect& cell_rect, uint32_t depth,
+                   const Rect& rect, TupleId id);
+  template <typename Pred>
+  Status SearchRec(PageId cell, const Rect& cell_rect, const Pred& pred,
+                   std::vector<TupleId>* out, RTreeStats* stats) const;
+  Status DeleteRec(PageId cell, const Rect& cell_rect, const Rect& rect,
+                   TupleId id, bool* removed);
+
+  Pager* pager_;
+  Rect world_;
+  uint32_t max_depth_;
+  PageId root_ = kInvalidPageId;
+  uint64_t count_ = 0;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_RTREE_QUADTREE_H_

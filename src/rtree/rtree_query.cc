@@ -1,0 +1,72 @@
+#include "rtree/rtree_query.h"
+
+#include "geometry/dual.h"
+
+namespace cdb {
+
+namespace {
+
+template <typename Tree>
+Result<std::vector<TupleId>> SelectImpl(Tree* tree, Relation* relation,
+                                        SelectionType type,
+                                        const HalfPlaneQuery& q,
+                                        QueryStats* stats) {
+  QueryStats local;
+  QueryStats* st = stats != nullptr ? stats : &local;
+  *st = QueryStats();
+  IoStats tuple_before = relation->pager()->stats();
+
+  RTreeStats rstats;
+  Result<std::vector<TupleId>> candidates = tree->SearchHalfPlane(q, &rstats);
+  if (!candidates.ok()) return candidates.status();
+  st->index_page_fetches = rstats.page_fetches;
+  st->candidates = candidates.value().size() + rstats.duplicates;
+  st->duplicates = rstats.duplicates;
+
+  std::vector<TupleId> kept;
+  kept.reserve(candidates.value().size());
+  for (TupleId id : candidates.value()) {
+    GeneralizedTuple tuple;
+    Status s = relation->Get(id, &tuple);
+    if (!s.ok()) return s;
+    bool hit = type == SelectionType::kAll
+                   ? ExactAll(tuple.constraints(), q)
+                   : ExactExist(tuple.constraints(), q);
+    if (hit) {
+      kept.push_back(id);
+    } else {
+      ++st->false_hits;
+    }
+  }
+  st->tuple_page_fetches =
+      relation->pager()->stats().Delta(tuple_before).page_reads;
+  st->results = kept.size();
+  return kept;
+}
+
+}  // namespace
+
+Result<std::vector<TupleId>> RTreeSelect(RPlusTree* tree, Relation* relation,
+                                         SelectionType type,
+                                         const HalfPlaneQuery& q,
+                                         QueryStats* stats) {
+  return SelectImpl(tree, relation, type, q, stats);
+}
+
+Result<std::vector<TupleId>> RTreeSelect(GuttmanRTree* tree,
+                                         Relation* relation,
+                                         SelectionType type,
+                                         const HalfPlaneQuery& q,
+                                         QueryStats* stats) {
+  return SelectImpl(tree, relation, type, q, stats);
+}
+
+Result<std::vector<TupleId>> RTreeSelect(MxCifQuadtree* tree,
+                                         Relation* relation,
+                                         SelectionType type,
+                                         const HalfPlaneQuery& q,
+                                         QueryStats* stats) {
+  return SelectImpl(tree, relation, type, q, stats);
+}
+
+}  // namespace cdb

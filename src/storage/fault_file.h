@@ -1,0 +1,60 @@
+// Fault-injecting BlockFile wrapper for failure-path tests.
+
+#ifndef CDB_STORAGE_FAULT_FILE_H_
+#define CDB_STORAGE_FAULT_FILE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/file.h"
+
+namespace cdb {
+
+/// Wraps another BlockFile and fails operations on command. Tests use it to
+/// verify that Status propagation through pager / B+-tree / index layers is
+/// lossless and that failed operations leave structures readable.
+class FaultInjectionFile : public BlockFile {
+ public:
+  explicit FaultInjectionFile(std::unique_ptr<BlockFile> base)
+      : base_(std::move(base)) {}
+
+  /// After this many further successful operations, every subsequent
+  /// read/write fails until cleared. Negative disables injection.
+  void FailAfter(int64_t ops) { remaining_ = ops; }
+  void ClearFault() { remaining_ = -1; }
+
+  uint64_t injected_failures() const { return injected_failures_; }
+
+  Status ReadBlock(uint64_t index, char* out) override {
+    CDB_RETURN_IF_ERROR(MaybeFail("read"));
+    return base_->ReadBlock(index, out);
+  }
+
+  Status WriteBlock(uint64_t index, const char* data) override {
+    CDB_RETURN_IF_ERROR(MaybeFail("write"));
+    return base_->WriteBlock(index, data);
+  }
+
+  uint64_t BlockCount() const override { return base_->BlockCount(); }
+  size_t block_size() const override { return base_->block_size(); }
+  Status Sync() override { return base_->Sync(); }
+
+ private:
+  Status MaybeFail(const char* op) {
+    if (remaining_ < 0) return Status::OK();
+    if (remaining_ == 0) {
+      ++injected_failures_;
+      return Status::IOError(std::string("injected fault on ") + op);
+    }
+    --remaining_;
+    return Status::OK();
+  }
+
+  std::unique_ptr<BlockFile> base_;
+  int64_t remaining_ = -1;
+  uint64_t injected_failures_ = 0;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_STORAGE_FAULT_FILE_H_

@@ -1,0 +1,84 @@
+#include "storage/file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cdb {
+
+Status MemFile::ReadBlock(uint64_t index, char* out) {
+  if (index >= blocks_.size()) {
+    return Status::IOError("read past end of MemFile: block " +
+                           std::to_string(index));
+  }
+  std::memcpy(out, blocks_[index].data(), block_size_);
+  return Status::OK();
+}
+
+Status MemFile::WriteBlock(uint64_t index, const char* data) {
+  if (index >= blocks_.size()) {
+    blocks_.resize(index + 1, std::vector<char>(block_size_, 0));
+  }
+  std::memcpy(blocks_[index].data(), data, block_size_);
+  return Status::OK();
+}
+
+Status PosixFile::Open(const std::string& path, size_t block_size,
+                       bool truncate, std::unique_ptr<PosixFile>* out) {
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError("lseek " + path + ": " + std::strerror(errno));
+  }
+  if (static_cast<size_t>(size) % block_size != 0) {
+    ::close(fd);
+    return Status::Corruption(path + " is not a whole number of blocks");
+  }
+  out->reset(new PosixFile(fd, block_size,
+                           static_cast<uint64_t>(size) / block_size));
+  return Status::OK();
+}
+
+PosixFile::~PosixFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PosixFile::ReadBlock(uint64_t index, char* out) {
+  if (index >= block_count_) {
+    return Status::IOError("read past end of file: block " +
+                           std::to_string(index));
+  }
+  ssize_t n = ::pread(fd_, out, block_size_,
+                      static_cast<off_t>(index * block_size_));
+  if (n != static_cast<ssize_t>(block_size_)) {
+    return Status::IOError("short read at block " + std::to_string(index));
+  }
+  return Status::OK();
+}
+
+Status PosixFile::WriteBlock(uint64_t index, const char* data) {
+  ssize_t n = ::pwrite(fd_, data, block_size_,
+                       static_cast<off_t>(index * block_size_));
+  if (n != static_cast<ssize_t>(block_size_)) {
+    return Status::IOError("short write at block " + std::to_string(index));
+  }
+  if (index >= block_count_) block_count_ = index + 1;
+  return Status::OK();
+}
+
+Status PosixFile::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace cdb

@@ -1,0 +1,89 @@
+// Block-file abstraction underneath the pager.
+//
+// Two implementations are provided: PosixFile (a regular file on disk) and
+// MemFile (an in-memory vector of blocks used by tests and benchmarks, which
+// measure page *accesses* rather than raw device time). A fault-injecting
+// wrapper lives in fault_file.h.
+
+#ifndef CDB_STORAGE_FILE_H_
+#define CDB_STORAGE_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cdb {
+
+/// Random-access file of fixed-size blocks. Block i occupies bytes
+/// [i*block_size, (i+1)*block_size). Reads of never-written blocks beyond
+/// the current size fail with IOError.
+class BlockFile {
+ public:
+  virtual ~BlockFile() = default;
+
+  /// Reads block `index` into `out` (exactly block_size bytes).
+  virtual Status ReadBlock(uint64_t index, char* out) = 0;
+
+  /// Writes block `index` from `data` (exactly block_size bytes); extends
+  /// the file as needed.
+  virtual Status WriteBlock(uint64_t index, const char* data) = 0;
+
+  /// Number of blocks currently in the file.
+  virtual uint64_t BlockCount() const = 0;
+
+  virtual size_t block_size() const = 0;
+
+  /// Flushes buffered data to durable storage (no-op for MemFile).
+  virtual Status Sync() = 0;
+};
+
+/// Heap-backed block file. Fast, durable only for the process lifetime.
+class MemFile : public BlockFile {
+ public:
+  explicit MemFile(size_t block_size) : block_size_(block_size) {}
+
+  Status ReadBlock(uint64_t index, char* out) override;
+  Status WriteBlock(uint64_t index, const char* data) override;
+  uint64_t BlockCount() const override { return blocks_.size(); }
+  size_t block_size() const override { return block_size_; }
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  size_t block_size_;
+  std::vector<std::vector<char>> blocks_;
+};
+
+/// Block file over a POSIX file descriptor.
+class PosixFile : public BlockFile {
+ public:
+  /// Opens (creating if absent, truncating if `truncate`) the file at
+  /// `path`.
+  static Status Open(const std::string& path, size_t block_size,
+                     bool truncate, std::unique_ptr<PosixFile>* out);
+
+  ~PosixFile() override;
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+
+  Status ReadBlock(uint64_t index, char* out) override;
+  Status WriteBlock(uint64_t index, const char* data) override;
+  uint64_t BlockCount() const override { return block_count_; }
+  size_t block_size() const override { return block_size_; }
+  Status Sync() override;
+
+ private:
+  PosixFile(int fd, size_t block_size, uint64_t block_count)
+      : fd_(fd), block_size_(block_size), block_count_(block_count) {}
+
+  int fd_;
+  size_t block_size_;
+  uint64_t block_count_;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_STORAGE_FILE_H_

@@ -1,0 +1,242 @@
+#include "storage/pager.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace cdb {
+
+namespace {
+
+constexpr uint64_t kMetaMagic = 0xCDB1DE99CDB1DE99ull;
+
+struct MetaPage {
+  uint64_t magic;
+  uint32_t page_size;
+  uint32_t next_page_id;
+  uint32_t free_head;
+  uint32_t reserved;
+  uint64_t live_pages;
+};
+
+}  // namespace
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pager_ = other.pager_;
+    id_ = other.id_;
+    data_ = other.data_;
+    other.pager_ = nullptr;
+    other.data_ = nullptr;
+    other.id_ = kInvalidPageId;
+  }
+  return *this;
+}
+
+PageRef::~PageRef() { Release(); }
+
+void PageRef::MarkDirty() {
+  if (pager_ != nullptr) pager_->MarkDirty(id_);
+}
+
+void PageRef::Release() {
+  if (pager_ != nullptr) {
+    pager_->Unpin(id_);
+    pager_ = nullptr;
+    data_ = nullptr;
+    id_ = kInvalidPageId;
+  }
+}
+
+Pager::Pager(std::unique_ptr<BlockFile> file, const PagerOptions& options)
+    : file_(std::move(file)),
+      page_size_(options.page_size),
+      cache_frames_(options.cache_frames) {}
+
+Status Pager::Open(std::unique_ptr<BlockFile> file,
+                   const PagerOptions& options, std::unique_ptr<Pager>* out) {
+  if (options.page_size < sizeof(MetaPage) || options.page_size < 64) {
+    return Status::InvalidArgument("page size too small");
+  }
+  if (file->block_size() != options.page_size) {
+    return Status::InvalidArgument("file block size != pager page size");
+  }
+  std::unique_ptr<Pager> pager(new Pager(std::move(file), options));
+  if (pager->file_->BlockCount() == 0) {
+    CDB_RETURN_IF_ERROR(pager->StoreMeta());
+  } else {
+    CDB_RETURN_IF_ERROR(pager->LoadMeta());
+  }
+  *out = std::move(pager);
+  return Status::OK();
+}
+
+Pager::~Pager() { Flush().ok(); }
+
+Status Pager::LoadMeta() {
+  std::vector<char> buf(page_size_);
+  CDB_RETURN_IF_ERROR(file_->ReadBlock(0, buf.data()));
+  MetaPage meta;
+  std::memcpy(&meta, buf.data(), sizeof(meta));
+  if (meta.magic != kMetaMagic) return Status::Corruption("bad meta magic");
+  if (meta.page_size != page_size_) {
+    return Status::InvalidArgument("page size mismatch with stored file");
+  }
+  next_page_id_ = meta.next_page_id;
+  free_head_ = meta.free_head;
+  live_pages_ = meta.live_pages;
+  return Status::OK();
+}
+
+Status Pager::StoreMeta() {
+  std::vector<char> buf(page_size_, 0);
+  MetaPage meta;
+  meta.magic = kMetaMagic;
+  meta.page_size = static_cast<uint32_t>(page_size_);
+  meta.next_page_id = next_page_id_;
+  meta.free_head = free_head_;
+  meta.reserved = 0;
+  meta.live_pages = live_pages_;
+  std::memcpy(buf.data(), &meta, sizeof(meta));
+  return file_->WriteBlock(0, buf.data());
+}
+
+Result<PageId> Pager::Allocate() {
+  ++stats_.pages_allocated;
+  PageId id;
+  if (free_head_ != kInvalidPageId) {
+    id = free_head_;
+    // The next-free link lives in the page's first 4 bytes.
+    Result<PageRef> ref = Fetch(id);
+    if (!ref.ok()) return ref.status();
+    std::memcpy(&free_head_, ref.value().data(), sizeof(free_head_));
+    std::memset(ref.value().data(), 0, page_size_);
+    ref.value().MarkDirty();
+  } else {
+    id = next_page_id_++;
+    Frame frame;
+    frame.data.assign(page_size_, 0);
+    frame.dirty = true;
+    frame.pins = 0;
+    auto [it, inserted] = frames_.emplace(id, std::move(frame));
+    assert(inserted);
+    lru_.push_front(id);
+    it->second.lru_pos = lru_.begin();
+    it->second.in_lru = true;
+    Status st = EvictIfNeeded();
+    if (!st.ok()) return st;
+  }
+  ++live_pages_;
+  return id;
+}
+
+Status Pager::Free(PageId id) {
+  if (id == kInvalidPageId || id >= next_page_id_) {
+    return Status::InvalidArgument("Free of invalid page id");
+  }
+  Result<PageRef> ref = Fetch(id);
+  if (!ref.ok()) return ref.status();
+  std::memcpy(ref.value().data(), &free_head_, sizeof(free_head_));
+  ref.value().MarkDirty();
+  free_head_ = id;
+  assert(live_pages_ > 0);
+  --live_pages_;
+  return Status::OK();
+}
+
+Result<PageRef> Pager::Fetch(PageId id) {
+  if (id == kInvalidPageId || id >= next_page_id_) {
+    return Status::InvalidArgument("Fetch of invalid page id " +
+                                   std::to_string(id));
+  }
+  ++stats_.page_fetches;
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    ++stats_.page_reads;
+    Frame frame;
+    frame.data.resize(page_size_);
+    // Pages allocated but never flushed do not exist in the file yet; they
+    // were evicted with write-back, so a resident miss means a real read
+    // unless the block is past EOF (possible only for never-written pages,
+    // which are zero by definition).
+    if (id < file_->BlockCount()) {
+      CDB_RETURN_IF_ERROR(file_->ReadBlock(id, frame.data.data()));
+    } else {
+      std::fill(frame.data.begin(), frame.data.end(), 0);
+    }
+    it = frames_.emplace(id, std::move(frame)).first;
+  } else if (it->second.in_lru) {
+    lru_.erase(it->second.lru_pos);
+    it->second.in_lru = false;
+  }
+  Frame& frame = it->second;
+  ++frame.pins;
+  Status st = EvictIfNeeded();
+  if (!st.ok()) {
+    // Roll back the pin so the pager stays consistent.
+    --frame.pins;
+    return st;
+  }
+  return PageRef(this, id, frame.data.data());
+}
+
+void Pager::Unpin(PageId id) {
+  auto it = frames_.find(id);
+  assert(it != frames_.end());
+  Frame& frame = it->second;
+  assert(frame.pins > 0);
+  if (--frame.pins == 0) {
+    lru_.push_front(id);
+    frame.lru_pos = lru_.begin();
+    frame.in_lru = true;
+  }
+}
+
+void Pager::MarkDirty(PageId id) {
+  auto it = frames_.find(id);
+  assert(it != frames_.end());
+  it->second.dirty = true;
+}
+
+Status Pager::WriteBack(PageId id, Frame* frame) {
+  if (!frame->dirty) return Status::OK();
+  ++stats_.page_writes;
+  CDB_RETURN_IF_ERROR(file_->WriteBlock(id, frame->data.data()));
+  frame->dirty = false;
+  return Status::OK();
+}
+
+Status Pager::EvictIfNeeded() {
+  while (frames_.size() > cache_frames_ && !lru_.empty()) {
+    PageId victim = lru_.back();
+    auto it = frames_.find(victim);
+    assert(it != frames_.end() && it->second.pins == 0);
+    CDB_RETURN_IF_ERROR(WriteBack(victim, &it->second));
+    lru_.pop_back();
+    frames_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status Pager::Flush() {
+  for (auto& [id, frame] : frames_) {
+    CDB_RETURN_IF_ERROR(WriteBack(id, &frame));
+  }
+  CDB_RETURN_IF_ERROR(StoreMeta());
+  return file_->Sync();
+}
+
+Status Pager::DropCache() {
+  CDB_RETURN_IF_ERROR(Flush());
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->second.pins == 0) {
+      if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cdb

@@ -1,0 +1,153 @@
+#include "workload/generator.h"
+
+#include <cmath>
+
+#include "geometry/polyhedron2d.h"
+
+namespace cdb {
+
+namespace {
+
+// Keep line angles at least this far from the vertical (pi/2) so slopes
+// stay below ~tan(1.47) ≈ 10; the paper excludes pi/2 exactly, we exclude a
+// small numerical neighbourhood.
+constexpr double kVerticalGuard = 0.1;
+
+// Builds a tuple whose constraints are tangent to a disc of radius ~r at
+// the centre, with boundary-line angles from the paper's distribution and
+// the half-plane side always containing the centre.
+GeneralizedTuple TangentTuple(Rng* rng, const Vec2& centre, double r, int m) {
+  GeneralizedTuple t;
+  for (int i = 0; i < m; ++i) {
+    double angle = RandomLineAngle(rng);
+    // Line direction (cos, sin); the normal is its perpendicular, flipped
+    // randomly so constraints close from both sides.
+    double nx = -std::sin(angle), ny = std::cos(angle);
+    if (rng->Chance(0.5)) {
+      nx = -nx;
+      ny = -ny;
+    }
+    double dist = rng->Uniform(0.55, 1.0) * r;
+    // n·p <= n·centre + dist  (half-plane containing the centre).
+    t.Add(nx, ny, -(nx * centre.x + ny * centre.y + dist), Cmp::kLE);
+  }
+  return t;
+}
+
+}  // namespace
+
+double RandomLineAngle(Rng* rng) {
+  double lo, hi;
+  if (rng->Chance(0.5)) {
+    lo = 0.0;
+    hi = M_PI / 2 - kVerticalGuard;
+  } else {
+    lo = M_PI / 2 + kVerticalGuard;
+    hi = M_PI;
+  }
+  return rng->Uniform(lo, hi);
+}
+
+GeneralizedTuple RandomBoundedTuple(Rng* rng, const WorkloadOptions& options) {
+  const double window_area = 4.0 * options.window * options.window;
+  // Size classes as side fractions of the working rectangle: small objects
+  // span 1-5 % of R's side, medium 5-25 %. (The paper phrases the classes
+  // as area fractions "1-5 %" / "up to half"; taken literally, 12000 such
+  // objects cover every point of R hundreds of times over, a regime where
+  // a clipping R+-tree cannot produce disjoint leaf regions at all — see
+  // DESIGN.md. The side-fraction reading keeps the baseline viable while
+  // preserving the small-vs-medium contrast the figures rely on.)
+  double frac_lo, frac_hi;
+  if (options.size == ObjectSize::kSmall) {
+    frac_lo = 0.01 * 0.01;
+    frac_hi = 0.05 * 0.05;
+  } else {
+    frac_lo = 0.05 * 0.05;
+    frac_hi = 0.25 * 0.25;
+  }
+
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    double frac = rng->Uniform(frac_lo, frac_hi);
+    double target_area = frac * window_area;
+    // The bounding box of a disc-anchored polygon is roughly (2r)^2..(3r)^2;
+    // start from the disc matching the target and filter on the real box.
+    double r = std::sqrt(target_area) / 2.4;
+    Vec2 centre{rng->Uniform(-options.window, options.window),
+                rng->Uniform(-options.window, options.window)};
+    int m = static_cast<int>(
+        rng->UniformInt(options.min_constraints, options.max_constraints));
+    GeneralizedTuple t = TangentTuple(rng, centre, r, m);
+    Rect box;
+    if (!t.GetBoundingRect(&box)) continue;  // Unbounded; try again.
+    double a = box.Area();
+    if (a < frac_lo * window_area * 0.8 || a > frac_hi * window_area * 1.2) {
+      continue;
+    }
+    return t;
+  }
+  // Fallback: a plain box of in-band area (practically unreachable; the
+  // tangent construction converges quickly).
+  double frac = (frac_lo + frac_hi) / 2;
+  double half = std::sqrt(frac * window_area) / 2;
+  Vec2 c{rng->Uniform(-options.window, options.window),
+         rng->Uniform(-options.window, options.window)};
+  GeneralizedTuple t;
+  t.Add(1, 0, -(c.x + half), Cmp::kLE);
+  t.Add(1, 0, -(c.x - half), Cmp::kGE);
+  t.Add(0, 1, -(c.y + half), Cmp::kLE);
+  t.Add(0, 1, -(c.y - half), Cmp::kGE);
+  return t;
+}
+
+GeneralizedTuple RandomUnboundedTuple(Rng* rng,
+                                      const WorkloadOptions& options) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    Vec2 centre{rng->Uniform(-options.window, options.window),
+                rng->Uniform(-options.window, options.window)};
+    // 1-3 constraints whose normals span less than a half-circle leave the
+    // region unbounded (a half-plane, strip corner, or wedge).
+    int m = static_cast<int>(rng->UniformInt(1, 3));
+    double base = RandomLineAngle(rng);
+    GeneralizedTuple t;
+    for (int i = 0; i < m; ++i) {
+      double angle = base + rng->Uniform(-0.6, 0.6);
+      double nx = -std::sin(angle), ny = std::cos(angle);
+      double dist = rng->Uniform(1.0, 8.0);
+      t.Add(nx, ny, -(nx * centre.x + ny * centre.y + dist), Cmp::kLE);
+    }
+    if (!t.IsSatisfiable()) continue;
+    Rect box;
+    if (t.GetBoundingRect(&box)) continue;  // Accidentally bounded.
+    return t;
+  }
+  GeneralizedTuple t;
+  t.Add(0, 1, -3, Cmp::kGE);  // y >= 3 — the paper's flavour of infinity.
+  return t;
+}
+
+GeneralizedTupleD RandomBoundedTupleD(Rng* rng, size_t dim, double window) {
+  std::vector<ConstraintD> cons;
+  std::vector<double> centre(dim);
+  for (size_t i = 0; i < dim; ++i) centre[i] = rng->Uniform(-window, window);
+  double half = rng->Uniform(0.05, 0.15) * window;
+  for (size_t i = 0; i < dim; ++i) {
+    std::vector<double> e(dim, 0.0);
+    e[i] = 1.0;
+    cons.emplace_back(e, -(centre[i] + half), Cmp::kLE);
+    cons.emplace_back(e, -(centre[i] - half), Cmp::kGE);
+  }
+  // A couple of diagonal cuts through the box that keep the centre inside.
+  int extra = static_cast<int>(rng->UniformInt(0, 2));
+  for (int e = 0; e < extra; ++e) {
+    std::vector<double> n(dim);
+    double dot = 0;
+    for (size_t i = 0; i < dim; ++i) {
+      n[i] = rng->Uniform(-1, 1);
+      dot += n[i] * centre[i];
+    }
+    cons.emplace_back(n, -(dot + rng->Uniform(0.2, 1.0) * half), Cmp::kLE);
+  }
+  return GeneralizedTupleD(dim, std::move(cons));
+}
+
+}  // namespace cdb

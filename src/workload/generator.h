@@ -1,0 +1,54 @@
+// Paper-faithful workload generation (Section 5).
+//
+// Each generated tuple is a satisfiable conjunction of 3-6 linear
+// constraints whose boundary-line angles are drawn from
+// [0, pi/2) ∪ (pi/2, pi) and whose weight centre is uniform in the working
+// window [-50, 50]^2. Two object-size classes mirror the paper's
+// experiments: "small" bounding rectangles covering 1-5 % of the global
+// rectangle R, and "medium" ones up to 50 %. A separate generator produces
+// unbounded tuples (half-plane/wedge extensions) for the infinite-object
+// scenarios only the dual index supports.
+
+#ifndef CDB_WORKLOAD_GENERATOR_H_
+#define CDB_WORKLOAD_GENERATOR_H_
+
+#include "common/rng.h"
+#include "constraint/generalized_tuple.h"
+
+namespace cdb {
+
+/// Object-size classes of Section 5.
+enum class ObjectSize { kSmall, kMedium };
+
+struct WorkloadOptions {
+  int min_constraints = 3;
+  int max_constraints = 6;
+  /// Half-width of the working window; centres are uniform in
+  /// [-window, window]^2.
+  double window = 50.0;
+  ObjectSize size = ObjectSize::kSmall;
+};
+
+/// Generates one satisfiable *bounded* tuple. The bounding rectangle's area
+/// lands in the size class band (1-5 % of the window rectangle for kSmall,
+/// 5-50 % for kMedium) up to generator retries.
+GeneralizedTuple RandomBoundedTuple(Rng* rng, const WorkloadOptions& options);
+
+/// Generates one satisfiable *unbounded* tuple: a wedge or half-plane-like
+/// conjunction anchored near a random centre. Used by infinite-object tests
+/// and examples (the R+-tree cannot store these).
+GeneralizedTuple RandomUnboundedTuple(Rng* rng,
+                                      const WorkloadOptions& options);
+
+/// Random d-dimensional bounded tuple (axis box cut by extra hyperplanes)
+/// for the Section 4.4 experiments.
+GeneralizedTupleD RandomBoundedTupleD(Rng* rng, size_t dim, double window);
+
+/// A random line angle in [0, pi/2) ∪ (pi/2, pi), bounded away from the
+/// vertical so slopes stay numerically tame (the paper's constraint-angle
+/// distribution).
+double RandomLineAngle(Rng* rng);
+
+}  // namespace cdb
+
+#endif  // CDB_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,91 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/generator.h"
+
+namespace cdb {
+
+namespace {
+
+// Nudge the intercept off the exact stored value so queries never sit on a
+// tuple's surface boundary (keeps index/ground-truth comparisons free of
+// epsilon ties).
+double Nudge(double v) { return 1e-6 * std::max(1.0, std::fabs(v)); }
+
+}  // namespace
+
+Result<CalibratedQuery> GenerateQuery(const Relation& relation,
+                                      SelectionType type, double sel_lo,
+                                      double sel_hi, Rng* rng,
+                                      double angle_half_range) {
+  const size_t n = relation.size();
+  if (n == 0) return Status::InvalidArgument("empty relation");
+  if (!(sel_lo >= 0 && sel_lo <= sel_hi && sel_hi <= 1)) {
+    return Status::InvalidArgument("bad selectivity band");
+  }
+
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    double slope =
+        std::tan(rng->Uniform(-angle_half_range, angle_half_range));
+    Cmp cmp = rng->Chance(0.5) ? Cmp::kGE : Cmp::kLE;
+    double target = rng->Uniform(sel_lo, sel_hi);
+
+    // Per-tuple threshold surface for this query family (Prop. 2.2):
+    //   EXIST(>=): TOP, qualifies iff b <= v.   ALL(>=): BOT, b <= v.
+    //   EXIST(<=): BOT, qualifies iff b >= v.   ALL(<=): TOP, b >= v.
+    const bool use_top = (type == SelectionType::kExist) == (cmp == Cmp::kGE);
+    const bool qualify_above = cmp == Cmp::kGE;  // b <= v.
+
+    std::vector<double> values;
+    values.reserve(n);
+    Status st = relation.ForEach(
+        [&](TupleId, const GeneralizedTuple& t) -> Status {
+          double v = use_top ? t.Top(slope) : t.Bot(slope);
+          if (!std::isnan(v)) values.push_back(v);
+          return Status::OK();
+        });
+    if (!st.ok()) return st;
+    if (values.empty()) continue;
+    std::sort(values.begin(), values.end());
+
+    // Pick the intercept at the quantile matching the target selectivity.
+    size_t want = static_cast<size_t>(
+        std::lround(target * static_cast<double>(values.size())));
+    want = std::max<size_t>(1, std::min(want, values.size()));
+    double b;
+    if (qualify_above) {
+      // Want the top `want` values to qualify.
+      double anchor = values[values.size() - want];
+      if (std::isinf(anchor)) continue;
+      b = anchor - Nudge(anchor);
+    } else {
+      double anchor = values[want - 1];
+      if (std::isinf(anchor)) continue;
+      b = anchor + Nudge(anchor);
+    }
+
+    // Realized selectivity from the sorted values.
+    size_t hits;
+    if (qualify_above) {
+      hits = values.end() -
+             std::lower_bound(values.begin(), values.end(), b);
+    } else {
+      hits = std::upper_bound(values.begin(), values.end(), b) -
+             values.begin();
+    }
+    double realized =
+        static_cast<double>(hits) / static_cast<double>(values.size());
+    if (realized < sel_lo - 0.02 || realized > sel_hi + 0.02) continue;
+
+    CalibratedQuery out;
+    out.query = HalfPlaneQuery(slope, b, cmp);
+    out.type = type;
+    out.selectivity = realized;
+    return out;
+  }
+  return Status::Internal("failed to calibrate a query in the band");
+}
+
+}  // namespace cdb

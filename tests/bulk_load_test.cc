@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "btree/bplus_tree.h"
+#include "common/rng.h"
+#include "storage/file.h"
+
+namespace cdb {
+namespace {
+
+std::unique_ptr<Pager> MakePager(size_t page_size = 256) {
+  PagerOptions opts;
+  opts.page_size = page_size;
+  std::unique_ptr<Pager> pager;
+  EXPECT_TRUE(
+      Pager::Open(std::make_unique<MemFile>(page_size), opts, &pager).ok());
+  return pager;
+}
+
+using Entry = std::pair<double, uint32_t>;
+
+std::vector<Entry> Dump(const BPlusTree& tree) {
+  std::vector<Entry> out;
+  LeafCursor cur;
+  EXPECT_TRUE(tree.SeekFirstLeaf(&cur).ok());
+  while (cur.valid()) {
+    for (int i = 0; i < cur.entry_count(); ++i) {
+      out.emplace_back(cur.key(i), cur.value(i));
+    }
+    EXPECT_TRUE(cur.NextLeaf().ok());
+  }
+  return out;
+}
+
+class BulkLoadSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BulkLoadSizeTest, BuildsValidTreeAtAnySize) {
+  const size_t n = GetParam();
+  auto pager = MakePager();
+  Rng rng(n + 1);
+  std::vector<Entry> entries;
+  std::set<Entry> model;
+  for (size_t i = 0; i < n; ++i) {
+    Entry e{std::floor(rng.Uniform(-500, 500)), static_cast<uint32_t>(i)};
+    entries.push_back(e);
+    model.insert(e);
+  }
+  std::unique_ptr<BPlusTree> tree;
+  ASSERT_TRUE(BPlusTree::BulkLoad(pager.get(), entries, 0.8, &tree).ok());
+  ASSERT_TRUE(tree->CheckInvariants().ok()) << "n=" << n;
+  EXPECT_EQ(tree->size(), n);
+  EXPECT_EQ(Dump(*tree), std::vector<Entry>(model.begin(), model.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BulkLoadSizeTest,
+                         ::testing::Values(0, 1, 2, 17, 18, 19, 20, 21, 100,
+                                           399, 400, 401, 5000));
+
+TEST(BulkLoadTest, RemainsFullyDynamicAfterLoad) {
+  auto pager = MakePager();
+  Rng rng(7);
+  std::vector<Entry> entries;
+  for (uint32_t i = 0; i < 2000; ++i) {
+    entries.push_back({rng.Uniform(-100, 100), i});
+  }
+  std::unique_ptr<BPlusTree> tree;
+  ASSERT_TRUE(BPlusTree::BulkLoad(pager.get(), entries, 0.8, &tree).ok());
+  // Mixed inserts and deletes on the packed tree.
+  std::set<Entry> model(entries.begin(), entries.end());
+  uint32_t next = 2000;
+  for (int op = 0; op < 2000; ++op) {
+    if (rng.Chance(0.5)) {
+      Entry e{rng.Uniform(-100, 100), next++};
+      ASSERT_TRUE(tree->Insert(e.first, e.second).ok());
+      model.insert(e);
+    } else {
+      auto it = model.begin();
+      std::advance(it,
+                   rng.UniformInt(0, static_cast<int64_t>(model.size()) - 1));
+      ASSERT_TRUE(tree->Delete(it->first, it->second).ok());
+      model.erase(it);
+    }
+  }
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  EXPECT_EQ(Dump(*tree), std::vector<Entry>(model.begin(), model.end()));
+}
+
+TEST(BulkLoadTest, PacksDenserThanIncrementalInserts) {
+  auto packed_pager = MakePager(1024);
+  auto random_pager = MakePager(1024);
+  Rng rng(8);
+  std::vector<Entry> entries;
+  for (uint32_t i = 0; i < 20000; ++i) {
+    entries.push_back({rng.Uniform(-1e6, 1e6), i});
+  }
+  std::unique_ptr<BPlusTree> packed;
+  ASSERT_TRUE(
+      BPlusTree::BulkLoad(packed_pager.get(), entries, 0.8, &packed).ok());
+  std::unique_ptr<BPlusTree> incremental;
+  ASSERT_TRUE(BPlusTree::Create(random_pager.get(), &incremental).ok());
+  for (const Entry& e : entries) {
+    ASSERT_TRUE(incremental->Insert(e.first, e.second).ok());
+  }
+  // Random inserts fill leaves to ~69%; bulk load packs to 80%.
+  EXPECT_LT(packed_pager->live_page_count(),
+            random_pager->live_page_count() * 0.92);
+  ASSERT_TRUE(packed->CheckInvariants().ok());
+}
+
+TEST(BulkLoadTest, HandlesInfinitiesAndUnsortedInput) {
+  auto pager = MakePager();
+  double inf = std::numeric_limits<double>::infinity();
+  std::vector<Entry> entries = {{3.0, 1}, {-inf, 2}, {inf, 3}, {0.0, 4}};
+  std::unique_ptr<BPlusTree> tree;
+  ASSERT_TRUE(BPlusTree::BulkLoad(pager.get(), entries, 0.8, &tree).ok());
+  std::vector<Entry> dump = Dump(*tree);
+  ASSERT_EQ(dump.size(), 4u);
+  EXPECT_EQ(dump.front().second, 2u);
+  EXPECT_EQ(dump.back().second, 3u);
+}
+
+TEST(BulkLoadTest, RejectsBadInput) {
+  auto pager = MakePager();
+  std::unique_ptr<BPlusTree> tree;
+  EXPECT_TRUE(BPlusTree::BulkLoad(pager.get(), {{1.0, 1}, {1.0, 1}}, 0.8,
+                                  &tree)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      BPlusTree::BulkLoad(pager.get(), {{std::nan(""), 1}}, 0.8, &tree)
+          .IsInvalidArgument());
+  EXPECT_TRUE(
+      BPlusTree::BulkLoad(pager.get(), {{1.0, 1}}, 0.0, &tree)
+          .IsInvalidArgument());
+  EXPECT_TRUE(
+      BPlusTree::BulkLoad(pager.get(), {{1.0, 1}}, 1.5, &tree)
+          .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cdb

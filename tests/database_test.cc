@@ -1,0 +1,241 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "constraint/naive_eval.h"
+#include "workload/generator.h"
+
+namespace cdb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void RemoveDb(const std::string& path) {
+  std::filesystem::remove(path + ".rel");
+  std::filesystem::remove(path + ".idx");
+}
+
+DatabaseOptions MemOptions() {
+  DatabaseOptions opts;
+  opts.in_memory = true;
+  return opts;
+}
+
+TEST(DatabaseTest, InsertTextAndQuery) {
+  std::unique_ptr<ConstraintDatabase> db;
+  ASSERT_TRUE(ConstraintDatabase::Open("mem", MemOptions(), &db).ok());
+  Result<TupleId> a = db->InsertText("x >= 0, y >= 0, x + y <= 4");
+  Result<TupleId> b = db->InsertText("x >= 5, x <= 7, y >= 5, y <= 7");
+  Result<TupleId> c = db->InsertText("x <= 2, y >= 3");  // Unbounded.
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(db->size(), 3u);
+
+  Result<std::vector<TupleId>> r = db->Query("EXIST y >= 6");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), (std::vector<TupleId>{b.value(), c.value()}));
+
+  r = db->Query("ALL y <= 10");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<TupleId>{a.value(), b.value()}));
+}
+
+TEST(DatabaseTest, QueryLanguageErrors) {
+  std::unique_ptr<ConstraintDatabase> db;
+  ASSERT_TRUE(ConstraintDatabase::Open("mem", MemOptions(), &db).ok());
+  EXPECT_TRUE(db->Query("FROB y >= 1").status().IsInvalidArgument());
+  EXPECT_TRUE(db->Query("ALL y >= 1, y <= 2").status().IsInvalidArgument());
+  EXPECT_TRUE(db->Query("ALL 3 >= 1").status().IsInvalidArgument());
+  EXPECT_TRUE(db->Query("").status().IsInvalidArgument());
+}
+
+TEST(DatabaseTest, VerticalQueriesThroughQueryLanguage) {
+  DatabaseOptions opts = MemOptions();
+  opts.index_options.support_vertical = true;
+  std::unique_ptr<ConstraintDatabase> db;
+  ASSERT_TRUE(ConstraintDatabase::Open("mem", opts, &db).ok());
+  Result<TupleId> a = db->InsertText("x >= 0, x <= 1, y >= 0, y <= 1");
+  Result<TupleId> b = db->InsertText("x >= 5, x <= 6, y >= 0, y <= 1");
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  Result<std::vector<TupleId>> r = db->Query("ALL x >= 4");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), std::vector<TupleId>{b.value()});
+
+  r = db->Query("EXIST x <= 0.5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), std::vector<TupleId>{a.value()});
+
+  // Negative coefficient flips the side: -2x >= -8  <=>  x <= 4.
+  r = db->Query("ALL -2x >= -8");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), std::vector<TupleId>{a.value()});
+}
+
+TEST(DatabaseTest, RejectsUnsatisfiableText) {
+  std::unique_ptr<ConstraintDatabase> db;
+  ASSERT_TRUE(ConstraintDatabase::Open("mem", MemOptions(), &db).ok());
+  EXPECT_TRUE(
+      db->InsertText("x >= 1, x <= 0").status().IsInvalidArgument());
+  EXPECT_EQ(db->size(), 0u);
+}
+
+TEST(DatabaseTest, DeleteKeepsRelationAndIndexInSync) {
+  std::unique_ptr<ConstraintDatabase> db;
+  ASSERT_TRUE(ConstraintDatabase::Open("mem", MemOptions(), &db).ok());
+  Rng rng(5);
+  WorkloadOptions w;
+  std::vector<TupleId> ids;
+  for (int i = 0; i < 60; ++i) {
+    Result<TupleId> id = db->Insert(RandomBoundedTuple(&rng, w));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(db->Delete(ids[static_cast<size_t>(i)]).ok());
+  }
+  EXPECT_EQ(db->size(), 30u);
+  EXPECT_TRUE(db->Delete(ids[0]).IsNotFound());
+  // Queries agree with a fresh naive scan.
+  HalfPlaneQuery q(0.3, 0.0, Cmp::kGE);
+  for (SelectionType type : {SelectionType::kAll, SelectionType::kExist}) {
+    Result<std::vector<TupleId>> got = db->Select(type, q);
+    ASSERT_TRUE(got.ok());
+    Result<std::vector<TupleId>> want = NaiveSelect(*db->relation(), type, q);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(got.value(), want.value());
+  }
+}
+
+TEST(DatabaseTest, PersistsAcrossReopen) {
+  std::string path = TempPath("cdb_database_test");
+  RemoveDb(path);
+  DatabaseOptions opts;
+  opts.slopes = {-0.5, 0.5};
+  opts.index_options.support_vertical = true;
+  Rng rng(7);
+  WorkloadOptions w;
+  std::vector<std::vector<TupleId>> expected;
+  std::vector<HalfPlaneQuery> queries;
+  for (int qi = 0; qi < 6; ++qi) {
+    queries.emplace_back(rng.Uniform(-1, 1), rng.Uniform(-40, 40),
+                         rng.Chance(0.5) ? Cmp::kGE : Cmp::kLE);
+  }
+  {
+    std::unique_ptr<ConstraintDatabase> db;
+    ASSERT_TRUE(ConstraintDatabase::Open(path, opts, &db).ok());
+    for (int i = 0; i < 120; ++i) {
+      ASSERT_TRUE(db->Insert(RandomBoundedTuple(&rng, w)).ok());
+    }
+    ASSERT_TRUE(db->Delete(17).ok());
+    ASSERT_TRUE(db->Delete(42).ok());
+    for (const HalfPlaneQuery& q : queries) {
+      Result<std::vector<TupleId>> r = db->Select(SelectionType::kExist, q);
+      ASSERT_TRUE(r.ok());
+      expected.push_back(r.value());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  {
+    std::unique_ptr<ConstraintDatabase> db;
+    ASSERT_TRUE(ConstraintDatabase::Open(path, opts, &db).ok());
+    EXPECT_EQ(db->size(), 118u);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      Result<std::vector<TupleId>> r =
+          db->Select(SelectionType::kExist, queries[qi]);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.value(), expected[qi]) << "query " << qi;
+    }
+    // The reopened catalog restored the slope set.
+    EXPECT_EQ(db->index()->slopes().size(), 2u);
+    EXPECT_EQ(db->index()->slopes().slope(0), -0.5);
+    // Vertical support survived too.
+    EXPECT_TRUE(
+        db->SelectVertical(SelectionType::kExist, {0.0, Cmp::kGE}).ok());
+    // And the database stays writable.
+    Result<TupleId> id = db->Insert(RandomBoundedTuple(&rng, w));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(id.value(), 120u);
+  }
+  RemoveDb(path);
+}
+
+TEST(DatabaseTest, ReopenWithWrongPageSizeFails) {
+  std::string path = TempPath("cdb_database_pagesize");
+  RemoveDb(path);
+  DatabaseOptions opts;
+  {
+    std::unique_ptr<ConstraintDatabase> db;
+    ASSERT_TRUE(ConstraintDatabase::Open(path, opts, &db).ok());
+    ASSERT_TRUE(db->InsertText("x >= 0, x <= 1, y >= 0, y <= 1").ok());
+  }
+  DatabaseOptions other = opts;
+  other.page_size = 512;
+  std::unique_ptr<ConstraintDatabase> db;
+  EXPECT_FALSE(ConstraintDatabase::Open(path, other, &db).ok());
+  RemoveDb(path);
+}
+
+TEST(DatabaseTest, HalfMissingDatabaseIsCorruption) {
+  std::string path = TempPath("cdb_database_half");
+  RemoveDb(path);
+  DatabaseOptions opts;
+  {
+    std::unique_ptr<ConstraintDatabase> db;
+    ASSERT_TRUE(ConstraintDatabase::Open(path, opts, &db).ok());
+    ASSERT_TRUE(db->InsertText("x >= 0, x <= 1, y >= 0, y <= 1").ok());
+  }
+  std::filesystem::remove(path + ".idx");
+  std::unique_ptr<ConstraintDatabase> db;
+  EXPECT_TRUE(ConstraintDatabase::Open(path, opts, &db).IsCorruption());
+  RemoveDb(path);
+}
+
+TEST(DatabaseTest, ExplainDescribesThePlan) {
+  DatabaseOptions opts = MemOptions();
+  opts.slopes = {-1.0, 0.0, 1.0};
+  opts.index_options.support_vertical = true;
+  std::unique_ptr<ConstraintDatabase> db;
+  ASSERT_TRUE(ConstraintDatabase::Open("mem", opts, &db).ok());
+  ASSERT_TRUE(db->InsertText("x >= 0, x <= 1, y >= 0, y <= 1").ok());
+
+  Result<std::string> plan = db->Explain("EXIST y >= 0*x + 3");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan.value().find("exact"), std::string::npos);
+  EXPECT_NE(plan.value().find("B^up"), std::string::npos);
+
+  plan = db->Explain("ALL y >= 0.4x + 1");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan.value().find("T2"), std::string::npos);
+  EXPECT_NE(plan.value().find("B^down"), std::string::npos);
+  EXPECT_NE(plan.value().find("refine"), std::string::npos);
+
+  plan = db->Explain("EXIST x <= 3");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan.value().find("X^min"), std::string::npos);
+
+  EXPECT_TRUE(db->Explain("BOGUS y >= 1").status().IsInvalidArgument());
+}
+
+TEST(DatabaseTest, StatsFlowThrough) {
+  std::unique_ptr<ConstraintDatabase> db;
+  ASSERT_TRUE(ConstraintDatabase::Open("mem", MemOptions(), &db).ok());
+  Rng rng(9);
+  WorkloadOptions w;
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(db->Insert(RandomBoundedTuple(&rng, w)).ok());
+  }
+  QueryStats stats;
+  Result<std::vector<TupleId>> r =
+      db->Query("EXIST y >= 0.3x + 1", &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(stats.index_page_fetches, 0u);
+  EXPECT_EQ(stats.results, r.value().size());
+}
+
+}  // namespace
+}  // namespace cdb

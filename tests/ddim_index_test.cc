@@ -1,0 +1,279 @@
+#include "dualindex/ddim_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/file.h"
+#include "workload/generator.h"
+
+namespace cdb {
+namespace {
+
+std::unique_ptr<Pager> MakePager() {
+  PagerOptions opts;
+  opts.page_size = 1024;
+  std::unique_ptr<Pager> pager;
+  EXPECT_TRUE(
+      Pager::Open(std::make_unique<MemFile>(1024), opts, &pager).ok());
+  return pager;
+}
+
+// Grid of slope points covering [-r, r]^(d-1).
+std::vector<std::vector<double>> GridSlopes(size_t dim, int per_axis,
+                                            double r) {
+  std::vector<std::vector<double>> points;
+  std::vector<int> idx(dim - 1, 0);
+  while (true) {
+    std::vector<double> p(dim - 1);
+    for (size_t t = 0; t < dim - 1; ++t) {
+      p[t] = per_axis == 1 ? 0.0
+                           : -r + 2 * r * idx[t] / (per_axis - 1);
+    }
+    points.push_back(p);
+    size_t t = 0;
+    for (; t < dim - 1; ++t) {
+      if (++idx[t] < per_axis) break;
+      idx[t] = 0;
+    }
+    if (t == dim - 1) break;
+  }
+  return points;
+}
+
+// Bundles the paged relation with the index for tests.
+struct DdimFixture {
+  std::unique_ptr<Pager> rel_pager = MakePager();
+  std::unique_ptr<Pager> idx_pager = MakePager();
+  std::unique_ptr<RelationD> relation;
+  std::unique_ptr<DDimDualIndex> index;
+
+  bool Init(size_t dim, std::vector<std::vector<double>> slopes) {
+    if (!RelationD::Open(rel_pager.get(), dim, kInvalidPageId, &relation)
+             .ok()) {
+      return false;
+    }
+    return DDimDualIndex::Create(idx_pager.get(), relation.get(),
+                                 std::move(slopes), &index)
+        .ok();
+  }
+};
+
+std::vector<TupleId> BruteSelect(const std::vector<GeneralizedTupleD>& tuples,
+                                 SelectionType type,
+                                 const HalfPlaneQueryD& q) {
+  std::vector<TupleId> out;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    bool hit = type == SelectionType::kAll
+                   ? ExactAllD(tuples[i].constraints(), q)
+                   : ExactExistD(tuples[i].constraints(), q);
+    if (hit) out.push_back(static_cast<TupleId>(i));
+  }
+  return out;
+}
+
+class DDimIndexTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DDimIndexTest, ExactAndT1MatchBruteForce) {
+  const size_t dim = GetParam();
+  auto slopes = GridSlopes(dim, 3, 1.0);
+  DdimFixture fx;
+  ASSERT_TRUE(fx.Init(dim, slopes));
+  DDimDualIndex* index = fx.index.get();
+
+  Rng rng(1000 + dim);
+  std::vector<GeneralizedTupleD> tuples;
+  for (int i = 0; i < 80; ++i) {
+    GeneralizedTupleD t = RandomBoundedTupleD(&rng, dim, 20.0);
+    Result<TupleId> id = index->Insert(t);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(id.value(), static_cast<TupleId>(i));
+    tuples.push_back(t);
+  }
+
+  // Exact queries: slope point in S.
+  for (int qi = 0; qi < 10; ++qi) {
+    HalfPlaneQueryD q;
+    q.slope = slopes[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(slopes.size()) - 1))];
+    q.intercept = rng.Uniform(-40, 40);
+    q.cmp = rng.Chance(0.5) ? Cmp::kGE : Cmp::kLE;
+    for (SelectionType type : {SelectionType::kAll, SelectionType::kExist}) {
+      Result<std::vector<TupleId>> got =
+          index->Select(type, q, /*exact_only=*/true);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got.value(), BruteSelect(tuples, type, q));
+    }
+  }
+
+  // T1 queries: random slope points inside the hull of the grid.
+  for (int qi = 0; qi < 15; ++qi) {
+    HalfPlaneQueryD q;
+    q.slope.resize(dim - 1);
+    for (size_t t = 0; t < dim - 1; ++t) q.slope[t] = rng.Uniform(-0.9, 0.9);
+    q.intercept = rng.Uniform(-40, 40);
+    q.cmp = rng.Chance(0.5) ? Cmp::kGE : Cmp::kLE;
+    for (SelectionType type : {SelectionType::kAll, SelectionType::kExist}) {
+      QueryStats stats;
+      Result<std::vector<TupleId>> got =
+          index->Select(type, q, /*exact_only=*/false, &stats);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got.value(), BruteSelect(tuples, type, q))
+          << "dim=" << dim << " qi=" << qi;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DDimIndexTest, ::testing::Values(2, 3, 4));
+
+// The Section 4.4 T2 generalization: Voronoi-cell handicaps in E^3.
+TEST(DDimT2Test, MatchesBruteForceInThreeDims) {
+  auto slopes = GridSlopes(3, 3, 1.0);
+  DdimFixture fx;
+  ASSERT_TRUE(fx.Init(3, slopes));
+  Rng rng(2026);
+  std::vector<GeneralizedTupleD> tuples;
+  for (int i = 0; i < 120; ++i) {
+    GeneralizedTupleD t = RandomBoundedTupleD(&rng, 3, 25.0);
+    ASSERT_TRUE(fx.index->Insert(t).ok());
+    tuples.push_back(t);
+  }
+  int t2_used = 0;
+  for (int qi = 0; qi < 40; ++qi) {
+    HalfPlaneQueryD q;
+    q.slope = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};  // Inside the box.
+    q.intercept = rng.Uniform(-60, 60);
+    q.cmp = rng.Chance(0.5) ? Cmp::kGE : Cmp::kLE;
+    for (SelectionType type : {SelectionType::kAll, SelectionType::kExist}) {
+      QueryStats stats;
+      Result<std::vector<TupleId>> got =
+          fx.index->Select(type, q, DDimDualIndex::Method::kT2, &stats);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got.value(), BruteSelect(tuples, type, q))
+          << "qi=" << qi << " slope=(" << q.slope[0] << "," << q.slope[1]
+          << ") b=" << q.intercept;
+      if (!stats.used_wrap_fallback) {
+        ++t2_used;
+        EXPECT_EQ(stats.duplicates, 0u);  // Single-tree, duplicate-free.
+      }
+    }
+  }
+  EXPECT_GT(t2_used, 60);  // In-box queries run real T2.
+}
+
+TEST(DDimT2Test, OutsideBoxFallsBackToT1) {
+  DdimFixture fx;
+  ASSERT_TRUE(fx.Init(3, GridSlopes(3, 2, 0.5)));
+  Rng rng(2027);
+  std::vector<GeneralizedTupleD> tuples;
+  for (int i = 0; i < 40; ++i) {
+    GeneralizedTupleD t = RandomBoundedTupleD(&rng, 3, 15.0);
+    ASSERT_TRUE(fx.index->Insert(t).ok());
+    tuples.push_back(t);
+  }
+  HalfPlaneQueryD q;
+  q.slope = {0.49, 0.49};  // Inside hull but also inside the box.
+  q.intercept = 0;
+  q.cmp = Cmp::kGE;
+  QueryStats stats;
+  Result<std::vector<TupleId>> r =
+      fx.index->Select(SelectionType::kExist, q, DDimDualIndex::Method::kT2,
+                       &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(stats.used_wrap_fallback);
+  EXPECT_EQ(r.value(), BruteSelect(tuples, SelectionType::kExist, q));
+
+  // Dimension 4 has no Voronoi machinery: T2 silently degrades to T1.
+  DdimFixture fx4;
+  ASSERT_TRUE(fx4.Init(4, GridSlopes(4, 2, 0.8)));
+  ASSERT_TRUE(fx4.index->Insert(RandomBoundedTupleD(&rng, 4, 15.0)).ok());
+  HalfPlaneQueryD q4;
+  q4.slope = {0.1, 0.1, 0.1};
+  q4.intercept = 0;
+  q4.cmp = Cmp::kGE;
+  QueryStats stats4;
+  ASSERT_TRUE(fx4.index
+                  ->Select(SelectionType::kExist, q4,
+                           DDimDualIndex::Method::kT2, &stats4)
+                  .ok());
+  EXPECT_TRUE(stats4.used_wrap_fallback);
+}
+
+TEST(DDimT2Test, IncrementalInsertsStayCorrect) {
+  auto slopes = GridSlopes(3, 3, 1.0);
+  DdimFixture fx;
+  ASSERT_TRUE(fx.Init(3, slopes));
+  Rng rng(2028);
+  std::vector<GeneralizedTupleD> tuples;
+  // Insert in two waves with queries between them: handicaps must stay
+  // conservative across leaf splits.
+  for (int wave = 0; wave < 2; ++wave) {
+    for (int i = 0; i < 80; ++i) {
+      GeneralizedTupleD t = RandomBoundedTupleD(&rng, 3, 25.0);
+      ASSERT_TRUE(fx.index->Insert(t).ok());
+      tuples.push_back(t);
+    }
+    for (int qi = 0; qi < 10; ++qi) {
+      HalfPlaneQueryD q;
+      q.slope = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+      q.intercept = rng.Uniform(-60, 60);
+      q.cmp = rng.Chance(0.5) ? Cmp::kGE : Cmp::kLE;
+      for (SelectionType type :
+           {SelectionType::kAll, SelectionType::kExist}) {
+        Result<std::vector<TupleId>> got =
+            fx.index->Select(type, q, DDimDualIndex::Method::kT2);
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(got.value(), BruteSelect(tuples, type, q));
+      }
+    }
+  }
+}
+
+TEST(DDimIndexTest2, RejectsOutsideHull) {
+  DdimFixture fx;
+  ASSERT_TRUE(fx.Init(3, GridSlopes(3, 2, 0.5)));
+  Rng rng(7);
+  ASSERT_TRUE(fx.index->Insert(RandomBoundedTupleD(&rng, 3, 10)).ok());
+  HalfPlaneQueryD q;
+  q.slope = {5.0, 5.0};  // Far outside the hull of [-0.5, 0.5]^2.
+  q.intercept = 0;
+  q.cmp = Cmp::kGE;
+  Result<std::vector<TupleId>> r =
+      fx.index->Select(SelectionType::kExist, q, false);
+  EXPECT_TRUE(r.status().IsNotSupported());
+}
+
+TEST(DDimIndexTest2, ExactOnlyRejectsForeignSlope) {
+  DdimFixture fx;
+  ASSERT_TRUE(fx.Init(3, GridSlopes(3, 2, 1.0)));
+  HalfPlaneQueryD q;
+  q.slope = {0.123, 0.456};
+  q.intercept = 0;
+  Result<std::vector<TupleId>> r =
+      fx.index->Select(SelectionType::kExist, q, /*exact_only=*/true);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(DDimIndexTest2, DimensionValidation) {
+  auto pager = MakePager();
+  std::unique_ptr<RelationD> bad_rel;
+  EXPECT_TRUE(RelationD::Open(pager.get(), 1, kInvalidPageId, &bad_rel)
+                  .IsInvalidArgument());
+
+  DdimFixture fx;
+  ASSERT_TRUE(RelationD::Open(fx.rel_pager.get(), 3, kInvalidPageId,
+                              &fx.relation)
+                  .ok());
+  // Slope points must have dimension d-1 = 2.
+  EXPECT_TRUE(DDimDualIndex::Create(fx.idx_pager.get(), fx.relation.get(),
+                                    {{1.0}}, &fx.index)
+                  .IsInvalidArgument());
+  ASSERT_TRUE(DDimDualIndex::Create(fx.idx_pager.get(), fx.relation.get(),
+                                    GridSlopes(3, 2, 1.0), &fx.index)
+                  .ok());
+  Rng rng(3);
+  GeneralizedTupleD wrong = RandomBoundedTupleD(&rng, 4, 10.0);
+  EXPECT_TRUE(fx.index->Insert(wrong).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cdb

@@ -1,0 +1,52 @@
+#include "common/float_cmp.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace cdb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(FloatCmpTest, ApproxEqBasics) {
+  EXPECT_TRUE(ApproxEq(1.0, 1.0));
+  EXPECT_TRUE(ApproxEq(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEq(1.0, 1.0 + 1e-6));
+  EXPECT_TRUE(ApproxEq(0.0, 0.0));
+}
+
+TEST(FloatCmpTest, ApproxEqScalesWithMagnitude) {
+  EXPECT_TRUE(ApproxEq(1e12, 1e12 + 1.0));  // Relative tolerance.
+  EXPECT_FALSE(ApproxEq(1e-12, 2e-12, 1e-13));
+}
+
+TEST(FloatCmpTest, Infinities) {
+  EXPECT_TRUE(ApproxEq(kInf, kInf));
+  EXPECT_TRUE(ApproxEq(-kInf, -kInf));
+  EXPECT_FALSE(ApproxEq(kInf, -kInf));
+  EXPECT_FALSE(ApproxEq(kInf, 1e300));
+  EXPECT_TRUE(DefinitelyLess(1.0, kInf));
+  EXPECT_TRUE(DefinitelyLess(-kInf, 1.0));
+  EXPECT_TRUE(LessOrEq(5.0, kInf));
+  EXPECT_TRUE(GreaterOrEq(kInf, kInf));
+  EXPECT_TRUE(LessOrEq(-kInf, -kInf));
+}
+
+TEST(FloatCmpTest, OrderingPredicatesAreStrictBeyondTolerance) {
+  EXPECT_TRUE(DefinitelyLess(1.0, 2.0));
+  EXPECT_FALSE(DefinitelyLess(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(DefinitelyGreater(2.0, 1.0));
+  EXPECT_TRUE(LessOrEq(1.0 + 1e-12, 1.0));
+  EXPECT_TRUE(GreaterOrEq(1.0 - 1e-12, 1.0));
+  EXPECT_FALSE(GreaterOrEq(0.9, 1.0));
+}
+
+TEST(FloatCmpTest, ApproxZero) {
+  EXPECT_TRUE(ApproxZero(0.0));
+  EXPECT_TRUE(ApproxZero(1e-12));
+  EXPECT_FALSE(ApproxZero(1e-6));
+}
+
+}  // namespace
+}  // namespace cdb

@@ -1,0 +1,202 @@
+#include "rtree/guttman_rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "rtree/rtree_query.h"
+#include "storage/file.h"
+#include "workload/generator.h"
+
+namespace cdb {
+namespace {
+
+std::unique_ptr<Pager> MakePager() {
+  PagerOptions opts;
+  std::unique_ptr<Pager> pager;
+  EXPECT_TRUE(
+      Pager::Open(std::make_unique<MemFile>(opts.page_size), opts, &pager)
+          .ok());
+  return pager;
+}
+
+std::vector<std::pair<Rect, TupleId>> RandomRects(Rng* rng, int n,
+                                                  double max_half = 5) {
+  std::vector<std::pair<Rect, TupleId>> out;
+  for (int i = 0; i < n; ++i) {
+    double cx = rng->Uniform(-50, 50), cy = rng->Uniform(-50, 50);
+    double hw = rng->Uniform(0.2, max_half), hh = rng->Uniform(0.2, max_half);
+    out.push_back(
+        {Rect(cx - hw, cy - hh, cx + hw, cy + hh), static_cast<TupleId>(i)});
+  }
+  return out;
+}
+
+std::vector<TupleId> BruteRect(
+    const std::vector<std::pair<Rect, TupleId>>& data, const Rect& w) {
+  std::vector<TupleId> out;
+  for (const auto& [r, id] : data) {
+    if (r.Intersects(w)) out.push_back(id);
+  }
+  return out;
+}
+
+TEST(GuttmanRTreeTest, EmptyTree) {
+  auto pager = MakePager();
+  std::unique_ptr<GuttmanRTree> tree;
+  ASSERT_TRUE(GuttmanRTree::Create(pager.get(), &tree).ok());
+  Result<std::vector<TupleId>> r = tree->SearchRect(Rect(-10, -10, 10, 10));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(GuttmanRTreeTest, BulkBuildMatchesBruteForce) {
+  auto pager = MakePager();
+  Rng rng(71);
+  auto data = RandomRects(&rng, 600);
+  std::unique_ptr<GuttmanRTree> tree;
+  ASSERT_TRUE(GuttmanRTree::BulkBuild(pager.get(), data, &tree).ok());
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  EXPECT_GE(tree->height(), 2u);
+  for (int qi = 0; qi < 40; ++qi) {
+    double cx = rng.Uniform(-50, 50), cy = rng.Uniform(-50, 50);
+    double h = rng.Uniform(1, 25);
+    Rect w(cx - h, cy - h, cx + h, cy + h);
+    Result<std::vector<TupleId>> got = tree->SearchRect(w);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), BruteRect(data, w)) << "query " << qi;
+  }
+}
+
+TEST(GuttmanRTreeTest, DynamicInsertMatchesBruteForce) {
+  auto pager = MakePager();
+  Rng rng(72);
+  auto data = RandomRects(&rng, 500);
+  std::unique_ptr<GuttmanRTree> tree;
+  ASSERT_TRUE(GuttmanRTree::Create(pager.get(), &tree).ok());
+  for (const auto& [r, id] : data) {
+    ASSERT_TRUE(tree->Insert(r, id).ok());
+  }
+  EXPECT_EQ(tree->entry_count(), 500u);
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  for (int qi = 0; qi < 40; ++qi) {
+    double cx = rng.Uniform(-50, 50), cy = rng.Uniform(-50, 50);
+    double h = rng.Uniform(1, 20);
+    Rect w(cx - h, cy - h, cx + h, cy + h);
+    Result<std::vector<TupleId>> got = tree->SearchRect(w);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), BruteRect(data, w)) << "query " << qi;
+  }
+}
+
+TEST(GuttmanRTreeTest, NoDuplicatesEver) {
+  auto pager = MakePager();
+  Rng rng(73);
+  auto data = RandomRects(&rng, 300, /*max_half=*/20);  // Large overlap.
+  std::unique_ptr<GuttmanRTree> tree;
+  ASSERT_TRUE(GuttmanRTree::BulkBuild(pager.get(), data, &tree).ok());
+  RTreeStats stats;
+  Result<std::vector<TupleId>> got =
+      tree->SearchRect(Rect(-60, -60, 60, 60), &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().size(), 300u);
+  EXPECT_EQ(stats.duplicates, 0u);  // Objects are stored exactly once.
+}
+
+TEST(GuttmanRTreeTest, DeleteWithCondense) {
+  auto pager = MakePager();
+  Rng rng(74);
+  auto data = RandomRects(&rng, 400);
+  std::unique_ptr<GuttmanRTree> tree;
+  ASSERT_TRUE(GuttmanRTree::Create(pager.get(), &tree).ok());
+  for (const auto& [r, id] : data) {
+    ASSERT_TRUE(tree->Insert(r, id).ok());
+  }
+  // Remove 300 of 400, forcing underflows and root shrinks.
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(tree->Delete(data[static_cast<size_t>(i)].first,
+                             static_cast<TupleId>(i))
+                    .ok())
+        << i;
+    if (i % 50 == 49) {
+      ASSERT_TRUE(tree->CheckInvariants().ok()) << "after delete " << i;
+    }
+  }
+  EXPECT_EQ(tree->entry_count(), 100u);
+  std::vector<std::pair<Rect, TupleId>> rest(data.begin() + 300, data.end());
+  for (int qi = 0; qi < 20; ++qi) {
+    double cx = rng.Uniform(-50, 50), cy = rng.Uniform(-50, 50);
+    double h = rng.Uniform(1, 25);
+    Rect w(cx - h, cy - h, cx + h, cy + h);
+    Result<std::vector<TupleId>> got = tree->SearchRect(w);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), BruteRect(rest, w));
+  }
+  EXPECT_TRUE(tree->Delete(data[0].first, 0).IsNotFound());
+}
+
+TEST(GuttmanRTreeTest, RandomizedInsertDeleteFuzz) {
+  auto pager = MakePager();
+  Rng rng(75);
+  std::unique_ptr<GuttmanRTree> tree;
+  ASSERT_TRUE(GuttmanRTree::Create(pager.get(), &tree).ok());
+  std::vector<std::pair<Rect, TupleId>> live;
+  TupleId next_id = 0;
+  for (int op = 0; op < 1200; ++op) {
+    if (live.empty() || rng.Chance(0.6)) {
+      double cx = rng.Uniform(-50, 50), cy = rng.Uniform(-50, 50);
+      double h = rng.Uniform(0.2, 6);
+      Rect r(cx - h, cy - h, cx + h, cy + h);
+      ASSERT_TRUE(tree->Insert(r, next_id).ok());
+      live.push_back({r, next_id++});
+    } else {
+      size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(tree->Delete(live[pos].first, live[pos].second).ok());
+      live.erase(live.begin() + static_cast<long>(pos));
+    }
+    if (op % 200 == 199) {
+      ASSERT_TRUE(tree->CheckInvariants().ok()) << "op " << op;
+      Result<std::vector<TupleId>> all =
+          tree->SearchRect(Rect(-100, -100, 100, 100));
+      ASSERT_TRUE(all.ok());
+      EXPECT_EQ(all.value().size(), live.size()) << "op " << op;
+    }
+  }
+}
+
+TEST(GuttmanRTreeSelectTest, MatchesNaiveOnWorkload) {
+  auto rel_pager = MakePager();
+  auto idx_pager = MakePager();
+  std::unique_ptr<Relation> relation;
+  ASSERT_TRUE(Relation::Open(rel_pager.get(), kInvalidPageId, &relation).ok());
+  Rng rng(76);
+  WorkloadOptions w;
+  std::vector<std::pair<Rect, TupleId>> rects;
+  for (int i = 0; i < 250; ++i) {
+    GeneralizedTuple t = RandomBoundedTuple(&rng, w);
+    Result<TupleId> id = relation->Insert(t);
+    ASSERT_TRUE(id.ok());
+    Rect box;
+    ASSERT_TRUE(t.GetBoundingRect(&box));
+    rects.push_back({box, id.value()});
+  }
+  std::unique_ptr<GuttmanRTree> tree;
+  ASSERT_TRUE(GuttmanRTree::BulkBuild(idx_pager.get(), rects, &tree).ok());
+  for (int qi = 0; qi < 25; ++qi) {
+    HalfPlaneQuery q(rng.Uniform(-3, 3), rng.Uniform(-80, 80),
+                     rng.Chance(0.5) ? Cmp::kGE : Cmp::kLE);
+    for (SelectionType type : {SelectionType::kAll, SelectionType::kExist}) {
+      Result<std::vector<TupleId>> got =
+          RTreeSelect(tree.get(), relation.get(), type, q);
+      ASSERT_TRUE(got.ok());
+      Result<std::vector<TupleId>> want = NaiveSelect(*relation, type, q);
+      ASSERT_TRUE(want.ok());
+      EXPECT_EQ(got.value(), want.value()) << "qi=" << qi;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdb

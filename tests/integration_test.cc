@@ -1,0 +1,84 @@
+// Whole-system integration fuzz: a ConstraintDatabase under a long random
+// workload of inserts (text and programmatic, bounded and unbounded),
+// deletes, and every query family — each checked against the naive
+// evaluator over the live relation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "constraint/parser.h"
+#include "db/database.h"
+#include "workload/generator.h"
+
+namespace cdb {
+namespace {
+
+class IntegrationFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntegrationFuzzTest, DatabaseMatchesNaiveUnderMixedWorkload) {
+  DatabaseOptions opts;
+  opts.in_memory = true;
+  opts.slopes = SlopeSet::UniformInAngle(4, -0.9, 0.9).slopes();
+  opts.index_options.support_vertical = true;
+  std::unique_ptr<ConstraintDatabase> db;
+  ASSERT_TRUE(ConstraintDatabase::Open("fuzz", opts, &db).ok());
+
+  Rng rng(GetParam());
+  WorkloadOptions w;
+  std::vector<TupleId> live;
+
+  for (int step = 0; step < 400; ++step) {
+    int dice = static_cast<int>(rng.UniformInt(0, 99));
+    if (dice < 45 || live.size() < 20) {
+      // Insert (25% unbounded).
+      GeneralizedTuple t = rng.Chance(0.25) ? RandomUnboundedTuple(&rng, w)
+                                            : RandomBoundedTuple(&rng, w);
+      Result<TupleId> id = db->Insert(t);
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      live.push_back(id.value());
+    } else if (dice < 60) {
+      // Delete.
+      size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(db->Delete(live[pos]).ok());
+      live.erase(live.begin() + static_cast<long>(pos));
+    } else if (dice < 90) {
+      // Half-plane query through a random method.
+      HalfPlaneQuery q(std::tan(rng.Uniform(-1.2, 1.2)),
+                       rng.Uniform(-80, 80),
+                       rng.Chance(0.5) ? Cmp::kGE : Cmp::kLE);
+      SelectionType type =
+          rng.Chance(0.5) ? SelectionType::kAll : SelectionType::kExist;
+      QueryMethod method = rng.Chance(0.5) ? QueryMethod::kT2
+                                           : QueryMethod::kT1;
+      Result<std::vector<TupleId>> got = db->Select(type, q, method);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      Result<std::vector<TupleId>> want =
+          NaiveSelect(*db->relation(), type, q);
+      ASSERT_TRUE(want.ok());
+      ASSERT_EQ(got.value(), want.value())
+          << "step " << step << " slope=" << q.slope << " b=" << q.intercept;
+    } else {
+      // Vertical query.
+      VerticalQuery q{rng.Uniform(-60, 60),
+                      rng.Chance(0.5) ? Cmp::kGE : Cmp::kLE};
+      SelectionType type =
+          rng.Chance(0.5) ? SelectionType::kAll : SelectionType::kExist;
+      Result<std::vector<TupleId>> got = db->SelectVertical(type, q);
+      ASSERT_TRUE(got.ok());
+      Result<std::vector<TupleId>> want =
+          NaiveSelectVertical(*db->relation(), type, q);
+      ASSERT_TRUE(want.ok());
+      ASSERT_EQ(got.value(), want.value()) << "step " << step;
+    }
+  }
+  EXPECT_EQ(db->size(), live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationFuzzTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace cdb

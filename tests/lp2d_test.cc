@@ -1,0 +1,153 @@
+#include "geometry/lp2d.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace cdb {
+namespace {
+
+// Triangle with vertices (0,0), (4,0), (0,4):
+//   x >= 0, y >= 0, x + y <= 4.
+std::vector<Constraint2D> Triangle() {
+  return {
+      {1, 0, 0, Cmp::kGE},
+      {0, 1, 0, Cmp::kGE},
+      {1, 1, -4, Cmp::kLE},
+  };
+}
+
+TEST(Lp2DTest, OptimalAtTriangleVertex) {
+  // max x + y = 4 along the hypotenuse.
+  Lp2DResult r = MaximizeLinear2D(Triangle(), 1.0, 1.0);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.value, 4.0, 1e-6);
+
+  // max y hits (0, 4).
+  r = MaximizeLinear2D(Triangle(), 0.0, 1.0);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.value, 4.0, 1e-6);
+
+  // max -x - y hits the origin.
+  r = MaximizeLinear2D(Triangle(), -1.0, -1.0);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.value, 0.0, 1e-6);
+  EXPECT_NEAR(r.point.x, 0.0, 1e-6);
+  EXPECT_NEAR(r.point.y, 0.0, 1e-6);
+}
+
+TEST(Lp2DTest, InfeasibleConjunction) {
+  std::vector<Constraint2D> cons = {
+      {1, 0, 0, Cmp::kGE},   // x >= 0
+      {1, 0, 1, Cmp::kLE},   // x <= -1
+  };
+  EXPECT_EQ(MaximizeLinear2D(cons, 1.0, 0.0).status, LpStatus::kInfeasible);
+  EXPECT_FALSE(IsSatisfiable2D(cons));
+}
+
+TEST(Lp2DTest, UnboundedHalfPlane) {
+  std::vector<Constraint2D> cons = {{0, 1, -3, Cmp::kGE}};  // y >= 3.
+  EXPECT_EQ(MaximizeLinear2D(cons, 0.0, 1.0).status, LpStatus::kUnbounded);
+  // Minimizing y over y >= 3 is bounded: value -3 at y = 3.
+  Lp2DResult r = MaximizeLinear2D(cons, 0.0, -1.0);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.value, -3.0, 1e-6);
+  // x is unbounded in both directions.
+  EXPECT_EQ(MaximizeLinear2D(cons, 1.0, 0.0).status, LpStatus::kUnbounded);
+}
+
+TEST(Lp2DTest, StripIsVertexFree) {
+  // 1 <= y <= 2, all x: maximize y must still find 2.
+  std::vector<Constraint2D> cons = {
+      {0, 1, -1, Cmp::kGE},
+      {0, 1, -2, Cmp::kLE},
+  };
+  Lp2DResult r = MaximizeLinear2D(cons, 0.0, 1.0);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.value, 2.0, 1e-6);
+  EXPECT_EQ(MaximizeLinear2D(cons, 1.0, 0.0).status, LpStatus::kUnbounded);
+  // Diagonal objective escapes along the strip.
+  EXPECT_EQ(MaximizeLinear2D(cons, 1.0, 1.0).status, LpStatus::kUnbounded);
+}
+
+TEST(Lp2DTest, WholePlane) {
+  std::vector<Constraint2D> cons;
+  EXPECT_TRUE(IsSatisfiable2D(cons));
+  EXPECT_EQ(MaximizeLinear2D(cons, 1.0, 2.0).status, LpStatus::kUnbounded);
+  // Zero objective over the whole plane is trivially optimal at 0.
+  Lp2DResult r = MaximizeLinear2D(cons, 0.0, 0.0);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.value, 0.0, 1e-9);
+}
+
+TEST(Lp2DTest, SinglePointRegion) {
+  // x = 2 (two inequalities), y = -1.
+  std::vector<Constraint2D> cons = {
+      {1, 0, -2, Cmp::kLE}, {1, 0, -2, Cmp::kGE},
+      {0, 1, 1, Cmp::kLE},  {0, 1, 1, Cmp::kGE},
+  };
+  Lp2DResult r = MaximizeLinear2D(cons, 3.0, 5.0);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.value, 3.0 * 2 + 5.0 * -1, 1e-6);
+}
+
+TEST(Lp2DTest, UnboundedWedge) {
+  // Cone opening to +x: y <= x, y >= -x.
+  std::vector<Constraint2D> cons = {
+      {-1, 1, 0, Cmp::kLE},
+      {1, 1, 0, Cmp::kGE},
+  };
+  EXPECT_EQ(MaximizeLinear2D(cons, 1.0, 0.0).status, LpStatus::kUnbounded);
+  // max -x is bounded at the apex (0,0).
+  Lp2DResult r = MaximizeLinear2D(cons, -1.0, 0.0);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.value, 0.0, 1e-6);
+}
+
+// Property: on random bounded polygons the LP optimum dominates every
+// sampled feasible point and is attained (within tolerance) by some corner
+// of the sampled hull.
+TEST(Lp2DTest, RandomizedDominatesSampledPoints) {
+  Rng rng(20260704);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random box plus random cutting half-planes through it; box keeps the
+    // region bounded.
+    double cx0 = rng.Uniform(-40, 40), cy0 = rng.Uniform(-40, 40);
+    double w = rng.Uniform(1, 20), h = rng.Uniform(1, 20);
+    std::vector<Constraint2D> cons = {
+        {1, 0, -(cx0 + w), Cmp::kLE},
+        {1, 0, -cx0, Cmp::kGE},
+        {0, 1, -(cy0 + h), Cmp::kLE},
+        {0, 1, -cy0, Cmp::kGE},
+    };
+    int extra = static_cast<int>(rng.UniformInt(0, 3));
+    for (int e = 0; e < extra; ++e) {
+      double a = rng.Uniform(-2, 2), b = rng.Uniform(-2, 2);
+      // Cut through the box center so the region stays non-empty.
+      double mx = cx0 + w / 2, my = cy0 + h / 2;
+      double c = -(a * mx + b * my) - rng.Uniform(0, 3);
+      cons.push_back({a, b, c, Cmp::kLE});
+    }
+    double ox = rng.Uniform(-1, 1), oy = rng.Uniform(-1, 1);
+    Lp2DResult r = MaximizeLinear2D(cons, ox, oy);
+    ASSERT_EQ(r.status, LpStatus::kOptimal) << "trial " << trial;
+    // Monte-Carlo feasible samples must not beat the optimum.
+    for (int s = 0; s < 300; ++s) {
+      Vec2 p{rng.Uniform(cx0, cx0 + w), rng.Uniform(cy0, cy0 + h)};
+      bool feas = true;
+      for (const auto& c : cons) feas = feas && c.Satisfies(p);
+      if (!feas) continue;
+      EXPECT_LE(ox * p.x + oy * p.y, r.value + 1e-6)
+          << "trial " << trial << " sample beats LP optimum";
+    }
+    // The reported optimal point is feasible.
+    for (const auto& c : cons) {
+      EXPECT_TRUE(c.Satisfies(r.point, 1e-6)) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdb

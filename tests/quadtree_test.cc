@@ -1,0 +1,170 @@
+#include "rtree/quadtree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/file.h"
+
+namespace cdb {
+namespace {
+
+std::unique_ptr<Pager> MakePager() {
+  PagerOptions opts;
+  std::unique_ptr<Pager> pager;
+  EXPECT_TRUE(
+      Pager::Open(std::make_unique<MemFile>(opts.page_size), opts, &pager)
+          .ok());
+  return pager;
+}
+
+std::vector<std::pair<Rect, TupleId>> RandomRects(Rng* rng, int n,
+                                                  double max_half = 5) {
+  std::vector<std::pair<Rect, TupleId>> out;
+  for (int i = 0; i < n; ++i) {
+    double cx = rng->Uniform(-50, 50), cy = rng->Uniform(-50, 50);
+    double hw = rng->Uniform(0.2, max_half), hh = rng->Uniform(0.2, max_half);
+    out.push_back(
+        {Rect(cx - hw, cy - hh, cx + hw, cy + hh), static_cast<TupleId>(i)});
+  }
+  return out;
+}
+
+std::vector<TupleId> BruteRect(
+    const std::vector<std::pair<Rect, TupleId>>& data, const Rect& w) {
+  std::vector<TupleId> out;
+  for (const auto& [r, id] : data) {
+    if (r.Intersects(w)) out.push_back(id);
+  }
+  return out;
+}
+
+const Rect kWorld(-60, -60, 60, 60);
+
+TEST(QuadtreeTest, EmptyAndValidation) {
+  auto pager = MakePager();
+  std::unique_ptr<MxCifQuadtree> tree;
+  ASSERT_TRUE(MxCifQuadtree::Create(pager.get(), kWorld, 8, &tree).ok());
+  Result<std::vector<TupleId>> r = tree->SearchRect(Rect(-10, -10, 10, 10));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+  EXPECT_TRUE(tree->Insert(Rect::Empty(), 0).IsInvalidArgument());
+  EXPECT_TRUE(
+      tree->Insert(Rect(100, 100, 200, 200), 0).IsInvalidArgument());
+}
+
+TEST(QuadtreeTest, RectSearchMatchesBruteForce) {
+  auto pager = MakePager();
+  Rng rng(91);
+  auto data = RandomRects(&rng, 600);
+  std::unique_ptr<MxCifQuadtree> tree;
+  ASSERT_TRUE(MxCifQuadtree::Create(pager.get(), kWorld, 8, &tree).ok());
+  for (const auto& [r, id] : data) {
+    ASSERT_TRUE(tree->Insert(r, id).ok());
+  }
+  EXPECT_EQ(tree->entry_count(), 600u);
+  for (int qi = 0; qi < 40; ++qi) {
+    double cx = rng.Uniform(-50, 50), cy = rng.Uniform(-50, 50);
+    double h = rng.Uniform(1, 25);
+    Rect w(cx - h, cy - h, cx + h, cy + h);
+    Result<std::vector<TupleId>> got = tree->SearchRect(w);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), BruteRect(data, w)) << "query " << qi;
+  }
+}
+
+TEST(QuadtreeTest, HalfPlaneSearchMatchesBruteForce) {
+  auto pager = MakePager();
+  Rng rng(92);
+  auto data = RandomRects(&rng, 500);
+  std::unique_ptr<MxCifQuadtree> tree;
+  ASSERT_TRUE(MxCifQuadtree::Create(pager.get(), kWorld, 8, &tree).ok());
+  for (const auto& [r, id] : data) {
+    ASSERT_TRUE(tree->Insert(r, id).ok());
+  }
+  for (int qi = 0; qi < 30; ++qi) {
+    HalfPlaneQuery q(rng.Uniform(-2, 2), rng.Uniform(-60, 60),
+                     rng.Chance(0.5) ? Cmp::kGE : Cmp::kLE);
+    Result<std::vector<TupleId>> got = tree->SearchHalfPlane(q);
+    ASSERT_TRUE(got.ok());
+    std::vector<TupleId> want;
+    for (const auto& [r, id] : data) {
+      if (r.IntersectsHalfPlane(q)) want.push_back(id);
+    }
+    EXPECT_EQ(got.value(), want) << "query " << qi;
+  }
+}
+
+TEST(QuadtreeTest, CenterStraddlersStayHighButAreFound) {
+  auto pager = MakePager();
+  std::unique_ptr<MxCifQuadtree> tree;
+  ASSERT_TRUE(MxCifQuadtree::Create(pager.get(), kWorld, 8, &tree).ok());
+  // Rectangles crossing the world's center lines cannot descend.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        tree->Insert(Rect(-1, -1 - i * 0.01, 1, 1 + i * 0.01),
+                     static_cast<TupleId>(i))
+            .ok());
+  }
+  Result<std::vector<TupleId>> got = tree->SearchRect(Rect(-0.5, -0.5, 0.5, 0.5));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().size(), 100u);  // Overflow chain exercised.
+}
+
+TEST(QuadtreeTest, DeleteAcrossOverflowChains) {
+  auto pager = MakePager();
+  Rng rng(93);
+  auto data = RandomRects(&rng, 400, /*max_half=*/10);
+  std::unique_ptr<MxCifQuadtree> tree;
+  ASSERT_TRUE(MxCifQuadtree::Create(pager.get(), kWorld, 6, &tree).ok());
+  for (const auto& [r, id] : data) {
+    ASSERT_TRUE(tree->Insert(r, id).ok());
+  }
+  for (int i = 0; i < 250; ++i) {
+    ASSERT_TRUE(tree->Delete(data[static_cast<size_t>(i)].first,
+                             static_cast<TupleId>(i))
+                    .ok())
+        << i;
+  }
+  EXPECT_EQ(tree->entry_count(), 150u);
+  EXPECT_TRUE(tree->Delete(data[0].first, 0).IsNotFound());
+  std::vector<std::pair<Rect, TupleId>> rest(data.begin() + 250, data.end());
+  for (int qi = 0; qi < 20; ++qi) {
+    double cx = rng.Uniform(-50, 50), cy = rng.Uniform(-50, 50);
+    double h = rng.Uniform(1, 25);
+    Rect w(cx - h, cy - h, cx + h, cy + h);
+    Result<std::vector<TupleId>> got = tree->SearchRect(w);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), BruteRect(rest, w)) << "query " << qi;
+  }
+}
+
+TEST(QuadtreeTest, RandomizedMixedOps) {
+  auto pager = MakePager();
+  Rng rng(94);
+  std::unique_ptr<MxCifQuadtree> tree;
+  ASSERT_TRUE(MxCifQuadtree::Create(pager.get(), kWorld, 7, &tree).ok());
+  std::vector<std::pair<Rect, TupleId>> live;
+  TupleId next = 0;
+  for (int op = 0; op < 1500; ++op) {
+    if (live.empty() || rng.Chance(0.6)) {
+      double cx = rng.Uniform(-50, 50), cy = rng.Uniform(-50, 50);
+      double hw = rng.Uniform(0.1, 8), hh = rng.Uniform(0.1, 8);
+      Rect r(cx - hw, cy - hh, cx + hw, cy + hh);
+      ASSERT_TRUE(tree->Insert(r, next).ok());
+      live.push_back({r, next++});
+    } else {
+      size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(tree->Delete(live[pos].first, live[pos].second).ok());
+      live.erase(live.begin() + static_cast<long>(pos));
+    }
+    if (op % 300 == 299) {
+      Result<std::vector<TupleId>> all = tree->SearchRect(kWorld);
+      ASSERT_TRUE(all.ok());
+      ASSERT_EQ(all.value().size(), live.size()) << "op " << op;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdb

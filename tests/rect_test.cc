@@ -1,0 +1,84 @@
+#include "geometry/rect.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cdb {
+namespace {
+
+TEST(RectTest, BasicPredicates) {
+  Rect a(0, 0, 4, 4), b(2, 2, 6, 6), c(5, 5, 7, 7);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.Intersects(c));
+  EXPECT_TRUE(a.Contains(Rect(1, 1, 2, 2)));
+  EXPECT_FALSE(a.Contains(b));
+  EXPECT_TRUE(a.ContainsPoint({0, 0}));     // Closed boundary.
+  EXPECT_TRUE(a.Intersects(Rect(4, 4, 5, 5)));  // Corner touch counts.
+}
+
+TEST(RectTest, EmptyBehaviour) {
+  Rect e = Rect::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_EQ(e.Area(), 0.0);
+  Rect a(0, 0, 1, 1);
+  EXPECT_FALSE(e.Intersects(a));
+  EXPECT_FALSE(a.Intersects(e));
+  // Enclose identity.
+  Rect u = e.Enclose(a);
+  EXPECT_EQ(u.xlo, a.xlo);
+  EXPECT_EQ(u.yhi, a.yhi);
+  // Intersection of disjoint rects is empty.
+  EXPECT_TRUE(a.Intersection(Rect(5, 5, 6, 6)).IsEmpty());
+}
+
+TEST(RectTest, EncloseAndIntersection) {
+  Rect a(0, 0, 2, 2), b(1, -1, 3, 1);
+  Rect u = a.Enclose(b);
+  EXPECT_EQ(u.xlo, 0);
+  EXPECT_EQ(u.ylo, -1);
+  EXPECT_EQ(u.xhi, 3);
+  EXPECT_EQ(u.yhi, 2);
+  Rect i = a.Intersection(b);
+  EXPECT_EQ(i.xlo, 1);
+  EXPECT_EQ(i.ylo, 0);
+  EXPECT_EQ(i.xhi, 2);
+  EXPECT_EQ(i.yhi, 1);
+}
+
+// Property: the corner-based half-plane tests agree with dense sampling.
+TEST(RectTest, HalfPlanePredicatesMatchSampling) {
+  Rng rng(21);
+  for (int trial = 0; trial < 300; ++trial) {
+    Rect r(rng.Uniform(-20, 0), rng.Uniform(-20, 0), rng.Uniform(0.1, 20),
+           rng.Uniform(0.1, 20));
+    HalfPlaneQuery q(rng.Uniform(-3, 3), rng.Uniform(-25, 25),
+                     rng.Chance(0.5) ? Cmp::kGE : Cmp::kLE);
+    bool any = false, all = true;
+    for (int i = 0; i <= 12; ++i) {
+      for (int j = 0; j <= 12; ++j) {
+        double x = r.xlo + (r.xhi - r.xlo) * i / 12.0;
+        double y = r.ylo + (r.yhi - r.ylo) * j / 12.0;
+        double rhs = q.slope * x + q.intercept;
+        bool in = q.cmp == Cmp::kGE ? y >= rhs - 1e-9 : y <= rhs + 1e-9;
+        any = any || in;
+        all = all && in;
+      }
+    }
+    EXPECT_EQ(r.IntersectsHalfPlane(q), any) << "trial " << trial;
+    EXPECT_EQ(r.InsideHalfPlane(q), all) << "trial " << trial;
+  }
+}
+
+TEST(RectTest, HalfPlaneBoundaryTouch) {
+  Rect r(0, 0, 2, 2);
+  // Line y = x touches the rect diagonally; y >= x + 2 touches corner (0,2).
+  EXPECT_TRUE(r.IntersectsHalfPlane({1.0, 2.0, Cmp::kGE}));
+  EXPECT_FALSE(r.IntersectsHalfPlane({1.0, 2.5, Cmp::kGE}));
+  EXPECT_TRUE(r.InsideHalfPlane({1.0, -2.0, Cmp::kGE}));  // y >= x - 2.
+  EXPECT_FALSE(r.InsideHalfPlane({1.0, -1.0, Cmp::kGE}));
+}
+
+}  // namespace
+}  // namespace cdb

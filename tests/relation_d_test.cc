@@ -1,0 +1,140 @@
+#include "constraint/relation_d.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/file.h"
+#include "workload/generator.h"
+
+namespace cdb {
+namespace {
+
+std::unique_ptr<Pager> MakePager(size_t page_size = 512) {
+  PagerOptions opts;
+  opts.page_size = page_size;
+  std::unique_ptr<Pager> pager;
+  EXPECT_TRUE(
+      Pager::Open(std::make_unique<MemFile>(page_size), opts, &pager).ok());
+  return pager;
+}
+
+GeneralizedTupleD BoxD(size_t dim, double lo, double hi) {
+  std::vector<ConstraintD> cons;
+  for (size_t i = 0; i < dim; ++i) {
+    std::vector<double> e(dim, 0.0);
+    e[i] = 1.0;
+    cons.push_back({e, -hi, Cmp::kLE});
+    cons.push_back({e, -lo, Cmp::kGE});
+  }
+  return GeneralizedTupleD(dim, std::move(cons));
+}
+
+TEST(RelationDTest, InsertGetRoundTrip) {
+  auto pager = MakePager();
+  std::unique_ptr<RelationD> rel;
+  ASSERT_TRUE(RelationD::Open(pager.get(), 3, kInvalidPageId, &rel).ok());
+  GeneralizedTupleD t = BoxD(3, -1.5, 2.5);
+  Result<TupleId> id = rel->Insert(t);
+  ASSERT_TRUE(id.ok());
+  GeneralizedTupleD back;
+  ASSERT_TRUE(rel->Get(id.value(), &back).ok());
+  ASSERT_EQ(back.dim(), 3u);
+  ASSERT_EQ(back.constraints().size(), t.constraints().size());
+  for (size_t i = 0; i < t.constraints().size(); ++i) {
+    EXPECT_EQ(back.constraints()[i].a, t.constraints()[i].a);
+    EXPECT_EQ(back.constraints()[i].c, t.constraints()[i].c);
+    EXPECT_EQ(back.constraints()[i].cmp, t.constraints()[i].cmp);
+  }
+}
+
+TEST(RelationDTest, Validation) {
+  auto pager = MakePager();
+  std::unique_ptr<RelationD> rel;
+  EXPECT_TRUE(
+      RelationD::Open(pager.get(), 1, kInvalidPageId, &rel).IsInvalidArgument());
+  ASSERT_TRUE(RelationD::Open(pager.get(), 4, kInvalidPageId, &rel).ok());
+  EXPECT_TRUE(rel->Insert(BoxD(3, 0, 1)).status().IsInvalidArgument());
+  EXPECT_TRUE(rel->Insert(GeneralizedTupleD(4, {}))
+                  .status()
+                  .IsInvalidArgument());
+  GeneralizedTupleD out;
+  EXPECT_TRUE(rel->Get(99, &out).IsNotFound());
+}
+
+TEST(RelationDTest, DeleteAndForEach) {
+  auto pager = MakePager();
+  std::unique_ptr<RelationD> rel;
+  ASSERT_TRUE(RelationD::Open(pager.get(), 2, kInvalidPageId, &rel).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(rel->Insert(BoxD(2, i, i + 1)).ok());
+  }
+  ASSERT_TRUE(rel->Delete(5).ok());
+  ASSERT_TRUE(rel->Delete(10).ok());
+  EXPECT_TRUE(rel->Delete(5).IsNotFound());
+  EXPECT_EQ(rel->size(), 18u);
+  std::vector<TupleId> seen;
+  ASSERT_TRUE(rel->ForEach([&](TupleId id, const GeneralizedTupleD&) {
+                    seen.push_back(id);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(seen.size(), 18u);
+  EXPECT_TRUE(std::find(seen.begin(), seen.end(), 5u) == seen.end());
+}
+
+TEST(RelationDTest, ReopenRebuildsDirectory) {
+  auto pager = MakePager();
+  PageId root;
+  {
+    std::unique_ptr<RelationD> rel;
+    ASSERT_TRUE(RelationD::Open(pager.get(), 3, kInvalidPageId, &rel).ok());
+    Rng rng(1);
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(rel->Insert(RandomBoundedTupleD(&rng, 3, 20)).ok());
+    }
+    ASSERT_TRUE(rel->Delete(7).ok());
+    root = rel->root_page();
+  }
+  std::unique_ptr<RelationD> rel;
+  ASSERT_TRUE(RelationD::Open(pager.get(), 3, root, &rel).ok());
+  EXPECT_EQ(rel->size(), 29u);
+  GeneralizedTupleD t;
+  EXPECT_TRUE(rel->Get(8, &t).ok());
+  EXPECT_TRUE(rel->Get(7, &t).IsNotFound());
+  Result<TupleId> id = rel->Insert(BoxD(3, 0, 1));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 30u);
+}
+
+TEST(RelationDTest, SpillsAcrossPages) {
+  auto pager = MakePager(256);
+  std::unique_ptr<RelationD> rel;
+  ASSERT_TRUE(RelationD::Open(pager.get(), 5, kInvalidPageId, &rel).ok());
+  // Each 5-D box tuple has 10 constraints of 49 bytes: multiple pages.
+  Rng rng(2);
+  for (int i = 0; i < 15; ++i) {
+    GeneralizedTupleD t = BoxD(5, rng.Uniform(-5, 0), rng.Uniform(1, 5));
+    // 10 constraints * 49 B + 7 > 256: too large for a 256-byte page.
+    Result<TupleId> id = rel->Insert(t);
+    EXPECT_TRUE(id.status().IsInvalidArgument());
+    break;
+  }
+  // 2-constraint tuples fit and spread across pages.
+  std::unique_ptr<RelationD> rel2;
+  ASSERT_TRUE(RelationD::Open(pager.get(), 5, kInvalidPageId, &rel2).ok());
+  for (int i = 0; i < 40; ++i) {
+    std::vector<ConstraintD> cons;
+    std::vector<double> e(5, 0.0);
+    e[0] = 1.0;
+    cons.push_back({e, static_cast<double>(-i), Cmp::kLE});
+    cons.push_back({e, static_cast<double>(i), Cmp::kGE});
+    ASSERT_TRUE(rel2->Insert(GeneralizedTupleD(5, std::move(cons))).ok());
+  }
+  EXPECT_EQ(rel2->size(), 40u);
+  EXPECT_GT(pager->live_page_count(), 5u);
+  GeneralizedTupleD t;
+  EXPECT_TRUE(rel2->Get(39, &t).ok());
+}
+
+}  // namespace
+}  // namespace cdb

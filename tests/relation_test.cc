@@ -1,0 +1,202 @@
+#include "constraint/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "constraint/naive_eval.h"
+#include "geometry/dual.h"
+#include "storage/file.h"
+
+namespace cdb {
+namespace {
+
+struct RelationFixture {
+  std::unique_ptr<Pager> pager;
+  std::unique_ptr<Relation> relation;
+
+  RelationFixture() {
+    PagerOptions opts;
+    opts.page_size = 256;  // Small pages force multi-page relations.
+    EXPECT_TRUE(
+        Pager::Open(std::make_unique<MemFile>(256), opts, &pager).ok());
+    EXPECT_TRUE(Relation::Open(pager.get(), kInvalidPageId, &relation).ok());
+  }
+};
+
+GeneralizedTuple SquareAt(double cx, double cy, double half) {
+  GeneralizedTuple t;
+  t.Add(1, 0, -(cx + half), Cmp::kLE);
+  t.Add(1, 0, -(cx - half), Cmp::kGE);
+  t.Add(0, 1, -(cy + half), Cmp::kLE);
+  t.Add(0, 1, -(cy - half), Cmp::kGE);
+  return t;
+}
+
+TEST(RelationTest, InsertGetRoundTrip) {
+  RelationFixture fx;
+  GeneralizedTuple t = SquareAt(1, 2, 0.5);
+  Result<TupleId> id = fx.relation->Insert(t);
+  ASSERT_TRUE(id.ok());
+  GeneralizedTuple back;
+  ASSERT_TRUE(fx.relation->Get(id.value(), &back).ok());
+  ASSERT_EQ(back.size(), t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back.constraints()[i].a, t.constraints()[i].a);
+    EXPECT_EQ(back.constraints()[i].b, t.constraints()[i].b);
+    EXPECT_EQ(back.constraints()[i].c, t.constraints()[i].c);
+    EXPECT_EQ(back.constraints()[i].cmp, t.constraints()[i].cmp);
+  }
+}
+
+TEST(RelationTest, SequentialIdsAndSize) {
+  RelationFixture fx;
+  for (int i = 0; i < 50; ++i) {
+    Result<TupleId> id = fx.relation->Insert(SquareAt(i, i, 1));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(id.value(), static_cast<TupleId>(i));
+  }
+  EXPECT_EQ(fx.relation->size(), 50u);
+}
+
+TEST(RelationTest, EmptyTupleRejected) {
+  RelationFixture fx;
+  EXPECT_TRUE(fx.relation->Insert(GeneralizedTuple())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RelationTest, OversizedTupleRejected) {
+  RelationFixture fx;
+  GeneralizedTuple t;
+  for (int i = 0; i < 100; ++i) t.Add(1, 1, i, Cmp::kLE);  // 100*25 B > 256.
+  EXPECT_TRUE(fx.relation->Insert(t).status().IsInvalidArgument());
+}
+
+TEST(RelationTest, DeleteThenGetFails) {
+  RelationFixture fx;
+  Result<TupleId> id = fx.relation->Insert(SquareAt(0, 0, 1));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(fx.relation->Delete(id.value()).ok());
+  GeneralizedTuple out;
+  EXPECT_TRUE(fx.relation->Get(id.value(), &out).IsNotFound());
+  EXPECT_TRUE(fx.relation->Delete(id.value()).IsNotFound());
+  EXPECT_EQ(fx.relation->size(), 0u);
+}
+
+TEST(RelationTest, PagesFreedWhenEmptied) {
+  RelationFixture fx;
+  std::vector<TupleId> ids;
+  for (int i = 0; i < 40; ++i) {
+    Result<TupleId> id = fx.relation->Insert(SquareAt(i, 0, 1));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  uint64_t pages_full = fx.pager->live_page_count();
+  EXPECT_GT(pages_full, 5u);  // 40 tuples * 107 B at 256 B pages.
+  for (TupleId id : ids) ASSERT_TRUE(fx.relation->Delete(id).ok());
+  // Everything deleted: at most one (root) data page remains.
+  EXPECT_LE(fx.pager->live_page_count(), 1u);
+  // The relation keeps working after full deletion.
+  EXPECT_TRUE(fx.relation->Insert(SquareAt(0, 0, 1)).ok());
+}
+
+TEST(RelationTest, ForEachVisitsLiveTuplesInOrder) {
+  RelationFixture fx;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fx.relation->Insert(SquareAt(i, 0, 1)).ok());
+  }
+  ASSERT_TRUE(fx.relation->Delete(3).ok());
+  ASSERT_TRUE(fx.relation->Delete(7).ok());
+  std::vector<TupleId> seen;
+  ASSERT_TRUE(fx.relation
+                  ->ForEach([&](TupleId id, const GeneralizedTuple&) {
+                    seen.push_back(id);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<TupleId>{0, 1, 2, 4, 5, 6, 8, 9}));
+}
+
+TEST(RelationTest, ReopenRebuildsDirectory) {
+  PagerOptions opts;
+  opts.page_size = 256;
+  std::unique_ptr<Pager> pager;
+  ASSERT_TRUE(Pager::Open(std::make_unique<MemFile>(256), opts, &pager).ok());
+  PageId root;
+  {
+    std::unique_ptr<Relation> rel;
+    ASSERT_TRUE(Relation::Open(pager.get(), kInvalidPageId, &rel).ok());
+    for (int i = 0; i < 25; ++i) {
+      ASSERT_TRUE(rel->Insert(SquareAt(i, i, 0.5)).ok());
+    }
+    ASSERT_TRUE(rel->Delete(5).ok());
+    root = rel->root_page();
+  }
+  std::unique_ptr<Relation> rel;
+  ASSERT_TRUE(Relation::Open(pager.get(), root, &rel).ok());
+  EXPECT_EQ(rel->size(), 24u);
+  GeneralizedTuple t;
+  EXPECT_TRUE(rel->Get(10, &t).ok());
+  EXPECT_TRUE(rel->Get(5, &t).IsNotFound());
+  // New inserts continue after the highest existing id.
+  Result<TupleId> id = rel->Insert(SquareAt(100, 100, 1));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 25u);
+}
+
+TEST(NaiveEvalTest, MatchesGeometryPredicates) {
+  RelationFixture fx;
+  Rng rng(11);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(fx.relation
+                    ->Insert(SquareAt(rng.Uniform(-40, 40),
+                                      rng.Uniform(-40, 40),
+                                      rng.Uniform(0.5, 4)))
+                    .ok());
+  }
+  for (int qi = 0; qi < 20; ++qi) {
+    HalfPlaneQuery q(rng.Uniform(-2, 2), rng.Uniform(-40, 40),
+                     rng.Chance(0.5) ? Cmp::kGE : Cmp::kLE);
+    for (SelectionType type : {SelectionType::kAll, SelectionType::kExist}) {
+      Result<std::vector<TupleId>> got = NaiveSelect(*fx.relation, type, q);
+      ASSERT_TRUE(got.ok());
+      std::vector<TupleId> want;
+      ASSERT_TRUE(fx.relation
+                      ->ForEach([&](TupleId id, const GeneralizedTuple& t) {
+                        bool hit = type == SelectionType::kAll
+                                       ? ExactAll(t.constraints(), q)
+                                       : ExactExist(t.constraints(), q);
+                        if (hit) want.push_back(id);
+                        return Status::OK();
+                      })
+                      .ok());
+      EXPECT_EQ(got.value(), want);
+    }
+  }
+}
+
+TEST(NaiveEvalTest, AllIsSubsetOfExist) {
+  RelationFixture fx;
+  Rng rng(12);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(fx.relation
+                    ->Insert(SquareAt(rng.Uniform(-20, 20),
+                                      rng.Uniform(-20, 20),
+                                      rng.Uniform(0.5, 5)))
+                    .ok());
+  }
+  for (int qi = 0; qi < 15; ++qi) {
+    HalfPlaneQuery q(rng.Uniform(-2, 2), rng.Uniform(-30, 30),
+                     rng.Chance(0.5) ? Cmp::kGE : Cmp::kLE);
+    auto all = NaiveSelect(*fx.relation, SelectionType::kAll, q);
+    auto exist = NaiveSelect(*fx.relation, SelectionType::kExist, q);
+    ASSERT_TRUE(all.ok() && exist.ok());
+    for (TupleId id : all.value()) {
+      EXPECT_TRUE(std::find(exist.value().begin(), exist.value().end(), id) !=
+                  exist.value().end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdb

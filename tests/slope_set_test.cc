@@ -1,0 +1,58 @@
+#include "dualindex/slope_set.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cdb {
+namespace {
+
+TEST(SlopeSetTest, SortsAndDeduplicates) {
+  SlopeSet s({2.0, -1.0, 2.0, 0.5});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.slope(0), -1.0);
+  EXPECT_EQ(s.slope(1), 0.5);
+  EXPECT_EQ(s.slope(2), 2.0);
+}
+
+TEST(SlopeSetTest, LocateClassifies) {
+  SlopeSet s({-1.0, 0.5, 2.0});
+  EXPECT_EQ(s.Locate(0.5).kind, SlopeLocation::Kind::kExact);
+  EXPECT_EQ(s.Locate(0.5).index, 1u);
+  auto between = s.Locate(1.0);
+  EXPECT_EQ(between.kind, SlopeLocation::Kind::kBetween);
+  EXPECT_EQ(between.index, 1u);
+  EXPECT_EQ(s.Locate(-5.0).kind, SlopeLocation::Kind::kBelowMin);
+  EXPECT_EQ(s.Locate(5.0).kind, SlopeLocation::Kind::kAboveMax);
+}
+
+TEST(SlopeSetTest, NearestPicksCloserNeighbour) {
+  SlopeSet s({0.0, 10.0});
+  EXPECT_EQ(s.Nearest(1.0), 0u);
+  EXPECT_EQ(s.Nearest(9.0), 1u);
+  EXPECT_EQ(s.Nearest(5.0), 0u);  // Tie goes left.
+  EXPECT_EQ(s.Nearest(-100.0), 0u);
+  EXPECT_EQ(s.Nearest(100.0), 1u);
+}
+
+TEST(SlopeSetTest, MidpointBetweenNeighbours) {
+  SlopeSet s({1.0, 3.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.Midpoint(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.Midpoint(1), 6.0);
+}
+
+TEST(SlopeSetTest, UniformInAngleProducesFiniteSortedSlopes) {
+  for (size_t k = 2; k <= 6; ++k) {
+    SlopeSet s = SlopeSet::UniformInAngle(k, 0.1, M_PI / 2 - 0.1);
+    ASSERT_EQ(s.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_TRUE(std::isfinite(s.slope(i)));
+      if (i > 0) {
+        EXPECT_LT(s.slope(i - 1), s.slope(i));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdb

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "storage/fault_file.h"
+#include "storage/file.h"
+#include "storage/pager.h"
+
+namespace cdb {
+namespace {
+
+std::unique_ptr<Pager> MakeMemPager(size_t cache_frames = 8,
+                                    size_t page_size = 256) {
+  PagerOptions opts;
+  opts.page_size = page_size;
+  opts.cache_frames = cache_frames;
+  std::unique_ptr<Pager> pager;
+  Status st = Pager::Open(std::make_unique<MemFile>(page_size), opts, &pager);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return pager;
+}
+
+TEST(MemFileTest, ReadBackWrites) {
+  MemFile f(64);
+  std::vector<char> in(64, 'a'), out(64, 0);
+  ASSERT_TRUE(f.WriteBlock(3, in.data()).ok());
+  EXPECT_EQ(f.BlockCount(), 4u);
+  ASSERT_TRUE(f.ReadBlock(3, out.data()).ok());
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), 64), 0);
+  // Implicitly-created intermediate blocks read as zero.
+  ASSERT_TRUE(f.ReadBlock(1, out.data()).ok());
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST(MemFileTest, ReadPastEndFails) {
+  MemFile f(64);
+  std::vector<char> out(64);
+  EXPECT_TRUE(f.ReadBlock(0, out.data()).IsIOError());
+}
+
+TEST(PagerTest, AllocateFetchPersist) {
+  auto pager = MakeMemPager();
+  Result<PageId> id = pager->Allocate();
+  ASSERT_TRUE(id.ok());
+  {
+    Result<PageRef> ref = pager->Fetch(id.value());
+    ASSERT_TRUE(ref.ok());
+    std::strcpy(ref.value().data(), "hello");
+    ref.value().MarkDirty();
+  }
+  ASSERT_TRUE(pager->Flush().ok());
+  Result<PageRef> again = pager->Fetch(id.value());
+  ASSERT_TRUE(again.ok());
+  EXPECT_STREQ(again.value().data(), "hello");
+}
+
+TEST(PagerTest, FreshPagesAreZeroed) {
+  auto pager = MakeMemPager();
+  Result<PageId> id = pager->Allocate();
+  ASSERT_TRUE(id.ok());
+  Result<PageRef> ref = pager->Fetch(id.value());
+  ASSERT_TRUE(ref.ok());
+  for (size_t i = 0; i < pager->page_size(); ++i) {
+    ASSERT_EQ(ref.value().data()[i], 0) << "at offset " << i;
+  }
+}
+
+TEST(PagerTest, FreeRecyclesPages) {
+  auto pager = MakeMemPager();
+  Result<PageId> a = pager->Allocate();
+  Result<PageId> b = pager->Allocate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(pager->live_page_count(), 2u);
+  ASSERT_TRUE(pager->Free(a.value()).ok());
+  EXPECT_EQ(pager->live_page_count(), 1u);
+  Result<PageId> c = pager->Allocate();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value(), a.value());  // Recycled.
+  EXPECT_EQ(pager->live_page_count(), 2u);
+  // Recycled pages come back zeroed.
+  Result<PageRef> ref = pager->Fetch(c.value());
+  ASSERT_TRUE(ref.ok());
+  for (size_t i = 0; i < pager->page_size(); ++i) {
+    ASSERT_EQ(ref.value().data()[i], 0);
+  }
+}
+
+TEST(PagerTest, EvictionWritesBackDirtyPages) {
+  auto pager = MakeMemPager(/*cache_frames=*/2);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 10; ++i) {
+    Result<PageId> id = pager->Allocate();
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+    Result<PageRef> ref = pager->Fetch(id.value());
+    ASSERT_TRUE(ref.ok());
+    ref.value().data()[0] = static_cast<char>('A' + i);
+    ref.value().MarkDirty();
+  }
+  for (int i = 0; i < 10; ++i) {
+    Result<PageRef> ref = pager->Fetch(ids[static_cast<size_t>(i)]);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(ref.value().data()[0], static_cast<char>('A' + i));
+  }
+}
+
+TEST(PagerTest, StatsCountFetchesAndReads) {
+  auto pager = MakeMemPager(/*cache_frames=*/2);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 5; ++i) {
+    Result<PageId> id = pager->Allocate();
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  ASSERT_TRUE(pager->DropCache().ok());
+  IoStats before = pager->stats();
+  for (PageId id : ids) {
+    Result<PageRef> ref = pager->Fetch(id);
+    ASSERT_TRUE(ref.ok());
+  }
+  IoStats delta = pager->stats().Delta(before);
+  EXPECT_EQ(delta.page_fetches, 5u);
+  EXPECT_GE(delta.page_reads, 3u);  // At most 2 could have stayed cached.
+}
+
+TEST(PagerTest, DropCacheForcesColdReads) {
+  auto pager = MakeMemPager(/*cache_frames=*/16);
+  Result<PageId> id = pager->Allocate();
+  ASSERT_TRUE(id.ok());
+  { auto r = pager->Fetch(id.value()); ASSERT_TRUE(r.ok()); }
+  ASSERT_TRUE(pager->DropCache().ok());
+  IoStats before = pager->stats();
+  { auto r = pager->Fetch(id.value()); ASSERT_TRUE(r.ok()); }
+  EXPECT_EQ(pager->stats().Delta(before).page_reads, 1u);
+}
+
+TEST(PagerTest, PinnedPagesSurviveEvictionPressure) {
+  auto pager = MakeMemPager(/*cache_frames=*/2);
+  Result<PageId> pinned_id = pager->Allocate();
+  ASSERT_TRUE(pinned_id.ok());
+  Result<PageRef> pinned = pager->Fetch(pinned_id.value());
+  ASSERT_TRUE(pinned.ok());
+  std::strcpy(pinned.value().data(), "pinned");
+  pinned.value().MarkDirty();
+  for (int i = 0; i < 8; ++i) {
+    Result<PageId> id = pager->Allocate();
+    ASSERT_TRUE(id.ok());
+    auto r = pager->Fetch(id.value());
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_STREQ(pinned.value().data(), "pinned");
+}
+
+TEST(PagerTest, ReopenFromPosixFilePersistsData) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "cdb_pager_test.db").string();
+  std::filesystem::remove(path);
+  PagerOptions opts;
+  opts.page_size = 256;
+  PageId id = kInvalidPageId;
+  {
+    std::unique_ptr<PosixFile> file;
+    ASSERT_TRUE(PosixFile::Open(path, 256, /*truncate=*/true, &file).ok());
+    std::unique_ptr<Pager> pager;
+    ASSERT_TRUE(Pager::Open(std::move(file), opts, &pager).ok());
+    Result<PageId> r = pager->Allocate();
+    ASSERT_TRUE(r.ok());
+    id = r.value();
+    auto ref = pager->Fetch(id);
+    ASSERT_TRUE(ref.ok());
+    std::strcpy(ref.value().data(), "durable");
+    ref.value().MarkDirty();
+    ASSERT_TRUE(pager->Flush().ok());
+  }
+  {
+    std::unique_ptr<PosixFile> file;
+    ASSERT_TRUE(PosixFile::Open(path, 256, /*truncate=*/false, &file).ok());
+    std::unique_ptr<Pager> pager;
+    ASSERT_TRUE(Pager::Open(std::move(file), opts, &pager).ok());
+    EXPECT_EQ(pager->live_page_count(), 1u);
+    auto ref = pager->Fetch(id);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_STREQ(ref.value().data(), "durable");
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PagerTest, InvalidFetchRejected) {
+  auto pager = MakeMemPager();
+  EXPECT_TRUE(pager->Fetch(kInvalidPageId).status().IsInvalidArgument());
+  EXPECT_TRUE(pager->Fetch(999).status().IsInvalidArgument());
+}
+
+TEST(FaultInjectionTest, FailAfterCountsDown) {
+  auto base = std::make_unique<MemFile>(256);
+  auto* fault = new FaultInjectionFile(std::move(base));
+  std::unique_ptr<BlockFile> file(fault);
+
+  std::vector<char> buf(256, 1);
+  fault->FailAfter(2);
+  EXPECT_TRUE(file->WriteBlock(0, buf.data()).ok());
+  EXPECT_TRUE(file->WriteBlock(1, buf.data()).ok());
+  EXPECT_TRUE(file->WriteBlock(2, buf.data()).IsIOError());
+  EXPECT_TRUE(file->ReadBlock(0, buf.data()).IsIOError());
+  EXPECT_EQ(fault->injected_failures(), 2u);
+  fault->ClearFault();
+  EXPECT_TRUE(file->ReadBlock(0, buf.data()).ok());
+}
+
+TEST(FaultInjectionTest, PagerSurfacesInjectedErrors) {
+  PagerOptions opts;
+  opts.page_size = 256;
+  opts.cache_frames = 1;  // Force eviction traffic.
+  auto fault_owner =
+      std::make_unique<FaultInjectionFile>(std::make_unique<MemFile>(256));
+  FaultInjectionFile* fault = fault_owner.get();
+  std::unique_ptr<Pager> pager;
+  ASSERT_TRUE(Pager::Open(std::move(fault_owner), opts, &pager).ok());
+
+  Result<PageId> a = pager->Allocate();
+  Result<PageId> b = pager->Allocate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(pager->Flush().ok());
+  ASSERT_TRUE(pager->DropCache().ok());
+
+  fault->FailAfter(0);
+  EXPECT_FALSE(pager->Fetch(a.value()).ok());
+  fault->ClearFault();
+  // The pager remains usable after a failed fetch.
+  EXPECT_TRUE(pager->Fetch(a.value()).ok());
+}
+
+}  // namespace
+}  // namespace cdb

@@ -1,0 +1,162 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "storage/file.h"
+#include "geometry/lpd.h"
+#include "workload/query_gen.h"
+
+namespace cdb {
+namespace {
+
+TEST(GeneratorTest, BoundedTuplesAreSatisfiableAndBounded) {
+  Rng rng(11);
+  WorkloadOptions w;
+  for (int i = 0; i < 200; ++i) {
+    GeneralizedTuple t = RandomBoundedTuple(&rng, w);
+    ASSERT_TRUE(t.IsSatisfiable());
+    ASSERT_GE(t.size(), 3u);
+    ASSERT_LE(t.size(), 6u);
+    Rect box;
+    ASSERT_TRUE(t.GetBoundingRect(&box)) << "tuple " << i << " unbounded";
+  }
+}
+
+TEST(GeneratorTest, SizeClassesLandInBand) {
+  Rng rng(12);
+  const double window_area = 4 * 50.0 * 50.0;
+  for (ObjectSize size : {ObjectSize::kSmall, ObjectSize::kMedium}) {
+    WorkloadOptions w;
+    w.size = size;
+    double lo = size == ObjectSize::kSmall ? 1e-4 : 25e-4;
+    double hi = size == ObjectSize::kSmall ? 25e-4 : 625e-4;
+    for (int i = 0; i < 100; ++i) {
+      GeneralizedTuple t = RandomBoundedTuple(&rng, w);
+      Rect box;
+      ASSERT_TRUE(t.GetBoundingRect(&box));
+      double frac = box.Area() / window_area;
+      // The generator allows a 20% overshoot band on either end.
+      EXPECT_GE(frac, lo * 0.7) << "tuple " << i;
+      EXPECT_LE(frac, hi * 1.3) << "tuple " << i;
+    }
+  }
+}
+
+TEST(GeneratorTest, MediumObjectsAreLargerOnAverage) {
+  Rng rng(13);
+  double small_sum = 0, medium_sum = 0;
+  WorkloadOptions w;
+  for (int i = 0; i < 60; ++i) {
+    w.size = ObjectSize::kSmall;
+    GeneralizedTuple s = RandomBoundedTuple(&rng, w);
+    w.size = ObjectSize::kMedium;
+    GeneralizedTuple m = RandomBoundedTuple(&rng, w);
+    Rect sb, mb;
+    ASSERT_TRUE(s.GetBoundingRect(&sb));
+    ASSERT_TRUE(m.GetBoundingRect(&mb));
+    small_sum += sb.Area();
+    medium_sum += mb.Area();
+  }
+  EXPECT_GT(medium_sum, small_sum * 3);
+}
+
+TEST(GeneratorTest, UnboundedTuplesAreSatisfiableAndUnbounded) {
+  Rng rng(14);
+  WorkloadOptions w;
+  for (int i = 0; i < 100; ++i) {
+    GeneralizedTuple t = RandomUnboundedTuple(&rng, w);
+    ASSERT_TRUE(t.IsSatisfiable());
+    Rect box;
+    EXPECT_FALSE(t.GetBoundingRect(&box)) << "tuple " << i << " is bounded";
+  }
+}
+
+TEST(GeneratorTest, LineAnglesAvoidTheVertical) {
+  Rng rng(15);
+  for (int i = 0; i < 500; ++i) {
+    double angle = RandomLineAngle(&rng);
+    EXPECT_GE(angle, 0.0);
+    EXPECT_LT(angle, M_PI);
+    EXPECT_GT(std::fabs(angle - M_PI / 2), 0.05);
+  }
+}
+
+TEST(GeneratorTest, DdimTuplesSatisfiableAcrossDims) {
+  Rng rng(16);
+  for (size_t dim : {2u, 3u, 5u}) {
+    for (int i = 0; i < 30; ++i) {
+      GeneralizedTupleD t = RandomBoundedTupleD(&rng, dim, 30.0);
+      EXPECT_EQ(t.dim(), dim);
+      EXPECT_TRUE(IsSatisfiableD(t.constraints(), dim));
+    }
+  }
+}
+
+class QueryGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PagerOptions opts;
+    ASSERT_TRUE(
+        Pager::Open(std::make_unique<MemFile>(opts.page_size), opts, &pager_)
+            .ok());
+    ASSERT_TRUE(Relation::Open(pager_.get(), kInvalidPageId, &rel_).ok());
+    Rng rng(17);
+    WorkloadOptions w;
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_TRUE(rel_->Insert(RandomBoundedTuple(&rng, w)).ok());
+    }
+  }
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<Relation> rel_;
+};
+
+TEST_F(QueryGenTest, RealizedSelectivityMatchesGroundTruth) {
+  Rng rng(18);
+  for (SelectionType type : {SelectionType::kAll, SelectionType::kExist}) {
+    for (int qi = 0; qi < 10; ++qi) {
+      Result<CalibratedQuery> cq = GenerateQuery(*rel_, type, 0.10, 0.20,
+                                                 &rng, 0.9);
+      ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+      Result<std::vector<TupleId>> truth =
+          NaiveSelect(*rel_, type, cq.value().query);
+      ASSERT_TRUE(truth.ok());
+      double actual =
+          static_cast<double>(truth.value().size()) / 300.0;
+      EXPECT_NEAR(actual, cq.value().selectivity, 0.02);
+      EXPECT_GE(actual, 0.08);
+      EXPECT_LE(actual, 0.22);
+    }
+  }
+}
+
+TEST_F(QueryGenTest, RespectsSlopeBand) {
+  Rng rng(19);
+  for (int qi = 0; qi < 20; ++qi) {
+    Result<CalibratedQuery> cq = GenerateQuery(
+        *rel_, SelectionType::kExist, 0.05, 0.60, &rng, 0.5);
+    ASSERT_TRUE(cq.ok());
+    EXPECT_LE(std::fabs(std::atan(cq.value().query.slope)), 0.5 + 1e-9);
+  }
+}
+
+TEST_F(QueryGenTest, RejectsBadInputs) {
+  Rng rng(20);
+  EXPECT_TRUE(GenerateQuery(*rel_, SelectionType::kAll, 0.5, 0.4, &rng)
+                  .status()
+                  .IsInvalidArgument());
+  std::unique_ptr<Pager> p2;
+  PagerOptions opts;
+  ASSERT_TRUE(
+      Pager::Open(std::make_unique<MemFile>(opts.page_size), opts, &p2).ok());
+  std::unique_ptr<Relation> empty;
+  ASSERT_TRUE(Relation::Open(p2.get(), kInvalidPageId, &empty).ok());
+  EXPECT_TRUE(GenerateQuery(*empty, SelectionType::kAll, 0.1, 0.2, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace cdb
