@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_choice.dir/anchor_choice.cc.o"
+  "CMakeFiles/anchor_choice.dir/anchor_choice.cc.o.d"
+  "anchor_choice"
+  "anchor_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_cost.dir/build_cost.cc.o"
+  "CMakeFiles/build_cost.dir/build_cost.cc.o.d"
+  "build_cost"
+  "build_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

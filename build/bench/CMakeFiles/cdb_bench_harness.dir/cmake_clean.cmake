@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdb_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/cdb_bench_harness.dir/harness.cc.o.d"
+  "libcdb_bench_harness.a"
+  "libcdb_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdb_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddim_scaling.dir/ddim_scaling.cc.o"
+  "CMakeFiles/ddim_scaling.dir/ddim_scaling.cc.o.d"
+  "ddim_scaling"
+  "ddim_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddim_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

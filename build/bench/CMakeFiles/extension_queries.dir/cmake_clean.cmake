@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_queries.dir/extension_queries.cc.o"
+  "CMakeFiles/extension_queries.dir/extension_queries.cc.o.d"
+  "extension_queries"
+  "extension_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

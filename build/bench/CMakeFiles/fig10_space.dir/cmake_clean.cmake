@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_space.dir/fig10_space.cc.o"
+  "CMakeFiles/fig10_space.dir/fig10_space.cc.o.d"
+  "fig10_space"
+  "fig10_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_small_objects.dir/fig8_small_objects.cc.o"
+  "CMakeFiles/fig8_small_objects.dir/fig8_small_objects.cc.o.d"
+  "fig8_small_objects"
+  "fig8_small_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_small_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_medium_objects.dir/fig9_medium_objects.cc.o"
+  "CMakeFiles/fig9_medium_objects.dir/fig9_medium_objects.cc.o.d"
+  "fig9_medium_objects"
+  "fig9_medium_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_medium_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

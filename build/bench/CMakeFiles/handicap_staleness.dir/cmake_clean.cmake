@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handicap_staleness.dir/handicap_staleness.cc.o"
+  "CMakeFiles/handicap_staleness.dir/handicap_staleness.cc.o.d"
+  "handicap_staleness"
+  "handicap_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handicap_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

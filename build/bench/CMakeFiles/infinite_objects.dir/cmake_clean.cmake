@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infinite_objects.dir/infinite_objects.cc.o"
+  "CMakeFiles/infinite_objects.dir/infinite_objects.cc.o.d"
+  "infinite_objects"
+  "infinite_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infinite_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_family.dir/rtree_family.cc.o"
+  "CMakeFiles/rtree_family.dir/rtree_family.cc.o.d"
+  "rtree_family"
+  "rtree_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t1_vs_t2.dir/t1_vs_t2.cc.o"
+  "CMakeFiles/t1_vs_t2.dir/t1_vs_t2.cc.o.d"
+  "t1_vs_t2"
+  "t1_vs_t2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t1_vs_t2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for t1_vs_t2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_appquery_rules.dir/table1_appquery_rules.cc.o"
+  "CMakeFiles/table1_appquery_rules.dir/table1_appquery_rules.cc.o.d"
+  "table1_appquery_rules"
+  "table1_appquery_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_appquery_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

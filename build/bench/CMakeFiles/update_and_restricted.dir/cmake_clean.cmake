@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_and_restricted.dir/update_and_restricted.cc.o"
+  "CMakeFiles/update_and_restricted.dir/update_and_restricted.cc.o.d"
+  "update_and_restricted"
+  "update_and_restricted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_and_restricted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddim_demo.dir/ddim_demo.cc.o"
+  "CMakeFiles/ddim_demo.dir/ddim_demo.cc.o.d"
+  "ddim_demo"
+  "ddim_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddim_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/or_feasibility.dir/or_feasibility.cc.o"
+  "CMakeFiles/or_feasibility.dir/or_feasibility.cc.o.d"
+  "or_feasibility"
+  "or_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/or_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_windows.dir/temporal_windows.cc.o"
+  "CMakeFiles/temporal_windows.dir/temporal_windows.cc.o.d"
+  "temporal_windows"
+  "temporal_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

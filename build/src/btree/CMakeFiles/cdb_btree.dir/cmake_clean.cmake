@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdb_btree.dir/bplus_tree.cc.o"
+  "CMakeFiles/cdb_btree.dir/bplus_tree.cc.o.d"
+  "libcdb_btree.a"
+  "libcdb_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdb_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

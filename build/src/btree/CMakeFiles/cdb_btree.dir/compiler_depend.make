@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cdb_btree.
+# This may be replaced when dependencies are built.

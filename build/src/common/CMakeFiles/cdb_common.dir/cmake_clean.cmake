@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdb_common.dir/status.cc.o"
+  "CMakeFiles/cdb_common.dir/status.cc.o.d"
+  "libcdb_common.a"
+  "libcdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

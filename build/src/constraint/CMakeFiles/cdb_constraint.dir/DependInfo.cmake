@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraint/generalized_tuple.cc" "src/constraint/CMakeFiles/cdb_constraint.dir/generalized_tuple.cc.o" "gcc" "src/constraint/CMakeFiles/cdb_constraint.dir/generalized_tuple.cc.o.d"
+  "/root/repo/src/constraint/naive_eval.cc" "src/constraint/CMakeFiles/cdb_constraint.dir/naive_eval.cc.o" "gcc" "src/constraint/CMakeFiles/cdb_constraint.dir/naive_eval.cc.o.d"
+  "/root/repo/src/constraint/parser.cc" "src/constraint/CMakeFiles/cdb_constraint.dir/parser.cc.o" "gcc" "src/constraint/CMakeFiles/cdb_constraint.dir/parser.cc.o.d"
+  "/root/repo/src/constraint/relation.cc" "src/constraint/CMakeFiles/cdb_constraint.dir/relation.cc.o" "gcc" "src/constraint/CMakeFiles/cdb_constraint.dir/relation.cc.o.d"
+  "/root/repo/src/constraint/relation_d.cc" "src/constraint/CMakeFiles/cdb_constraint.dir/relation_d.cc.o" "gcc" "src/constraint/CMakeFiles/cdb_constraint.dir/relation_d.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/cdb_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdb_constraint.dir/generalized_tuple.cc.o"
+  "CMakeFiles/cdb_constraint.dir/generalized_tuple.cc.o.d"
+  "CMakeFiles/cdb_constraint.dir/naive_eval.cc.o"
+  "CMakeFiles/cdb_constraint.dir/naive_eval.cc.o.d"
+  "CMakeFiles/cdb_constraint.dir/parser.cc.o"
+  "CMakeFiles/cdb_constraint.dir/parser.cc.o.d"
+  "CMakeFiles/cdb_constraint.dir/relation.cc.o"
+  "CMakeFiles/cdb_constraint.dir/relation.cc.o.d"
+  "CMakeFiles/cdb_constraint.dir/relation_d.cc.o"
+  "CMakeFiles/cdb_constraint.dir/relation_d.cc.o.d"
+  "libcdb_constraint.a"
+  "libcdb_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdb_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdb_db.dir/database.cc.o"
+  "CMakeFiles/cdb_db.dir/database.cc.o.d"
+  "libcdb_db.a"
+  "libcdb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dualindex/app_query.cc" "src/dualindex/CMakeFiles/cdb_dualindex.dir/app_query.cc.o" "gcc" "src/dualindex/CMakeFiles/cdb_dualindex.dir/app_query.cc.o.d"
+  "/root/repo/src/dualindex/ddim_index.cc" "src/dualindex/CMakeFiles/cdb_dualindex.dir/ddim_index.cc.o" "gcc" "src/dualindex/CMakeFiles/cdb_dualindex.dir/ddim_index.cc.o.d"
+  "/root/repo/src/dualindex/dual_index.cc" "src/dualindex/CMakeFiles/cdb_dualindex.dir/dual_index.cc.o" "gcc" "src/dualindex/CMakeFiles/cdb_dualindex.dir/dual_index.cc.o.d"
+  "/root/repo/src/dualindex/slope_set.cc" "src/dualindex/CMakeFiles/cdb_dualindex.dir/slope_set.cc.o" "gcc" "src/dualindex/CMakeFiles/cdb_dualindex.dir/slope_set.cc.o.d"
+  "/root/repo/src/dualindex/stabbing_index.cc" "src/dualindex/CMakeFiles/cdb_dualindex.dir/stabbing_index.cc.o" "gcc" "src/dualindex/CMakeFiles/cdb_dualindex.dir/stabbing_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/cdb_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/cdb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/cdb_btree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

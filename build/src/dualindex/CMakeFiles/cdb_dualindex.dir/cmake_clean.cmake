@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdb_dualindex.dir/app_query.cc.o"
+  "CMakeFiles/cdb_dualindex.dir/app_query.cc.o.d"
+  "CMakeFiles/cdb_dualindex.dir/ddim_index.cc.o"
+  "CMakeFiles/cdb_dualindex.dir/ddim_index.cc.o.d"
+  "CMakeFiles/cdb_dualindex.dir/dual_index.cc.o"
+  "CMakeFiles/cdb_dualindex.dir/dual_index.cc.o.d"
+  "CMakeFiles/cdb_dualindex.dir/slope_set.cc.o"
+  "CMakeFiles/cdb_dualindex.dir/slope_set.cc.o.d"
+  "CMakeFiles/cdb_dualindex.dir/stabbing_index.cc.o"
+  "CMakeFiles/cdb_dualindex.dir/stabbing_index.cc.o.d"
+  "libcdb_dualindex.a"
+  "libcdb_dualindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdb_dualindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

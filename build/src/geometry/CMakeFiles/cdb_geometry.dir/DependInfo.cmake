@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/dual.cc" "src/geometry/CMakeFiles/cdb_geometry.dir/dual.cc.o" "gcc" "src/geometry/CMakeFiles/cdb_geometry.dir/dual.cc.o.d"
+  "/root/repo/src/geometry/dual_surface.cc" "src/geometry/CMakeFiles/cdb_geometry.dir/dual_surface.cc.o" "gcc" "src/geometry/CMakeFiles/cdb_geometry.dir/dual_surface.cc.o.d"
+  "/root/repo/src/geometry/lp2d.cc" "src/geometry/CMakeFiles/cdb_geometry.dir/lp2d.cc.o" "gcc" "src/geometry/CMakeFiles/cdb_geometry.dir/lp2d.cc.o.d"
+  "/root/repo/src/geometry/lpd.cc" "src/geometry/CMakeFiles/cdb_geometry.dir/lpd.cc.o" "gcc" "src/geometry/CMakeFiles/cdb_geometry.dir/lpd.cc.o.d"
+  "/root/repo/src/geometry/polyhedron2d.cc" "src/geometry/CMakeFiles/cdb_geometry.dir/polyhedron2d.cc.o" "gcc" "src/geometry/CMakeFiles/cdb_geometry.dir/polyhedron2d.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdb_geometry.dir/dual.cc.o"
+  "CMakeFiles/cdb_geometry.dir/dual.cc.o.d"
+  "CMakeFiles/cdb_geometry.dir/dual_surface.cc.o"
+  "CMakeFiles/cdb_geometry.dir/dual_surface.cc.o.d"
+  "CMakeFiles/cdb_geometry.dir/lp2d.cc.o"
+  "CMakeFiles/cdb_geometry.dir/lp2d.cc.o.d"
+  "CMakeFiles/cdb_geometry.dir/lpd.cc.o"
+  "CMakeFiles/cdb_geometry.dir/lpd.cc.o.d"
+  "CMakeFiles/cdb_geometry.dir/polyhedron2d.cc.o"
+  "CMakeFiles/cdb_geometry.dir/polyhedron2d.cc.o.d"
+  "libcdb_geometry.a"
+  "libcdb_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdb_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtree/guttman_rtree.cc" "src/rtree/CMakeFiles/cdb_rtree.dir/guttman_rtree.cc.o" "gcc" "src/rtree/CMakeFiles/cdb_rtree.dir/guttman_rtree.cc.o.d"
+  "/root/repo/src/rtree/quadtree.cc" "src/rtree/CMakeFiles/cdb_rtree.dir/quadtree.cc.o" "gcc" "src/rtree/CMakeFiles/cdb_rtree.dir/quadtree.cc.o.d"
+  "/root/repo/src/rtree/rplus_tree.cc" "src/rtree/CMakeFiles/cdb_rtree.dir/rplus_tree.cc.o" "gcc" "src/rtree/CMakeFiles/cdb_rtree.dir/rplus_tree.cc.o.d"
+  "/root/repo/src/rtree/rtree_query.cc" "src/rtree/CMakeFiles/cdb_rtree.dir/rtree_query.cc.o" "gcc" "src/rtree/CMakeFiles/cdb_rtree.dir/rtree_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/cdb_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/cdb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/dualindex/CMakeFiles/cdb_dualindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/cdb_btree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

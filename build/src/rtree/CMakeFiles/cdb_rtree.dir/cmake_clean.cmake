@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdb_rtree.dir/guttman_rtree.cc.o"
+  "CMakeFiles/cdb_rtree.dir/guttman_rtree.cc.o.d"
+  "CMakeFiles/cdb_rtree.dir/quadtree.cc.o"
+  "CMakeFiles/cdb_rtree.dir/quadtree.cc.o.d"
+  "CMakeFiles/cdb_rtree.dir/rplus_tree.cc.o"
+  "CMakeFiles/cdb_rtree.dir/rplus_tree.cc.o.d"
+  "CMakeFiles/cdb_rtree.dir/rtree_query.cc.o"
+  "CMakeFiles/cdb_rtree.dir/rtree_query.cc.o.d"
+  "libcdb_rtree.a"
+  "libcdb_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdb_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdb_storage.dir/file.cc.o"
+  "CMakeFiles/cdb_storage.dir/file.cc.o.d"
+  "CMakeFiles/cdb_storage.dir/pager.cc.o"
+  "CMakeFiles/cdb_storage.dir/pager.cc.o.d"
+  "libcdb_storage.a"
+  "libcdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdb_workload.dir/generator.cc.o"
+  "CMakeFiles/cdb_workload.dir/generator.cc.o.d"
+  "CMakeFiles/cdb_workload.dir/query_gen.cc.o"
+  "CMakeFiles/cdb_workload.dir/query_gen.cc.o.d"
+  "libcdb_workload.a"
+  "libcdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_query_test.dir/app_query_test.cc.o"
+  "CMakeFiles/app_query_test.dir/app_query_test.cc.o.d"
+  "app_query_test"
+  "app_query_test.pdb"
+  "app_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddim_index_test.dir/ddim_index_test.cc.o"
+  "CMakeFiles/ddim_index_test.dir/ddim_index_test.cc.o.d"
+  "ddim_index_test"
+  "ddim_index_test.pdb"
+  "ddim_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddim_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_surface_test.dir/dual_surface_test.cc.o"
+  "CMakeFiles/dual_surface_test.dir/dual_surface_test.cc.o.d"
+  "dual_surface_test"
+  "dual_surface_test.pdb"
+  "dual_surface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_surface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

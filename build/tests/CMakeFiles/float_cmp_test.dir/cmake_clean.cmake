@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/float_cmp_test.dir/float_cmp_test.cc.o"
+  "CMakeFiles/float_cmp_test.dir/float_cmp_test.cc.o.d"
+  "float_cmp_test"
+  "float_cmp_test.pdb"
+  "float_cmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/float_cmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_edge_test.dir/geometry_edge_test.cc.o"
+  "CMakeFiles/geometry_edge_test.dir/geometry_edge_test.cc.o.d"
+  "geometry_edge_test"
+  "geometry_edge_test.pdb"
+  "geometry_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

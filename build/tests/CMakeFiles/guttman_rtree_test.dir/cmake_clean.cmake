@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guttman_rtree_test.dir/guttman_rtree_test.cc.o"
+  "CMakeFiles/guttman_rtree_test.dir/guttman_rtree_test.cc.o.d"
+  "guttman_rtree_test"
+  "guttman_rtree_test.pdb"
+  "guttman_rtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guttman_rtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

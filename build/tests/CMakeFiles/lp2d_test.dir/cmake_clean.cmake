@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp2d_test.dir/lp2d_test.cc.o"
+  "CMakeFiles/lp2d_test.dir/lp2d_test.cc.o.d"
+  "lp2d_test"
+  "lp2d_test.pdb"
+  "lp2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

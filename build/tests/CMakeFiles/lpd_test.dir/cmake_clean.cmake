@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpd_test.dir/lpd_test.cc.o"
+  "CMakeFiles/lpd_test.dir/lpd_test.cc.o.d"
+  "lpd_test"
+  "lpd_test.pdb"
+  "lpd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polyhedron2d_test.dir/polyhedron2d_test.cc.o"
+  "CMakeFiles/polyhedron2d_test.dir/polyhedron2d_test.cc.o.d"
+  "polyhedron2d_test"
+  "polyhedron2d_test.pdb"
+  "polyhedron2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyhedron2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_d_test.dir/relation_d_test.cc.o"
+  "CMakeFiles/relation_d_test.dir/relation_d_test.cc.o.d"
+  "relation_d_test"
+  "relation_d_test.pdb"
+  "relation_d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rplus_tree_test.dir/rplus_tree_test.cc.o"
+  "CMakeFiles/rplus_tree_test.dir/rplus_tree_test.cc.o.d"
+  "rplus_tree_test"
+  "rplus_tree_test.pdb"
+  "rplus_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rplus_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slope_set_test.dir/slope_set_test.cc.o"
+  "CMakeFiles/slope_set_test.dir/slope_set_test.cc.o.d"
+  "slope_set_test"
+  "slope_set_test.pdb"
+  "slope_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slope_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

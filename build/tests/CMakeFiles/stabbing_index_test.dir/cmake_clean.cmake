@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabbing_index_test.dir/stabbing_index_test.cc.o"
+  "CMakeFiles/stabbing_index_test.dir/stabbing_index_test.cc.o.d"
+  "stabbing_index_test"
+  "stabbing_index_test.pdb"
+  "stabbing_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabbing_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

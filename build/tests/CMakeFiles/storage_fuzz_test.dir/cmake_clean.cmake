@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_fuzz_test.dir/storage_fuzz_test.cc.o"
+  "CMakeFiles/storage_fuzz_test.dir/storage_fuzz_test.cc.o.d"
+  "storage_fuzz_test"
+  "storage_fuzz_test.pdb"
+  "storage_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

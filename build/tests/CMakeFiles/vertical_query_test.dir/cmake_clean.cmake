@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertical_query_test.dir/vertical_query_test.cc.o"
+  "CMakeFiles/vertical_query_test.dir/vertical_query_test.cc.o.d"
+  "vertical_query_test"
+  "vertical_query_test.pdb"
+  "vertical_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertical_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
