@@ -9,9 +9,10 @@
 
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cdb;
   using namespace cdb::bench;
+  BenchReporter reporter("anchor_choice", &argc, argv);
   std::printf(
       "=== T1 anchor choice (N=4000, small objects, k=3, sel 10-15%%) "
       "===\n");
@@ -32,6 +33,7 @@ int main() {
         MakeQueries(*ds.relation, SelectionType::kAll, 6, 0.10, 0.15, &rng);
     qs.insert(qs.end(), qs_all.begin(), qs_all.end());
     Measurement m = MeasureDual(&ds, qs, QueryMethod::kT1);
+    reporter.Add("t1", {{"anchor_x", anchor}}, m);
     PrintTableRow({Fmt(anchor, 0), Fmt(m.index_fetches), Fmt(m.candidates),
                    Fmt(m.duplicates), Fmt(m.false_hits)});
   }
@@ -40,5 +42,5 @@ int main() {
       "paper's [-50,50]^2 distribution) minimizes the false-hit wedge area\n"
       "that lies inside the populated region; anchors outside the window\n"
       "push one app-query's wedge across the whole data set.\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -19,9 +19,10 @@ double Seconds(std::chrono::steady_clock::time_point a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cdb;
   using namespace cdb::bench;
+  BenchReporter reporter("build_cost", &argc, argv);
   std::printf("=== Construction cost (small objects, k=3) ===\n");
 
   PrintTableHeader(
@@ -74,6 +75,12 @@ int main() {
         });
     if (!st.ok()) return 1;
     t1 = std::chrono::steady_clock::now();
+    BenchReporter::Params params = {{"n", static_cast<double>(n)}};
+    reporter.AddValue("dual-build", params, "bulk_sec", bulk_sec);
+    reporter.AddValue("dual-build", params, "bulk_pages", bulk_pages);
+    reporter.AddValue("dual-build", params, "incr_sec", Seconds(t0, t1));
+    reporter.AddValue("dual-build", params, "incr_pages",
+                      static_cast<double>(ipager->live_page_count()));
     PrintTableRow({std::to_string(n), Fmt(bulk_sec, 2), Fmt(bulk_pages, 0),
                    Fmt(Seconds(t0, t1), 2),
                    Fmt(static_cast<double>(ipager->live_page_count()), 0)});
@@ -119,6 +126,13 @@ int main() {
       if (!incr_tree->Insert(rect, id).ok()) return 1;
     }
     auto t3 = std::chrono::steady_clock::now();
+    BenchReporter::Params params = {{"n", static_cast<double>(n)}};
+    reporter.AddValue("rtree-build", params, "pack_sec", Seconds(t0, t1));
+    reporter.AddValue("rtree-build", params, "pack_pages",
+                      static_cast<double>(packed->live_page_count()));
+    reporter.AddValue("rtree-build", params, "incr_sec", Seconds(t2, t3));
+    reporter.AddValue("rtree-build", params, "incr_pages",
+                      static_cast<double>(incr_tree->live_page_count()));
     PrintTableRow({std::to_string(n), Fmt(Seconds(t0, t1), 2),
                    Fmt(static_cast<double>(packed->live_page_count()), 0),
                    Fmt(Seconds(t2, t3), 2),
@@ -131,5 +145,5 @@ int main() {
       "per-insert tree descents and packs leaves denser. Dynamic R+-tree\n"
       "insertion trades clipping for region overlap (fewer pages, softer\n"
       "disjointness) versus the sweep-cut Pack.\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -38,9 +38,10 @@ std::vector<std::vector<double>> GridSlopes(size_t dim, int per_axis,
 }  // namespace
 }  // namespace cdb
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cdb;
   using namespace cdb::bench;
+  BenchReporter reporter("ddim_scaling", &argc, argv);
   std::printf("=== d-dimensional scaling (Section 4.4 / Section 6) ===\n");
 
   const int kN = 2000;
@@ -135,6 +136,14 @@ int main() {
     // A sequential scan touches every tuple page: with ~25-byte constraints
     // and 3-10 constraints per tuple, ~6 tuples fit a 1 KiB page.
     double scan_pages = std::ceil(kN / 6.0);
+    BenchReporter::Params params = {
+        {"d", static_cast<double>(dim)},
+        {"slopes", static_cast<double>(slopes.size())}};
+    reporter.AddValue("ddim", params, "exact_fetches", exact_pages / kQ);
+    reporter.AddValue("ddim", params, "t1_fetches", t1_pages / kQ);
+    reporter.AddValue("ddim", params, "t1_candidates", t1_cands / kQ);
+    reporter.AddValue("ddim", params, "t2_fetches", t2_pages / kQ);
+    reporter.AddValue("ddim", params, "scan_pages", scan_pages);
     PrintTableRow({std::to_string(dim), std::to_string(slopes.size()),
                    Fmt(exact_pages / kQ), Fmt(t1_pages / kQ),
                    Fmt(t1_cands / kQ), Fmt(t2_pages / kQ),
@@ -146,5 +155,5 @@ int main() {
       "app-queries (<= d), far below the scan baseline. The T2 column is\n"
       "the Voronoi-handicap single-tree search at d = 3 (Section 4.4's\n"
       "sketch); at d = 2 and d = 4 it reports the T1 fallback.\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -9,9 +9,10 @@
 #include "harness.h"
 #include "storage/file.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cdb;
   using namespace cdb::bench;
+  BenchReporter reporter("extension_queries", &argc, argv);
   std::printf(
       "=== Extension queries: vertical and slab (N=4000, k=3) ===\n");
 
@@ -44,6 +45,12 @@ int main() {
       pages += static_cast<double>(stats.index_page_fetches);
       results += static_cast<double>(stats.results);
     }
+    bool exist = type == SelectionType::kExist;
+    BenchReporter::Params params = {{"exist", exist ? 1.0 : 0.0}};
+    reporter.AddValue(exist ? "vertical/exist" : "vertical/all", params,
+                      "index_fetches", pages / kQ);
+    reporter.AddValue(exist ? "vertical/exist" : "vertical/all", params,
+                      "results", results / kQ);
     PrintTableRow({"vertical",
                    type == SelectionType::kExist ? "EXIST" : "ALL",
                    Fmt(pages / kQ), Fmt(results / kQ), Fmt(scan_pages, 0)});
@@ -65,6 +72,12 @@ int main() {
       pages += static_cast<double>(stats.index_page_fetches);
       results += static_cast<double>(stats.results);
     }
+    bool exist = type == SelectionType::kExist;
+    BenchReporter::Params params = {{"exist", exist ? 1.0 : 0.0}};
+    reporter.AddValue(exist ? "slab/exist" : "slab/all", params,
+                      "index_fetches", pages / kQ);
+    reporter.AddValue(exist ? "slab/exist" : "slab/all", params, "results",
+                      results / kQ);
     PrintTableRow({"slab", type == SelectionType::kExist ? "EXIST" : "ALL",
                    Fmt(pages / kQ), Fmt(results / kQ), Fmt(scan_pages, 0)});
   }
@@ -121,6 +134,12 @@ int main() {
         stab_pages += static_cast<double>(fetches);
         results += static_cast<double>(a.value().size());
       }
+      BenchReporter::Params params = {{"band_width", 2 * half}};
+      reporter.AddValue("slab-vs-stab", params, "slab_fetches",
+                        slab_pages / kQ);
+      reporter.AddValue("slab-vs-stab", params, "stab_fetches",
+                        stab_pages / kQ);
+      reporter.AddValue("slab-vs-stab", params, "results", results / kQ);
       PrintTableRow({Fmt(2 * half, 0), Fmt(slab_pages / kQ),
                      Fmt(stab_pages / kQ), Fmt(results / kQ)});
     }
@@ -135,5 +154,5 @@ int main() {
       "for narrow slabs near the distribution's edge, up to scan-like for\n"
       "slabs through the middle (the price of exactness without a\n"
       "dedicated interval structure; cf. the paper's footnote 6).\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

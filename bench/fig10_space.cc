@@ -14,7 +14,7 @@ namespace bench {
 namespace {
 
 void RunSpace(ObjectSize size, const char* label, double* sum_c,
-              int* count_c) {
+              int* count_c, BenchReporter* reporter) {
   const std::vector<int> cardinalities = {500, 2000, 4000, 8000, 12000};
   const std::vector<size_t> ks = {2, 3, 4, 5};
 
@@ -34,14 +34,23 @@ void RunSpace(ObjectSize size, const char* label, double* sum_c,
       config.seed = 9000 + static_cast<uint64_t>(n);
       config.build_rtree = ki == 0;
       Dataset ds = BuildDataset(config);
+      double dk = static_cast<double>(ks[ki]);
+      double dn = static_cast<double>(n);
+      double dsize = size == ObjectSize::kSmall ? 0 : 1;
       if (ki == 0) {
         rtree_pages = static_cast<double>(ds.rtree->live_page_count());
         cells.push_back(Fmt(rtree_pages, 0));
+        reporter->AddValue("rtree", {{"n", dn}, {"size", dsize}}, "pages",
+                           rtree_pages);
       }
       double dual_pages = static_cast<double>(ds.dual->live_page_count());
       cells.push_back(Fmt(dual_pages, 0));
       // The paper's model: dual space = c * k * rtree space.
       double c = dual_pages / (static_cast<double>(ks[ki]) * rtree_pages);
+      reporter->AddValue("t2", {{"n", dn}, {"k", dk}, {"size", dsize}},
+                         "pages", dual_pages);
+      reporter->AddValue("t2", {{"n", dn}, {"k", dk}, {"size", dsize}},
+                         "multiplier_c", c);
       *sum_c += c;
       ++*count_c;
       c_last = c;
@@ -55,17 +64,20 @@ void RunSpace(ObjectSize size, const char* label, double* sum_c,
 }  // namespace bench
 }  // namespace cdb
 
-int main() {
+int main(int argc, char** argv) {
+  cdb::bench::BenchReporter reporter("fig10_space", &argc, argv);
   std::printf("=== Figure 10: disk space ===\n");
   double sum_c = 0;
   int count_c = 0;
   cdb::bench::RunSpace(cdb::ObjectSize::kSmall, "small objects", &sum_c,
-                       &count_c);
+                       &count_c, &reporter);
   cdb::bench::RunSpace(cdb::ObjectSize::kMedium, "medium objects", &sum_c,
-                       &count_c);
+                       &count_c, &reporter);
+  double avg_c = sum_c / count_c;
   std::printf(
       "\nAverage multiplier c in [dual pages = c * k * R+ pages]: %.2f "
       "(paper reports 1.32)\n",
-      sum_c / count_c);
-  return 0;
+      avg_c);
+  reporter.AddValue("summary", {}, "avg_multiplier_c", avg_c);
+  return reporter.Write() ? 0 : 1;
 }

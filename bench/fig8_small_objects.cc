@@ -7,8 +7,9 @@
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cdb::bench::BenchReporter reporter("fig8_small_objects", &argc, argv);
   std::printf("=== Figure 8: small objects (1-5%% of R) ===\n");
-  cdb::bench::RunFigure(cdb::ObjectSize::kSmall, "Figure 8");
-  return 0;
+  cdb::bench::RunFigure(cdb::ObjectSize::kSmall, "Figure 8", &reporter);
+  return reporter.Write() ? 0 : 1;
 }

@@ -8,8 +8,9 @@
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cdb::bench::BenchReporter reporter("fig9_medium_objects", &argc, argv);
   std::printf("=== Figure 9: medium objects (up to 50%% of R) ===\n");
-  cdb::bench::RunFigure(cdb::ObjectSize::kMedium, "Figure 9");
-  return 0;
+  cdb::bench::RunFigure(cdb::ObjectSize::kMedium, "Figure 9", &reporter);
+  return reporter.Write() ? 0 : 1;
 }

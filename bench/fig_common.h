@@ -16,7 +16,8 @@
 namespace cdb {
 namespace bench {
 
-inline void RunFigure(ObjectSize size, const std::string& figure_name) {
+inline void RunFigure(ObjectSize size, const std::string& figure_name,
+                      BenchReporter* reporter = nullptr) {
   const std::vector<int> cardinalities = {500, 2000, 4000, 8000, 12000};
   const std::vector<size_t> ks = {2, 3, 4, 5};
   const int kQueriesPerType = 6;  // The paper uses six ALL and six EXIST.
@@ -45,11 +46,21 @@ inline void RunFigure(ObjectSize size, const std::string& figure_name) {
                                   kQueriesPerType, 0.10, 0.15, &qrng);
       auto all_qs = MakeQueries(*ds.relation, SelectionType::kAll,
                                 kQueriesPerType, 0.10, 0.15, &qrng);
+      double k = static_cast<double>(ks[ki]);
+      double dn = static_cast<double>(n);
       row.t2_exist.push_back(MeasureDual(&ds, exist_qs, QueryMethod::kT2));
       row.t2_all.push_back(MeasureDual(&ds, all_qs, QueryMethod::kT2));
+      if (reporter != nullptr) {
+        reporter->Add("t2/exist", {{"n", dn}, {"k", k}}, row.t2_exist.back());
+        reporter->Add("t2/all", {{"n", dn}, {"k", k}}, row.t2_all.back());
+      }
       if (ki == 0) {
         row.rtree_exist = MeasureRTree(&ds, exist_qs);
         row.rtree_all = MeasureRTree(&ds, all_qs);
+        if (reporter != nullptr) {
+          reporter->Add("rtree/exist", {{"n", dn}}, row.rtree_exist);
+          reporter->Add("rtree/all", {{"n", dn}}, row.rtree_all);
+        }
       }
       if (ks[ki] == 3) {
         DatasetConfig tight_cfg = config;
@@ -58,6 +69,11 @@ inline void RunFigure(ObjectSize size, const std::string& figure_name) {
         Dataset tight_ds = BuildDataset(tight_cfg);
         row.tight_exist = MeasureDual(&tight_ds, exist_qs, QueryMethod::kT2);
         row.tight_all = MeasureDual(&tight_ds, all_qs, QueryMethod::kT2);
+        if (reporter != nullptr) {
+          reporter->Add("t2-tight/exist", {{"n", dn}, {"k", k}},
+                        row.tight_exist);
+          reporter->Add("t2-tight/all", {{"n", dn}, {"k", k}}, row.tight_all);
+        }
       }
     }
     rows.push_back(std::move(row));

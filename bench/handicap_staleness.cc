@@ -8,9 +8,10 @@
 
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cdb;
   using namespace cdb::bench;
+  BenchReporter reporter("handicap_staleness", &argc, argv);
   std::printf(
       "=== Handicap staleness under deletions (N=4000, k=3, sel 10-15%%) "
       "===\n");
@@ -71,6 +72,8 @@ int main() {
       }
     }
 
+    reporter.Add("stale", {{"deleted_frac", frac}}, stale);
+    reporter.Add("rebuilt", {{"deleted_frac", frac}}, rebuilt);
     PrintTableRow({Fmt(frac * 100, 0) + "%", Fmt(stale.index_fetches),
                    Fmt(stale.candidates), Fmt(rebuilt.index_fetches),
                    Fmt(rebuilt.candidates)});
@@ -79,5 +82,5 @@ int main() {
       "\nExpected shape: identical results always; stale handicaps cost\n"
       "extra second-sweep candidates that grow with the deleted fraction\n"
       "and vanish after an exact rebuild.\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -3,7 +3,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "rtree/rtree_query.h"
 #include "storage/file.h"
 
@@ -151,12 +154,17 @@ Measurement MeasureNaive(Dataset* ds, const std::vector<CalibratedQuery>& qs) {
   Measurement m;
   for (const CalibratedQuery& cq : qs) {
     Check(ds->rel_pager->DropCache(), "drop cache");
-    IoStats before = ds->rel_pager->stats();
-    Result<std::vector<TupleId>> r =
-        NaiveSelect(*ds->relation, cq.type, cq.query);
+    // The scan touches only the relation pager; the tracer charges it as
+    // the "index" side, so totals.index_fetches is the logical page count
+    // the naive baseline is billed (decision 11).
+    obs::Tracer tracer("naive/select", ds->rel_pager.get(), nullptr);
+    Result<std::vector<TupleId>> r = [&] {
+      CDB_TRACE_SPAN("scan");
+      return NaiveSelect(*ds->relation, cq.type, cq.query);
+    }();
     Check(r.status(), "naive select");
     m.tuple_fetches +=
-        static_cast<double>(ds->rel_pager->stats().Delta(before).page_fetches);
+        static_cast<double>(obs::FinishQueryTrace(&tracer, nullptr).index_fetches);
     m.results += static_cast<double>(r.value().size());
   }
   double n = static_cast<double>(qs.size());
@@ -183,6 +191,119 @@ std::string Fmt(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+// --- BenchReporter -----------------------------------------------------------
+
+BenchReporter::BenchReporter(std::string bench_name, int* argc, char** argv)
+    : bench_name_(std::move(bench_name)) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      path_ = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path_ = argv[i] + 7;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  if (enabled()) obs::GlobalMetrics().SetEnabled(true);
+}
+
+void BenchReporter::Add(const std::string& label, const Params& params,
+                        const Measurement& m) {
+  if (!enabled()) return;
+  Row row;
+  row.label = label;
+  row.params = params;
+  row.values = {{"index_fetches", m.index_fetches},
+                {"tuple_fetches", m.tuple_fetches},
+                {"candidates", m.candidates},
+                {"false_hits", m.false_hits},
+                {"duplicates", m.duplicates},
+                {"results", m.results},
+                {"selectivity", m.selectivity}};
+  rows_.push_back(std::move(row));
+}
+
+void BenchReporter::AddValue(const std::string& label, const Params& params,
+                             const std::string& key, double value) {
+  if (!enabled()) return;
+  // Consecutive AddValue calls with the same coordinates extend one row.
+  if (!rows_.empty() && rows_.back().label == label &&
+      rows_.back().params == params) {
+    rows_.back().values.emplace_back(key, value);
+    return;
+  }
+  Row row;
+  row.label = label;
+  row.params = params;
+  row.values = {{key, value}};
+  rows_.push_back(std::move(row));
+}
+
+bool BenchReporter::Write() {
+  if (!enabled()) return true;
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").Value("cdb-bench/v1");
+  w.Key("bench").Value(bench_name_);
+  w.Key("measurements").BeginArray();
+  for (const Row& row : rows_) {
+    w.BeginObject();
+    w.Key("label").Value(row.label);
+    w.Key("params").BeginObject();
+    for (const auto& [name, value] : row.params) w.Key(name).Value(value);
+    w.EndObject();
+    w.Key("values").BeginObject();
+    for (const auto& [name, value] : row.values) w.Key(name).Value(value);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("metrics");
+  obs::GlobalMetrics().WriteJson(&w);
+  w.EndObject();
+  std::string json = w.TakeString();
+
+  // Self-check: the artifact must parse back and carry the schema marker.
+  Result<obs::JsonValue> parsed = obs::ParseJson(json);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "BenchReporter: artifact self-check failed: %s\n",
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  const obs::JsonValue* schema = parsed.value().Find("schema");
+  if (schema == nullptr || schema->string_value != "cdb-bench/v1") {
+    std::fprintf(stderr, "BenchReporter: artifact missing schema marker\n");
+    return false;
+  }
+
+  std::string path = path_;
+  bool is_file = path.size() > 5 &&
+                 path.compare(path.size() - 5, 5, ".json") == 0;
+  if (!is_file) {
+    if (!path.empty() && path.back() != '/') path += '/';
+    path += "BENCH_" + bench_name_ + ".json";
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchReporter: cannot open %s\n", path.c_str());
+    return false;
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size() && std::fputc('\n', f) != EOF;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::fprintf(stderr, "BenchReporter: short write to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("\nwrote %s (%zu measurements)\n", path.c_str(), rows_.size());
+  return true;
 }
 
 }  // namespace bench

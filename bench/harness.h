@@ -8,9 +8,12 @@
 #include <string>
 #include <vector>
 
+#include <utility>
+
 #include "common/rng.h"
 #include "constraint/relation.h"
 #include "dualindex/dual_index.h"
+#include "obs/metrics.h"
 #include "rtree/rplus_tree.h"
 #include "workload/generator.h"
 #include "workload/query_gen.h"
@@ -79,6 +82,53 @@ void PrintTableHeader(const std::string& title,
                       const std::vector<std::string>& columns);
 void PrintTableRow(const std::vector<std::string>& cells);
 std::string Fmt(double v, int precision = 1);
+
+/// Machine-readable bench artifacts (ISSUE 5). Every bench constructs one
+/// from its arguments; `--json <path>` (or `--json=<path>`) enables it and
+/// is removed from the arg list. When enabled the process-wide
+/// obs::GlobalMetrics() registry is switched on so event counters (LP
+/// calls, ...) land in the artifact. Write() emits a schema-versioned
+/// `BENCH_<name>.json`:
+///
+///   {"schema": "cdb-bench/v1", "bench": <name>,
+///    "measurements": [{"label":..., "params": {...}, "values": {...}}],
+///    "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}}
+///
+/// If the flag value does not end in ".json" it names a directory and the
+/// artifact is written as <dir>/BENCH_<name>.json.
+class BenchReporter {
+ public:
+  /// Numeric experiment coordinates for one row ({{"n", 2000}, {"k", 3}}).
+  using Params = std::vector<std::pair<std::string, double>>;
+
+  BenchReporter(std::string bench_name, int* argc, char** argv);
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one measurement row (no-op when disabled).
+  void Add(const std::string& label, const Params& params,
+           const Measurement& m);
+
+  /// Records a single named value (build costs, page counts, ...).
+  void AddValue(const std::string& label, const Params& params,
+                const std::string& key, double value);
+
+  /// Writes and self-verifies the artifact; prints the path. Returns false
+  /// (with a message on stderr) on I/O or self-check failure, true when
+  /// disabled or successful.
+  bool Write();
+
+ private:
+  struct Row {
+    std::string label;
+    Params params;
+    std::vector<std::pair<std::string, double>> values;
+  };
+
+  std::string bench_name_;
+  std::string path_;  // Empty = disabled.
+  std::vector<Row> rows_;
+};
 
 }  // namespace bench
 }  // namespace cdb

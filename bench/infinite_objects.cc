@@ -10,9 +10,10 @@
 #include "harness.h"
 #include "storage/file.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cdb;
   using namespace cdb::bench;
+  BenchReporter reporter("infinite_objects", &argc, argv);
   std::printf(
       "=== Infinite objects: query cost vs unbounded fraction "
       "(N=4000, k=3) ===\n");
@@ -95,6 +96,12 @@ int main() {
         }
       }
     }
+    reporter.AddValue("unbounded", {{"frac", frac}}, "exist_fetches",
+                      exist_pages / kQ);
+    reporter.AddValue("unbounded", {{"frac", frac}}, "all_fetches",
+                      all_pages / kQ);
+    reporter.AddValue("unbounded", {{"frac", frac}}, "unbounded_in_results",
+                      unb_hits / (2 * kQ));
     PrintTableRow({Fmt(frac * 100, 0) + "%",
                    Fmt(exist_lo * 100, 0) + "-" + Fmt(exist_hi * 100, 0) +
                        "%",
@@ -105,5 +112,5 @@ int main() {
       "\nExpected shape: cost stays flat as the unbounded fraction grows —\n"
       "infinite extensions are just ±inf surface keys at the ends of the\n"
       "B+-trees. (The R+-tree baseline rejects every unbounded tuple.)\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

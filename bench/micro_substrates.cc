@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "btree/bplus_tree.h"
+#include "harness.h"
 #include "common/rng.h"
 #include "geometry/dual.h"
 #include "geometry/lpd.h"
@@ -158,4 +159,40 @@ BENCHMARK(BM_WorkloadTupleGeneration)->Arg(0)->Arg(1);
 }  // namespace
 }  // namespace cdb
 
-BENCHMARK_MAIN();
+namespace {
+
+// Console output as usual, plus every per-iteration run captured into the
+// JSON artifact (aggregates and errored runs are skipped).
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(cdb::bench::BenchReporter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      std::string name = run.benchmark_name();
+      out_->AddValue(name, {}, "real_time", run.GetAdjustedRealTime());
+      out_->AddValue(name, {}, "cpu_time", run.GetAdjustedCPUTime());
+      out_->AddValue(name, {}, "iterations",
+                     static_cast<double>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  cdb::bench::BenchReporter* out_;
+};
+
+}  // namespace
+
+// BENCHMARK_MAIN expanded by hand: BenchReporter must strip --json before
+// benchmark::Initialize rejects it as an unknown flag.
+int main(int argc, char** argv) {
+  cdb::bench::BenchReporter reporter("micro_substrates", &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter capture(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&capture);
+  benchmark::Shutdown();
+  return reporter.Write() ? 0 : 1;
+}

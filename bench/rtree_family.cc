@@ -13,9 +13,10 @@
 #include "rtree/rtree_query.h"
 #include "storage/file.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cdb;
   using namespace cdb::bench;
+  BenchReporter reporter("rtree_family", &argc, argv);
   std::printf("=== R-tree family vs T2 (N=8000, k=3, sel 10-15%%) ===\n");
 
   for (ObjectSize size : {ObjectSize::kSmall, ObjectSize::kMedium}) {
@@ -74,12 +75,18 @@ int main() {
       auto qs = MakeQueries(*ds.relation, type, 6, 0.10, 0.15, &rng);
       const char* tname = type == SelectionType::kExist ? "EXIST" : "ALL";
 
+      bool exist = type == SelectionType::kExist;
+      BenchReporter::Params params = {
+          {"size", size == ObjectSize::kSmall ? 0.0 : 1.0},
+          {"exist", exist ? 1.0 : 0.0}};
       Measurement t2 = MeasureDual(&ds, qs, QueryMethod::kT2);
+      reporter.Add(exist ? "t2/exist" : "t2/all", params, t2);
       PrintTableRow({"T2 k=3", tname, Fmt(t2.index_fetches),
                      Fmt(t2.candidates), Fmt(t2.duplicates),
                      Fmt(static_cast<double>(ds.dual->live_page_count()), 0)});
 
       Measurement rp = MeasureRTree(&ds, qs);
+      reporter.Add(exist ? "rplus/exist" : "rplus/all", params, rp);
       PrintTableRow({"R+tree", tname, Fmt(rp.index_fetches),
                      Fmt(rp.candidates), Fmt(rp.duplicates),
                      Fmt(static_cast<double>(ds.rtree->live_page_count()), 0)});
@@ -99,8 +106,12 @@ int main() {
         gm.duplicates += static_cast<double>(stats.duplicates);
       }
       double nq = static_cast<double>(qs.size());
-      PrintTableRow({"R-tree", tname, Fmt(gm.index_fetches / nq),
-                     Fmt(gm.candidates / nq), Fmt(gm.duplicates / nq),
+      gm.index_fetches /= nq;
+      gm.candidates /= nq;
+      gm.duplicates /= nq;
+      reporter.Add(exist ? "guttman/exist" : "guttman/all", params, gm);
+      PrintTableRow({"R-tree", tname, Fmt(gm.index_fetches),
+                     Fmt(gm.candidates), Fmt(gm.duplicates),
                      Fmt(static_cast<double>(gtree->live_page_count()), 0)});
 
       Measurement qm;
@@ -116,8 +127,12 @@ int main() {
         qm.candidates += static_cast<double>(stats.candidates);
         qm.duplicates += static_cast<double>(stats.duplicates);
       }
-      PrintTableRow({"quadtree", tname, Fmt(qm.index_fetches / nq),
-                     Fmt(qm.candidates / nq), Fmt(qm.duplicates / nq),
+      qm.index_fetches /= nq;
+      qm.candidates /= nq;
+      qm.duplicates /= nq;
+      reporter.Add(exist ? "quadtree/exist" : "quadtree/all", params, qm);
+      PrintTableRow({"quadtree", tname, Fmt(qm.index_fetches),
+                     Fmt(qm.candidates), Fmt(qm.duplicates),
                      Fmt(static_cast<double>(qtree->live_page_count()), 0)});
     }
   }
@@ -128,5 +143,5 @@ int main() {
       "duplicates but wastes pages on sparse cells and keeps straddling\n"
       "objects high in the tree. T2 undercuts the whole family on page\n"
       "accesses at every configuration.\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -7,9 +7,10 @@
 
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cdb;
   using namespace cdb::bench;
+  BenchReporter reporter("t1_vs_t2", &argc, argv);
   std::printf("=== T1 vs T2 (N=4000, small objects, k=3, sel 10-15%%) ===\n");
 
   DatasetConfig config;
@@ -23,6 +24,10 @@ int main() {
     auto qs = MakeQueries(*ds.relation, type, 10, 0.10, 0.15, &rng);
     Measurement t1 = MeasureDual(&ds, qs, QueryMethod::kT1);
     Measurement t2 = MeasureDual(&ds, qs, QueryMethod::kT2);
+    bool exist = type == SelectionType::kExist;
+    BenchReporter::Params params = {{"exist", exist ? 1.0 : 0.0}};
+    reporter.Add(exist ? "t1/exist" : "t1/all", params, t1);
+    reporter.Add(exist ? "t2/exist" : "t2/all", params, t2);
 
     PrintTableHeader(
         std::string(type == SelectionType::kExist ? "EXIST" : "ALL") +
@@ -36,5 +41,5 @@ int main() {
   std::printf(
       "\nExpected shape: T2 shows zero duplicates (Section 4.2's design\n"
       "goal); T1 pays for its second app-query with duplicated results.\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

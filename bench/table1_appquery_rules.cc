@@ -13,8 +13,8 @@
 namespace cdb {
 namespace {
 
-void VerifyCase(const SlopeSet& s, double slope, const char* label,
-                Rng* rng) {
+void VerifyCase(const SlopeSet& s, double slope, const char* label, Rng* rng,
+                bench::BenchReporter* reporter) {
   int trials = 0, covered = 0;
   Cmp theta1 = Cmp::kGE, theta2 = Cmp::kGE;
   Cmp base = Cmp::kGE;
@@ -37,26 +37,29 @@ void VerifyCase(const SlopeSet& s, double slope, const char* label,
   std::printf("%-22s %-12s %-12s %6d/%d covered\n", label,
               theta1 == Cmp::kGE ? "theta" : "not-theta",
               theta2 == Cmp::kGE ? "theta" : "not-theta", covered, trials);
+  reporter->AddValue(label, {{"slope", slope}}, "covered", covered);
+  reporter->AddValue(label, {{"slope", slope}}, "trials", trials);
 }
 
 }  // namespace
 }  // namespace cdb
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cdb;
+  bench::BenchReporter reporter("table1_appquery_rules", &argc, argv);
   std::printf("=== Table 1: choice of half-plane app-query operators ===\n\n");
   std::printf("%-22s %-12s %-12s %s\n", "conditions", "theta1", "theta2",
               "coverage (sampled)");
 
   SlopeSet s({-1.0, 1.0});
   Rng rng(424242);
-  VerifyCase(s, 0.0, "a1 < a < a2", &rng);
-  VerifyCase(s, 4.0, "a1 < a, a2 < a", &rng);
-  VerifyCase(s, -4.0, "a < a1, a < a2", &rng);
+  VerifyCase(s, 0.0, "a1 < a < a2", &rng, &reporter);
+  VerifyCase(s, 4.0, "a1 < a, a2 < a", &rng, &reporter);
+  VerifyCase(s, -4.0, "a < a1, a < a2", &rng, &reporter);
 
   std::printf(
       "\nAll rows must show theta assignments matching the paper's Table 1\n"
       "and full coverage counts (union of app-queries covers the original\n"
       "half-plane), confirming Section 4.1's correctness argument.\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -6,11 +6,13 @@
 #include <cstdio>
 
 #include "harness.h"
+#include "obs/trace.h"
 #include "storage/file.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cdb;
   using namespace cdb::bench;
+  BenchReporter reporter("update_and_restricted", &argc, argv);
   std::printf("=== Update cost and restricted-query scaling ===\n");
 
   const std::vector<int> cardinalities = {500, 2000, 4000, 8000, 12000};
@@ -24,11 +26,13 @@ int main() {
     config.k = 3;
     config.build_rtree = false;
     Dataset ds = BuildDataset(config);
-    // Measure 50 further inserts on the built index.
+    // Measure 50 further inserts on the built index; the tracer attributes
+    // the dual-pager fetches of the whole batch (decision 11: logical).
     Rng rng(123);
     WorkloadOptions w;
-    IoStats before = ds.dual_pager->stats();
+    obs::Tracer tracer("update/insert-batch", ds.dual_pager.get(), nullptr);
     for (int i = 0; i < 50; ++i) {
+      CDB_TRACE_SPAN("insert");
       GeneralizedTuple t = RandomBoundedTuple(&rng, w);
       Result<TupleId> id = ds.relation->Insert(t);
       if (!id.ok() || !ds.dual->Insert(id.value(), t).ok()) {
@@ -36,10 +40,15 @@ int main() {
         return 1;
       }
     }
-    double per_insert =
-        static_cast<double>(ds.dual_pager->stats().Delta(before).page_fetches) /
-        50.0;
+    double per_insert = static_cast<double>(
+                            obs::FinishQueryTrace(&tracer, nullptr)
+                                .index_fetches) /
+                        50.0;
     double norm = per_insert / (3.0 * std::log2(static_cast<double>(n)));
+    reporter.AddValue("insert", {{"n", static_cast<double>(n)}},
+                      "pages_per_insert", per_insert);
+    reporter.AddValue("insert", {{"n", static_cast<double>(n)}},
+                      "pages_per_k_logn", norm);
     PrintTableRow({std::to_string(n), Fmt(per_insert), Fmt(norm, 2)});
   }
 
@@ -84,6 +93,12 @@ int main() {
       resid += static_cast<double>(stats.index_page_fetches) -
                static_cast<double>(stats.results) / 56.0;  // ~69% leaf fill.
     }
+    reporter.AddValue("restricted", {{"n", static_cast<double>(n)}},
+                      "index_fetches", fetches / kQ);
+    reporter.AddValue("restricted", {{"n", static_cast<double>(n)}},
+                      "results", results / kQ);
+    reporter.AddValue("restricted", {{"n", static_cast<double>(n)}},
+                      "residual_pages", resid / kQ);
     PrintTableRow({std::to_string(n), Fmt(fetches / kQ), Fmt(results / kQ),
                    Fmt(resid / kQ)});
   }
@@ -91,5 +106,5 @@ int main() {
       "\nExpected shape: pages/insert grows ~logarithmically with N (flat\n"
       "normalized column); restricted queries cost O(log_B N + T/B) — the\n"
       "residual column stays small and flat while results grow with N.\n");
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/rtree/CMakeFiles/cdb_rtree.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/cdb_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/btree/CMakeFiles/cdb_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/cdb_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/constraint/CMakeFiles/cdb_constraint.dir/DependInfo.cmake"
   "/root/repo/build/src/storage/CMakeFiles/cdb_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/geometry/CMakeFiles/cdb_geometry.dir/DependInfo.cmake"

@@ -253,13 +253,23 @@ bench/CMakeFiles/ddim_scaling.dir/ddim_scaling.cc.o: \
  /root/repo/src/constraint/relation_d.h \
  /root/repo/src/dualindex/dual_index.h \
  /root/repo/src/dualindex/app_query.h \
- /root/repo/src/dualindex/slope_set.h /root/repo/src/geometry/lpd.h \
- /root/repo/src/geometry/lp2d.h /root/repo/bench/harness.h \
- /root/repo/src/common/rng.h /usr/include/c++/12/random \
- /usr/include/c++/12/bits/random.h \
+ /root/repo/src/dualindex/slope_set.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/json.h \
+ /root/repo/src/geometry/lpd.h /root/repo/src/geometry/lp2d.h \
+ /root/repo/bench/harness.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/rtree/rplus_tree.h /root/repo/src/workload/generator.h \
  /root/repo/src/workload/query_gen.h

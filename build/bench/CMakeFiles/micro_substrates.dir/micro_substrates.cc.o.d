@@ -221,8 +221,8 @@ bench/CMakeFiles/micro_substrates.dir/micro_substrates.cc.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/common/io_stats.h /root/repo/src/storage/file.h \
- /root/repo/src/common/rng.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/bench/harness.h /root/repo/src/common/rng.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -249,11 +249,24 @@ bench/CMakeFiles/micro_substrates.dir/micro_substrates.cc.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/constraint/relation.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /root/repo/src/constraint/generalized_tuple.h \
  /root/repo/src/geometry/dual.h \
  /root/repo/src/geometry/linear_constraint.h \
  /root/repo/src/common/float_cmp.h /root/repo/src/geometry/vec.h \
- /root/repo/src/geometry/lpd.h /root/repo/src/geometry/lp2d.h \
  /root/repo/src/geometry/polyhedron2d.h /root/repo/src/geometry/rect.h \
- /root/repo/src/rtree/rplus_tree.h \
- /root/repo/src/constraint/generalized_tuple.h \
- /root/repo/src/workload/generator.h
+ /root/repo/src/dualindex/dual_index.h \
+ /root/repo/src/constraint/naive_eval.h \
+ /root/repo/src/dualindex/app_query.h \
+ /root/repo/src/dualindex/slope_set.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/json.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/rtree/rplus_tree.h /root/repo/src/workload/generator.h \
+ /root/repo/src/workload/query_gen.h /root/repo/src/geometry/lpd.h \
+ /root/repo/src/geometry/lp2d.h

@@ -197,7 +197,8 @@ bench/CMakeFiles/rtree_family.dir/rtree_family.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/rng.h \
+ /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/rng.h \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -239,8 +240,7 @@ bench/CMakeFiles/rtree_family.dir/rtree_family.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h /root/repo/src/common/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/optional /root/repo/src/common/status.h \
  /root/repo/src/constraint/generalized_tuple.h \
  /root/repo/src/geometry/dual.h \
  /root/repo/src/geometry/linear_constraint.h /usr/include/c++/12/cstddef \
@@ -255,7 +255,17 @@ bench/CMakeFiles/rtree_family.dir/rtree_family.cc.o: \
  /root/repo/src/storage/file.h /root/repo/src/dualindex/dual_index.h \
  /root/repo/src/btree/bplus_tree.h /root/repo/src/constraint/naive_eval.h \
  /root/repo/src/dualindex/app_query.h \
- /root/repo/src/dualindex/slope_set.h /root/repo/src/rtree/rplus_tree.h \
- /root/repo/src/workload/generator.h /root/repo/src/workload/query_gen.h \
- /root/repo/src/rtree/guttman_rtree.h /root/repo/src/rtree/quadtree.h \
- /root/repo/src/rtree/rtree_query.h
+ /root/repo/src/dualindex/slope_set.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/json.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/rtree/rplus_tree.h /root/repo/src/workload/generator.h \
+ /root/repo/src/workload/query_gen.h /root/repo/src/rtree/guttman_rtree.h \
+ /root/repo/src/rtree/quadtree.h /root/repo/src/rtree/rtree_query.h

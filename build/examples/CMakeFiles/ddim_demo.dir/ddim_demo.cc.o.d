@@ -259,5 +259,11 @@ examples/CMakeFiles/ddim_demo.dir/ddim_demo.cc.o: \
  /root/repo/src/constraint/relation_d.h \
  /root/repo/src/dualindex/dual_index.h \
  /root/repo/src/dualindex/app_query.h \
- /root/repo/src/dualindex/slope_set.h /root/repo/src/geometry/lpd.h \
- /root/repo/src/geometry/lp2d.h /root/repo/src/workload/generator.h
+ /root/repo/src/dualindex/slope_set.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/json.h \
+ /root/repo/src/geometry/lpd.h /root/repo/src/geometry/lp2d.h \
+ /root/repo/src/workload/generator.h

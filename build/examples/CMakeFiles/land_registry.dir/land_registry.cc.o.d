@@ -257,6 +257,12 @@ examples/CMakeFiles/land_registry.dir/land_registry.cc.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/geometry/vec.h /root/repo/src/geometry/polyhedron2d.h \
  /root/repo/src/geometry/rect.h /root/repo/src/dualindex/app_query.h \
- /root/repo/src/dualindex/slope_set.h /root/repo/src/rtree/rtree_query.h \
- /root/repo/src/rtree/guttman_rtree.h /root/repo/src/rtree/rplus_tree.h \
- /root/repo/src/rtree/quadtree.h /root/repo/src/workload/generator.h
+ /root/repo/src/dualindex/slope_set.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/json.h \
+ /root/repo/src/rtree/rtree_query.h /root/repo/src/rtree/guttman_rtree.h \
+ /root/repo/src/rtree/rplus_tree.h /root/repo/src/rtree/quadtree.h \
+ /root/repo/src/workload/generator.h

@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("common")
 subdirs("storage")
+subdirs("obs")
 subdirs("geometry")
 subdirs("constraint")
 subdirs("btree")

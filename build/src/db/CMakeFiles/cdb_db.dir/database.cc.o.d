@@ -249,6 +249,11 @@ src/db/CMakeFiles/cdb_db.dir/database.cc.o: /root/repo/src/db/database.cc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/geometry/vec.h \
  /root/repo/src/geometry/polyhedron2d.h /root/repo/src/geometry/rect.h \
  /root/repo/src/dualindex/app_query.h \
- /root/repo/src/dualindex/slope_set.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/dualindex/slope_set.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/json.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/constraint/parser.h

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdb_obs.dir/json.cc.o"
+  "CMakeFiles/cdb_obs.dir/json.cc.o.d"
+  "CMakeFiles/cdb_obs.dir/metrics.cc.o"
+  "CMakeFiles/cdb_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/cdb_obs.dir/trace.cc.o"
+  "CMakeFiles/cdb_obs.dir/trace.cc.o.d"
+  "libcdb_obs.a"
+  "libcdb_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdb_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdb_obs.a"
+)

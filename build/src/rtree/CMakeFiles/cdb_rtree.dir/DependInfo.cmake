@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/geometry/CMakeFiles/cdb_geometry.dir/DependInfo.cmake"
   "/root/repo/build/src/constraint/CMakeFiles/cdb_constraint.dir/DependInfo.cmake"
   "/root/repo/build/src/dualindex/CMakeFiles/cdb_dualindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/cdb_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/btree/CMakeFiles/cdb_btree.dir/DependInfo.cmake"
   )
 

@@ -252,6 +252,15 @@ src/rtree/CMakeFiles/cdb_rtree.dir/rtree_query.cc.o: \
  /root/repo/src/common/io_stats.h /root/repo/src/storage/file.h \
  /root/repo/src/dualindex/dual_index.h /root/repo/src/btree/bplus_tree.h \
  /root/repo/src/dualindex/app_query.h \
- /root/repo/src/dualindex/slope_set.h \
+ /root/repo/src/dualindex/slope_set.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/json.h \
  /root/repo/src/rtree/guttman_rtree.h /root/repo/src/rtree/rplus_tree.h \
- /root/repo/src/rtree/quadtree.h
+ /root/repo/src/rtree/quadtree.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h

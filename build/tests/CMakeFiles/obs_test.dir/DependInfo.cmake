@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/obs/CMakeFiles/cdb_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dualindex/CMakeFiles/cdb_dualindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/cdb_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/cdb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/cdb_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -338,6 +338,8 @@ tests/CMakeFiles/rplus_tree_test.dir/rplus_tree_test.cc.o: \
  /root/repo/src/constraint/relation.h \
  /root/repo/src/dualindex/dual_index.h /root/repo/src/btree/bplus_tree.h \
  /root/repo/src/dualindex/app_query.h \
- /root/repo/src/dualindex/slope_set.h \
+ /root/repo/src/dualindex/slope_set.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/obs/json.h \
  /root/repo/src/rtree/guttman_rtree.h /root/repo/src/rtree/quadtree.h \
  /root/repo/src/workload/generator.h

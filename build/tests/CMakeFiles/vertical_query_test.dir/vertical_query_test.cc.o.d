@@ -336,4 +336,7 @@ tests/CMakeFiles/vertical_query_test.dir/vertical_query_test.cc.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/geometry/vec.h /root/repo/src/geometry/polyhedron2d.h \
  /root/repo/src/geometry/rect.h /root/repo/src/dualindex/app_query.h \
- /root/repo/src/dualindex/slope_set.h /root/repo/src/workload/generator.h
+ /root/repo/src/dualindex/slope_set.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/obs/json.h \
+ /root/repo/src/workload/generator.h

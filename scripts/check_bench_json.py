@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Validator for cdb bench artifacts (BENCH_*.json, schema cdb-bench/v1).
+
+Usage:
+    check_bench_json.py FILE [FILE ...]   validate artifacts, exit non-zero
+                                          on the first structural violation
+    check_bench_json.py --self-test       run the embedded good/bad corpus
+
+The schema (see bench/harness.h):
+
+    {"schema": "cdb-bench/v1",
+     "bench": "<name>",
+     "measurements": [{"label": "<str>",
+                       "params": {"<k>": <number>, ...},
+                       "values": {"<k>": <number>, ...}}, ...],
+     "metrics": {"counters": {"<name>": <int>, ...},
+                 "gauges": {"<name>": <number>, ...},
+                 "histograms": {"<name>": {"bounds": [...], "counts": [...],
+                                           "count": <int>, "sum": <number>},
+                                ...}}}
+
+Stdlib only; runs under the ctest entry `check_bench_json_selftest`.
+"""
+
+import json
+import numbers
+import sys
+
+SCHEMA = "cdb-bench/v1"
+
+
+def _is_number(v):
+    return isinstance(v, numbers.Real) and not isinstance(v, bool)
+
+
+def _check_number_map(obj, where, errors):
+    if not isinstance(obj, dict):
+        errors.append(f"{where}: expected an object")
+        return
+    for key, value in obj.items():
+        if not _is_number(value):
+            errors.append(f"{where}.{key}: expected a number, got {value!r}")
+
+
+def _check_measurement(i, m, errors):
+    where = f"measurements[{i}]"
+    if not isinstance(m, dict):
+        errors.append(f"{where}: expected an object")
+        return
+    label = m.get("label")
+    if not isinstance(label, str) or not label:
+        errors.append(f"{where}.label: expected a non-empty string")
+    _check_number_map(m.get("params"), f"{where}.params", errors)
+    values = m.get("values")
+    _check_number_map(values, f"{where}.values", errors)
+    if isinstance(values, dict) and not values:
+        errors.append(f"{where}.values: empty (a measurement must measure)")
+
+
+def _check_histogram(name, h, errors):
+    where = f"metrics.histograms.{name}"
+    if not isinstance(h, dict):
+        errors.append(f"{where}: expected an object")
+        return
+    bounds = h.get("bounds")
+    counts = h.get("counts")
+    if not isinstance(bounds, list) or not all(_is_number(b) for b in bounds):
+        errors.append(f"{where}.bounds: expected an array of numbers")
+        return
+    if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+        errors.append(f"{where}.bounds: not strictly increasing")
+    if not isinstance(counts, list) or not all(_is_number(c) for c in counts):
+        errors.append(f"{where}.counts: expected an array of numbers")
+        return
+    # One overflow bucket beyond the explicit bounds.
+    if len(counts) != len(bounds) + 1:
+        errors.append(
+            f"{where}: {len(counts)} counts for {len(bounds)} bounds "
+            f"(want bounds+1)")
+    if not _is_number(h.get("count")):
+        errors.append(f"{where}.count: expected a number")
+    elif isinstance(counts, list) and sum(counts) != h["count"]:
+        errors.append(f"{where}: bucket counts sum to {sum(counts)}, "
+                      f"count says {h['count']}")
+    if not _is_number(h.get("sum")):
+        errors.append(f"{where}.sum: expected a number")
+
+
+def validate(doc):
+    """Returns a list of violation strings (empty = valid)."""
+    errors = []
+    if not isinstance(doc, dict):
+        return ["document: expected a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema: expected {SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        errors.append("bench: expected a non-empty string")
+    measurements = doc.get("measurements")
+    if not isinstance(measurements, list):
+        errors.append("measurements: expected an array")
+    else:
+        if not measurements:
+            errors.append("measurements: empty (artifact carries no data)")
+        for i, m in enumerate(measurements):
+            _check_measurement(i, m, errors)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("metrics: expected an object")
+    else:
+        _check_number_map(metrics.get("counters"), "metrics.counters", errors)
+        _check_number_map(metrics.get("gauges"), "metrics.gauges", errors)
+        hists = metrics.get("histograms")
+        if not isinstance(hists, dict):
+            errors.append("metrics.histograms: expected an object")
+        else:
+            for name, h in hists.items():
+                _check_histogram(name, h, errors)
+    return errors
+
+
+def validate_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    return [f"{path}: {err}" for err in validate(doc)]
+
+
+_GOOD = {
+    "schema": SCHEMA,
+    "bench": "fig8_small_objects",
+    "measurements": [
+        {"label": "t2/exist", "params": {"n": 2000, "k": 3},
+         "values": {"index_fetches": 12.5, "results": 200}},
+    ],
+    "metrics": {
+        "counters": {"dual.refine.lp_calls": 4181},
+        "gauges": {"relation.resident_frames": 64},
+        "histograms": {
+            "lat": {"bounds": [1.0, 10.0], "counts": [3, 2, 1],
+                    "count": 6, "sum": 27.5},
+        },
+    },
+}
+
+
+def self_test():
+    import copy
+
+    failures = []
+
+    def expect(doc, should_pass, what):
+        errs = validate(doc)
+        if bool(not errs) != should_pass:
+            failures.append(f"{what}: {'unexpected errors ' + repr(errs) if errs else 'expected errors, got none'}")
+
+    expect(_GOOD, True, "good artifact")
+
+    def broken(mutate, what):
+        doc = copy.deepcopy(_GOOD)
+        mutate(doc)
+        expect(doc, False, what)
+
+    broken(lambda d: d.update(schema="cdb-bench/v0"), "wrong schema version")
+    broken(lambda d: d.pop("bench"), "missing bench name")
+    broken(lambda d: d.update(measurements=[]), "empty measurements")
+    broken(lambda d: d["measurements"][0].pop("label"), "measurement sans label")
+    broken(lambda d: d["measurements"][0]["params"].update(n="2000"),
+           "string where a number belongs")
+    broken(lambda d: d["measurements"][0].update(values={}), "empty values")
+    broken(lambda d: d["metrics"]["histograms"]["lat"].update(counts=[1, 2]),
+           "counts/bounds arity mismatch")
+    broken(lambda d: d["metrics"]["histograms"]["lat"].update(count=99),
+           "count disagrees with bucket sum")
+    broken(lambda d: d["metrics"]["histograms"]["lat"].update(
+        bounds=[10.0, 1.0]), "unsorted bounds")
+    broken(lambda d: d.pop("metrics"), "missing metrics")
+
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
+        return 1
+    print("self-test OK (1 good + 10 broken artifacts)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if argv[1] == "--self-test":
+        return self_test()
+    bad = 0
+    for path in argv[1:]:
+        errors = validate_file(path)
+        if errors:
+            bad += 1
+            for err in errors:
+                print(err, file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

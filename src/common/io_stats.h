@@ -13,12 +13,20 @@ namespace cdb {
 
 /// Counters for page-level I/O. "Fetches" counts every logical page access
 /// through the buffer pool; "reads"/"writes" count the subset that reached
-/// the backing file (buffer-pool misses and evictions).
+/// the backing file (buffer-pool misses and evictions). Every fetch is
+/// either a buffer hit or a physical read, so
+///   page_fetches == buffer_hits + page_reads
+/// holds at all times (warm or cold cache); storage_test asserts it.
 struct IoStats {
   uint64_t page_fetches = 0;
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
   uint64_t pages_allocated = 0;
+  uint64_t buffer_hits = 0;        // Fetches served from a resident frame.
+  uint64_t buffer_evictions = 0;   // Frames dropped under capacity pressure.
+  uint64_t dirty_writebacks = 0;   // Subset of page_writes forced by
+                                   // *eviction* of a dirty frame (the rest
+                                   // come from explicit Flush()).
 
   void Reset() { *this = IoStats(); }
 
@@ -28,6 +36,9 @@ struct IoStats {
     d.page_reads = page_reads - earlier.page_reads;
     d.page_writes = page_writes - earlier.page_writes;
     d.pages_allocated = pages_allocated - earlier.pages_allocated;
+    d.buffer_hits = buffer_hits - earlier.buffer_hits;
+    d.buffer_evictions = buffer_evictions - earlier.buffer_evictions;
+    d.dirty_writebacks = dirty_writebacks - earlier.dirty_writebacks;
     return d;
   }
 };

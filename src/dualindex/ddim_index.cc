@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "geometry/polyhedron2d.h"
+#include "obs/metrics.h"
 
 namespace cdb {
 
@@ -289,12 +290,19 @@ Status DDimDualIndex::RunExact(size_t slope_idx, SelectionType type, Cmp cmp,
 
 Status DDimDualIndex::Refine(SelectionType type, const HalfPlaneQueryD& q,
                              std::vector<TupleId>* ids, QueryStats* st) {
-  IoStats tuple_before = relation_->pager()->stats();
+  CDB_TRACE_SPAN("refine");
+  static obs::Counter* const lp_calls =
+      obs::GlobalMetrics().counter("ddim.refine.lp_calls");
   std::vector<TupleId> kept;
   kept.reserve(ids->size());
   for (TupleId id : *ids) {
     GeneralizedTupleD tuple;
-    CDB_RETURN_IF_ERROR(relation_->Get(id, &tuple));
+    {
+      CDB_TRACE_SPAN("fetch-tuple");
+      CDB_RETURN_IF_ERROR(relation_->Get(id, &tuple));
+    }
+    CDB_TRACE_SPAN("lp");
+    lp_calls->Increment();
     bool hit = type == SelectionType::kAll
                    ? ExactAllD(tuple.constraints(), q)
                    : ExactExistD(tuple.constraints(), q);
@@ -304,8 +312,6 @@ Status DDimDualIndex::Refine(SelectionType type, const HalfPlaneQueryD& q,
       ++st->false_hits;
     }
   }
-  st->tuple_page_fetches =
-      relation_->pager()->stats().Delta(tuple_before).page_reads;
   *ids = std::move(kept);
   return Status::OK();
 }
@@ -330,16 +336,20 @@ Result<std::vector<TupleId>> DDimDualIndex::SelectT1(SelectionType type,
     }
   }
   std::vector<TupleId> ids;
-  for (size_t j : simplex) {
-    SelectionType app_type =
-        (type == SelectionType::kAll && j == all_idx) ? SelectionType::kAll
-                                                      : SelectionType::kExist;
-    CDB_RETURN_IF_ERROR(RunExact(j, app_type, q.cmp, q.intercept, &ids, st));
+  {
+    CDB_TRACE_SPAN("filter");
+    for (size_t j : simplex) {
+      SelectionType app_type =
+          (type == SelectionType::kAll && j == all_idx)
+              ? SelectionType::kAll
+              : SelectionType::kExist;
+      CDB_RETURN_IF_ERROR(RunExact(j, app_type, q.cmp, q.intercept, &ids, st));
+    }
+    std::sort(ids.begin(), ids.end());
+    size_t before_dedup = ids.size();
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    st->duplicates += before_dedup - ids.size();
   }
-  std::sort(ids.begin(), ids.end());
-  size_t before_dedup = ids.size();
-  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-  st->duplicates += before_dedup - ids.size();
   CDB_RETURN_IF_ERROR(Refine(type, q, &ids, st));
   return ids;
 }
@@ -401,15 +411,22 @@ Result<std::vector<TupleId>> DDimDualIndex::SelectT2(SelectionType type,
   }
 
   std::vector<TupleId> ids;
-  double bound = 0.0;
-  CDB_RETURN_IF_ERROR(
-      SweepTree(tree, q.intercept, sweep_up, slot, &ids, &bound, st));
-  if (sweep_up ? bound < q.intercept : bound > q.intercept) {
-    CDB_RETURN_IF_ERROR(SweepSecondTree(tree, q.intercept,
-                                        /*downward=*/sweep_up, bound, &ids,
-                                        st));
+  {
+    CDB_TRACE_SPAN("filter");
+    double bound = 0.0;
+    {
+      CDB_TRACE_SPAN("sweep/first");
+      CDB_RETURN_IF_ERROR(
+          SweepTree(tree, q.intercept, sweep_up, slot, &ids, &bound, st));
+    }
+    if (sweep_up ? bound < q.intercept : bound > q.intercept) {
+      CDB_TRACE_SPAN("sweep/second");
+      CDB_RETURN_IF_ERROR(SweepSecondTree(tree, q.intercept,
+                                          /*downward=*/sweep_up, bound, &ids,
+                                          st));
+    }
+    std::sort(ids.begin(), ids.end());
   }
-  std::sort(ids.begin(), ids.end());
   CDB_RETURN_IF_ERROR(Refine(type, q, &ids, st));
   return ids;
 }
@@ -417,18 +434,20 @@ Result<std::vector<TupleId>> DDimDualIndex::SelectT2(SelectionType type,
 Result<std::vector<TupleId>> DDimDualIndex::Select(SelectionType type,
                                                    const HalfPlaneQueryD& q,
                                                    Method method,
-                                                   QueryStats* stats) {
+                                                   QueryStats* stats,
+                                                   obs::ExplainProfile* profile) {
   if (q.dim() != relation_->dim()) {
     return Status::InvalidArgument("query dimension mismatch");
   }
   QueryStats local;
   QueryStats* st = stats != nullptr ? stats : &local;
   *st = QueryStats();
-  IoStats before = pager_->stats();
+  obs::Tracer tracer("ddim/select", pager_, relation_->pager());
 
   Result<std::vector<TupleId>> result = [&]() -> Result<std::vector<TupleId>> {
     size_t exact = FindExact(q.slope);
     if (exact != kNpos) {
+      CDB_TRACE_SPAN("sweep/exact");
       std::vector<TupleId> ids;
       Status s = RunExact(exact, type, q.cmp, q.intercept, &ids, st);
       if (!s.ok()) return s;
@@ -446,7 +465,9 @@ Result<std::vector<TupleId>> DDimDualIndex::Select(SelectionType type,
     return Status::InvalidArgument("unknown method");
   }();
 
-  st->index_page_fetches = pager_->stats().Delta(before).page_fetches;
+  obs::PhaseCost totals = obs::FinishQueryTrace(&tracer, profile);
+  st->index_page_fetches = totals.index_fetches;  // Logical (decision 11).
+  st->tuple_page_fetches = totals.tuple_reads;    // Physical (decision 11).
   if (result.ok()) st->results = result.value().size();
   return result;
 }

@@ -36,6 +36,7 @@
 #include "constraint/relation_d.h"
 #include "dualindex/dual_index.h"  // QueryStats
 #include "geometry/lpd.h"
+#include "obs/trace.h"
 
 namespace cdb {
 
@@ -64,11 +65,13 @@ class DDimDualIndex {
 
   /// Executes a d-dimensional ALL/EXIST half-plane selection. T1 requires
   /// the query slope point to lie in the convex hull of S (NotSupported
-  /// otherwise).
+  /// otherwise). When `profile` is non-null it receives the per-phase span
+  /// breakdown.
   Result<std::vector<TupleId>> Select(SelectionType type,
                                       const HalfPlaneQueryD& q,
                                       Method method = Method::kT1,
-                                      QueryStats* stats = nullptr);
+                                      QueryStats* stats = nullptr,
+                                      obs::ExplainProfile* profile = nullptr);
 
   /// Back-compat convenience used by earlier revisions/tests.
   Result<std::vector<TupleId>> Select(SelectionType type,

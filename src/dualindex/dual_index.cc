@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "geometry/dual.h"
+#include "obs/metrics.h"
 
 namespace cdb {
 
@@ -316,6 +317,7 @@ Status DualIndex::SweepSecond(BPlusTree* tree, double from, bool downward,
 
 Status DualIndex::RunExact(const AppQuery& aq, std::vector<TupleId>* out,
                            QueryStats* stats) {
+  CDB_TRACE_SPAN("sweep/exact");
   // Section 3 mapping: B^up serves EXIST(q(>=)) and ALL(q(<=)); B^down
   // serves ALL(q(>=)) and EXIST(q(<=)). Sweep direction follows θ.
   BPlusTree* tree;
@@ -344,13 +346,16 @@ Result<std::vector<TupleId>> DualIndex::SelectT1(SelectionType type,
     std::sort(ids.begin(), ids.end());
     return ids;
   }
-  for (const AppQuery& aq : plan.queries) {
-    CDB_RETURN_IF_ERROR(RunExact(aq, &ids, stats));
+  {
+    CDB_TRACE_SPAN("filter");
+    for (const AppQuery& aq : plan.queries) {
+      CDB_RETURN_IF_ERROR(RunExact(aq, &ids, stats));
+    }
+    std::sort(ids.begin(), ids.end());
+    size_t before = ids.size();
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    if (stats != nullptr) stats->duplicates += before - ids.size();
   }
-  std::sort(ids.begin(), ids.end());
-  size_t before = ids.size();
-  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-  if (stats != nullptr) stats->duplicates += before - ids.size();
   CDB_RETURN_IF_ERROR(Refine(type, q, &ids, stats));
   return ids;
 }
@@ -411,13 +416,20 @@ Result<std::vector<TupleId>> DualIndex::SelectT2(SelectionType type,
 
   std::vector<TupleId> ids;
   double bound = 0.0;
-  CDB_RETURN_IF_ERROR(
-      SweepCollect(tree, b, sweep_up, slot, &ids, &bound, stats));
-  if (sweep_up ? bound < b : bound > b) {
-    CDB_RETURN_IF_ERROR(
-        SweepSecond(tree, b, /*downward=*/sweep_up, bound, &ids, stats));
+  {
+    CDB_TRACE_SPAN("filter");
+    {
+      CDB_TRACE_SPAN("sweep/first");
+      CDB_RETURN_IF_ERROR(
+          SweepCollect(tree, b, sweep_up, slot, &ids, &bound, stats));
+    }
+    if (sweep_up ? bound < b : bound > b) {
+      CDB_TRACE_SPAN("sweep/second");
+      CDB_RETURN_IF_ERROR(
+          SweepSecond(tree, b, /*downward=*/sweep_up, bound, &ids, stats));
+    }
+    std::sort(ids.begin(), ids.end());
   }
-  std::sort(ids.begin(), ids.end());
   CDB_RETURN_IF_ERROR(Refine(type, q, &ids, stats));
   return ids;
 }
@@ -427,13 +439,24 @@ Result<std::vector<TupleId>> DualIndex::SelectT2(SelectionType type,
 Status DualIndex::Refine(SelectionType type, const HalfPlaneQuery& q,
                          std::vector<TupleId>* ids, QueryStats* stats) {
   if (!options_.refine) return Status::OK();
+  CDB_TRACE_SPAN("refine");
+  static obs::Counter* const lp_calls =
+      obs::GlobalMetrics().counter("dual.refine.lp_calls");
   std::vector<TupleId> kept;
   kept.reserve(ids->size());
   for (TupleId id : *ids) {
     GeneralizedTuple tuple;
-    CDB_RETURN_IF_ERROR(relation_->Get(id, &tuple));
-    bool hit = type == SelectionType::kAll ? ExactAll(tuple.constraints(), q)
-                                           : ExactExist(tuple.constraints(), q);
+    {
+      CDB_TRACE_SPAN("fetch-tuple");
+      CDB_RETURN_IF_ERROR(relation_->Get(id, &tuple));
+    }
+    bool hit;
+    {
+      CDB_TRACE_SPAN("lp");
+      lp_calls->Increment();
+      hit = type == SelectionType::kAll ? ExactAll(tuple.constraints(), q)
+                                        : ExactExist(tuple.constraints(), q);
+    }
     if (hit) {
       kept.push_back(id);
     } else if (stats != nullptr) {
@@ -535,7 +558,8 @@ std::string DualIndex::Explain(SelectionType type, const HalfPlaneQuery& q,
 Result<std::vector<TupleId>> DualIndex::Select(SelectionType type,
                                                const HalfPlaneQuery& q,
                                                QueryMethod method,
-                                               QueryStats* stats) {
+                                               QueryStats* stats,
+                                               obs::ExplainProfile* profile) {
   if (std::isnan(q.slope) || std::isnan(q.intercept) ||
       std::isinf(q.slope)) {
     return Status::InvalidArgument("query slope/intercept must be finite");
@@ -543,8 +567,11 @@ Result<std::vector<TupleId>> DualIndex::Select(SelectionType type,
   QueryStats local;
   QueryStats* st = stats != nullptr ? stats : &local;
   *st = QueryStats();
-  IoStats index_before = pager_->stats();
-  IoStats tuple_before = relation_->pager()->stats();
+  // All index/tuple page accesses from here on are attributed to the span
+  // tree; QueryStats totals are read back from the tracer so there is a
+  // single accounting mechanism (no manual snapshot diffs, no double
+  // counting).
+  obs::Tracer tracer("dual/select", pager_, relation_->pager());
 
   Result<std::vector<TupleId>> result = [&]() -> Result<std::vector<TupleId>> {
     switch (method) {
@@ -569,17 +596,16 @@ Result<std::vector<TupleId>> DualIndex::Select(SelectionType type,
     return Status::InvalidArgument("unknown query method");
   }();
 
-  st->index_page_fetches =
-      pager_->stats().Delta(index_before).page_fetches;
-  st->tuple_page_fetches =
-      relation_->pager()->stats().Delta(tuple_before).page_reads;
+  obs::PhaseCost totals = obs::FinishQueryTrace(&tracer, profile);
+  st->index_page_fetches = totals.index_fetches;  // Logical (decision 11).
+  st->tuple_page_fetches = totals.tuple_reads;    // Physical (decision 11).
   if (result.ok()) st->results = result.value().size();
   return result;
 }
 
-Result<std::vector<TupleId>> DualIndex::SelectVertical(SelectionType type,
-                                                       const VerticalQuery& q,
-                                                       QueryStats* stats) {
+Result<std::vector<TupleId>> DualIndex::SelectVertical(
+    SelectionType type, const VerticalQuery& q, QueryStats* stats,
+    obs::ExplainProfile* profile) {
   if (xmax_ == nullptr) {
     return Status::NotSupported(
         "vertical queries require DualIndexOptions::support_vertical");
@@ -590,7 +616,7 @@ Result<std::vector<TupleId>> DualIndex::SelectVertical(SelectionType type,
   QueryStats local;
   QueryStats* st = stats != nullptr ? stats : &local;
   *st = QueryStats();
-  IoStats before = pager_->stats();
+  obs::Tracer tracer("dual/select-vertical", pager_, relation_->pager());
 
   // Exact mapping on the x-extent support trees:
   //   EXIST(x >= c): max_x >= c  -> sweep xmax upward.
@@ -604,19 +630,22 @@ Result<std::vector<TupleId>> DualIndex::SelectVertical(SelectionType type,
     tree = q.cmp == Cmp::kGE ? xmin_.get() : xmax_.get();
   }
   std::vector<TupleId> ids;
-  CDB_RETURN_IF_ERROR(SweepCollect(tree, q.boundary,
-                                   /*upward=*/q.cmp == Cmp::kGE, /*slot=*/-1,
-                                   &ids, nullptr, st));
+  {
+    CDB_TRACE_SPAN("sweep/support");
+    CDB_RETURN_IF_ERROR(SweepCollect(tree, q.boundary,
+                                     /*upward=*/q.cmp == Cmp::kGE, /*slot=*/-1,
+                                     &ids, nullptr, st));
+  }
   std::sort(ids.begin(), ids.end());
-  st->index_page_fetches = pager_->stats().Delta(before).page_fetches;
+  st->index_page_fetches =
+      obs::FinishQueryTrace(&tracer, profile).index_fetches;
   st->results = ids.size();
   return ids;
 }
 
-Result<std::vector<TupleId>> DualIndex::SelectSlab(SelectionType type,
-                                                   double slope, double b_lo,
-                                                   double b_hi,
-                                                   QueryStats* stats) {
+Result<std::vector<TupleId>> DualIndex::SelectSlab(
+    SelectionType type, double slope, double b_lo, double b_hi,
+    QueryStats* stats, obs::ExplainProfile* profile) {
   if (!(b_lo <= b_hi)) {
     return Status::InvalidArgument("slab requires b_lo <= b_hi");
   }
@@ -627,36 +656,33 @@ Result<std::vector<TupleId>> DualIndex::SelectSlab(SelectionType type,
   QueryStats local;
   QueryStats* st = stats != nullptr ? stats : &local;
   *st = QueryStats();
-  IoStats before = pager_->stats();
+  obs::Tracer tracer("dual/select-slab", pager_, relation_->pager());
 
   const size_t i = loc.index;
   std::vector<TupleId> a, b;
-  if (type == SelectionType::kAll) {
-    // BOT >= b_lo (upward sweep of B^down) ∩ TOP <= b_hi (downward B^up).
-    CDB_RETURN_IF_ERROR(SweepCollect(down_[i].get(), b_lo, /*upward=*/true,
-                                     -1, &a, nullptr, st));
-    CDB_RETURN_IF_ERROR(SweepCollect(up_[i].get(), b_hi, /*upward=*/false,
-                                     -1, &b, nullptr, st));
-    std::sort(a.begin(), a.end());
-    std::sort(b.begin(), b.end());
-    std::vector<TupleId> out;
-    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                          std::back_inserter(out));
-    st->index_page_fetches = pager_->stats().Delta(before).page_fetches;
-    st->results = out.size();
-    return out;
+  // ALL: BOT >= b_lo (upward sweep of B^down) ∩ TOP <= b_hi (downward
+  // B^up). EXIST: TOP >= b_lo ∩ BOT <= b_hi.
+  BPlusTree* lo_tree =
+      type == SelectionType::kAll ? down_[i].get() : up_[i].get();
+  BPlusTree* hi_tree =
+      type == SelectionType::kAll ? up_[i].get() : down_[i].get();
+  {
+    CDB_TRACE_SPAN("sweep/lo-bound");
+    CDB_RETURN_IF_ERROR(
+        SweepCollect(lo_tree, b_lo, /*upward=*/true, -1, &a, nullptr, st));
   }
-  // EXIST: TOP >= b_lo ∩ BOT <= b_hi.
-  CDB_RETURN_IF_ERROR(
-      SweepCollect(up_[i].get(), b_lo, /*upward=*/true, -1, &a, nullptr, st));
-  CDB_RETURN_IF_ERROR(SweepCollect(down_[i].get(), b_hi, /*upward=*/false,
-                                   -1, &b, nullptr, st));
+  {
+    CDB_TRACE_SPAN("sweep/hi-bound");
+    CDB_RETURN_IF_ERROR(
+        SweepCollect(hi_tree, b_hi, /*upward=*/false, -1, &b, nullptr, st));
+  }
   std::sort(a.begin(), a.end());
   std::sort(b.begin(), b.end());
   std::vector<TupleId> out;
   std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
                         std::back_inserter(out));
-  st->index_page_fetches = pager_->stats().Delta(before).page_fetches;
+  st->index_page_fetches =
+      obs::FinishQueryTrace(&tracer, profile).index_fetches;
   st->results = out.size();
   return out;
 }

@@ -27,6 +27,7 @@
 #include "constraint/relation.h"
 #include "dualindex/app_query.h"
 #include "dualindex/slope_set.h"
+#include "obs/trace.h"
 
 namespace cdb {
 
@@ -116,16 +117,20 @@ class DualIndex {
   Status Remove(TupleId id, const GeneralizedTuple& tuple);
 
   /// Executes ALL(q, r) or EXIST(q, r). Results are sorted by tuple id.
+  /// `profile` (optional) receives the span-attributed phase tree of the
+  /// execution ("EXPLAIN ANALYZE"); its phase sums equal the pager totals
+  /// exactly (obs/trace.h).
   Result<std::vector<TupleId>> Select(SelectionType type,
                                       const HalfPlaneQuery& q,
                                       QueryMethod method,
-                                      QueryStats* stats = nullptr);
+                                      QueryStats* stats = nullptr,
+                                      obs::ExplainProfile* profile = nullptr);
 
   /// Exact vertical selection (x θ c). Requires
   /// DualIndexOptions::support_vertical; one sweep, no refinement.
-  Result<std::vector<TupleId>> SelectVertical(SelectionType type,
-                                              const VerticalQuery& q,
-                                              QueryStats* stats = nullptr);
+  Result<std::vector<TupleId>> SelectVertical(
+      SelectionType type, const VerticalQuery& q, QueryStats* stats = nullptr,
+      obs::ExplainProfile* profile = nullptr);
 
   /// Slab selection: the region between two parallel lines,
   ///   b_lo <= y - slope*x <= b_hi.
@@ -134,9 +139,9 @@ class DualIndex {
   /// Exact, via set algebra over B^up/B^down sweeps — the "interval
   /// management" view of the paper's footnote 6 (each tuple is the interval
   /// [BOT, TOP] at the query slope). Requires slope in S.
-  Result<std::vector<TupleId>> SelectSlab(SelectionType type, double slope,
-                                          double b_lo, double b_hi,
-                                          QueryStats* stats = nullptr);
+  Result<std::vector<TupleId>> SelectSlab(
+      SelectionType type, double slope, double b_lo, double b_hi,
+      QueryStats* stats = nullptr, obs::ExplainProfile* profile = nullptr);
 
   /// Recomputes every handicap value exactly from the relation contents.
   Status RebuildHandicaps();

@@ -1,0 +1,86 @@
+// Minimal JSON support for the observability layer: a streaming writer for
+// metrics snapshots / bench artifacts, and a strict recursive-descent parser
+// used to self-check every artifact before it is written to disk (and by
+// tests for round-trip validation). No exceptions; parsing failures surface
+// as Status like every other fallible path.
+
+#ifndef CDB_OBS_JSON_H_
+#define CDB_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cdb {
+namespace obs {
+
+/// Appends JSON tokens to an internal buffer. The caller is responsible for
+/// well-formed nesting (Begin/End pairs, Key before values inside objects);
+/// the companion parser is used as a structural self-check where it matters.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object member key; must be followed by a value or Begin*.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(double v);  // Non-finite values are written as null.
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(bool v);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void Separate();
+
+  std::string out_;
+  // One entry per open container: true until the first element is written.
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+/// A parsed JSON document. Object member order is preserved.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string string_value;
+  std::vector<JsonValue> items;                               // kArray.
+  std::vector<std::pair<std::string, JsonValue>> members;     // kObject.
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (trailing garbage is an error).
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace obs
+}  // namespace cdb
+
+#endif  // CDB_OBS_JSON_H_

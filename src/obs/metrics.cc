@@ -1,0 +1,137 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "storage/pager.h"
+
+namespace cdb {
+namespace obs {
+
+Histogram::Histogram(std::string name, std::vector<double> bounds,
+                     const bool* enabled)
+    : name_(std::move(name)),
+      bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1, 0),
+      enabled_(enabled) {}
+
+void Histogram::Observe(double v) {
+  if (!*enabled_) return;
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  ++counts_[i];
+  ++count_;
+  sum_ += v;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  counter_storage_.push_back(Counter(std::string(name), &enabled_));
+  Counter* c = &counter_storage_.back();
+  counters_.emplace(c->name(), c);
+  return c;
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  gauge_storage_.push_back(Gauge(std::string(name)));
+  Gauge* g = &gauge_storage_.back();
+  gauges_.emplace(g->name(), g);
+  return g;
+}
+
+Result<Histogram*> MetricsRegistry::histogram(std::string_view name,
+                                              std::vector<double> bounds) {
+  if (bounds.empty()) {
+    return Status::InvalidArgument("histogram needs at least one bound");
+  }
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (!(bounds[i - 1] < bounds[i])) {
+      return Status::InvalidArgument(
+          "histogram bounds must be strictly increasing");
+    }
+  }
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    if (it->second->bounds() != bounds) {
+      return Status::InvalidArgument("histogram '" + std::string(name) +
+                                     "' re-registered with different bounds");
+    }
+    return it->second;
+  }
+  histogram_storage_.push_back(
+      Histogram(std::string(name), std::move(bounds), &enabled_));
+  Histogram* h = &histogram_storage_.back();
+  histograms_.emplace(h->name(), h);
+  return h;
+}
+
+void MetricsRegistry::ResetAll() {
+  for (Counter& c : counter_storage_) c.value_ = 0;
+  for (Gauge& g : gauge_storage_) g.value_ = 0;
+  for (Histogram& h : histogram_storage_) {
+    std::fill(h.counts_.begin(), h.counts_.end(), 0);
+    h.count_ = 0;
+    h.sum_ = 0;
+  }
+}
+
+void MetricsRegistry::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) w->Key(name).Value(c->value());
+  w->EndObject();
+  w->Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) w->Key(name).Value(g->value());
+  w->EndObject();
+  w->Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w->Key(name).BeginObject();
+    w->Key("bounds").BeginArray();
+    for (double b : h->bounds()) w->Value(b);
+    w->EndArray();
+    w->Key("counts").BeginArray();
+    for (size_t i = 0; i <= h->bounds().size(); ++i) {
+      w->Value(h->bucket_count(i));
+    }
+    w->EndArray();
+    w->Key("count").Value(h->count());
+    w->Key("sum").Value(h->sum());
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter w;
+  WriteJson(&w);
+  return w.TakeString();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry(/*enabled=*/false);
+  return *registry;
+}
+
+void ExportPagerMetrics(const Pager& pager, MetricsRegistry* registry,
+                        const std::string& prefix) {
+  const IoStats& s = pager.stats();
+  auto set = [&](const char* name, double v) {
+    registry->gauge(prefix + "." + name)->Set(v);
+  };
+  set("page_fetches", static_cast<double>(s.page_fetches));
+  set("page_reads", static_cast<double>(s.page_reads));
+  set("page_writes", static_cast<double>(s.page_writes));
+  set("pages_allocated", static_cast<double>(s.pages_allocated));
+  set("buffer_hits", static_cast<double>(s.buffer_hits));
+  set("buffer_evictions", static_cast<double>(s.buffer_evictions));
+  set("dirty_writebacks", static_cast<double>(s.dirty_writebacks));
+  set("resident_frames", static_cast<double>(pager.resident_frame_count()));
+  set("pinned_frames", static_cast<double>(pager.pinned_frame_count()));
+  set("live_pages", static_cast<double>(pager.live_page_count()));
+}
+
+}  // namespace obs
+}  // namespace cdb

@@ -1,0 +1,156 @@
+// MetricsRegistry: named counters, gauges and fixed-bucket histograms for
+// the observability layer.
+//
+// Design goals (ISSUE 1):
+//  - no exceptions; the only fallible operation (histogram registration with
+//    bad buckets) returns Result<>;
+//  - near-zero overhead when disabled: hot-path call sites cache the handle
+//    in a function-local static and Increment()/Observe() reduce to one
+//    predicated load when the owning registry is disabled;
+//  - stable handles: pointers returned by counter()/gauge()/histogram()
+//    remain valid for the registry's lifetime (deque storage);
+//  - deterministic JSON snapshots (members sorted by name) feeding the
+//    BENCH_*.json artifacts.
+//
+// Counters and histograms are *event* metrics and respect the enabled flag;
+// gauges are *snapshot* metrics written by export paths (e.g.
+// ExportPagerMetrics) and always store, so a disabled registry still
+// yields a truthful point-in-time export.
+
+#ifndef CDB_OBS_METRICS_H_
+#define CDB_OBS_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace cdb {
+
+class Pager;
+
+namespace obs {
+
+class MetricsRegistry;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    if (*enabled_) value_ += n;
+  }
+  uint64_t value() const { return value_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, const bool* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+
+  std::string name_;
+  const bool* enabled_;
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time value (buffer-pool residency, live pages, ...). Set() is
+/// not gated: gauges are written by export snapshots, not hot loops.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the first
+/// bounds.size() buckets; one implicit overflow bucket follows. Tracks sum
+/// and count for mean recovery.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// i in [0, bounds().size()]; the last index is the overflow bucket.
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds, const bool* enabled);
+
+  std::string name_;
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;  // bounds_.size() + 1 entries.
+  const bool* enabled_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// See file comment.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = false) : enabled_(enabled) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter/gauge registered under `name`, creating it on
+  /// first use. Handles are stable for the registry's lifetime.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+
+  /// Registers (or retrieves) a histogram. `bounds` must be non-empty and
+  /// strictly increasing, and must match any previous registration of the
+  /// same name exactly.
+  Result<Histogram*> histogram(std::string_view name,
+                               std::vector<double> bounds);
+
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Zeroes every counter, gauge, and histogram (handles stay valid).
+  void ResetAll();
+
+  /// Writes {"counters":{...},"gauges":{...},"histograms":{...}} with
+  /// members sorted by metric name.
+  void WriteJson(JsonWriter* w) const;
+  std::string ToJson() const;
+
+ private:
+  bool enabled_;
+  std::deque<Counter> counter_storage_;
+  std::deque<Gauge> gauge_storage_;
+  std::deque<Histogram> histogram_storage_;
+  std::map<std::string, Counter*, std::less<>> counters_;
+  std::map<std::string, Gauge*, std::less<>> gauges_;
+  std::map<std::string, Histogram*, std::less<>> histograms_;
+};
+
+/// The process-wide registry. Disabled by default; benchmarks and tests
+/// opt in with GlobalMetrics().SetEnabled(true).
+MetricsRegistry& GlobalMetrics();
+
+/// Publishes a pager's IoStats counters and buffer-pool state as gauges
+/// named "<prefix>.page_fetches", "<prefix>.buffer_hits",
+/// "<prefix>.resident_frames", ... (gauges, not counters: this is a
+/// point-in-time snapshot of an externally owned accumulator).
+void ExportPagerMetrics(const Pager& pager, MetricsRegistry* registry,
+                        const std::string& prefix);
+
+}  // namespace obs
+}  // namespace cdb
+
+#endif  // CDB_OBS_METRICS_H_

@@ -1,0 +1,160 @@
+// Scoped query tracing: attributes IoStats deltas and wall time to a
+// nesting phase tree (ISSUE 1 tentpole).
+//
+// A Tracer watches up to two pagers — the *index* pager and the *tuple*
+// (relation) pager — and installs itself as the ambient tracer for the
+// current thread. Code inside the traced region opens phases with
+//
+//   CDB_TRACE_SPAN("refine");
+//
+// which is a no-op (one thread-local load + branch) when no tracer is
+// installed. At every span boundary the tracer reads both pagers' IoStats
+// and charges the delta since the previous boundary to the currently open
+// span's *exclusive* (self) cost, so by construction
+//
+//   sum over all nodes of self == whole-query pager delta,
+//
+// an invariant ExplainProfile::SumsBalance() re-proves after the fact and
+// the obs integration test checks against externally measured pager totals.
+// Spans re-entered under the same parent (e.g. "refine/lp" inside a loop)
+// merge into one node with an invocation count.
+//
+// The tracer is single-threaded like the pager itself (DESIGN.md §1); the
+// ambient pointer is thread-local so concurrent *independent* sessions
+// cannot interfere.
+
+#ifndef CDB_OBS_TRACE_H_
+#define CDB_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/io_stats.h"
+#include "obs/json.h"
+
+namespace cdb {
+
+class Pager;
+
+namespace obs {
+
+/// Cost attributed to one phase: logical fetches and physical reads on the
+/// index and tuple pagers (DESIGN.md decision 11 keeps the two currencies
+/// separate) plus wall time.
+struct PhaseCost {
+  uint64_t index_fetches = 0;  // Logical page accesses, index pager.
+  uint64_t index_reads = 0;    // Physical reads, index pager.
+  uint64_t tuple_fetches = 0;  // Logical page accesses, tuple pager.
+  uint64_t tuple_reads = 0;    // Physical reads, tuple pager.
+  double wall_ms = 0;
+
+  void Add(const PhaseCost& o);
+  /// Equality of the four I/O counters (wall time is not comparable).
+  bool IoEquals(const PhaseCost& o) const;
+};
+
+/// One node of the finished phase tree.
+struct ProfileNode {
+  std::string name;
+  uint64_t invocations = 0;  // Times the span was entered.
+  PhaseCost self;            // Exclusive cost.
+  std::vector<ProfileNode> children;
+
+  /// Inclusive cost: self plus every descendant.
+  PhaseCost Total() const;
+  /// Depth-first search by name ("refine", not a path). nullptr if absent.
+  const ProfileNode* Find(std::string_view target) const;
+};
+
+/// See file comment. Construct on the stack around a query; it becomes the
+/// ambient tracer until destroyed (previous tracer is restored, so traced
+/// regions may nest).
+class Tracer {
+ public:
+  /// `tuple_pager` may be null, or equal to `index_pager` (then all cost is
+  /// reported on the index slots and the tuple slots stay zero).
+  Tracer(const char* root_name, Pager* index_pager, Pager* tuple_pager);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Closes the root span and returns the finished tree. Must be called
+  /// with every child span closed (RAII guarantees this across error
+  /// returns). `overall` (optional) receives the whole-region pager delta
+  /// measured independently of the per-span attribution — the two agree
+  /// exactly, which SumsBalance() verifies.
+  ProfileNode Finish(PhaseCost* overall = nullptr);
+  bool finished() const { return finished_; }
+
+  /// The ambient tracer for this thread (null outside traced regions).
+  static Tracer* Current();
+
+ private:
+  friend class ScopedSpan;
+
+  void Enter(const char* name);
+  void Exit();
+  /// Charges pager/clock deltas since the last boundary to the open span.
+  void AccumulateToOpenSpan();
+  PhaseCost ReadDelta(const IoStats& index_base, const IoStats& tuple_base,
+                      std::chrono::steady_clock::time_point time_base) const;
+
+  Pager* index_pager_;
+  Pager* tuple_pager_;  // Null when unused or same as index_pager_.
+  ProfileNode root_;
+  std::vector<ProfileNode*> stack_;  // Root + open ancestors; see Enter().
+  IoStats last_index_, last_tuple_;
+  IoStats initial_index_, initial_tuple_;
+  std::chrono::steady_clock::time_point last_time_, initial_time_;
+  Tracer* previous_;
+  bool finished_ = false;
+};
+
+/// RAII span. Opens a phase on the ambient tracer (no-op without one).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : tracer_(Tracer::Current()) {
+    if (tracer_ != nullptr) tracer_->Enter(name);
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->Exit();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+};
+
+#define CDB_TRACE_CONCAT_INNER(a, b) a##b
+#define CDB_TRACE_CONCAT(a, b) CDB_TRACE_CONCAT_INNER(a, b)
+/// Opens a phase span for the rest of the enclosing scope.
+#define CDB_TRACE_SPAN(name) \
+  ::cdb::obs::ScopedSpan CDB_TRACE_CONCAT(cdb_trace_span_, __LINE__)(name)
+
+/// "EXPLAIN ANALYZE"-style result of one query execution: the phase tree
+/// plus the whole-query totals it provably sums to.
+struct ExplainProfile {
+  ProfileNode root;
+  PhaseCost totals;  // Whole-query pager delta (== root.Total()).
+
+  /// Re-proves the attribution invariant: root.Total() must reproduce
+  /// `totals` exactly on all four I/O counters.
+  bool SumsBalance() const { return root.Total().IoEquals(totals); }
+
+  /// Annotated multi-line dump (indented tree, one line per phase).
+  std::string ToString() const;
+  void WriteJson(JsonWriter* w) const;
+  std::string ToJson() const;
+};
+
+/// Finishes `tracer`, fills `profile` when requested, and returns the
+/// whole-region totals — the one-liner every query path ends with.
+PhaseCost FinishQueryTrace(Tracer* tracer, ExplainProfile* profile);
+
+}  // namespace obs
+}  // namespace cdb
+
+#endif  // CDB_OBS_TRACE_H_

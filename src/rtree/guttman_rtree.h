@@ -49,6 +49,9 @@ class GuttmanRTree {
   uint32_t height() const { return height_; }
   uint64_t live_page_count() const { return pager_->live_page_count(); }
 
+  /// The backing pager (for I/O accounting by callers).
+  Pager* pager() const { return pager_; }
+
   /// Depth uniformity, MBR containment, minimum fill.
   Status CheckInvariants() const;
 

@@ -45,6 +45,9 @@ class MxCifQuadtree {
   uint64_t entry_count() const { return count_; }
   uint64_t live_page_count() const { return pager_->live_page_count(); }
 
+  /// The backing pager (for I/O accounting by callers).
+  Pager* pager() const { return pager_; }
+
  private:
   MxCifQuadtree(Pager* pager, const Rect& world, uint32_t max_depth)
       : pager_(pager), world_(world), max_depth_(max_depth) {}

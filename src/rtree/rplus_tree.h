@@ -73,6 +73,9 @@ class RPlusTree {
   uint32_t height() const { return height_; }
   uint64_t live_page_count() const { return pager_->live_page_count(); }
 
+  /// The backing pager (for I/O accounting by callers).
+  Pager* pager() const { return pager_; }
+
   /// Structural checks: entry rects lie within their node's region, leaf
   /// regions are mutually disjoint (up to epsilon at shared boundaries),
   /// all leaves at the same depth.

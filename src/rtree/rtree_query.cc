@@ -1,6 +1,7 @@
 #include "rtree/rtree_query.h"
 
 #include "geometry/dual.h"
+#include "obs/metrics.h"
 
 namespace cdb {
 
@@ -10,36 +11,50 @@ template <typename Tree>
 Result<std::vector<TupleId>> SelectImpl(Tree* tree, Relation* relation,
                                         SelectionType type,
                                         const HalfPlaneQuery& q,
-                                        QueryStats* stats) {
+                                        QueryStats* stats,
+                                        obs::ExplainProfile* profile) {
   QueryStats local;
   QueryStats* st = stats != nullptr ? stats : &local;
   *st = QueryStats();
-  IoStats tuple_before = relation->pager()->stats();
+  obs::Tracer tracer("rtree/select", tree->pager(), relation->pager());
 
   RTreeStats rstats;
-  Result<std::vector<TupleId>> candidates = tree->SearchHalfPlane(q, &rstats);
+  Result<std::vector<TupleId>> candidates = [&] {
+    CDB_TRACE_SPAN("filter");
+    return tree->SearchHalfPlane(q, &rstats);
+  }();
   if (!candidates.ok()) return candidates.status();
-  st->index_page_fetches = rstats.page_fetches;
   st->candidates = candidates.value().size() + rstats.duplicates;
   st->duplicates = rstats.duplicates;
 
+  static obs::Counter* const lp_calls =
+      obs::GlobalMetrics().counter("rtree.refine.lp_calls");
   std::vector<TupleId> kept;
   kept.reserve(candidates.value().size());
-  for (TupleId id : candidates.value()) {
-    GeneralizedTuple tuple;
-    Status s = relation->Get(id, &tuple);
-    if (!s.ok()) return s;
-    bool hit = type == SelectionType::kAll
-                   ? ExactAll(tuple.constraints(), q)
-                   : ExactExist(tuple.constraints(), q);
-    if (hit) {
-      kept.push_back(id);
-    } else {
-      ++st->false_hits;
+  {
+    CDB_TRACE_SPAN("refine");
+    for (TupleId id : candidates.value()) {
+      GeneralizedTuple tuple;
+      {
+        CDB_TRACE_SPAN("fetch-tuple");
+        Status s = relation->Get(id, &tuple);
+        if (!s.ok()) return {s};
+      }
+      CDB_TRACE_SPAN("lp");
+      lp_calls->Increment();
+      bool hit = type == SelectionType::kAll
+                     ? ExactAll(tuple.constraints(), q)
+                     : ExactExist(tuple.constraints(), q);
+      if (hit) {
+        kept.push_back(id);
+      } else {
+        ++st->false_hits;
+      }
     }
   }
-  st->tuple_page_fetches =
-      relation->pager()->stats().Delta(tuple_before).page_reads;
+  obs::PhaseCost totals = obs::FinishQueryTrace(&tracer, profile);
+  st->index_page_fetches = totals.index_fetches;  // Logical (decision 11).
+  st->tuple_page_fetches = totals.tuple_reads;    // Physical (decision 11).
   st->results = kept.size();
   return kept;
 }
@@ -49,24 +64,27 @@ Result<std::vector<TupleId>> SelectImpl(Tree* tree, Relation* relation,
 Result<std::vector<TupleId>> RTreeSelect(RPlusTree* tree, Relation* relation,
                                          SelectionType type,
                                          const HalfPlaneQuery& q,
-                                         QueryStats* stats) {
-  return SelectImpl(tree, relation, type, q, stats);
+                                         QueryStats* stats,
+                                         obs::ExplainProfile* profile) {
+  return SelectImpl(tree, relation, type, q, stats, profile);
 }
 
 Result<std::vector<TupleId>> RTreeSelect(GuttmanRTree* tree,
                                          Relation* relation,
                                          SelectionType type,
                                          const HalfPlaneQuery& q,
-                                         QueryStats* stats) {
-  return SelectImpl(tree, relation, type, q, stats);
+                                         QueryStats* stats,
+                                         obs::ExplainProfile* profile) {
+  return SelectImpl(tree, relation, type, q, stats, profile);
 }
 
 Result<std::vector<TupleId>> RTreeSelect(MxCifQuadtree* tree,
                                          Relation* relation,
                                          SelectionType type,
                                          const HalfPlaneQuery& q,
-                                         QueryStats* stats) {
-  return SelectImpl(tree, relation, type, q, stats);
+                                         QueryStats* stats,
+                                         obs::ExplainProfile* profile) {
+  return SelectImpl(tree, relation, type, q, stats, profile);
 }
 
 }  // namespace cdb

@@ -11,6 +11,7 @@
 #include "constraint/naive_eval.h"
 #include "constraint/relation.h"
 #include "dualindex/dual_index.h"  // QueryStats
+#include "obs/trace.h"
 #include "rtree/guttman_rtree.h"
 #include "rtree/quadtree.h"
 #include "rtree/rplus_tree.h"
@@ -20,24 +21,28 @@ namespace cdb {
 /// Executes the selection, refining candidates against the relation's
 /// stored constraints. Results sorted by tuple id. Populates the same
 /// QueryStats the dual index reports, for apples-to-apples benchmarks.
+/// When `profile` is non-null it receives the per-phase span breakdown.
 Result<std::vector<TupleId>> RTreeSelect(RPlusTree* tree, Relation* relation,
                                          SelectionType type,
                                          const HalfPlaneQuery& q,
-                                         QueryStats* stats = nullptr);
+                                         QueryStats* stats = nullptr,
+                                         obs::ExplainProfile* profile = nullptr);
 
 /// Same execution over the classic Guttman R-tree baseline.
 Result<std::vector<TupleId>> RTreeSelect(GuttmanRTree* tree,
                                          Relation* relation,
                                          SelectionType type,
                                          const HalfPlaneQuery& q,
-                                         QueryStats* stats = nullptr);
+                                         QueryStats* stats = nullptr,
+                                         obs::ExplainProfile* profile = nullptr);
 
 /// Same execution over the MX-CIF quadtree baseline.
 Result<std::vector<TupleId>> RTreeSelect(MxCifQuadtree* tree,
                                          Relation* relation,
                                          SelectionType type,
                                          const HalfPlaneQuery& q,
-                                         QueryStats* stats = nullptr);
+                                         QueryStats* stats = nullptr,
+                                         obs::ExplainProfile* profile = nullptr);
 
 }  // namespace cdb
 

@@ -165,16 +165,21 @@ Result<PageRef> Pager::Fetch(PageId id) {
       std::fill(frame.data.begin(), frame.data.end(), 0);
     }
     it = frames_.emplace(id, std::move(frame)).first;
-  } else if (it->second.in_lru) {
-    lru_.erase(it->second.lru_pos);
-    it->second.in_lru = false;
+  } else {
+    ++stats_.buffer_hits;
+    if (it->second.in_lru) {
+      lru_.erase(it->second.lru_pos);
+      it->second.in_lru = false;
+    }
   }
   Frame& frame = it->second;
+  if (frame.pins == 0) ++pinned_frames_;
   ++frame.pins;
   Status st = EvictIfNeeded();
   if (!st.ok()) {
     // Roll back the pin so the pager stays consistent.
     --frame.pins;
+    if (frame.pins == 0) --pinned_frames_;
     return st;
   }
   return PageRef(this, id, frame.data.data());
@@ -186,6 +191,7 @@ void Pager::Unpin(PageId id) {
   Frame& frame = it->second;
   assert(frame.pins > 0);
   if (--frame.pins == 0) {
+    --pinned_frames_;
     lru_.push_front(id);
     frame.lru_pos = lru_.begin();
     frame.in_lru = true;
@@ -211,7 +217,9 @@ Status Pager::EvictIfNeeded() {
     PageId victim = lru_.back();
     auto it = frames_.find(victim);
     assert(it != frames_.end() && it->second.pins == 0);
+    if (it->second.dirty) ++stats_.dirty_writebacks;
     CDB_RETURN_IF_ERROR(WriteBack(victim, &it->second));
+    ++stats_.buffer_evictions;
     lru_.pop_back();
     frames_.erase(it);
   }

@@ -114,6 +114,15 @@ class Pager {
   const IoStats& stats() const { return stats_; }
   IoStats* mutable_stats() { return &stats_; }
 
+  /// Frames currently held in the buffer pool.
+  size_t resident_frame_count() const { return frames_.size(); }
+
+  /// Frames with at least one live PageRef. Zero between operations — a
+  /// non-zero value after a query returns means a leaked pin (checked by
+  /// the fault-injection tests). Buffer-pool state is published to a
+  /// MetricsRegistry by obs::ExportPagerMetrics (obs/metrics.h).
+  size_t pinned_frame_count() const { return pinned_frames_; }
+
   /// Drops every unpinned frame (writing dirty ones back) so subsequent
   /// fetches hit the file. Benchmarks use it to take cold-cache readings.
   Status DropCache();
@@ -145,6 +154,7 @@ class Pager {
   PageId next_page_id_ = 1;  // Block 0 is the meta page.
   PageId free_head_ = kInvalidPageId;
   uint64_t live_pages_ = 0;
+  size_t pinned_frames_ = 0;  // Frames with pins > 0.
 
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // Front = most recently used, unpinned only.

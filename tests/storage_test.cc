@@ -192,6 +192,119 @@ TEST(PagerTest, InvalidFetchRejected) {
   EXPECT_TRUE(pager->Fetch(999).status().IsInvalidArgument());
 }
 
+TEST(PagerTest, BufferHitsPlusReadsEqualsFetches) {
+  auto pager = MakeMemPager(/*cache_frames=*/4);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    Result<PageId> id = pager->Allocate();
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  ASSERT_TRUE(pager->Flush().ok());
+
+  // Cold: every fetch misses, so hits stay 0 and reads carry everything.
+  ASSERT_TRUE(pager->DropCache().ok());
+  IoStats before = pager->stats();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pager->Fetch(ids[static_cast<size_t>(i)]).ok());
+  }
+  IoStats cold = pager->stats().Delta(before);
+  EXPECT_EQ(cold.page_fetches, 4u);
+  EXPECT_EQ(cold.buffer_hits, 0u);
+  EXPECT_EQ(cold.page_reads, 4u);
+  EXPECT_EQ(cold.page_fetches, cold.buffer_hits + cold.page_reads);
+
+  // Warm: the same four pages are resident, so every fetch hits.
+  before = pager->stats();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pager->Fetch(ids[static_cast<size_t>(i)]).ok());
+  }
+  IoStats warm = pager->stats().Delta(before);
+  EXPECT_EQ(warm.page_fetches, 4u);
+  EXPECT_EQ(warm.buffer_hits, 4u);
+  EXPECT_EQ(warm.page_reads, 0u);
+  EXPECT_EQ(warm.page_fetches, warm.buffer_hits + warm.page_reads);
+
+  // Mixed: a scan over all 8 pages through a 4-frame pool still satisfies
+  // the invariant fetch-by-fetch.
+  before = pager->stats();
+  for (int round = 0; round < 2; ++round) {
+    for (PageId id : ids) ASSERT_TRUE(pager->Fetch(id).ok());
+  }
+  IoStats mixed = pager->stats().Delta(before);
+  EXPECT_EQ(mixed.page_fetches, 16u);
+  EXPECT_EQ(mixed.page_fetches, mixed.buffer_hits + mixed.page_reads);
+}
+
+TEST(PagerTest, EvictionAndDirtyWritebackCounters) {
+  auto pager = MakeMemPager(/*cache_frames=*/2);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 6; ++i) {
+    Result<PageId> id = pager->Allocate();
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  // Allocation leaves fresh pages dirty in the pool; flush so the only
+  // dirty frame below is the one this test dirties explicitly.
+  ASSERT_TRUE(pager->Flush().ok());
+  IoStats before = pager->stats();
+  {
+    Result<PageRef> ref = pager->Fetch(ids[0]);
+    ASSERT_TRUE(ref.ok());
+    ref.value().data()[0] = 'x';
+    ref.value().MarkDirty();
+  }
+  ASSERT_TRUE(pager->Fetch(ids[1]).ok());
+  ASSERT_TRUE(pager->Fetch(ids[2]).ok());
+  IoStats delta = pager->stats().Delta(before);
+  EXPECT_GE(delta.buffer_evictions, 1u);
+  EXPECT_EQ(delta.dirty_writebacks, 1u);
+  // Eviction-forced write-backs are also page writes.
+  EXPECT_GE(delta.page_writes, delta.dirty_writebacks);
+
+  // Flush writes dirty pages but must not count as eviction write-back.
+  {
+    Result<PageRef> ref = pager->Fetch(ids[3]);
+    ASSERT_TRUE(ref.ok());
+    ref.value().MarkDirty();
+  }
+  before = pager->stats();
+  ASSERT_TRUE(pager->Flush().ok());
+  delta = pager->stats().Delta(before);
+  EXPECT_GE(delta.page_writes, 1u);
+  EXPECT_EQ(delta.dirty_writebacks, 0u);
+  EXPECT_EQ(delta.buffer_evictions, 0u);
+}
+
+TEST(PagerTest, ResidentAndPinnedFrameCounts) {
+  auto pager = MakeMemPager(/*cache_frames=*/4);
+  EXPECT_EQ(pager->resident_frame_count(), 0u);
+  EXPECT_EQ(pager->pinned_frame_count(), 0u);
+
+  Result<PageId> a = pager->Allocate();
+  Result<PageId> b = pager->Allocate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  {
+    Result<PageRef> ra = pager->Fetch(a.value());
+    ASSERT_TRUE(ra.ok());
+    EXPECT_EQ(pager->pinned_frame_count(), 1u);
+    {
+      // A second pin on the same page does not change the frame count.
+      Result<PageRef> ra2 = pager->Fetch(a.value());
+      ASSERT_TRUE(ra2.ok());
+      EXPECT_EQ(pager->pinned_frame_count(), 1u);
+      Result<PageRef> rb = pager->Fetch(b.value());
+      ASSERT_TRUE(rb.ok());
+      EXPECT_EQ(pager->pinned_frame_count(), 2u);
+    }
+    EXPECT_EQ(pager->pinned_frame_count(), 1u);
+  }
+  EXPECT_EQ(pager->pinned_frame_count(), 0u);
+  EXPECT_EQ(pager->resident_frame_count(), 2u);
+  ASSERT_TRUE(pager->DropCache().ok());
+  EXPECT_EQ(pager->resident_frame_count(), 0u);
+}
+
 TEST(FaultInjectionTest, FailAfterCountsDown) {
   auto base = std::make_unique<MemFile>(256);
   auto* fault = new FaultInjectionFile(std::move(base));
