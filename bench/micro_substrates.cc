@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
 #include "btree/bplus_tree.h"
 #include "harness.h"
 #include "common/rng.h"
@@ -18,10 +21,11 @@
 namespace cdb {
 namespace {
 
-std::unique_ptr<Pager> MakePager(size_t frames = 64) {
+std::unique_ptr<Pager> MakePager(size_t frames = 64, bool checksums = true) {
   PagerOptions opts;
   opts.page_size = 1024;
   opts.cache_frames = frames;
+  opts.checksums = checksums;
   std::unique_ptr<Pager> pager;
   if (!Pager::Open(std::make_unique<MemFile>(1024), opts, &pager).ok()) {
     std::abort();
@@ -127,6 +131,38 @@ void BM_PagerFetchMiss(benchmark::State& state) {
 }
 BENCHMARK(BM_PagerFetchMiss);
 
+// Checksummed vs raw fetch cost (durability-layer overhead). Arg: 1 =
+// checksums on. Warm fetches never touch the CRC (verification happens on
+// physical reads only), so the two variants must be within noise; cold
+// fetches pay one CRC over the payload per miss.
+void BM_PagerFetchWarmChecksummed(benchmark::State& state) {
+  auto pager = MakePager(/*frames=*/64, /*checksums=*/state.range(0) != 0);
+  Result<PageId> id = pager->Allocate();
+  if (!id.ok()) std::abort();
+  for (auto _ : state) {
+    Result<PageRef> ref = pager->Fetch(id.value());
+    benchmark::DoNotOptimize(ref.value().data());
+  }
+}
+BENCHMARK(BM_PagerFetchWarmChecksummed)->Arg(0)->Arg(1);
+
+void BM_PagerFetchColdChecksummed(benchmark::State& state) {
+  auto pager = MakePager(/*frames=*/4, /*checksums=*/state.range(0) != 0);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 64; ++i) {
+    Result<PageId> id = pager->Allocate();
+    if (!id.ok()) std::abort();
+    ids.push_back(id.value());
+  }
+  if (!pager->Flush().ok()) std::abort();
+  size_t i = 0;
+  for (auto _ : state) {
+    Result<PageRef> ref = pager->Fetch(ids[i++ % ids.size()]);
+    benchmark::DoNotOptimize(ref.value().data());
+  }
+}
+BENCHMARK(BM_PagerFetchColdChecksummed)->Arg(0)->Arg(1);
+
 void BM_RTreeHalfPlaneSearch(benchmark::State& state) {
   auto pager = MakePager(256);
   Rng rng(7);
@@ -155,6 +191,81 @@ void BM_WorkloadTupleGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WorkloadTupleGeneration)->Arg(0)->Arg(1);
+
+// Hand-timed checksummed-vs-raw fetch comparison, emitted as explicit
+// artifact rows so scripts/check_bench_json.py can assert the durability
+// layer's warm-path overhead budget (<= 15%) on every run.
+double TimeFetchLoopOnceNs(Pager* pager, const std::vector<PageId>& ids) {
+  constexpr int kIters = 400000;
+  size_t i = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (int n = 0; n < kIters; ++n) {
+    Result<PageRef> ref = pager->Fetch(ids[i++ % ids.size()]);
+    benchmark::DoNotOptimize(ref.value().data());
+  }
+  auto end = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                 .count()) /
+         kIters;
+}
+
+// Interleaves the raw and checksummed timing reps so clock-speed drift hits
+// both configurations equally; without this the ratio is dominated by
+// whichever config happened to run during a slow phase.
+void TimeFetchPairNs(Pager* raw, const std::vector<PageId>& raw_ids,
+                     Pager* checked, const std::vector<PageId>& checked_ids,
+                     double out[2]) {
+  constexpr int kReps = 5;
+  out[0] = out[1] = 1e18;
+  TimeFetchLoopOnceNs(raw, raw_ids);  // Warm-up, untimed.
+  TimeFetchLoopOnceNs(checked, checked_ids);
+  for (int rep = 0; rep < kReps; ++rep) {
+    out[0] = std::min(out[0], TimeFetchLoopOnceNs(raw, raw_ids));
+    out[1] = std::min(out[1], TimeFetchLoopOnceNs(checked, checked_ids));
+  }
+}
+
+void MeasureChecksumOverhead(bench::BenchReporter* out) {
+  // Warm: one resident page, every fetch a buffer hit.
+  std::unique_ptr<Pager> warm_pager[2];
+  std::vector<PageId> warm_ids[2];
+  for (int cs = 0; cs < 2; ++cs) {
+    warm_pager[cs] = MakePager(/*frames=*/64, /*checksums=*/cs != 0);
+    Result<PageId> id = warm_pager[cs]->Allocate();
+    if (!id.ok()) std::abort();
+    warm_ids[cs] = {id.value()};
+  }
+  double warm[2];
+  TimeFetchPairNs(warm_pager[0].get(), warm_ids[0], warm_pager[1].get(),
+                  warm_ids[1], warm);
+  // Cold: 64 pages cycled through 4 frames, every fetch a physical read
+  // (and a CRC verification when checksums are on).
+  std::unique_ptr<Pager> cold_pager[2];
+  std::vector<PageId> cold_ids[2];
+  for (int cs = 0; cs < 2; ++cs) {
+    cold_pager[cs] = MakePager(/*frames=*/4, /*checksums=*/cs != 0);
+    for (int i = 0; i < 64; ++i) {
+      Result<PageId> id = cold_pager[cs]->Allocate();
+      if (!id.ok()) std::abort();
+      cold_ids[cs].push_back(id.value());
+    }
+    if (!cold_pager[cs]->Flush().ok()) std::abort();
+  }
+  double cold[2];
+  TimeFetchPairNs(cold_pager[0].get(), cold_ids[0], cold_pager[1].get(),
+                  cold_ids[1], cold);
+  for (int cs = 0; cs < 2; ++cs) {
+    out->AddValue("pager_fetch_warm", {{"checksums", cs}}, "ns_per_fetch",
+                  warm[cs]);
+    out->AddValue("pager_fetch_cold", {{"checksums", cs}}, "ns_per_fetch",
+                  cold[cs]);
+  }
+  out->AddValue("pager_fetch_warm", {}, "checksum_overhead_ratio",
+                warm[1] / warm[0]);
+  out->AddValue("pager_fetch_cold", {}, "checksum_overhead_ratio",
+                cold[1] / cold[0]);
+}
 
 }  // namespace
 }  // namespace cdb
@@ -193,6 +304,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CaptureReporter capture(&reporter);
   benchmark::RunSpecifiedBenchmarks(&capture);
+  cdb::MeasureChecksumOverhead(&reporter);
   benchmark::Shutdown();
   return reporter.Write() ? 0 : 1;
 }

@@ -86,6 +86,36 @@ def _check_histogram(name, h, errors):
         errors.append(f"{where}.sum: expected a number")
 
 
+# Warm fetches never recompute the CRC (verification happens on physical
+# reads only), so the checksummed warm path must stay within 15% of raw.
+WARM_OVERHEAD_BUDGET = 1.15
+
+
+def _check_micro_substrates(doc, errors):
+    """Semantic rule for the micro_substrates artifact: the durability
+    layer's warm-path checksum overhead must be present and within budget."""
+    ratio = None
+    for m in doc.get("measurements", []):
+        if not isinstance(m, dict) or m.get("label") != "pager_fetch_warm":
+            continue
+        values = m.get("values")
+        if isinstance(values, dict) and "checksum_overhead_ratio" in values:
+            ratio = values["checksum_overhead_ratio"]
+    if ratio is None:
+        errors.append("micro_substrates: no pager_fetch_warm "
+                      "checksum_overhead_ratio measurement")
+        return
+    if not _is_number(ratio) or ratio > WARM_OVERHEAD_BUDGET:
+        errors.append(
+            f"micro_substrates: warm checksum_overhead_ratio {ratio!r} "
+            f"exceeds budget {WARM_OVERHEAD_BUDGET}")
+
+
+_SEMANTIC_RULES = {
+    "micro_substrates": _check_micro_substrates,
+}
+
+
 def validate(doc):
     """Returns a list of violation strings (empty = valid)."""
     errors = []
@@ -115,6 +145,9 @@ def validate(doc):
         else:
             for name, h in hists.items():
                 _check_histogram(name, h, errors)
+    rule = _SEMANTIC_RULES.get(doc.get("bench"))
+    if rule is not None:
+        rule(doc, errors)
     return errors
 
 
@@ -142,6 +175,19 @@ _GOOD = {
                     "count": 6, "sum": 27.5},
         },
     },
+}
+
+
+_GOOD_MICRO = {
+    "schema": SCHEMA,
+    "bench": "micro_substrates",
+    "measurements": [
+        {"label": "pager_fetch_warm", "params": {"checksums": 1},
+         "values": {"ns_per_fetch": 30.9}},
+        {"label": "pager_fetch_warm", "params": {},
+         "values": {"checksum_overhead_ratio": 0.99}},
+    ],
+    "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
 }
 
 
@@ -177,11 +223,25 @@ def self_test():
         bounds=[10.0, 1.0]), "unsorted bounds")
     broken(lambda d: d.pop("metrics"), "missing metrics")
 
+    expect(_GOOD_MICRO, True, "good micro_substrates artifact")
+
+    def broken_micro(mutate, what):
+        doc = copy.deepcopy(_GOOD_MICRO)
+        mutate(doc)
+        expect(doc, False, what)
+
+    broken_micro(
+        lambda d: d["measurements"][1]["values"].update(
+            checksum_overhead_ratio=1.5),
+        "warm checksum overhead over budget")
+    broken_micro(lambda d: d["measurements"].pop(1),
+                 "micro_substrates sans overhead measurement")
+
     if failures:
         for f in failures:
             print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
         return 1
-    print("self-test OK (1 good + 10 broken artifacts)")
+    print("self-test OK (2 good + 12 broken artifacts)")
     return 0
 
 

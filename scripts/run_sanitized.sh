@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Configure an ASan+UBSan build in build-asan/ and run the storage /
+# durability test suites under it (`ctest -L sanitize`). These are the
+# suites that exercise raw page buffers, journal replay, and fault
+# injection — the places where a latent out-of-bounds write or
+# use-after-evict would hide.
+#
+# Usage: scripts/run_sanitized.sh [extra ctest args...]
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-asan"
+
+cmake -S "$repo" -B "$build" -G Ninja \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCDB_SANITIZE=address,undefined
+cmake --build "$build"
+
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  ctest --test-dir "$build" -L sanitize --output-on-failure "$@"

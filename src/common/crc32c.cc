@@ -1,0 +1,74 @@
+#include "common/crc32c.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace cdb {
+
+// The slice-by-8 loop folds the running crc into the low bytes of each
+// 64-bit word, which is only correct on little-endian hosts.
+static_assert(std::endian::native == std::endian::little);
+
+namespace {
+
+// 8 tables of 256 entries, generated once at startup. Table 0 is the plain
+// byte-at-a-time table; table k folds a byte that sits k positions deeper
+// in the message, letting the hot loop consume 8 bytes per iteration.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // Reflected Castagnoli.
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables* tables = new Crc32cTables();
+  return *tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto& t = Tables().t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Byte-at-a-time until 8-byte aligned.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // Little-endian: low 4 bytes absorb the running crc.
+    crc = t[7][word & 0xFF] ^ t[6][(word >> 8) & 0xFF] ^
+          t[5][(word >> 16) & 0xFF] ^ t[4][(word >> 24) & 0xFF] ^
+          t[3][(word >> 32) & 0xFF] ^ t[2][(word >> 40) & 0xFF] ^
+          t[1][(word >> 48) & 0xFF] ^ t[0][(word >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace cdb

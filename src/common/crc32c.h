@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// Used by the storage layer to checksum page payloads and journal records
+// (DESIGN.md section 2b). Software slice-by-8 implementation: ~1 GB/s on
+// commodity hardware, far faster than the 1024-byte pages it protects need.
+// The Castagnoli polynomial is chosen over CRC32 (IEEE) for its better
+// Hamming distance on short blocks — the same reason LevelDB, ext4 and
+// iSCSI use it.
+
+#ifndef CDB_COMMON_CRC32C_H_
+#define CDB_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cdb {
+
+/// Extends `crc` (a running CRC32C of previous bytes, 0 for none) with
+/// `n` bytes at `data`. Masking conventions: plain, unmasked CRC.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of a single buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace cdb
+
+#endif  // CDB_COMMON_CRC32C_H_

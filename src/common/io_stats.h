@@ -28,6 +28,15 @@ struct IoStats {
                                    // *eviction* of a dirty frame (the rest
                                    // come from explicit Flush()).
 
+  // Durability counters (ISSUE 2). Journal traffic is deliberately not
+  // folded into page_reads/page_writes: the paper's page-access figures
+  // measure the index structures, not the recovery machinery.
+  uint64_t checksum_failures = 0;  // Pages rejected by CRC32C verification.
+  uint64_t journal_records = 0;    // Pre-images appended to the journal.
+  uint64_t journal_commits = 0;    // Flush() transactions committed.
+  uint64_t journal_replays = 0;    // Recoveries that found a live journal.
+  uint64_t pages_rolled_back = 0;  // Pre-images applied during recovery.
+
   void Reset() { *this = IoStats(); }
 
   IoStats Delta(const IoStats& earlier) const {
@@ -39,6 +48,11 @@ struct IoStats {
     d.buffer_hits = buffer_hits - earlier.buffer_hits;
     d.buffer_evictions = buffer_evictions - earlier.buffer_evictions;
     d.dirty_writebacks = dirty_writebacks - earlier.dirty_writebacks;
+    d.checksum_failures = checksum_failures - earlier.checksum_failures;
+    d.journal_records = journal_records - earlier.journal_records;
+    d.journal_commits = journal_commits - earlier.journal_commits;
+    d.journal_replays = journal_replays - earlier.journal_replays;
+    d.pages_rolled_back = pages_rolled_back - earlier.pages_rolled_back;
     return d;
   }
 };

@@ -20,7 +20,10 @@ Status OpenPager(const std::string& path, const DatabaseOptions& options,
   popts.page_size = options.page_size;
   popts.cache_frames = options.cache_frames;
   std::unique_ptr<BlockFile> file;
+  std::unique_ptr<BlockFile> journal;
   if (options.in_memory) {
+    // No crash to survive: skip the journal, keep checksums (cheap, and
+    // they catch in-process scribbles).
     file = std::make_unique<MemFile>(options.page_size);
     *existed = false;
   } else {
@@ -29,8 +32,15 @@ Status OpenPager(const std::string& path, const DatabaseOptions& options,
         PosixFile::Open(path, options.page_size, /*truncate=*/false, &pf));
     *existed = pf->BlockCount() > 0;
     file = std::move(pf);
+    // The rollback journal sits beside the data file; a leftover journal
+    // from a crashed process is replayed by Pager::Open.
+    std::unique_ptr<PosixFile> jf;
+    CDB_RETURN_IF_ERROR(PosixFile::Open(
+        path + "-journal", Pager::JournalBlockSize(options.page_size),
+        /*truncate=*/false, &jf));
+    journal = std::move(jf);
   }
-  return Pager::Open(std::move(file), popts, out);
+  return Pager::Open(std::move(file), std::move(journal), popts, out);
 }
 
 }  // namespace

@@ -689,6 +689,18 @@ Result<std::vector<TupleId>> DualIndex::SelectSlab(
 
 // --- Handicap rebuild ---------------------------------------------------------
 
+Status DualIndex::CheckInvariants() const {
+  for (size_t i = 0; i < up_.size(); ++i) {
+    CDB_RETURN_IF_ERROR(up_[i]->CheckInvariants());
+    CDB_RETURN_IF_ERROR(down_[i]->CheckInvariants());
+  }
+  if (xmax_ != nullptr) {
+    CDB_RETURN_IF_ERROR(xmax_->CheckInvariants());
+    CDB_RETURN_IF_ERROR(xmin_->CheckInvariants());
+  }
+  return Status::OK();
+}
+
 Status DualIndex::RebuildHandicaps() {
   for (auto& tree : up_) CDB_RETURN_IF_ERROR(tree->ResetHandicaps());
   for (auto& tree : down_) CDB_RETURN_IF_ERROR(tree->ResetHandicaps());

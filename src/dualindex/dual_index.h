@@ -146,6 +146,16 @@ class DualIndex {
   /// Recomputes every handicap value exactly from the relation contents.
   Status RebuildHandicaps();
 
+  /// Runs BPlusTree::CheckInvariants on all 2k trees (and the vertical
+  /// support trees when present); returns the first violation. Used by the
+  /// cdb_check integrity checker and the crash-recovery tests.
+  Status CheckInvariants() const;
+
+  /// Trees this index owns (2k, plus 2 with vertical support).
+  size_t tree_count() const {
+    return up_.size() + down_.size() + (xmax_ != nullptr ? 2 : 0);
+  }
+
   /// Human-readable, single-line-per-step description of how Select()
   /// would execute the query (tree choice, sweep directions, app-query
   /// plan, fallbacks) — without running it.

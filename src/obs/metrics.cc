@@ -128,6 +128,11 @@ void ExportPagerMetrics(const Pager& pager, MetricsRegistry* registry,
   set("buffer_hits", static_cast<double>(s.buffer_hits));
   set("buffer_evictions", static_cast<double>(s.buffer_evictions));
   set("dirty_writebacks", static_cast<double>(s.dirty_writebacks));
+  set("checksum_failures", static_cast<double>(s.checksum_failures));
+  set("journal_records", static_cast<double>(s.journal_records));
+  set("journal_commits", static_cast<double>(s.journal_commits));
+  set("journal_replays", static_cast<double>(s.journal_replays));
+  set("pages_rolled_back", static_cast<double>(s.pages_rolled_back));
   set("resident_frames", static_cast<double>(pager.resident_frame_count()));
   set("pinned_frames", static_cast<double>(pager.pinned_frame_count()));
   set("live_pages", static_cast<double>(pager.live_page_count()));

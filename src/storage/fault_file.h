@@ -1,10 +1,13 @@
-// Fault-injecting BlockFile wrapper for failure-path tests.
+// Fault-injecting BlockFile wrapper for failure-path and crash tests.
 
 #ifndef CDB_STORAGE_FAULT_FILE_H_
 #define CDB_STORAGE_FAULT_FILE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "storage/file.h"
 
@@ -12,47 +15,143 @@ namespace cdb {
 
 /// Wraps another BlockFile and fails operations on command. Tests use it to
 /// verify that Status propagation through pager / B+-tree / index layers is
-/// lossless and that failed operations leave structures readable.
+/// lossless, that failed operations leave structures readable, and — via
+/// the crash plan — that journal recovery restores a committed state from
+/// any crash point.
+///
+/// Two independent fault modes:
+///
+///  * FailAfter(n): after n further successful reads/writes, every
+///    subsequent call fails until ClearFault(). Exactly one failure is
+///    *counted* per arming (on the call that trips), attributed to the
+///    failing path — injected_read_failures() / injected_write_failures()
+///    are therefore independent of how many calls happen afterwards.
+///
+///  * CrashPlan: models power loss. The Nth write after arming is torn
+///    (only a prefix of the block reaches the base file; the rest keeps its
+///    old content), and from that point the file is "dead": writes are
+///    silently dropped (they return OK, as buffered writes that never hit
+///    the platter), while Sync and reads fail — so a workload stops at its
+///    next commit, and the test reopens fresh wrappers over the surviving
+///    base storage. A plan can be shared by several wrappers (data file +
+///    journal file) so the crash point indexes their combined write
+///    sequence.
 class FaultInjectionFile : public BlockFile {
  public:
-  explicit FaultInjectionFile(std::unique_ptr<BlockFile> base)
-      : base_(std::move(base)) {}
+  /// Shared crash state; see class comment. `writes_remaining` is the
+  /// number of writes that still fully succeed; the next one is torn to
+  /// `torn_bytes` bytes (0 = dropped entirely).
+  struct CrashPlan {
+    int64_t writes_remaining = -1;  // Negative = disarmed.
+    size_t torn_bytes = 0;
+    bool crashed = false;
+  };
+
+  explicit FaultInjectionFile(std::unique_ptr<BlockFile> base,
+                              std::shared_ptr<CrashPlan> plan = nullptr)
+      : base_(std::move(base)), plan_(std::move(plan)) {}
 
   /// After this many further successful operations, every subsequent
   /// read/write fails until cleared. Negative disables injection.
-  void FailAfter(int64_t ops) { remaining_ = ops; }
-  void ClearFault() { remaining_ = -1; }
+  void FailAfter(int64_t ops) {
+    remaining_ = ops;
+    tripped_ = false;
+  }
+  void ClearFault() {
+    remaining_ = -1;
+    tripped_ = false;
+  }
 
-  uint64_t injected_failures() const { return injected_failures_; }
+  /// Makes the next Sync() call fail (once).
+  void FailNextSync() { fail_next_sync_ = true; }
+
+  uint64_t injected_read_failures() const { return read_failures_; }
+  uint64_t injected_write_failures() const { return write_failures_; }
+  uint64_t injected_sync_failures() const { return sync_failures_; }
+  uint64_t injected_failures() const {
+    return read_failures_ + write_failures_ + sync_failures_;
+  }
+
+  /// Writes observed (successful ones only; crash-dropped writes and
+  /// FailAfter failures are not counted). Crash sweeps use a fault-free
+  /// dry run of this counter to enumerate crash points.
+  uint64_t writes_seen() const { return writes_seen_; }
+
+  bool crashed() const { return plan_ != nullptr && plan_->crashed; }
 
   Status ReadBlock(uint64_t index, char* out) override {
-    CDB_RETURN_IF_ERROR(MaybeFail("read"));
+    if (plan_ != nullptr && plan_->crashed) {
+      return Status::IOError("read after crash");
+    }
+    CDB_RETURN_IF_ERROR(MaybeFail(&read_failures_, "read"));
     return base_->ReadBlock(index, out);
   }
 
   Status WriteBlock(uint64_t index, const char* data) override {
-    CDB_RETURN_IF_ERROR(MaybeFail("write"));
+    if (plan_ != nullptr) {
+      if (plan_->crashed) return Status::OK();  // Dropped, never durable.
+      if (plan_->writes_remaining == 0) {
+        plan_->crashed = true;
+        return TornWrite(index, data, plan_->torn_bytes);
+      }
+      if (plan_->writes_remaining > 0) --plan_->writes_remaining;
+    }
+    CDB_RETURN_IF_ERROR(MaybeFail(&write_failures_, "write"));
+    ++writes_seen_;
     return base_->WriteBlock(index, data);
   }
 
   uint64_t BlockCount() const override { return base_->BlockCount(); }
   size_t block_size() const override { return base_->block_size(); }
-  Status Sync() override { return base_->Sync(); }
+
+  Status Sync() override {
+    if (plan_ != nullptr && plan_->crashed) {
+      return Status::IOError("sync after crash");
+    }
+    if (fail_next_sync_) {
+      fail_next_sync_ = false;
+      ++sync_failures_;
+      return Status::IOError("injected fault on sync");
+    }
+    return base_->Sync();
+  }
 
  private:
-  Status MaybeFail(const char* op) {
+  Status MaybeFail(uint64_t* counter, const char* op) {
     if (remaining_ < 0) return Status::OK();
     if (remaining_ == 0) {
-      ++injected_failures_;
+      if (!tripped_) {
+        tripped_ = true;
+        ++*counter;
+      }
       return Status::IOError(std::string("injected fault on ") + op);
     }
     --remaining_;
     return Status::OK();
   }
 
+  // Persists only the first `torn_bytes` of the block; the tail keeps the
+  // base file's previous content (zeros if the block never existed).
+  Status TornWrite(uint64_t index, const char* data, size_t torn_bytes) {
+    size_t n = std::min(torn_bytes, base_->block_size());
+    if (n == 0) return Status::OK();
+    std::vector<char> merged(base_->block_size(), 0);
+    if (index < base_->BlockCount()) {
+      CDB_RETURN_IF_ERROR(base_->ReadBlock(index, merged.data()));
+    }
+    std::memcpy(merged.data(), data, n);
+    return base_->WriteBlock(index, merged.data());
+  }
+
   std::unique_ptr<BlockFile> base_;
+  std::shared_ptr<CrashPlan> plan_;
   int64_t remaining_ = -1;
-  uint64_t injected_failures_ = 0;
+  bool tripped_ = false;
+  bool fail_next_sync_ = false;
+  uint64_t read_failures_ = 0;
+  uint64_t write_failures_ = 0;
+  uint64_t sync_failures_ = 0;
+  uint64_t writes_seen_ = 0;
 };
 
 }  // namespace cdb

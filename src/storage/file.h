@@ -57,6 +57,29 @@ class MemFile : public BlockFile {
   std::vector<std::vector<char>> blocks_;
 };
 
+/// Shared view of another BlockFile. Crash tests hand the same underlying
+/// MemFile to a pager, "crash" the pager (destroy it without flushing), and
+/// reopen a second pager over the surviving bytes — which requires storage
+/// that outlives the pager that owns its BlockFile.
+class SharedFile : public BlockFile {
+ public:
+  explicit SharedFile(std::shared_ptr<BlockFile> base)
+      : base_(std::move(base)) {}
+
+  Status ReadBlock(uint64_t index, char* out) override {
+    return base_->ReadBlock(index, out);
+  }
+  Status WriteBlock(uint64_t index, const char* data) override {
+    return base_->WriteBlock(index, data);
+  }
+  uint64_t BlockCount() const override { return base_->BlockCount(); }
+  size_t block_size() const override { return base_->block_size(); }
+  Status Sync() override { return base_->Sync(); }
+
+ private:
+  std::shared_ptr<BlockFile> base_;
+};
+
 /// Block file over a POSIX file descriptor.
 class PosixFile : public BlockFile {
  public:

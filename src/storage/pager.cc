@@ -3,20 +3,59 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/crc32c.h"
+
 namespace cdb {
 
 namespace {
 
-constexpr uint64_t kMetaMagic = 0xCDB1DE99CDB1DE99ull;
+// Meta-page format v2 (v1 had no checksums; its magic ended ...DE99 and is
+// rejected with a format message rather than a generic corruption error).
+constexpr uint64_t kMetaMagicV1 = 0xCDB1DE99CDB1DE99ull;
+constexpr uint64_t kMetaMagicV2 = 0xCDB1DE99CDB1DE02ull;
+constexpr uint32_t kMetaFlagChecksums = 1u;
 
-struct MetaPage {
-  uint64_t magic;
-  uint32_t page_size;
-  uint32_t next_page_id;
-  uint32_t free_head;
-  uint32_t reserved;
-  uint64_t live_pages;
-};
+// Serialized meta layout (block 0):
+//   u64 magic  u32 page_size(block)  u32 next_page_id  u32 free_head
+//   u32 flags  u64 live_pages        u64 commit_seq    u32 crc
+constexpr size_t kMetaSize = 44;
+constexpr size_t kMetaCrcOffset = 40;
+
+// Per-page header (first kPageHeaderSize bytes of every non-meta block
+// when checksums are enabled):
+//   u32 magic/version  u32 page_id  u32 crc  u32 reserved
+// The crc is CRC32C over (page_id bytes || payload), so a page written to
+// the wrong block fails verification even if its payload is intact.
+constexpr uint32_t kPageMagicV1 = 0x43444231u;  // "CDB1".
+
+// Journal block layout. Block 0 is the header:
+//   u64 magic  u64 seq  u32 page_size(block)  u32 crc(over bytes [0,20))
+// Blocks 1..n are records:
+//   u32 page_id  u32 crc(over page_id || seq || image)  u64 seq
+//   image[page_size]
+// The header is written first and synced before any in-place data write;
+// recovery scans records until the first crc/seq mismatch, so a torn
+// journal tail only hides records whose pages were never overwritten.
+constexpr uint64_t kJournalMagic = 0xCDB10C4A0CDB10C4ull;
+constexpr size_t kJournalHeaderSize = 24;
+
+uint32_t PageCrc(PageId id, uint64_t seq_or_zero, const char* data, size_t n) {
+  uint32_t c = Crc32c(&id, sizeof(id));
+  if (seq_or_zero != 0) c = Crc32cExtend(c, &seq_or_zero, sizeof(seq_or_zero));
+  return Crc32cExtend(c, data, n);
+}
+
+template <typename T>
+void Store(char* p, size_t off, T v) {
+  std::memcpy(p + off, &v, sizeof(v));
+}
+
+template <typename T>
+T Load(const char* p, size_t off) {
+  T v;
+  std::memcpy(&v, p + off, sizeof(v));
+  return v;
+}
 
 }  // namespace
 
@@ -48,25 +87,56 @@ void PageRef::Release() {
   }
 }
 
-Pager::Pager(std::unique_ptr<BlockFile> file, const PagerOptions& options)
+Pager::Pager(std::unique_ptr<BlockFile> file,
+             std::unique_ptr<BlockFile> journal, const PagerOptions& options)
     : file_(std::move(file)),
-      page_size_(options.page_size),
-      cache_frames_(options.cache_frames) {}
+      journal_(std::move(journal)),
+      block_size_(options.page_size),
+      payload_size_(options.page_size -
+                    (options.checksums ? kPageHeaderSize : 0)),
+      payload_offset_(options.checksums ? kPageHeaderSize : 0),
+      checksums_(options.checksums),
+      cache_frames_(options.cache_frames),
+      block_scratch_(options.page_size),
+      journal_scratch_(JournalBlockSize(options.page_size)) {}
 
 Status Pager::Open(std::unique_ptr<BlockFile> file,
                    const PagerOptions& options, std::unique_ptr<Pager>* out) {
-  if (options.page_size < sizeof(MetaPage) || options.page_size < 64) {
+  return Open(std::move(file), nullptr, options, out);
+}
+
+Status Pager::Open(std::unique_ptr<BlockFile> file,
+                   std::unique_ptr<BlockFile> journal,
+                   const PagerOptions& options, std::unique_ptr<Pager>* out) {
+  size_t min_block = 64 + (options.checksums ? kPageHeaderSize : 0);
+  if (options.page_size < min_block || options.page_size < kMetaSize) {
     return Status::InvalidArgument("page size too small");
   }
   if (file->block_size() != options.page_size) {
     return Status::InvalidArgument("file block size != pager page size");
   }
-  std::unique_ptr<Pager> pager(new Pager(std::move(file), options));
+  if (journal != nullptr &&
+      journal->block_size() != JournalBlockSize(options.page_size)) {
+    return Status::InvalidArgument(
+        "journal block size != page size + kJournalBlockOverhead");
+  }
+  std::unique_ptr<Pager> pager(
+      new Pager(std::move(file), std::move(journal), options));
+  if (pager->journal_ != nullptr && pager->journal_->BlockCount() > 0) {
+    CDB_RETURN_IF_ERROR(pager->RecoverFromJournal());
+  }
   if (pager->file_->BlockCount() == 0) {
     CDB_RETURN_IF_ERROR(pager->StoreMeta());
+    // Make the empty-but-valid state durable so a crash inside the first
+    // transaction rolls back to a readable database, not a torn file.
+    if (pager->journal_ != nullptr) {
+      CDB_RETURN_IF_ERROR(pager->file_->Sync());
+    }
   } else {
     CDB_RETURN_IF_ERROR(pager->LoadMeta());
+    CDB_RETURN_IF_ERROR(pager->WalkFreeList());
   }
+  pager->txn_base_blocks_ = pager->file_->BlockCount();
   *out = std::move(pager);
   return Status::OK();
 }
@@ -74,48 +144,107 @@ Status Pager::Open(std::unique_ptr<BlockFile> file,
 Pager::~Pager() { Flush().ok(); }
 
 Status Pager::LoadMeta() {
-  std::vector<char> buf(page_size_);
-  CDB_RETURN_IF_ERROR(file_->ReadBlock(0, buf.data()));
-  MetaPage meta;
-  std::memcpy(&meta, buf.data(), sizeof(meta));
-  if (meta.magic != kMetaMagic) return Status::Corruption("bad meta magic");
-  if (meta.page_size != page_size_) {
+  CDB_RETURN_IF_ERROR(file_->ReadBlock(0, block_scratch_.data()));
+  const char* p = block_scratch_.data();
+  uint64_t magic = Load<uint64_t>(p, 0);
+  if (magic == kMetaMagicV1) {
+    return Status::Corruption(
+        "pre-durability (format v1) database; rebuild it with this version");
+  }
+  if (magic != kMetaMagicV2) return Status::Corruption("bad meta magic");
+  uint32_t crc = Load<uint32_t>(p, kMetaCrcOffset);
+  if (crc != Crc32c(p, kMetaCrcOffset)) {
+    ++stats_.checksum_failures;
+    return Status::Corruption("meta page checksum mismatch");
+  }
+  if (Load<uint32_t>(p, 8) != block_size_) {
     return Status::InvalidArgument("page size mismatch with stored file");
   }
-  next_page_id_ = meta.next_page_id;
-  free_head_ = meta.free_head;
-  live_pages_ = meta.live_pages;
+  uint32_t flags = Load<uint32_t>(p, 20);
+  if (((flags & kMetaFlagChecksums) != 0) != checksums_) {
+    return Status::InvalidArgument("checksum mode mismatch with stored file");
+  }
+  next_page_id_ = Load<uint32_t>(p, 12);
+  free_head_ = Load<uint32_t>(p, 16);
+  live_pages_ = Load<uint64_t>(p, 24);
+  commit_seq_ = Load<uint64_t>(p, 32);
   return Status::OK();
 }
 
 Status Pager::StoreMeta() {
-  std::vector<char> buf(page_size_, 0);
-  MetaPage meta;
-  meta.magic = kMetaMagic;
-  meta.page_size = static_cast<uint32_t>(page_size_);
-  meta.next_page_id = next_page_id_;
-  meta.free_head = free_head_;
-  meta.reserved = 0;
-  meta.live_pages = live_pages_;
-  std::memcpy(buf.data(), &meta, sizeof(meta));
-  return file_->WriteBlock(0, buf.data());
+  CDB_RETURN_IF_ERROR(EnsureJournaled(0));
+  CDB_RETURN_IF_ERROR(SyncJournalForWrite());
+  std::vector<char> buf(block_size_, 0);
+  char* p = buf.data();
+  Store<uint64_t>(p, 0, kMetaMagicV2);
+  Store<uint32_t>(p, 8, static_cast<uint32_t>(block_size_));
+  Store<uint32_t>(p, 12, next_page_id_);
+  Store<uint32_t>(p, 16, free_head_);
+  Store<uint32_t>(p, 20, checksums_ ? kMetaFlagChecksums : 0u);
+  Store<uint64_t>(p, 24, live_pages_);
+  Store<uint64_t>(p, 32, txn_seq());
+  Store<uint32_t>(p, kMetaCrcOffset, Crc32c(p, kMetaCrcOffset));
+  return file_->WriteBlock(0, p);
+}
+
+Status Pager::VerifyPageBlock(PageId id, const char* block) {
+  if (!checksums_) return Status::OK();
+  uint32_t magic = Load<uint32_t>(block, 0);
+  uint32_t stored_id = Load<uint32_t>(block, 4);
+  uint32_t crc = Load<uint32_t>(block, 8);
+  uint32_t want = PageCrc(id, 0, block + payload_offset_, payload_size_);
+  if (magic != kPageMagicV1 || stored_id != id || crc != want) {
+    ++stats_.checksum_failures;
+    return Status::Corruption("page " + std::to_string(id) +
+                              " failed checksum verification");
+  }
+  return Status::OK();
+}
+
+Status Pager::WalkFreeList() {
+  free_set_.clear();
+  PageId id = free_head_;
+  uint64_t steps = 0;
+  while (id != kInvalidPageId) {
+    if (id >= next_page_id_) {
+      return Status::Corruption("free list references page " +
+                                std::to_string(id) + " outside the file");
+    }
+    if (++steps > next_page_id_ || free_set_.count(id) > 0) {
+      return Status::Corruption("free list contains a cycle");
+    }
+    if (id >= file_->BlockCount()) {
+      return Status::Corruption("free page " + std::to_string(id) +
+                                " past end of file");
+    }
+    free_set_.insert(id);
+    CDB_RETURN_IF_ERROR(file_->ReadBlock(id, block_scratch_.data()));
+    CDB_RETURN_IF_ERROR(VerifyPageBlock(id, block_scratch_.data()));
+    id = Load<PageId>(block_scratch_.data(), payload_offset_);
+  }
+  if (live_pages_ + free_set_.size() + 1 != next_page_id_) {
+    return Status::Corruption("live page count disagrees with free list");
+  }
+  return Status::OK();
 }
 
 Result<PageId> Pager::Allocate() {
   ++stats_.pages_allocated;
+  txn_active_ = true;
   PageId id;
   if (free_head_ != kInvalidPageId) {
     id = free_head_;
-    // The next-free link lives in the page's first 4 bytes.
+    free_set_.erase(id);
+    // The next-free link lives in the page's first 4 payload bytes.
     Result<PageRef> ref = Fetch(id);
     if (!ref.ok()) return ref.status();
     std::memcpy(&free_head_, ref.value().data(), sizeof(free_head_));
-    std::memset(ref.value().data(), 0, page_size_);
+    std::memset(ref.value().data(), 0, payload_size_);
     ref.value().MarkDirty();
   } else {
     id = next_page_id_++;
     Frame frame;
-    frame.data.assign(page_size_, 0);
+    frame.data.assign(block_size_, 0);
     frame.dirty = true;
     frame.pins = 0;
     auto [it, inserted] = frames_.emplace(id, std::move(frame));
@@ -132,13 +261,24 @@ Result<PageId> Pager::Allocate() {
 
 Status Pager::Free(PageId id) {
   if (id == kInvalidPageId || id >= next_page_id_) {
-    return Status::InvalidArgument("Free of invalid page id");
+    return Status::Corruption("Free of out-of-range page id " +
+                              std::to_string(id));
   }
+  if (free_set_.count(id) > 0) {
+    return Status::Corruption("double free of page " + std::to_string(id));
+  }
+  auto it = frames_.find(id);
+  if (it != frames_.end() && it->second.pins > 0) {
+    return Status::InvalidArgument("Free of pinned page " +
+                                   std::to_string(id));
+  }
+  txn_active_ = true;
   Result<PageRef> ref = Fetch(id);
   if (!ref.ok()) return ref.status();
   std::memcpy(ref.value().data(), &free_head_, sizeof(free_head_));
   ref.value().MarkDirty();
   free_head_ = id;
+  free_set_.insert(id);
   assert(live_pages_ > 0);
   --live_pages_;
   return Status::OK();
@@ -149,18 +289,22 @@ Result<PageRef> Pager::Fetch(PageId id) {
     return Status::InvalidArgument("Fetch of invalid page id " +
                                    std::to_string(id));
   }
+  if (free_set_.count(id) > 0) {
+    return Status::Corruption("Fetch of free page " + std::to_string(id));
+  }
   ++stats_.page_fetches;
   auto it = frames_.find(id);
   if (it == frames_.end()) {
     ++stats_.page_reads;
     Frame frame;
-    frame.data.resize(page_size_);
+    frame.data.resize(block_size_);
     // Pages allocated but never flushed do not exist in the file yet; they
     // were evicted with write-back, so a resident miss means a real read
     // unless the block is past EOF (possible only for never-written pages,
     // which are zero by definition).
     if (id < file_->BlockCount()) {
       CDB_RETURN_IF_ERROR(file_->ReadBlock(id, frame.data.data()));
+      CDB_RETURN_IF_ERROR(VerifyPageBlock(id, frame.data.data()));
     } else {
       std::fill(frame.data.begin(), frame.data.end(), 0);
     }
@@ -182,7 +326,7 @@ Result<PageRef> Pager::Fetch(PageId id) {
     if (frame.pins == 0) --pinned_frames_;
     return st;
   }
-  return PageRef(this, id, frame.data.data());
+  return PageRef(this, id, frame.data.data() + payload_offset_);
 }
 
 void Pager::Unpin(PageId id) {
@@ -202,11 +346,112 @@ void Pager::MarkDirty(PageId id) {
   auto it = frames_.find(id);
   assert(it != frames_.end());
   it->second.dirty = true;
+  txn_active_ = true;
+}
+
+Status Pager::EnsureJournaled(PageId id) {
+  if (journal_ == nullptr) return Status::OK();
+  // Blocks at or past the last commit's end did not exist in the committed
+  // state; rolling back the meta page makes them unreachable, so they need
+  // no pre-image.
+  if (id >= txn_base_blocks_) return Status::OK();
+  if (journaled_.count(id) > 0) return Status::OK();
+  char* rec = journal_scratch_.data();
+  if (!journal_header_written_) {
+    std::memset(rec, 0, journal_scratch_.size());
+    Store<uint64_t>(rec, 0, kJournalMagic);
+    Store<uint64_t>(rec, 8, txn_seq());
+    Store<uint32_t>(rec, 16, static_cast<uint32_t>(block_size_));
+    Store<uint32_t>(rec, 20, Crc32c(rec, 20));
+    CDB_RETURN_IF_ERROR(journal_->WriteBlock(0, rec));
+    journal_header_written_ = true;
+    journal_records_ = 0;
+    journal_synced_ = false;
+  }
+  // The pre-image is the block's content at the last commit: in-place
+  // overwrites only happen after this function ran for the page, so the
+  // file still holds the committed bytes.
+  CDB_RETURN_IF_ERROR(file_->ReadBlock(id, block_scratch_.data()));
+  Store<uint32_t>(rec, 0, id);
+  Store<uint64_t>(rec, 8, txn_seq());
+  std::memcpy(rec + kJournalBlockOverhead, block_scratch_.data(), block_size_);
+  Store<uint32_t>(rec, 4,
+                  PageCrc(id, txn_seq(), rec + kJournalBlockOverhead,
+                          block_size_));
+  CDB_RETURN_IF_ERROR(journal_->WriteBlock(1 + journal_records_, rec));
+  ++journal_records_;
+  ++stats_.journal_records;
+  journaled_.insert(id);
+  journal_synced_ = false;
+  return Status::OK();
+}
+
+Status Pager::SyncJournalForWrite() {
+  if (journal_ == nullptr || journal_synced_) return Status::OK();
+  CDB_RETURN_IF_ERROR(journal_->Sync());
+  journal_synced_ = true;
+  return Status::OK();
+}
+
+Status Pager::InvalidateJournal() {
+  std::memset(journal_scratch_.data(), 0, journal_scratch_.size());
+  CDB_RETURN_IF_ERROR(journal_->WriteBlock(0, journal_scratch_.data()));
+  return journal_->Sync();
+}
+
+Status Pager::RecoverFromJournal() {
+  CDB_RETURN_IF_ERROR(journal_->ReadBlock(0, journal_scratch_.data()));
+  const char* hdr = journal_scratch_.data();
+  uint64_t magic = Load<uint64_t>(hdr, 0);
+  uint32_t crc = Load<uint32_t>(hdr, 20);
+  if (magic != kJournalMagic || crc != Crc32c(hdr, 20)) {
+    // No transaction was in flight (or the header is torn, in which case
+    // no data page was overwritten). Scrub it so stale bytes cannot be
+    // misread later.
+    return InvalidateJournal();
+  }
+  if (Load<uint32_t>(hdr, 16) != block_size_) {
+    return Status::InvalidArgument("journal page size mismatch");
+  }
+  uint64_t seq = Load<uint64_t>(hdr, 8);
+  uint64_t applied = 0;
+  std::vector<char> rec(journal_scratch_.size());
+  for (uint64_t b = 1; b < journal_->BlockCount(); ++b) {
+    CDB_RETURN_IF_ERROR(journal_->ReadBlock(b, rec.data()));
+    PageId id = Load<uint32_t>(rec.data(), 0);
+    uint32_t rec_crc = Load<uint32_t>(rec.data(), 4);
+    uint64_t rec_seq = Load<uint64_t>(rec.data(), 8);
+    if (rec_seq != seq ||
+        rec_crc != PageCrc(id, seq, rec.data() + kJournalBlockOverhead,
+                           block_size_)) {
+      break;  // Torn tail or a stale record from an earlier transaction.
+    }
+    if (id >= file_->BlockCount()) {
+      return Status::Corruption("journal record references unknown block " +
+                                std::to_string(id));
+    }
+    CDB_RETURN_IF_ERROR(
+        file_->WriteBlock(id, rec.data() + kJournalBlockOverhead));
+    ++applied;
+  }
+  if (applied > 0) CDB_RETURN_IF_ERROR(file_->Sync());
+  ++stats_.journal_replays;
+  stats_.pages_rolled_back += applied;
+  return InvalidateJournal();
 }
 
 Status Pager::WriteBack(PageId id, Frame* frame) {
   if (!frame->dirty) return Status::OK();
+  CDB_RETURN_IF_ERROR(EnsureJournaled(id));
+  CDB_RETURN_IF_ERROR(SyncJournalForWrite());
   ++stats_.page_writes;
+  if (checksums_) {
+    char* p = frame->data.data();
+    Store<uint32_t>(p, 0, kPageMagicV1);
+    Store<uint32_t>(p, 4, id);
+    Store<uint32_t>(p, 8, PageCrc(id, 0, p + payload_offset_, payload_size_));
+    Store<uint32_t>(p, 12, 0);
+  }
   CDB_RETURN_IF_ERROR(file_->WriteBlock(id, frame->data.data()));
   frame->dirty = false;
   return Status::OK();
@@ -227,11 +472,39 @@ Status Pager::EvictIfNeeded() {
 }
 
 Status Pager::Flush() {
+  // An empty transaction has nothing to commit — in particular the
+  // destructor's flush after a clean Flush() must not advance the
+  // sequence or touch the file.
+  if (!txn_active_ && !journal_header_written_) return Status::OK();
+  // Journal every pre-image first so one journal sync covers the whole
+  // batch of in-place writes below.
+  if (journal_ != nullptr) {
+    for (auto& [id, frame] : frames_) {
+      if (frame.dirty) CDB_RETURN_IF_ERROR(EnsureJournaled(id));
+    }
+    CDB_RETURN_IF_ERROR(EnsureJournaled(0));
+  }
   for (auto& [id, frame] : frames_) {
     CDB_RETURN_IF_ERROR(WriteBack(id, &frame));
   }
   CDB_RETURN_IF_ERROR(StoreMeta());
-  return file_->Sync();
+  CDB_RETURN_IF_ERROR(file_->Sync());
+  if (journal_ != nullptr) {
+    // Commit point: dropping the journal makes this transaction the state
+    // recovery preserves.
+    if (journal_header_written_) {
+      CDB_RETURN_IF_ERROR(InvalidateJournal());
+    }
+    ++stats_.journal_commits;
+  }
+  commit_seq_ = txn_seq();
+  journaled_.clear();
+  journal_header_written_ = false;
+  journal_records_ = 0;
+  journal_synced_ = true;
+  txn_active_ = false;
+  txn_base_blocks_ = file_->BlockCount();
+  return Status::OK();
 }
 
 Status Pager::DropCache() {

@@ -1,5 +1,6 @@
 // Pager: fixed-size page allocation over a BlockFile, with an integrated
-// LRU buffer pool and page-access accounting.
+// LRU buffer pool, page-access accounting, and (since ISSUE 2) crash-safe
+// durability: checksummed pages plus an atomic commit journal.
 //
 // The paper fixes the page size to 1024 bytes and reports query cost in page
 // accesses; every Fetch() here increments IoStats::page_fetches whether or
@@ -7,12 +8,30 @@
 // warm or cold cache. The pager is single-threaded by design (the paper's
 // structures are evaluated single-user); no latching is provided.
 //
-// On-disk layout:
+// On-disk layout (format v2):
 //   block 0           meta page: magic, page size, next id, free-list head,
-//                     live-page count
-//   block i (i >= 1)  page with id i
+//                     live-page count, commit sequence, CRC32C
+//   block i (i >= 1)  page with id i. With checksums enabled (the default)
+//                     each block is [16-byte PageHeader | payload]; the
+//                     header carries a magic/version word, the page id and
+//                     a CRC32C over (page id, payload), verified on every
+//                     physical read — torn writes, misdirected writes and
+//                     bit rot all surface as Status::Corruption instead of
+//                     wrong query results. page_size() returns the payload
+//                     size clients may use.
 // Freed pages form an intrusive singly-linked free list threaded through
-// their first 4 bytes.
+// their first 4 payload bytes; the full list is walked and validated at
+// Open so double frees are detected exactly.
+//
+// Atomic commit (optional, enabled by passing a journal file to Open):
+// Flush() is then a transaction boundary. Before any in-place overwrite the
+// pager appends the page's last-committed image to a rollback journal and
+// syncs it; the commit point is the journal invalidation after the data
+// file is synced. Open() replays a surviving journal, rolling the file back
+// to its last committed state, so a crash or torn write at any point leaves
+// every Flush() atomically applied or atomically absent (crash_recovery
+// tests sweep every write index). Without a journal the pager behaves as
+// before: checksums still detect corruption but Flush() is not atomic.
 
 #ifndef CDB_STORAGE_PAGER_H_
 #define CDB_STORAGE_PAGER_H_
@@ -21,6 +40,7 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/io_stats.h"
@@ -35,6 +55,13 @@ inline constexpr PageId kInvalidPageId = 0;
 
 /// Default page size, matching the paper's experimental setup.
 inline constexpr size_t kDefaultPageSize = 1024;
+
+/// Bytes of each block reserved for the page header when checksums are
+/// enabled (page_size() shrinks by this much).
+inline constexpr size_t kPageHeaderSize = 16;
+
+/// Per-record framing overhead in the journal file (see JournalBlockSize).
+inline constexpr size_t kJournalBlockOverhead = 16;
 
 class Pager;
 
@@ -72,19 +99,40 @@ class PageRef {
 
 /// Options controlling a Pager instance.
 struct PagerOptions {
+  /// On-disk block size. With checksums the usable payload (page_size())
+  /// is kPageHeaderSize smaller.
   size_t page_size = kDefaultPageSize;
   /// Buffer-pool capacity in frames. The paper's figures are shaped by page
   /// accesses, which are counted independently of residency.
   size_t cache_frames = 64;
+  /// Verify a CRC32C page checksum on every physical read and stamp it on
+  /// every write. The mode is recorded in the meta page; a file must be
+  /// reopened with the mode it was created with.
+  bool checksums = true;
 };
 
 /// See file comment.
 class Pager {
  public:
   /// Creates a pager over `file`. If the file is empty a fresh meta page is
-  /// written; otherwise the meta page is validated against the options.
+  /// written; otherwise the meta page is validated against the options and
+  /// the free list is walked and verified.
   static Status Open(std::unique_ptr<BlockFile> file,
                      const PagerOptions& options, std::unique_ptr<Pager>* out);
+
+  /// As above, with an atomic-commit journal. `journal` must have block
+  /// size JournalBlockSize(options.page_size); if it holds a committed
+  /// rollback journal from a crashed process, Open rolls `file` back to its
+  /// last consistent state before reading the meta page.
+  static Status Open(std::unique_ptr<BlockFile> file,
+                     std::unique_ptr<BlockFile> journal,
+                     const PagerOptions& options, std::unique_ptr<Pager>* out);
+
+  /// Block size the journal file must be created with for a given data
+  /// page size (one journal block frames one page image).
+  static size_t JournalBlockSize(size_t page_size) {
+    return page_size + kJournalBlockOverhead;
+  }
 
   ~Pager();
   Pager(const Pager&) = delete;
@@ -93,16 +141,23 @@ class Pager {
   /// Allocates a zeroed page (recycling the free list first).
   Result<PageId> Allocate();
 
-  /// Returns `id` to the free list. The page must be unpinned.
+  /// Returns `id` to the free list. The page must be live and unpinned;
+  /// freeing a page that is already free (or out of range) returns
+  /// Status::Corruption without touching the list.
   Status Free(PageId id);
 
-  /// Pins page `id` and returns a reference to its bytes.
+  /// Pins page `id` and returns a reference to its bytes. Physical reads
+  /// verify the page checksum; a mismatch returns Status::Corruption.
   Result<PageRef> Fetch(PageId id);
 
-  /// Writes back all dirty frames and the meta page.
+  /// Writes back all dirty frames and the meta page. With a journal this
+  /// is an atomic transaction boundary: after a crash anywhere inside (or
+  /// after) Flush, reopening yields either the previous committed state or
+  /// this one, never a mixture.
   Status Flush();
 
-  size_t page_size() const { return page_size_; }
+  /// Usable bytes per page (block size minus the checksum header).
+  size_t page_size() const { return payload_size_; }
 
   /// Pages currently allocated (excludes meta page and free-listed pages).
   /// This is the "disk space" metric of Figure 10.
@@ -110,6 +165,17 @@ class Pager {
 
   /// Total blocks in the backing file, including meta and free pages.
   uint64_t file_page_count() const { return next_page_id_; }
+
+  /// Commits completed (persisted in the meta page; 0 for a fresh file).
+  uint64_t commit_seq() const { return commit_seq_; }
+
+  bool checksums_enabled() const { return checksums_; }
+  bool journal_enabled() const { return journal_ != nullptr; }
+
+  /// Ids currently on the free list (exact: rebuilt from disk at Open,
+  /// maintained by Allocate/Free). Used by Free's double-free defense and
+  /// the cdb_check integrity checker.
+  const std::unordered_set<PageId>& free_pages() const { return free_set_; }
 
   const IoStats& stats() const { return stats_; }
   IoStats* mutable_stats() { return &stats_; }
@@ -129,14 +195,15 @@ class Pager {
 
  private:
   struct Frame {
-    std::vector<char> data;
+    std::vector<char> data;  // Full block; payload at payload_offset_.
     bool dirty = false;
     int pins = 0;
     std::list<PageId>::iterator lru_pos;  // Valid iff pins == 0.
     bool in_lru = false;
   };
 
-  Pager(std::unique_ptr<BlockFile> file, const PagerOptions& options);
+  Pager(std::unique_ptr<BlockFile> file, std::unique_ptr<BlockFile> journal,
+        const PagerOptions& options);
 
   friend class PageRef;
   void Unpin(PageId id);
@@ -144,20 +211,48 @@ class Pager {
 
   Status LoadMeta();
   Status StoreMeta();
+  Status WalkFreeList();
   Status EvictIfNeeded();
   Status WriteBack(PageId id, Frame* frame);
+  Status VerifyPageBlock(PageId id, const char* block);
+
+  // Journal machinery (all no-ops when journal_ is null).
+  uint64_t txn_seq() const { return commit_seq_ + 1; }
+  Status EnsureJournaled(PageId id);
+  Status SyncJournalForWrite();
+  Status InvalidateJournal();
+  Status RecoverFromJournal();
 
   std::unique_ptr<BlockFile> file_;
-  size_t page_size_;
+  std::unique_ptr<BlockFile> journal_;  // Null = no atomic commit.
+  size_t block_size_;
+  size_t payload_size_;
+  size_t payload_offset_;  // kPageHeaderSize with checksums, else 0.
+  bool checksums_;
   size_t cache_frames_;
 
   PageId next_page_id_ = 1;  // Block 0 is the meta page.
   PageId free_head_ = kInvalidPageId;
   uint64_t live_pages_ = 0;
+  uint64_t commit_seq_ = 0;
   size_t pinned_frames_ = 0;  // Frames with pins > 0.
+
+  std::unordered_set<PageId> free_set_;
+
+  // Transaction state: pages whose pre-images are in the journal, how many
+  // records were appended, and whether they are durable yet.
+  std::unordered_set<PageId> journaled_;
+  uint32_t journal_records_ = 0;
+  bool journal_header_written_ = false;
+  bool journal_synced_ = true;
+  bool txn_active_ = false;  // Any mutation since the last commit?
+  uint64_t txn_base_blocks_ = 0;  // BlockCount() at the last commit.
 
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // Front = most recently used, unpinned only.
+
+  std::vector<char> block_scratch_;    // One data block (pre-image reads).
+  std::vector<char> journal_scratch_;  // One journal block.
 
   IoStats stats_;
 };

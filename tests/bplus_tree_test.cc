@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/rng.h"
+#include "pager_test_util.h"
 #include "storage/file.h"
 
 namespace cdb {
@@ -26,6 +27,10 @@ struct TreeFixture {
         Pager::Open(std::make_unique<MemFile>(page_size), opts, &pager).ok());
     EXPECT_TRUE(BPlusTree::Create(pager.get(), &tree).ok());
   }
+
+  // Pins are never released spontaneously, so a leak anywhere in the test
+  // is still visible here.
+  ~TreeFixture() { ExpectNoPinnedFrames(*pager); }
 };
 
 using Entry = std::pair<double, uint32_t>;

@@ -1,0 +1,187 @@
+// Tests for the offline integrity checker (db/check.h).
+
+#include "db/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "storage/file.h"
+#include "workload/generator.h"
+
+namespace cdb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void RemoveDb(const std::string& path) {
+  std::filesystem::remove(path + ".rel");
+  std::filesystem::remove(path + ".idx");
+  std::filesystem::remove(path + ".rel-journal");
+  std::filesystem::remove(path + ".idx-journal");
+}
+
+TEST(CheckTest, InMemoryDatabaseChecksOut) {
+  DatabaseOptions opts;
+  opts.in_memory = true;
+  opts.index_options.support_vertical = true;
+  std::unique_ptr<ConstraintDatabase> db;
+  ASSERT_TRUE(ConstraintDatabase::Open("mem", opts, &db).ok());
+  Rng rng(7);
+  WorkloadOptions wopts;
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(db->Insert(RandomBoundedTuple(&rng, wopts)).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+
+  CheckReport report;
+  Status st = CheckDatabase(db.get(), &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.pages_checked, 0u);
+  EXPECT_EQ(report.trees_checked, db->index()->tree_count());
+  EXPECT_EQ(report.Summary().substr(0, 3), "ok:");
+}
+
+TEST(CheckTest, FileBackedDatabaseChecksOutAndJournals) {
+  std::string path = TempPath("cdb_check_test_clean");
+  RemoveDb(path);
+  DatabaseOptions opts;
+  std::unique_ptr<ConstraintDatabase> db;
+  ASSERT_TRUE(ConstraintDatabase::Open(path, opts, &db).ok());
+  EXPECT_TRUE(db->index_pager()->journal_enabled());
+  EXPECT_TRUE(db->index_pager()->checksums_enabled());
+  Rng rng(11);
+  WorkloadOptions wopts;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(db->Insert(RandomBoundedTuple(&rng, wopts)).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  CheckReport report;
+  ASSERT_TRUE(CheckDatabase(db.get(), &report).ok());
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  db.reset();
+  EXPECT_TRUE(std::filesystem::exists(path + ".idx-journal"));
+  RemoveDb(path);
+}
+
+TEST(CheckTest, PagerIntegrityFindsCorruptPage) {
+  auto data = std::make_shared<MemFile>(256);
+  PagerOptions popts;
+  popts.page_size = 256;
+  std::vector<PageId> ids;
+  {
+    std::unique_ptr<Pager> pager;
+    ASSERT_TRUE(Pager::Open(std::make_unique<SharedFile>(data), popts, &pager)
+                    .ok());
+    for (int i = 0; i < 3; ++i) {
+      Result<PageId> id = pager->Allocate();
+      ASSERT_TRUE(id.ok());
+      ids.push_back(id.value());
+      Result<PageRef> ref = pager->Fetch(id.value());
+      ASSERT_TRUE(ref.ok());
+      ref.value().data()[0] = static_cast<char>('a' + i);
+      ref.value().MarkDirty();
+    }
+    ASSERT_TRUE(pager->Flush().ok());
+  }
+  std::vector<char> block(256);
+  ASSERT_TRUE(data->ReadBlock(ids[1], block.data()).ok());
+  block[kPageHeaderSize + 9] ^= 0x10;
+  ASSERT_TRUE(data->WriteBlock(ids[1], block.data()).ok());
+
+  std::unique_ptr<Pager> pager;
+  ASSERT_TRUE(
+      Pager::Open(std::make_unique<SharedFile>(data), popts, &pager).ok());
+  CheckReport report;
+  Status st = CheckPagerIntegrity(pager.get(), &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_NE(report.violations[0].find(std::to_string(ids[1])),
+            std::string::npos);
+  EXPECT_EQ(report.pages_checked, 2u);  // The two intact pages.
+  EXPECT_EQ(report.Summary().substr(0, 6), "FAILED");
+}
+
+TEST(CheckTest, BitFlipInDatabaseFileIsDetected) {
+  std::string path = TempPath("cdb_check_test_flip");
+  RemoveDb(path);
+  DatabaseOptions opts;
+  {
+    std::unique_ptr<ConstraintDatabase> db;
+    ASSERT_TRUE(ConstraintDatabase::Open(path, opts, &db).ok());
+    Rng rng(3);
+    WorkloadOptions wopts;
+    for (int i = 0; i < 80; ++i) {
+      ASSERT_TRUE(db->Insert(RandomBoundedTuple(&rng, wopts)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  // Flip one byte in the middle of the last index block — a tree page.
+  std::string idx = path + ".idx";
+  auto size = std::filesystem::file_size(idx);
+  ASSERT_GT(size, opts.page_size * 2);
+  std::fstream f(idx, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  std::streamoff target =
+      static_cast<std::streamoff>(size - opts.page_size / 2);
+  f.seekg(target);
+  char byte = 0;
+  f.get(byte);
+  f.seekp(target);
+  f.put(static_cast<char>(byte ^ 0x04));
+  f.close();
+
+  // The damage surfaces either at open (if the page is read then) or in the
+  // checker's cold sweep — never silently.
+  std::unique_ptr<ConstraintDatabase> db;
+  Status st = ConstraintDatabase::Open(path, opts, &db);
+  if (st.ok()) {
+    CheckReport report;
+    ASSERT_TRUE(CheckDatabase(db.get(), &report).ok());
+    EXPECT_FALSE(report.ok());
+    EXPECT_GE(report.violations.size(), 1u);
+  } else {
+    EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  }
+  RemoveDb(path);
+}
+
+TEST(CheckTest, TreeCheckersCountSoundTrees) {
+  PagerOptions popts;
+  popts.page_size = 512;
+  std::unique_ptr<Pager> pager;
+  ASSERT_TRUE(
+      Pager::Open(std::make_unique<MemFile>(512), popts, &pager).ok());
+
+  std::vector<std::pair<double, uint32_t>> entries;
+  for (uint32_t i = 0; i < 300; ++i) {
+    entries.push_back({static_cast<double>(i), i});
+  }
+  std::unique_ptr<BPlusTree> btree;
+  ASSERT_TRUE(BPlusTree::BulkLoad(pager.get(), entries, 0.8, &btree).ok());
+
+  std::vector<std::pair<Rect, TupleId>> rects;
+  Rng rng(5);
+  for (TupleId i = 0; i < 100; ++i) {
+    double x = rng.Uniform(0, 90), y = rng.Uniform(0, 90);
+    rects.push_back({Rect(x, y, x + 5, y + 5), i});
+  }
+  std::unique_ptr<RPlusTree> rtree;
+  ASSERT_TRUE(RPlusTree::BulkBuild(pager.get(), rects, &rtree).ok());
+
+  CheckReport report;
+  ASSERT_TRUE(CheckBPlusTree(*btree, &report).ok());
+  ASSERT_TRUE(CheckRPlusTree(*rtree, &report).ok());
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.trees_checked, 2u);
+}
+
+}  // namespace
+}  // namespace cdb

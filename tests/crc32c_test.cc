@@ -1,0 +1,58 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace cdb {
+namespace {
+
+// Reference vectors from RFC 3720 appendix B.4 (iSCSI CRC32C examples).
+TEST(Crc32cTest, KnownVectors) {
+  std::vector<char> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+
+  std::vector<unsigned char> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+
+  std::vector<unsigned char> ascending(32);
+  for (size_t i = 0; i < 32; ++i) ascending[i] = static_cast<unsigned char>(i);
+  EXPECT_EQ(Crc32c(ascending.data(), ascending.size()), 0x46DD794Eu);
+
+  // The classic check string.
+  const char* digits = "123456789";
+  EXPECT_EQ(Crc32c(digits, std::strlen(digits)), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendComposesOverSplits) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SensitiveToEveryBit) {
+  std::vector<char> buf(64, 0x5A);
+  uint32_t base = Crc32c(buf.data(), buf.size());
+  for (size_t byte = 0; byte < buf.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      buf[byte] = static_cast<char>(buf[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32c(buf.data(), buf.size()), base)
+          << "flip at byte " << byte << " bit " << bit;
+      buf[byte] = static_cast<char>(buf[byte] ^ (1 << bit));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdb

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "pager_test_util.h"
 #include "storage/file.h"
 #include "workload/generator.h"
 #include "workload/query_gen.h"
@@ -33,6 +34,13 @@ struct IndexFixture {
   explicit IndexFixture(uint64_t seed) : rng(seed) {
     EXPECT_TRUE(
         Relation::Open(rel_pager.get(), kInvalidPageId, &relation).ok());
+  }
+
+  // Pins are never released spontaneously, so a query that leaked one
+  // anywhere in the test is still caught here.
+  ~IndexFixture() {
+    ExpectNoPinnedFrames(*rel_pager);
+    ExpectNoPinnedFrames(*idx_pager);
   }
 
   void Populate(int n, bool include_unbounded = false) {

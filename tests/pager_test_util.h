@@ -1,0 +1,38 @@
+// Shared test helpers for pager hygiene.
+//
+// Every index operation must unpin the pages it fetched before returning:
+// a leaked pin permanently wedges a buffer-pool frame (it can never be
+// evicted) and, with a small cache, eventually makes every fetch fail.
+// Tests call ExpectNoPinnedFrames after each query / mutation batch so a
+// leak is caught at its source rather than as an eviction failure later.
+
+#ifndef CDB_TESTS_PAGER_TEST_UTIL_H_
+#define CDB_TESTS_PAGER_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "storage/pager.h"
+
+namespace cdb {
+
+inline void ExpectNoPinnedFrames(const Pager& pager) {
+  EXPECT_EQ(pager.pinned_frame_count(), 0u)
+      << "an operation returned while still holding a page pin";
+}
+
+/// Scope guard variant: asserts on destruction that the pager holds no
+/// pinned frames (use around a block of operations).
+class PinHygieneGuard {
+ public:
+  explicit PinHygieneGuard(const Pager* pager) : pager_(pager) {}
+  ~PinHygieneGuard() { ExpectNoPinnedFrames(*pager_); }
+  PinHygieneGuard(const PinHygieneGuard&) = delete;
+  PinHygieneGuard& operator=(const PinHygieneGuard&) = delete;
+
+ private:
+  const Pager* pager_;
+};
+
+}  // namespace cdb
+
+#endif  // CDB_TESTS_PAGER_TEST_UTIL_H_

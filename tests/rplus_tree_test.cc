@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/rng.h"
+#include "pager_test_util.h"
 #include "rtree/rtree_query.h"
 #include "storage/file.h"
 #include "workload/generator.h"
@@ -12,13 +13,22 @@
 namespace cdb {
 namespace {
 
-std::unique_ptr<Pager> MakePager() {
+// Owns the pager and asserts at scope end that no search leaked a pin.
+struct GuardedPager {
+  std::unique_ptr<Pager> pager;
+  Pager* get() const { return pager.get(); }
+  ~GuardedPager() {
+    if (pager != nullptr) ExpectNoPinnedFrames(*pager);
+  }
+};
+
+GuardedPager MakePager() {
   PagerOptions opts;
   opts.page_size = 1024;
   std::unique_ptr<Pager> pager;
   EXPECT_TRUE(
       Pager::Open(std::make_unique<MemFile>(1024), opts, &pager).ok());
-  return pager;
+  return {std::move(pager)};
 }
 
 std::vector<std::pair<Rect, TupleId>> RandomRects(Rng* rng, int n,

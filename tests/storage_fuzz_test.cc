@@ -14,7 +14,7 @@
 namespace cdb {
 namespace {
 
-constexpr size_t kPageSize = 128;
+constexpr size_t kBlockSize = 128;
 
 class PagerFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
@@ -25,11 +25,15 @@ TEST_P(PagerFuzzTest, MatchesModel) {
   // of the observable state — instead, keep one pager and emulate reopen
   // with DropCache (cold reads exercise the same read paths).
   PagerOptions opts;
-  opts.page_size = kPageSize;
+  opts.page_size = kBlockSize;
   opts.cache_frames = static_cast<size_t>(rng.UniformInt(2, 8));
   std::unique_ptr<Pager> pager;
   ASSERT_TRUE(
-      Pager::Open(std::make_unique<MemFile>(kPageSize), opts, &pager).ok());
+      Pager::Open(std::make_unique<MemFile>(kBlockSize), opts, &pager).ok());
+  // The usable payload is smaller than the block: a 16-byte checksum header
+  // (verified on every physical read) leads each on-disk block.
+  const size_t payload = pager->page_size();
+  ASSERT_EQ(payload, kBlockSize - 16);
 
   std::map<PageId, std::vector<char>> model;  // Live page -> contents.
   for (int op = 0; op < 3000; ++op) {
@@ -39,7 +43,7 @@ TEST_P(PagerFuzzTest, MatchesModel) {
       Result<PageId> id = pager->Allocate();
       ASSERT_TRUE(id.ok());
       ASSERT_EQ(model.count(id.value()), 0u) << "double allocation";
-      model[id.value()] = std::vector<char>(kPageSize, 0);
+      model[id.value()] = std::vector<char>(payload, 0);
     } else if (dice < 45) {
       // Free a random live page.
       auto it = model.begin();
@@ -52,9 +56,10 @@ TEST_P(PagerFuzzTest, MatchesModel) {
       std::advance(it, rng.UniformInt(0, static_cast<int64_t>(model.size()) - 1));
       Result<PageRef> ref = pager->Fetch(it->first);
       ASSERT_TRUE(ref.ok());
-      size_t off = static_cast<size_t>(rng.UniformInt(0, kPageSize - 1));
+      size_t off = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(payload) - 1));
       size_t len = static_cast<size_t>(
-          rng.UniformInt(1, static_cast<int64_t>(kPageSize - off)));
+          rng.UniformInt(1, static_cast<int64_t>(payload - off)));
       for (size_t i = 0; i < len; ++i) {
         char v = static_cast<char>(rng.UniformInt(0, 255));
         ref.value().data()[off + i] = v;
@@ -67,7 +72,7 @@ TEST_P(PagerFuzzTest, MatchesModel) {
       std::advance(it, rng.UniformInt(0, static_cast<int64_t>(model.size()) - 1));
       Result<PageRef> ref = pager->Fetch(it->first);
       ASSERT_TRUE(ref.ok());
-      ASSERT_EQ(std::memcmp(ref.value().data(), it->second.data(), kPageSize),
+      ASSERT_EQ(std::memcmp(ref.value().data(), it->second.data(), payload),
                 0)
           << "page " << it->first << " diverged at op " << op;
     } else if (dice < 98) {
@@ -82,7 +87,7 @@ TEST_P(PagerFuzzTest, MatchesModel) {
   for (const auto& [id, bytes] : model) {
     Result<PageRef> ref = pager->Fetch(id);
     ASSERT_TRUE(ref.ok());
-    ASSERT_EQ(std::memcmp(ref.value().data(), bytes.data(), kPageSize), 0);
+    ASSERT_EQ(std::memcmp(ref.value().data(), bytes.data(), payload), 0);
   }
 }
 
