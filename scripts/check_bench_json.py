@@ -111,8 +111,61 @@ def _check_micro_substrates(doc, errors):
             f"exceeds budget {WARM_OVERHEAD_BUDGET}")
 
 
+# Going from 1 to 2 worker threads must not *lose* throughput. On a
+# single-core machine the parallel path cannot speed anything up, so the
+# rule only demands the warm curve stays within a scheduler-noise floor of
+# flat — it is a regression guard against lock contention on the sharded
+# pool, not a speedup claim (the bench measures honestly; see ISSUE 3).
+SCALING_NOISE_FLOOR = 0.9
+
+
+def _check_throughput_scaling(doc, errors):
+    """Semantic rules for the throughput_scaling artifact: the 1-thread
+    executor must reproduce serial accounting exactly, no query may fail,
+    and warm throughput must be monotone (within noise) from 1 to 2
+    threads."""
+    warm_qps = {}
+    accounting = None
+    for m in doc.get("measurements", []):
+        if not isinstance(m, dict):
+            continue
+        values = m.get("values")
+        if not isinstance(values, dict):
+            continue
+        if m.get("label") == "accounting":
+            accounting = values.get("accounting_match")
+        if m.get("label") in ("warm", "cold"):
+            failed = values.get("failed")
+            if _is_number(failed) and failed != 0:
+                errors.append(
+                    f"throughput_scaling: {m.get('label')} run reports "
+                    f"{failed} failed queries")
+        if m.get("label") == "warm":
+            params = m.get("params")
+            threads = params.get("threads") if isinstance(params, dict) else None
+            if _is_number(threads) and _is_number(values.get("qps")):
+                warm_qps[threads] = values["qps"]
+    if accounting is None:
+        errors.append("throughput_scaling: no accounting_match measurement")
+    elif accounting != 1:
+        errors.append(
+            "throughput_scaling: 1-thread executor accounting diverged "
+            f"from serial Select (accounting_match={accounting!r})")
+    if 1 not in warm_qps or 2 not in warm_qps:
+        errors.append("throughput_scaling: missing warm qps for "
+                      "threads=1 and threads=2")
+        return
+    if warm_qps[2] < SCALING_NOISE_FLOOR * warm_qps[1]:
+        errors.append(
+            f"throughput_scaling: warm qps dropped from {warm_qps[1]:.0f} "
+            f"(1 thread) to {warm_qps[2]:.0f} (2 threads); below the "
+            f"{SCALING_NOISE_FLOOR} noise floor, so the parallel path is "
+            "losing throughput to contention")
+
+
 _SEMANTIC_RULES = {
     "micro_substrates": _check_micro_substrates,
+    "throughput_scaling": _check_throughput_scaling,
 }
 
 
@@ -191,6 +244,26 @@ _GOOD_MICRO = {
 }
 
 
+_GOOD_THROUGHPUT = {
+    "schema": SCHEMA,
+    "bench": "throughput_scaling",
+    "measurements": [
+        {"label": "accounting", "params": {},
+         "values": {"accounting_match": 1, "queries_checked": 256}},
+        {"label": "cold", "params": {"threads": 1},
+         "values": {"qps": 350.0, "wall_ms": 731.4, "queries": 256,
+                    "failed": 0}},
+        {"label": "warm", "params": {"threads": 1},
+         "values": {"qps": 360.0, "wall_ms": 711.1, "queries": 256,
+                    "failed": 0}},
+        {"label": "warm", "params": {"threads": 2},
+         "values": {"qps": 355.0, "wall_ms": 721.1, "queries": 256,
+                    "failed": 0}},
+    ],
+    "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+}
+
+
 def self_test():
     import copy
 
@@ -237,11 +310,32 @@ def self_test():
     broken_micro(lambda d: d["measurements"].pop(1),
                  "micro_substrates sans overhead measurement")
 
+    expect(_GOOD_THROUGHPUT, True, "good throughput_scaling artifact")
+
+    def broken_throughput(mutate, what):
+        doc = copy.deepcopy(_GOOD_THROUGHPUT)
+        mutate(doc)
+        expect(doc, False, what)
+
+    broken_throughput(
+        lambda d: d["measurements"][0]["values"].update(accounting_match=0),
+        "executor accounting diverged from serial")
+    broken_throughput(lambda d: d["measurements"].pop(0),
+                      "throughput_scaling sans accounting measurement")
+    broken_throughput(
+        lambda d: d["measurements"][3]["values"].update(qps=100.0),
+        "2-thread warm qps below the noise floor")
+    broken_throughput(lambda d: d["measurements"].pop(3),
+                      "throughput_scaling sans 2-thread warm row")
+    broken_throughput(
+        lambda d: d["measurements"][1]["values"].update(failed=3),
+        "cold run with failed queries")
+
     if failures:
         for f in failures:
             print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
         return 1
-    print("self-test OK (2 good + 12 broken artifacts)")
+    print("self-test OK (3 good + 17 broken artifacts)")
     return 0
 
 

@@ -1,21 +1,42 @@
 #!/usr/bin/env sh
-# Configure an ASan+UBSan build in build-asan/ and run the storage /
-# durability test suites under it (`ctest -L sanitize`). These are the
-# suites that exercise raw page buffers, journal replay, and fault
-# injection — the places where a latent out-of-bounds write or
-# use-after-evict would hide.
+# Configure a sanitizer build and run the test suites that need it.
 #
-# Usage: scripts/run_sanitized.sh [extra ctest args...]
+#   scripts/run_sanitized.sh [asan|tsan] [extra ctest args...]
+#
+# asan (default): ASan+UBSan in build-asan/, runs `ctest -L sanitize` —
+#   the storage / durability suites that exercise raw page buffers,
+#   journal replay, and fault injection, where a latent out-of-bounds
+#   write or use-after-evict would hide.
+# tsan: ThreadSanitizer in build-tsan/, runs `ctest -L tsan` — the
+#   concurrent-read pager, executor, and metrics suites (ISSUE 3), where a
+#   data race on the sharded buffer pool or the stats plumbing would hide.
+#   TSan cannot be combined with ASan, hence the separate build tree.
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="$repo/build-asan"
 
-cmake -S "$repo" -B "$build" -G Ninja \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCDB_SANITIZE=address,undefined
-cmake --build "$build"
+mode="asan"
+if [ "$#" -gt 0 ]; then
+  case "$1" in
+    asan|tsan) mode="$1"; shift ;;
+  esac
+fi
 
-ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}" \
-UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
-  ctest --test-dir "$build" -L sanitize --output-on-failure "$@"
+if [ "$mode" = "tsan" ]; then
+  build="$repo/build-tsan"
+  cmake -S "$repo" -B "$build" -G Ninja \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCDB_SANITIZE=thread
+  cmake --build "$build"
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}" \
+    ctest --test-dir "$build" -L tsan --output-on-failure "$@"
+else
+  build="$repo/build-asan"
+  cmake -S "$repo" -B "$build" -G Ninja \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCDB_SANITIZE=address,undefined
+  cmake --build "$build"
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+    ctest --test-dir "$build" -L sanitize --output-on-failure "$@"
+fi

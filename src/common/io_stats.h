@@ -39,6 +39,23 @@ struct IoStats {
 
   void Reset() { *this = IoStats(); }
 
+  /// Adds `other` counter-wise. Used to fold a PagerReadSession's local
+  /// delta back into the pager-wide accumulator when the session closes.
+  void Merge(const IoStats& other) {
+    page_fetches += other.page_fetches;
+    page_reads += other.page_reads;
+    page_writes += other.page_writes;
+    pages_allocated += other.pages_allocated;
+    buffer_hits += other.buffer_hits;
+    buffer_evictions += other.buffer_evictions;
+    dirty_writebacks += other.dirty_writebacks;
+    checksum_failures += other.checksum_failures;
+    journal_records += other.journal_records;
+    journal_commits += other.journal_commits;
+    journal_replays += other.journal_replays;
+    pages_rolled_back += other.pages_rolled_back;
+  }
+
   IoStats Delta(const IoStats& earlier) const {
     IoStats d;
     d.page_fetches = page_fetches - earlier.page_fetches;

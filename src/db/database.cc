@@ -208,6 +208,13 @@ Result<std::vector<TupleId>> ConstraintDatabase::SelectVertical(
   return index_->SelectVertical(type, q, stats);
 }
 
+Status ConstraintDatabase::SelectBatch(
+    const std::vector<exec::BatchQuery>& batch, size_t threads,
+    std::vector<exec::BatchItemResult>* results) {
+  exec::QueryExecutor executor(threads);
+  return executor.RunBatch(index_.get(), batch, results);
+}
+
 Status ConstraintDatabase::ParseQueryText(const std::string& text,
                                           SelectionType* type, bool* vertical,
                                           HalfPlaneQuery* hp,

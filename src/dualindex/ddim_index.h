@@ -86,6 +86,12 @@ class DDimDualIndex {
   size_t tuple_count() const { return relation_->size(); }
   uint64_t live_page_count() const { return pager_->live_page_count(); }
 
+  /// Pagers for exec::QueryExecutor read sessions. Select is stateless per
+  /// call (Voronoi cells are precomputed at Create and read-only after), so
+  /// concurrent Selects are safe in concurrent-read mode.
+  Pager* pager() const { return pager_; }
+  RelationD* relation() const { return relation_; }
+
  private:
   DDimDualIndex(Pager* pager, RelationD* relation,
                 std::vector<std::vector<double>> slope_points)

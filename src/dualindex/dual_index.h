@@ -167,6 +167,14 @@ class DualIndex {
   /// Pages currently used by the index (Figure 10 metric).
   uint64_t live_page_count() const { return pager_->live_page_count(); }
 
+  /// The pagers a read session must cover to run Select on a worker thread
+  /// (exec::QueryExecutor). Select/SelectVertical/SelectSlab keep no shared
+  /// mutable state of their own — sweeps use stack-local leaf cursors — so
+  /// they are safe to call concurrently while both pagers are in
+  /// concurrent-read mode and no mutation runs.
+  Pager* pager() const { return pager_; }
+  Relation* relation() const { return relation_; }
+
  private:
   DualIndex(Pager* pager, Relation* relation, SlopeSet slopes,
             const DualIndexOptions& options)

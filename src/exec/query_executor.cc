@@ -1,0 +1,178 @@
+#include "exec/query_executor.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "storage/pager.h"
+
+namespace cdb {
+namespace exec {
+
+Status FirstError(const std::vector<BatchItemResult>& results) {
+  for (const BatchItemResult& r : results) {
+    if (!r.status.ok()) return r.status;
+  }
+  return Status::OK();
+}
+
+QueryExecutor::QueryExecutor(size_t threads) {
+  size_t n = threads == 0 ? 1 : threads;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryExecutor::~QueryExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void QueryExecutor::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    std::vector<Pager*> pagers;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      batch = current_;
+      pagers = session_pagers_;
+    }
+    {
+      // One read session per pager for this worker's whole share of the
+      // batch; destruction (reverse order, RAII) merges the thread's
+      // IoStats delta back into each pager.
+      std::vector<std::unique_ptr<PagerReadSession>> sessions;
+      sessions.reserve(pagers.size());
+      for (Pager* p : pagers) {
+        sessions.push_back(std::make_unique<PagerReadSession>(p));
+      }
+      for (;;) {
+        size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch->n) break;
+        (*batch->job)(i);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++batch->finished_workers == workers_.size()) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+Status QueryExecutor::RunSharded(std::vector<Pager*> pagers, size_t n,
+                                 const std::function<void(size_t)>& job) {
+  std::sort(pagers.begin(), pagers.end());
+  pagers.erase(std::unique(pagers.begin(), pagers.end()), pagers.end());
+  pagers.erase(std::remove(pagers.begin(), pagers.end(), nullptr),
+               pagers.end());
+
+  // Mode switch; on partial failure, restore the pagers already switched.
+  for (size_t i = 0; i < pagers.size(); ++i) {
+    Status st = pagers[i]->BeginConcurrentReads();
+    if (!st.ok()) {
+      for (size_t j = 0; j < i; ++j) {
+        pagers[j]->EndConcurrentReads().ok();
+      }
+      return st;
+    }
+  }
+
+  Batch batch;
+  batch.n = n;
+  batch.job = &job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = &batch;
+    session_pagers_ = pagers;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock,
+                  [&] { return batch.finished_workers == workers_.size(); });
+    current_ = nullptr;
+    session_pagers_.clear();
+  }
+
+  Status first_error;
+  for (Pager* p : pagers) {
+    Status st = p->EndConcurrentReads();
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status QueryExecutor::RunBatch(DualIndex* index,
+                               const std::vector<BatchQuery>& batch,
+                               std::vector<BatchItemResult>* results) {
+  results->clear();
+  results->resize(batch.size());
+  auto job = [&](size_t i) {
+    const BatchQuery& q = batch[i];
+    BatchItemResult& out = (*results)[i];
+    Result<std::vector<TupleId>> r =
+        index->Select(q.type, q.query, q.method, &out.stats);
+    if (r.ok()) {
+      out.ids = std::move(r.value());
+    } else {
+      out.status = r.status();
+    }
+  };
+  return RunSharded({index->pager(), index->relation()->pager()},
+                    batch.size(), job);
+}
+
+Status QueryExecutor::RunBatch(RPlusTree* tree, Relation* relation,
+                               const std::vector<BatchQuery>& batch,
+                               std::vector<BatchItemResult>* results) {
+  results->clear();
+  results->resize(batch.size());
+  auto job = [&](size_t i) {
+    const BatchQuery& q = batch[i];
+    BatchItemResult& out = (*results)[i];
+    Result<std::vector<TupleId>> r =
+        RTreeSelect(tree, relation, q.type, q.query, &out.stats);
+    if (r.ok()) {
+      out.ids = std::move(r.value());
+    } else {
+      out.status = r.status();
+    }
+  };
+  return RunSharded({tree->pager(), relation->pager()}, batch.size(), job);
+}
+
+Status QueryExecutor::RunBatch(DDimDualIndex* index,
+                               const std::vector<BatchQueryD>& batch,
+                               std::vector<BatchItemResult>* results) {
+  results->clear();
+  results->resize(batch.size());
+  auto job = [&](size_t i) {
+    const BatchQueryD& q = batch[i];
+    BatchItemResult& out = (*results)[i];
+    Result<std::vector<TupleId>> r =
+        index->Select(q.type, q.query, q.method, &out.stats);
+    if (r.ok()) {
+      out.ids = std::move(r.value());
+    } else {
+      out.status = r.status();
+    }
+  };
+  return RunSharded({index->pager(), index->relation()->pager()},
+                    batch.size(), job);
+}
+
+}  // namespace exec
+}  // namespace cdb

@@ -1,0 +1,132 @@
+// Parallel batch query executor (ISSUE 3 tentpole).
+//
+// The paper evaluates one query at a time; the ROADMAP north star is a
+// system serving many half-plane selections at once. QueryExecutor supplies
+// the serving layer: it owns a fixed pool of worker threads and fans a
+// batch of ALL/EXIST queries out across the dual index, the d-dimensional
+// dual index, or the R+-tree baseline.
+//
+// Protocol per batch (RunSharded):
+//   1. Every pager involved is switched into concurrent-read mode
+//      (Pager::BeginConcurrentReads — sharded buffer pool, read-only).
+//   2. Each worker opens one PagerReadSession per pager, then pulls query
+//      indices off a shared atomic cursor until the batch is drained. The
+//      sessions route each worker's IoStats to thread-local sinks, so the
+//      per-query QueryStats and ExplainProfiles a worker records are exact
+//      — decision 11's page-access accounting survives parallelism.
+//   3. Workers close their sessions (merging stats into Pager::stats())
+//      and the pagers return to exclusive mode.
+//
+// Failure containment: each query's Status lands in its own
+// BatchItemResult; a query failing (e.g. Status::Corruption from a bad
+// page) never aborts the batch, deadlocks a worker, or loses the queries
+// behind it. RunBatch itself only fails when the mode switch does.
+//
+// With one thread the executor visits queries in submission order on a
+// single worker, so its page-access counts are identical to calling
+// DualIndex::Select in a loop (the throughput_scaling bench asserts this).
+
+#ifndef CDB_EXEC_QUERY_EXECUTOR_H_
+#define CDB_EXEC_QUERY_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dualindex/ddim_index.h"
+#include "dualindex/dual_index.h"
+#include "rtree/rtree_query.h"
+
+namespace cdb {
+namespace exec {
+
+/// One 2-d query of a batch.
+struct BatchQuery {
+  SelectionType type = SelectionType::kExist;
+  HalfPlaneQuery query;
+  QueryMethod method = QueryMethod::kAuto;
+};
+
+/// One d-dimensional query of a batch.
+struct BatchQueryD {
+  SelectionType type = SelectionType::kExist;
+  HalfPlaneQueryD query;
+  DDimDualIndex::Method method = DDimDualIndex::Method::kT1;
+};
+
+/// Outcome of one query. `ids` and `stats` are meaningful iff status.ok().
+struct BatchItemResult {
+  Status status;
+  std::vector<TupleId> ids;
+  QueryStats stats;
+};
+
+/// Returns the first non-OK status in `results` (batch-level error
+/// summary), or OK.
+Status FirstError(const std::vector<BatchItemResult>& results);
+
+/// See file comment. Thread-compatible: one batch runs at a time.
+class QueryExecutor {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1). The pool is fixed
+  /// for the executor's lifetime; batches reuse it.
+  explicit QueryExecutor(size_t threads);
+  ~QueryExecutor();
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Runs `batch` against the dual index. `results` is resized to match;
+  /// element i corresponds to batch[i].
+  Status RunBatch(DualIndex* index, const std::vector<BatchQuery>& batch,
+                  std::vector<BatchItemResult>* results);
+
+  /// Runs `batch` against the R+-tree baseline (refined on `relation`).
+  Status RunBatch(RPlusTree* tree, Relation* relation,
+                  const std::vector<BatchQuery>& batch,
+                  std::vector<BatchItemResult>* results);
+
+  /// Runs a d-dimensional batch against the d-dim dual index.
+  Status RunBatch(DDimDualIndex* index, const std::vector<BatchQueryD>& batch,
+                  std::vector<BatchItemResult>* results);
+
+  /// Generic engine behind the typed RunBatch overloads: switches every
+  /// pager in `pagers` (duplicates tolerated) into concurrent-read mode,
+  /// runs job(i) for i in [0, n) across the pool — each worker holding a
+  /// PagerReadSession on every pager — then restores exclusive mode.
+  /// `job` must confine each invocation's effects to index-i state and
+  /// must not throw.
+  Status RunSharded(std::vector<Pager*> pagers, size_t n,
+                    const std::function<void(size_t)>& job);
+
+ private:
+  struct Batch {
+    size_t n = 0;
+    const std::function<void(size_t)>* job = nullptr;
+    std::atomic<size_t> next{0};
+    size_t finished_workers = 0;
+  };
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers wait for a new generation.
+  std::condition_variable done_cv_;  // RunSharded waits for the last worker.
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  Batch* current_ = nullptr;
+  std::vector<Pager*> session_pagers_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace exec
+}  // namespace cdb
+
+#endif  // CDB_EXEC_QUERY_EXECUTOR_H_

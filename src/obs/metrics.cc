@@ -7,23 +7,49 @@
 namespace cdb {
 namespace obs {
 
+namespace {
+
+// Portable atomic add for doubles (atomic<double>::fetch_add is C++20 but
+// not guaranteed lock-free everywhere; a relaxed CAS loop is).
+void AtomicAdd(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 Histogram::Histogram(std::string name, std::vector<double> bounds,
-                     const bool* enabled)
+                     const std::atomic<bool>* enabled)
     : name_(std::move(name)),
       bounds_(std::move(bounds)),
-      counts_(bounds_.size() + 1, 0),
+      counts_(bounds_.size() + 1),
       enabled_(enabled) {}
 
+Histogram::Histogram(Histogram&& o) noexcept
+    : name_(std::move(o.name_)),
+      bounds_(std::move(o.bounds_)),
+      counts_(bounds_.size() + 1),
+      enabled_(o.enabled_),
+      count_(o.count_.load(std::memory_order_relaxed)),
+      sum_(o.sum_.load(std::memory_order_relaxed)) {
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i].store(o.counts_[i].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+}
+
 void Histogram::Observe(double v) {
-  if (!*enabled_) return;
+  if (!enabled_->load(std::memory_order_relaxed)) return;
   size_t i = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
-  ++counts_[i];
-  ++count_;
-  sum_ += v;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, v);
 }
 
 Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
   counter_storage_.push_back(Counter(std::string(name), &enabled_));
@@ -33,6 +59,7 @@ Counter* MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it != gauges_.end()) return it->second;
   gauge_storage_.push_back(Gauge(std::string(name)));
@@ -52,6 +79,7 @@ Result<Histogram*> MetricsRegistry::histogram(std::string_view name,
           "histogram bounds must be strictly increasing");
     }
   }
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) {
     if (it->second->bounds() != bounds) {
@@ -68,16 +96,22 @@ Result<Histogram*> MetricsRegistry::histogram(std::string_view name,
 }
 
 void MetricsRegistry::ResetAll() {
-  for (Counter& c : counter_storage_) c.value_ = 0;
-  for (Gauge& g : gauge_storage_) g.value_ = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter& c : counter_storage_) {
+    c.value_.store(0, std::memory_order_relaxed);
+  }
+  for (Gauge& g : gauge_storage_) {
+    g.value_.store(0, std::memory_order_relaxed);
+  }
   for (Histogram& h : histogram_storage_) {
-    std::fill(h.counts_.begin(), h.counts_.end(), 0);
-    h.count_ = 0;
-    h.sum_ = 0;
+    for (auto& c : h.counts_) c.store(0, std::memory_order_relaxed);
+    h.count_.store(0, std::memory_order_relaxed);
+    h.sum_.store(0, std::memory_order_relaxed);
   }
 }
 
 void MetricsRegistry::WriteJson(JsonWriter* w) const {
+  std::lock_guard<std::mutex> lock(mu_);
   w->BeginObject();
   w->Key("counters").BeginObject();
   for (const auto& [name, c] : counters_) w->Key(name).Value(c->value());

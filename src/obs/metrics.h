@@ -16,13 +16,21 @@
 // gauges are *snapshot* metrics written by export paths (e.g.
 // ExportPagerMetrics) and always store, so a disabled registry still
 // yields a truthful point-in-time export.
+//
+// Thread safety (ISSUE 3): Increment/Observe/Set are atomic (relaxed), so
+// executor worker threads sharing cached handles never lose events;
+// registration and snapshots are serialized on a registry mutex. Handles
+// stay stable (deque storage), so the function-local-static caching idiom
+// at hot call sites remains valid under concurrency.
 
 #ifndef CDB_OBS_METRICS_H_
 #define CDB_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,39 +47,52 @@ namespace obs {
 
 class MetricsRegistry;
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. Increment is safe from any thread.
 class Counter {
  public:
   void Increment(uint64_t n = 1) {
-    if (*enabled_) value_ += n;
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
   }
-  uint64_t value() const { return value_; }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   const std::string& name() const { return name_; }
+
+  // Deque storage moves elements only at registration time (under the
+  // registry mutex), never while another thread can hold the handle.
+  Counter(Counter&& o) noexcept
+      : name_(std::move(o.name_)),
+        enabled_(o.enabled_),
+        value_(o.value_.load(std::memory_order_relaxed)) {}
 
  private:
   friend class MetricsRegistry;
-  Counter(std::string name, const bool* enabled)
+  Counter(std::string name, const std::atomic<bool>* enabled)
       : name_(std::move(name)), enabled_(enabled) {}
 
   std::string name_;
-  const bool* enabled_;
-  uint64_t value_ = 0;
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// Point-in-time value (buffer-pool residency, live pages, ...). Set() is
 /// not gated: gauges are written by export snapshots, not hot loops.
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
   const std::string& name() const { return name_; }
+
+  Gauge(Gauge&& o) noexcept
+      : name_(std::move(o.name_)),
+        value_(o.value_.load(std::memory_order_relaxed)) {}
 
  private:
   friend class MetricsRegistry;
   explicit Gauge(std::string name) : name_(std::move(name)) {}
 
   std::string name_;
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the first
@@ -83,21 +104,28 @@ class Histogram {
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// i in [0, bounds().size()]; the last index is the overflow bucket.
-  uint64_t bucket_count(size_t i) const { return counts_[i]; }
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
   const std::string& name() const { return name_; }
+
+  Histogram(Histogram&& o) noexcept;
 
  private:
   friend class MetricsRegistry;
-  Histogram(std::string name, std::vector<double> bounds, const bool* enabled);
+  Histogram(std::string name, std::vector<double> bounds,
+            const std::atomic<bool>* enabled);
 
   std::string name_;
   std::vector<double> bounds_;
-  std::vector<uint64_t> counts_;  // bounds_.size() + 1 entries.
-  const bool* enabled_;
-  uint64_t count_ = 0;
-  double sum_ = 0;
+  // bounds_.size() + 1 entries (atomics: vector is sized once, at
+  // registration, and only the elements mutate afterwards).
+  std::vector<std::atomic<uint64_t>> counts_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
 };
 
 /// See file comment.
@@ -118,8 +146,10 @@ class MetricsRegistry {
   Result<Histogram*> histogram(std::string_view name,
                                std::vector<double> bounds);
 
-  void SetEnabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Zeroes every counter, gauge, and histogram (handles stay valid).
   void ResetAll();
@@ -130,7 +160,8 @@ class MetricsRegistry {
   std::string ToJson() const;
 
  private:
-  bool enabled_;
+  std::atomic<bool> enabled_;
+  mutable std::mutex mu_;  // Guards the maps and storage below.
   std::deque<Counter> counter_storage_;
   std::deque<Gauge> gauge_storage_;
   std::deque<Histogram> histogram_storage_;

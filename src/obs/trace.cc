@@ -53,8 +53,8 @@ Tracer::Tracer(const char* root_name, Pager* index_pager, Pager* tuple_pager)
   root_.name = root_name;
   root_.invocations = 1;
   stack_.push_back(&root_);
-  if (index_pager_ != nullptr) initial_index_ = index_pager_->stats();
-  if (tuple_pager_ != nullptr) initial_tuple_ = tuple_pager_->stats();
+  if (index_pager_ != nullptr) initial_index_ = index_pager_->ThreadStats();
+  if (tuple_pager_ != nullptr) initial_tuple_ = tuple_pager_->ThreadStats();
   last_index_ = initial_index_;
   last_tuple_ = initial_tuple_;
   initial_time_ = std::chrono::steady_clock::now();
@@ -72,12 +72,12 @@ PhaseCost Tracer::ReadDelta(
     std::chrono::steady_clock::time_point time_base) const {
   PhaseCost d;
   if (index_pager_ != nullptr) {
-    IoStats delta = index_pager_->stats().Delta(index_base);
+    IoStats delta = index_pager_->ThreadStats().Delta(index_base);
     d.index_fetches = delta.page_fetches;
     d.index_reads = delta.page_reads;
   }
   if (tuple_pager_ != nullptr) {
-    IoStats delta = tuple_pager_->stats().Delta(tuple_base);
+    IoStats delta = tuple_pager_->ThreadStats().Delta(tuple_base);
     d.tuple_fetches = delta.page_fetches;
     d.tuple_reads = delta.page_reads;
   }
@@ -89,8 +89,8 @@ PhaseCost Tracer::ReadDelta(
 
 void Tracer::AccumulateToOpenSpan() {
   stack_.back()->self.Add(ReadDelta(last_index_, last_tuple_, last_time_));
-  if (index_pager_ != nullptr) last_index_ = index_pager_->stats();
-  if (tuple_pager_ != nullptr) last_tuple_ = tuple_pager_->stats();
+  if (index_pager_ != nullptr) last_index_ = index_pager_->ThreadStats();
+  if (tuple_pager_ != nullptr) last_tuple_ = tuple_pager_->ThreadStats();
   last_time_ = std::chrono::steady_clock::now();
 }
 

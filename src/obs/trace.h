@@ -19,9 +19,12 @@
 // Spans re-entered under the same parent (e.g. "refine/lp" inside a loop)
 // merge into one node with an invocation count.
 //
-// The tracer is single-threaded like the pager itself (DESIGN.md §1); the
-// ambient pointer is thread-local so concurrent *independent* sessions
-// cannot interfere.
+// The ambient tracer pointer is thread-local, and the tracer reads pagers
+// through Pager::ThreadStats(): on an executor worker thread (concurrent-
+// read mode, with a PagerReadSession open) it sees only that thread's own
+// I/O, so per-query ExplainProfiles still reconcile exactly when many
+// queries run in parallel; on a plain single-threaded path ThreadStats()
+// is stats() and nothing changes.
 
 #ifndef CDB_OBS_TRACE_H_
 #define CDB_OBS_TRACE_H_

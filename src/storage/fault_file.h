@@ -4,6 +4,7 @@
 #define CDB_STORAGE_FAULT_FILE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -36,6 +37,11 @@ namespace cdb {
 ///    base storage. A plan can be shared by several wrappers (data file +
 ///    journal file) so the crash point indexes their combined write
 ///    sequence.
+///
+/// FailAfter counters are atomic so the wrapper can sit under a pager in
+/// concurrent-read mode (the executor fault-injection tests hit it from
+/// many threads). CrashPlan remains single-threaded — crash sweeps drive
+/// the pager exclusively.
 class FaultInjectionFile : public BlockFile {
  public:
   /// Shared crash state; see class comment. `writes_remaining` is the
@@ -54,28 +60,37 @@ class FaultInjectionFile : public BlockFile {
   /// After this many further successful operations, every subsequent
   /// read/write fails until cleared. Negative disables injection.
   void FailAfter(int64_t ops) {
-    remaining_ = ops;
-    tripped_ = false;
+    tripped_.store(false, std::memory_order_relaxed);
+    remaining_.store(ops, std::memory_order_relaxed);
   }
   void ClearFault() {
-    remaining_ = -1;
-    tripped_ = false;
+    remaining_.store(-1, std::memory_order_relaxed);
+    tripped_.store(false, std::memory_order_relaxed);
   }
 
   /// Makes the next Sync() call fail (once).
-  void FailNextSync() { fail_next_sync_ = true; }
+  void FailNextSync() { fail_next_sync_.store(true, std::memory_order_relaxed); }
 
-  uint64_t injected_read_failures() const { return read_failures_; }
-  uint64_t injected_write_failures() const { return write_failures_; }
-  uint64_t injected_sync_failures() const { return sync_failures_; }
+  uint64_t injected_read_failures() const {
+    return read_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_write_failures() const {
+    return write_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_sync_failures() const {
+    return sync_failures_.load(std::memory_order_relaxed);
+  }
   uint64_t injected_failures() const {
-    return read_failures_ + write_failures_ + sync_failures_;
+    return injected_read_failures() + injected_write_failures() +
+           injected_sync_failures();
   }
 
   /// Writes observed (successful ones only; crash-dropped writes and
   /// FailAfter failures are not counted). Crash sweeps use a fault-free
   /// dry run of this counter to enumerate crash points.
-  uint64_t writes_seen() const { return writes_seen_; }
+  uint64_t writes_seen() const {
+    return writes_seen_.load(std::memory_order_relaxed);
+  }
 
   bool crashed() const { return plan_ != nullptr && plan_->crashed; }
 
@@ -97,7 +112,7 @@ class FaultInjectionFile : public BlockFile {
       if (plan_->writes_remaining > 0) --plan_->writes_remaining;
     }
     CDB_RETURN_IF_ERROR(MaybeFail(&write_failures_, "write"));
-    ++writes_seen_;
+    writes_seen_.fetch_add(1, std::memory_order_relaxed);
     return base_->WriteBlock(index, data);
   }
 
@@ -108,26 +123,30 @@ class FaultInjectionFile : public BlockFile {
     if (plan_ != nullptr && plan_->crashed) {
       return Status::IOError("sync after crash");
     }
-    if (fail_next_sync_) {
-      fail_next_sync_ = false;
-      ++sync_failures_;
+    if (fail_next_sync_.exchange(false, std::memory_order_relaxed)) {
+      sync_failures_.fetch_add(1, std::memory_order_relaxed);
       return Status::IOError("injected fault on sync");
     }
     return base_->Sync();
   }
 
  private:
-  Status MaybeFail(uint64_t* counter, const char* op) {
-    if (remaining_ < 0) return Status::OK();
-    if (remaining_ == 0) {
-      if (!tripped_) {
-        tripped_ = true;
-        ++*counter;
+  Status MaybeFail(std::atomic<uint64_t>* counter, const char* op) {
+    int64_t r = remaining_.load(std::memory_order_relaxed);
+    while (true) {
+      if (r < 0) return Status::OK();
+      if (r == 0) {
+        // First tripping thread wins the (single) counted failure.
+        if (!tripped_.exchange(true, std::memory_order_relaxed)) {
+          counter->fetch_add(1, std::memory_order_relaxed);
+        }
+        return Status::IOError(std::string("injected fault on ") + op);
       }
-      return Status::IOError(std::string("injected fault on ") + op);
+      if (remaining_.compare_exchange_weak(r, r - 1,
+                                           std::memory_order_relaxed)) {
+        return Status::OK();
+      }
     }
-    --remaining_;
-    return Status::OK();
   }
 
   // Persists only the first `torn_bytes` of the block; the tail keeps the
@@ -145,13 +164,13 @@ class FaultInjectionFile : public BlockFile {
 
   std::unique_ptr<BlockFile> base_;
   std::shared_ptr<CrashPlan> plan_;
-  int64_t remaining_ = -1;
-  bool tripped_ = false;
-  bool fail_next_sync_ = false;
-  uint64_t read_failures_ = 0;
-  uint64_t write_failures_ = 0;
-  uint64_t sync_failures_ = 0;
-  uint64_t writes_seen_ = 0;
+  std::atomic<int64_t> remaining_{-1};
+  std::atomic<bool> tripped_{false};
+  std::atomic<bool> fail_next_sync_{false};
+  std::atomic<uint64_t> read_failures_{0};
+  std::atomic<uint64_t> write_failures_{0};
+  std::atomic<uint64_t> sync_failures_{0};
+  std::atomic<uint64_t> writes_seen_{0};
 };
 
 }  // namespace cdb

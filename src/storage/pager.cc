@@ -57,7 +57,34 @@ T Load(const char* p, size_t off) {
   return v;
 }
 
+// Per-thread stack of open read sessions (a worker typically holds one per
+// pager it touches). Pager::FindSession walks it to route counters; a plain
+// singly-linked list is enough because sessions are scoped locals and so
+// strictly nested.
+thread_local PagerReadSession* t_session_head = nullptr;
+
 }  // namespace
+
+PagerReadSession::PagerReadSession(Pager* pager)
+    : pager_(pager), prev_(t_session_head) {
+  t_session_head = this;
+}
+
+PagerReadSession::~PagerReadSession() {
+  // Sessions are scoped locals, so this one is the head; tolerate mis-nested
+  // destruction anyway by unlinking wherever we are.
+  if (t_session_head == this) {
+    t_session_head = prev_;
+  } else {
+    for (PagerReadSession* s = t_session_head; s != nullptr; s = s->prev_) {
+      if (s->prev_ == this) {
+        s->prev_ = prev_;
+        break;
+      }
+    }
+  }
+  pager_->MergeSessionStats(local_);
+}
 
 PageRef& PageRef::operator=(PageRef&& other) noexcept {
   if (this != &other) {
@@ -98,7 +125,13 @@ Pager::Pager(std::unique_ptr<BlockFile> file,
       checksums_(options.checksums),
       cache_frames_(options.cache_frames),
       block_scratch_(options.page_size),
-      journal_scratch_(JournalBlockSize(options.page_size)) {}
+      journal_scratch_(JournalBlockSize(options.page_size)) {
+  // Round the shard count up to a power of two so ShardOf is a mask.
+  size_t want = options.read_shards == 0 ? 1 : options.read_shards;
+  size_t shards = 1;
+  while (shards < want && shards < 1024) shards <<= 1;
+  shard_mask_ = shards - 1;
+}
 
 Status Pager::Open(std::unique_ptr<BlockFile> file,
                    const PagerOptions& options, std::unique_ptr<Pager>* out) {
@@ -141,7 +174,26 @@ Status Pager::Open(std::unique_ptr<BlockFile> file,
   return Status::OK();
 }
 
-Pager::~Pager() { Flush().ok(); }
+Pager::~Pager() {
+  // In concurrent-read mode every frame is clean by construction and there
+  // is nothing to flush; destroying the pager mid-batch (only reachable via
+  // test teardown) must not trip the shared-mode mutation guard.
+  if (!shared_mode_) Flush().ok();
+}
+
+const IoStats& Pager::ThreadStats() const {
+  if (shared_mode_) {
+    for (PagerReadSession* s = t_session_head; s != nullptr; s = s->prev_) {
+      if (s->pager_ == this) return s->local_;
+    }
+  }
+  return stats_;
+}
+
+void Pager::MergeSessionStats(const IoStats& delta) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.Merge(delta);
+}
 
 Status Pager::LoadMeta() {
   CDB_RETURN_IF_ERROR(file_->ReadBlock(0, block_scratch_.data()));
@@ -187,14 +239,14 @@ Status Pager::StoreMeta() {
   return file_->WriteBlock(0, p);
 }
 
-Status Pager::VerifyPageBlock(PageId id, const char* block) {
+Status Pager::VerifyPageBlock(PageId id, const char* block, IoStats* sink) {
   if (!checksums_) return Status::OK();
   uint32_t magic = Load<uint32_t>(block, 0);
   uint32_t stored_id = Load<uint32_t>(block, 4);
   uint32_t crc = Load<uint32_t>(block, 8);
   uint32_t want = PageCrc(id, 0, block + payload_offset_, payload_size_);
   if (magic != kPageMagicV1 || stored_id != id || crc != want) {
-    ++stats_.checksum_failures;
+    ++sink->checksum_failures;
     return Status::Corruption("page " + std::to_string(id) +
                               " failed checksum verification");
   }
@@ -219,7 +271,7 @@ Status Pager::WalkFreeList() {
     }
     free_set_.insert(id);
     CDB_RETURN_IF_ERROR(file_->ReadBlock(id, block_scratch_.data()));
-    CDB_RETURN_IF_ERROR(VerifyPageBlock(id, block_scratch_.data()));
+    CDB_RETURN_IF_ERROR(VerifyPageBlock(id, block_scratch_.data(), &stats_));
     id = Load<PageId>(block_scratch_.data(), payload_offset_);
   }
   if (live_pages_ + free_set_.size() + 1 != next_page_id_) {
@@ -229,6 +281,9 @@ Status Pager::WalkFreeList() {
 }
 
 Result<PageId> Pager::Allocate() {
+  if (shared_mode_) {
+    return Status::InvalidArgument("Allocate during concurrent reads");
+  }
   ++stats_.pages_allocated;
   txn_active_ = true;
   PageId id;
@@ -260,6 +315,9 @@ Result<PageId> Pager::Allocate() {
 }
 
 Status Pager::Free(PageId id) {
+  if (shared_mode_) {
+    return Status::InvalidArgument("Free during concurrent reads");
+  }
   if (id == kInvalidPageId || id >= next_page_id_) {
     return Status::Corruption("Free of out-of-range page id " +
                               std::to_string(id));
@@ -292,6 +350,7 @@ Result<PageRef> Pager::Fetch(PageId id) {
   if (free_set_.count(id) > 0) {
     return Status::Corruption("Fetch of free page " + std::to_string(id));
   }
+  if (shared_mode_) return SharedFetch(id);
   ++stats_.page_fetches;
   auto it = frames_.find(id);
   if (it == frames_.end()) {
@@ -304,7 +363,7 @@ Result<PageRef> Pager::Fetch(PageId id) {
     // which are zero by definition).
     if (id < file_->BlockCount()) {
       CDB_RETURN_IF_ERROR(file_->ReadBlock(id, frame.data.data()));
-      CDB_RETURN_IF_ERROR(VerifyPageBlock(id, frame.data.data()));
+      CDB_RETURN_IF_ERROR(VerifyPageBlock(id, frame.data.data(), &stats_));
     } else {
       std::fill(frame.data.begin(), frame.data.end(), 0);
     }
@@ -330,6 +389,10 @@ Result<PageRef> Pager::Fetch(PageId id) {
 }
 
 void Pager::Unpin(PageId id) {
+  if (shared_mode_) {
+    SharedUnpin(id);
+    return;
+  }
   auto it = frames_.find(id);
   assert(it != frames_.end());
   Frame& frame = it->second;
@@ -343,6 +406,12 @@ void Pager::Unpin(PageId id) {
 }
 
 void Pager::MarkDirty(PageId id) {
+  // Writes are a programming error in concurrent-read mode; there is no
+  // Status channel here, so fail loudly in debug builds and ignore the mark
+  // otherwise (the frame would never be written back anyway — write-back
+  // paths are all mode-guarded).
+  assert(!shared_mode_);
+  if (shared_mode_) return;
   auto it = frames_.find(id);
   assert(it != frames_.end());
   it->second.dirty = true;
@@ -472,6 +541,9 @@ Status Pager::EvictIfNeeded() {
 }
 
 Status Pager::Flush() {
+  if (shared_mode_) {
+    return Status::InvalidArgument("Flush during concurrent reads");
+  }
   // An empty transaction has nothing to commit — in particular the
   // destructor's flush after a clean Flush() must not advance the
   // sequence or touch the file.
@@ -508,6 +580,9 @@ Status Pager::Flush() {
 }
 
 Status Pager::DropCache() {
+  if (shared_mode_) {
+    return Status::InvalidArgument("DropCache during concurrent reads");
+  }
   CDB_RETURN_IF_ERROR(Flush());
   for (auto it = frames_.begin(); it != frames_.end();) {
     if (it->second.pins == 0) {
@@ -518,6 +593,160 @@ Status Pager::DropCache() {
     }
   }
   return Status::OK();
+}
+
+Status Pager::BeginConcurrentReads() {
+  if (shared_mode_) {
+    return Status::InvalidArgument("already in concurrent-read mode");
+  }
+  if (pinned_frames_ != 0) {
+    return Status::InvalidArgument("BeginConcurrentReads with live pins");
+  }
+  // Every frame must be clean before sharing: shared-mode eviction drops
+  // frames without write-back, and readers never see in-flight mutations.
+  CDB_RETURN_IF_ERROR(Flush());
+  if (shards_.empty()) {
+    shards_.resize(shard_mask_ + 1);
+    for (auto& s : shards_) s = std::make_unique<ReadShard>();
+  }
+  // Distribute resident frames, walking the exclusive LRU from MRU to LRU
+  // so each shard's list preserves relative recency — a warm cache stays
+  // warm across the mode switch.
+  size_t moved = 0;
+  for (PageId id : lru_) {
+    auto it = frames_.find(id);
+    assert(it != frames_.end());
+    it->second.in_lru = false;
+    ReadShard& shard = *shards_[ShardOf(id)];
+    auto res = shard.frames.emplace(id, std::move(it->second));
+    assert(res.second);
+    shard.lru.push_back(id);
+    res.first->second.lru_pos = --shard.lru.end();
+    res.first->second.in_lru = true;
+    ++moved;
+  }
+  frames_.clear();
+  lru_.clear();
+  shared_frames_.store(moved, std::memory_order_relaxed);
+  shared_pinned_.store(0, std::memory_order_relaxed);
+  shared_mode_ = true;
+  return Status::OK();
+}
+
+Status Pager::EndConcurrentReads() {
+  if (!shared_mode_) {
+    return Status::InvalidArgument("not in concurrent-read mode");
+  }
+  if (shared_pinned_.load(std::memory_order_relaxed) != 0) {
+    return Status::InvalidArgument(
+        "EndConcurrentReads with live PageRefs or sessions");
+  }
+  // Fold the shards back. Recency within a shard is preserved; ordering
+  // across shards is approximate, which only perturbs future eviction
+  // order, never counters or query results.
+  for (auto& shard_ptr : shards_) {
+    ReadShard& shard = *shard_ptr;
+    for (PageId id : shard.lru) {
+      auto it = shard.frames.find(id);
+      assert(it != shard.frames.end());
+      it->second.in_lru = false;
+      auto res = frames_.emplace(id, std::move(it->second));
+      assert(res.second);
+      lru_.push_back(id);
+      res.first->second.lru_pos = --lru_.end();
+      res.first->second.in_lru = true;
+    }
+    shard.frames.clear();
+    shard.lru.clear();
+  }
+  shared_frames_.store(0, std::memory_order_relaxed);
+  shared_mode_ = false;
+  return Status::OK();
+}
+
+Result<PageRef> Pager::SharedFetch(PageId id) {
+  // Fetch() already range- and free-checked `id`; next_page_id_ and
+  // free_set_ are frozen while shared mode is active.
+  PagerReadSession* session = nullptr;
+  for (PagerReadSession* s = t_session_head; s != nullptr; s = s->prev_) {
+    if (s->pager_ == this) {
+      session = s;
+      break;
+    }
+  }
+  if (session == nullptr) {
+    return Status::InvalidArgument(
+        "concurrent-read Fetch requires a PagerReadSession on this thread");
+  }
+  IoStats& stats = session->local_;
+  ++stats.page_fetches;
+  ReadShard& shard = *shards_[ShardOf(id)];
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) {
+    // Miss: do the physical read outside the shard lock so a slow read
+    // does not serialize the whole shard. Two threads may race to load the
+    // same page; the loser adopts the winner's frame and its duplicate
+    // read is charged as a physical read (it was one), which keeps the
+    // per-session fetches == hits + reads invariant exact.
+    lock.unlock();
+    ++stats.page_reads;
+    std::vector<char> block(block_size_);
+    if (id < file_->BlockCount()) {
+      CDB_RETURN_IF_ERROR(file_->ReadBlock(id, block.data()));
+      CDB_RETURN_IF_ERROR(VerifyPageBlock(id, block.data(), &stats));
+    }
+    lock.lock();
+    it = shard.frames.find(id);
+    if (it == shard.frames.end()) {
+      Frame frame;
+      frame.data = std::move(block);
+      it = shard.frames.emplace(id, std::move(frame)).first;
+      shared_frames_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    ++stats.buffer_hits;
+  }
+  Frame& frame = it->second;
+  if (frame.pins.fetch_add(1, std::memory_order_relaxed) == 0) {
+    shared_pinned_.fetch_add(1, std::memory_order_relaxed);
+    if (frame.in_lru) {
+      shard.lru.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+  }
+  // Capacity: evict unpinned frames from this shard's cold end while the
+  // pool as a whole is over budget. All frames are clean, so eviction is
+  // just an erase. Another shard may be the actual offender; tolerating
+  // transient overflow keeps eviction lock-local.
+  while (shared_frames_.load(std::memory_order_relaxed) > cache_frames_ &&
+         !shard.lru.empty()) {
+    PageId victim = shard.lru.back();
+    auto vit = shard.frames.find(victim);
+    assert(vit != shard.frames.end() &&
+           vit->second.pins.load(std::memory_order_relaxed) == 0);
+    shard.lru.pop_back();
+    shard.frames.erase(vit);
+    shared_frames_.fetch_sub(1, std::memory_order_relaxed);
+    ++stats.buffer_evictions;
+  }
+  return PageRef(this, id, frame.data.data() + payload_offset_);
+}
+
+void Pager::SharedUnpin(PageId id) {
+  ReadShard& shard = *shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  assert(it != shard.frames.end());
+  Frame& frame = it->second;
+  int prev = frame.pins.fetch_sub(1, std::memory_order_relaxed);
+  assert(prev > 0);
+  if (prev == 1) {
+    shared_pinned_.fetch_sub(1, std::memory_order_relaxed);
+    shard.lru.push_front(id);
+    frame.lru_pos = shard.lru.begin();
+    frame.in_lru = true;
+  }
 }
 
 }  // namespace cdb

@@ -5,8 +5,19 @@
 // The paper fixes the page size to 1024 bytes and reports query cost in page
 // accesses; every Fetch() here increments IoStats::page_fetches whether or
 // not the page was resident, so benchmarks can reproduce that metric with a
-// warm or cold cache. The pager is single-threaded by design (the paper's
-// structures are evaluated single-user); no latching is provided.
+// warm or cold cache.
+//
+// Threading: the pager has two modes (DESIGN.md §2c).
+//   - Exclusive mode (the default, and the only mode with mutations): the
+//     pager is single-threaded, exactly as the paper's structures are
+//     evaluated; no latching, byte-identical behavior to previous versions.
+//   - Concurrent-read mode, entered with BeginConcurrentReads(): the buffer
+//     pool is sharded by page id (per-shard mutex + LRU, atomic pin counts)
+//     and Fetch() becomes safe from many threads at once — provided each
+//     thread holds a PagerReadSession, which collects that thread's IoStats
+//     delta and merges it into stats() when it closes. All mutating entry
+//     points (Allocate, Free, Flush, DropCache, MarkDirty) are rejected
+//     until EndConcurrentReads() restores exclusive mode.
 //
 // On-disk layout (format v2):
 //   block 0           meta page: magic, page size, next id, free-list head,
@@ -36,9 +47,11 @@
 #ifndef CDB_STORAGE_PAGER_H_
 #define CDB_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -109,6 +122,10 @@ struct PagerOptions {
   /// every write. The mode is recorded in the meta page; a file must be
   /// reopened with the mode it was created with.
   bool checksums = true;
+  /// Buffer-pool shards used while in concurrent-read mode (rounded up to a
+  /// power of two). Exclusive mode ignores this — the single LRU stays
+  /// byte-identical to the paper's accounting.
+  size_t read_shards = 8;
 };
 
 /// See file comment.
@@ -177,44 +194,105 @@ class Pager {
   /// the cdb_check integrity checker.
   const std::unordered_set<PageId>& free_pages() const { return free_set_; }
 
+  /// Pager-wide accumulated counters. In concurrent-read mode this lags the
+  /// truth by whatever open PagerReadSessions have not merged yet; after
+  /// EndConcurrentReads it is exact again.
   const IoStats& stats() const { return stats_; }
   IoStats* mutable_stats() { return &stats_; }
 
-  /// Frames currently held in the buffer pool.
-  size_t resident_frame_count() const { return frames_.size(); }
+  /// Frames currently held in the buffer pool (all shards in
+  /// concurrent-read mode).
+  size_t resident_frame_count() const {
+    return shared_mode_ ? shared_frames_.load(std::memory_order_relaxed)
+                        : frames_.size();
+  }
 
   /// Frames with at least one live PageRef. Zero between operations — a
   /// non-zero value after a query returns means a leaked pin (checked by
   /// the fault-injection tests). Buffer-pool state is published to a
   /// MetricsRegistry by obs::ExportPagerMetrics (obs/metrics.h).
-  size_t pinned_frame_count() const { return pinned_frames_; }
+  size_t pinned_frame_count() const {
+    return shared_mode_ ? shared_pinned_.load(std::memory_order_relaxed)
+                        : pinned_frames_;
+  }
 
   /// Drops every unpinned frame (writing dirty ones back) so subsequent
   /// fetches hit the file. Benchmarks use it to take cold-cache readings.
   Status DropCache();
 
+  /// Switches the buffer pool into concurrent-read mode: flushes so every
+  /// frame is clean, then distributes the resident frames across the shard
+  /// pools (preserving recency, so a warm cache stays warm). Requires zero
+  /// live pins. After this, Fetch() is thread-safe for any thread holding a
+  /// PagerReadSession, and every mutating entry point returns
+  /// Status::InvalidArgument until EndConcurrentReads().
+  Status BeginConcurrentReads();
+
+  /// Leaves concurrent-read mode, folding the shard pools back into the
+  /// exclusive-mode LRU (shard-local recency is preserved; cross-shard
+  /// ordering is approximate). Requires that all PageRefs and all
+  /// PagerReadSessions are closed.
+  Status EndConcurrentReads();
+
+  bool concurrent_reads_active() const { return shared_mode_; }
+
+  /// The calling thread's view of the I/O counters: in concurrent-read mode
+  /// with an open PagerReadSession this is the session's local delta (so a
+  /// Tracer on a worker thread sees only its own queries); otherwise it is
+  /// the pager-wide accumulator, i.e. exactly stats().
+  const IoStats& ThreadStats() const;
+
  private:
   struct Frame {
     std::vector<char> data;  // Full block; payload at payload_offset_.
     bool dirty = false;
-    int pins = 0;
-    std::list<PageId>::iterator lru_pos;  // Valid iff pins == 0.
+    // Atomic so concurrent-read pin/unpin from different shard-lock holders
+    // and the lock-free pinned_frame_count() probe are race-free. Exclusive
+    // mode only ever touches it single-threaded.
+    std::atomic<int> pins{0};
+    std::list<PageId>::iterator lru_pos;  // Valid iff in_lru.
     bool in_lru = false;
+
+    Frame() = default;
+    Frame(Frame&& o) noexcept
+        : data(std::move(o.data)),
+          dirty(o.dirty),
+          pins(o.pins.load(std::memory_order_relaxed)),
+          lru_pos(o.lru_pos),
+          in_lru(o.in_lru) {}
+  };
+
+  /// One concurrent-read shard: pages with ShardOf(id) == index live here
+  /// while shared mode is active. All fields are guarded by `mu`.
+  struct ReadShard {
+    std::mutex mu;
+    std::unordered_map<PageId, Frame> frames;
+    std::list<PageId> lru;  // Front = most recently used, unpinned only.
   };
 
   Pager(std::unique_ptr<BlockFile> file, std::unique_ptr<BlockFile> journal,
         const PagerOptions& options);
 
   friend class PageRef;
+  friend class PagerReadSession;
   void Unpin(PageId id);
   void MarkDirty(PageId id);
+
+  // Concurrent-read machinery (pager.cc; active only between
+  // BeginConcurrentReads and EndConcurrentReads).
+  size_t ShardOf(PageId id) const { return id & shard_mask_; }
+  Result<PageRef> SharedFetch(PageId id);
+  void SharedUnpin(PageId id);
+  void MergeSessionStats(const IoStats& delta);
 
   Status LoadMeta();
   Status StoreMeta();
   Status WalkFreeList();
   Status EvictIfNeeded();
   Status WriteBack(PageId id, Frame* frame);
-  Status VerifyPageBlock(PageId id, const char* block);
+  // `sink` receives checksum_failures (the caller's IoStats: the pager-wide
+  // accumulator in exclusive mode, the session's in concurrent-read mode).
+  Status VerifyPageBlock(PageId id, const char* block, IoStats* sink);
 
   // Journal machinery (all no-ops when journal_ is null).
   uint64_t txn_seq() const { return commit_seq_ + 1; }
@@ -255,6 +333,41 @@ class Pager {
   std::vector<char> journal_scratch_;  // One journal block.
 
   IoStats stats_;
+
+  // Concurrent-read mode state. `shared_mode_` is flipped only while no
+  // other thread touches the pager (the executor's dispatch handshake
+  // provides the happens-before edge), so it needs no atomicity itself.
+  bool shared_mode_ = false;
+  size_t shard_mask_ = 0;  // shards - 1 (shard count is a power of two).
+  std::vector<std::unique_ptr<ReadShard>> shards_;
+  std::atomic<size_t> shared_frames_{0};  // Frames across all shards.
+  std::atomic<size_t> shared_pinned_{0};  // Pinned frames across all shards.
+  std::mutex stats_mu_;  // Guards stats_ during session merges.
+};
+
+/// RAII handle making the current thread a reader of a pager that is in
+/// concurrent-read mode. Fetch() on that pager from this thread charges the
+/// session's private IoStats (read via Pager::ThreadStats() or stats());
+/// the destructor folds the delta into the pager-wide Pager::stats(). A
+/// thread may hold sessions on several pagers at once (the dual index reads
+/// the index and relation pagers in one query); sessions on the same thread
+/// must be destroyed in reverse order of construction, which scoped locals
+/// give for free.
+class PagerReadSession {
+ public:
+  explicit PagerReadSession(Pager* pager);
+  ~PagerReadSession();
+  PagerReadSession(const PagerReadSession&) = delete;
+  PagerReadSession& operator=(const PagerReadSession&) = delete;
+
+  /// This session's private counters (what this thread fetched so far).
+  const IoStats& stats() const { return local_; }
+
+ private:
+  friend class Pager;
+  Pager* pager_;
+  IoStats local_;
+  PagerReadSession* prev_;  // Next-older session on this thread's stack.
 };
 
 }  // namespace cdb

@@ -33,6 +33,15 @@ Result<CalibratedQuery> GenerateQuery(const Relation& relation,
                                       double sel_hi, Rng* rng,
                                       double angle_half_range = 1.4708);
 
+/// Rng for worker `worker_id` of a batch seeded with `batch_seed`
+/// (common/rng.h SplitSeed underneath). Each worker generating its own
+/// stream with WorkerRng(seed, w) produces the same queries regardless of
+/// thread count or scheduling — the property the parallel-batch benchmarks
+/// and stress tests rely on for serial-vs-parallel comparisons.
+inline Rng WorkerRng(uint64_t batch_seed, uint32_t worker_id) {
+  return Rng(SplitSeed(batch_seed, worker_id));
+}
+
 }  // namespace cdb
 
 #endif  // CDB_WORKLOAD_QUERY_GEN_H_

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -483,6 +484,72 @@ TEST(FaultPathTest, InjectedReadFailureLeavesNoPinsAndNoAmbientTracer) {
       NaiveSelect(*relation, SelectionType::kExist, q);
   ASSERT_TRUE(naive.ok());
   EXPECT_EQ(retry.value(), naive.value());
+}
+
+
+// --- Concurrency (ISSUE 3): the registry is shared by executor workers ------
+
+TEST(MetricsConcurrencyTest, ConcurrentIncrementsAreExact) {
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  MetricsRegistry reg(/*enabled=*/true);
+  Counter* c = reg.counter("concurrent.total");
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->value(), kThreads * kPerThread);
+}
+
+TEST(MetricsConcurrencyTest, ConcurrentHistogramObservationsAreExact) {
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 5000;
+  MetricsRegistry reg(/*enabled=*/true);
+  Histogram* h = reg.histogram("concurrent.h", {1.0, 2.0}).value();
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      // Thread t observes a constant landing in bucket t % 3 (2.5 is the
+      // overflow bucket), so per-bucket totals are predictable.
+      const double v = 0.5 + static_cast<double>(t % 3);
+      for (uint64_t i = 0; i < kPerThread; ++i) h->Observe(v);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h->count(), kThreads * kPerThread);
+  // 8 threads over 3 buckets: t % 3 == 0 for t in {0,3,6} -> 3 threads,
+  // == 1 for {1,4,7} -> 3 threads, == 2 for {2,5} -> 2 threads.
+  EXPECT_EQ(h->bucket_count(0), 3 * kPerThread);
+  EXPECT_EQ(h->bucket_count(1), 3 * kPerThread);
+  EXPECT_EQ(h->bucket_count(2), 2 * kPerThread);
+  // The CAS-loop double accumulator loses nothing either.
+  EXPECT_DOUBLE_EQ(h->sum(),
+                   kPerThread * (3 * 0.5 + 3 * 1.5 + 2 * 2.5));
+}
+
+TEST(MetricsConcurrencyTest, ConcurrentRegistrationYieldsOneStableHandle) {
+  constexpr size_t kThreads = 8;
+  MetricsRegistry reg(/*enabled=*/true);
+  std::vector<Counter*> handles(kThreads);
+  std::vector<Gauge*> gauges(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Everyone races to register the same names and then uses them.
+      handles[t] = reg.counter("raced.counter");
+      gauges[t] = reg.gauge("raced.gauge");
+      handles[t]->Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(handles[t], handles[0]);
+    EXPECT_EQ(gauges[t], gauges[0]);
+  }
+  EXPECT_EQ(handles[0]->value(), kThreads);
 }
 
 }  // namespace
