@@ -163,9 +163,66 @@ def _check_throughput_scaling(doc, errors):
             "losing throughput to contention")
 
 
+# Incremental handicap maintenance must keep T2's cost (logical index
+# fetches + physical refinement reads, decision 11) within this factor of a
+# freshly rebuilt index — and strictly below the stale index it replaces,
+# otherwise the maintenance isn't paying for itself.
+ONLINE_T2_BUDGET = 1.2
+
+
+def _check_online_updates(doc, errors):
+    """Semantic rules for the online_updates artifact: incremental
+    handicaps stay within budget of freshly rebuilt and beat stale, and the
+    concurrent serving phase ingested without failing any query."""
+    totals = {}
+    online = {}
+    for m in doc.get("measurements", []):
+        if not isinstance(m, dict):
+            continue
+        values = m.get("values")
+        if not isinstance(values, dict):
+            continue
+        label = m.get("label")
+        if label in ("stale", "incremental", "rebuilt"):
+            index = values.get("index_fetches")
+            tuples = values.get("tuple_fetches")
+            if _is_number(index) and _is_number(tuples):
+                totals[label] = index + tuples
+        if label == "online":
+            online.update(
+                {k: v for k, v in values.items() if _is_number(v)})
+    missing = [v for v in ("stale", "incremental", "rebuilt")
+               if v not in totals]
+    if missing:
+        errors.append(
+            f"online_updates: missing page-access totals for {missing}")
+    else:
+        if totals["incremental"] > ONLINE_T2_BUDGET * totals["rebuilt"]:
+            errors.append(
+                f"online_updates: incremental T2 cost {totals['incremental']:.1f} "
+                f"pages exceeds {ONLINE_T2_BUDGET}x the freshly rebuilt cost "
+                f"{totals['rebuilt']:.1f}")
+        if totals["incremental"] >= totals["stale"]:
+            errors.append(
+                f"online_updates: incremental T2 cost {totals['incremental']:.1f} "
+                f"pages is not below the stale cost {totals['stale']:.1f}; "
+                "maintenance isn't paying for itself")
+    if "failed" not in online or "inserted" not in online:
+        errors.append("online_updates: no concurrent-serving (online) "
+                      "failed/inserted measurements")
+        return
+    if online["failed"] != 0:
+        errors.append(
+            f"online_updates: {online['failed']:.0f} queries failed under "
+            "the concurrent writer")
+    if online["inserted"] <= 0:
+        errors.append("online_updates: concurrent writer inserted nothing")
+
+
 _SEMANTIC_RULES = {
     "micro_substrates": _check_micro_substrates,
     "throughput_scaling": _check_throughput_scaling,
+    "online_updates": _check_online_updates,
 }
 
 
@@ -264,6 +321,28 @@ _GOOD_THROUGHPUT = {
 }
 
 
+_GOOD_ONLINE = {
+    "schema": SCHEMA,
+    "bench": "online_updates",
+    "measurements": [
+        {"label": "stale", "params": {"n0": 3000, "inserted": 1000},
+         "values": {"index_fetches": 35.9, "tuple_fetches": 541.8}},
+        {"label": "incremental", "params": {"n0": 3000, "inserted": 1000},
+         "values": {"index_fetches": 38.6, "tuple_fetches": 536.5}},
+        {"label": "rebuilt", "params": {"n0": 3000, "inserted": 1000},
+         "values": {"index_fetches": 34.8, "tuple_fetches": 533.1}},
+        {"label": "online", "params": {"threads": 8},
+         "values": {"qps": 144.0}},
+        {"label": "online", "params": {"threads": 8},
+         "values": {"inserted": 500}},
+        {"label": "online", "params": {"threads": 8},
+         "values": {"failed": 0}},
+    ],
+    "metrics": {"counters": {}, "gauges": {"dual.handicap.staleness": 235},
+                "histograms": {}},
+}
+
+
 def self_test():
     import copy
 
@@ -331,11 +410,32 @@ def self_test():
         lambda d: d["measurements"][1]["values"].update(failed=3),
         "cold run with failed queries")
 
+    expect(_GOOD_ONLINE, True, "good online_updates artifact")
+
+    def broken_online(mutate, what):
+        doc = copy.deepcopy(_GOOD_ONLINE)
+        mutate(doc)
+        expect(doc, False, what)
+
+    broken_online(
+        lambda d: d["measurements"][1]["values"].update(tuple_fetches=660.0),
+        "incremental T2 cost over the rebuilt budget")
+    broken_online(
+        lambda d: d["measurements"][0]["values"].update(tuple_fetches=530.0),
+        "incremental T2 cost not below stale")
+    broken_online(lambda d: d["measurements"].pop(2),
+                  "online_updates sans rebuilt row")
+    broken_online(
+        lambda d: d["measurements"][5]["values"].update(failed=2),
+        "queries failed under the concurrent writer")
+    broken_online(lambda d: d["measurements"].pop(5),
+                  "online_updates sans concurrent failed count")
+
     if failures:
         for f in failures:
             print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
         return 1
-    print("self-test OK (3 good + 17 broken artifacts)")
+    print("self-test OK (4 good + 22 broken artifacts)")
     return 0
 
 

@@ -14,13 +14,90 @@ namespace nb = btree_node;
 namespace {
 
 constexpr uint64_t kTreeMagic = 0xB7EE1DEA00000001ull;
+constexpr uint32_t kTreeFlagAugmented = 1;
 
+// `flags` trails the original fields so pre-augmented meta pages (whose
+// bytes there are zero) read back as flags == 0: not augmented.
 struct TreeMeta {
   uint64_t magic;
   PageId root;
   uint32_t height;
   uint64_t count;
+  uint32_t flags;
 };
+
+// Internal-node accessors dispatched on the tree's layout. With aug ==
+// false each reduces to the ordinary accessor, so ordinary trees execute
+// exactly the pre-augmentation operations.
+PageId XChild(bool aug, const char* p, size_t i) {
+  return aug ? nb::AugChild(p, i) : nb::Child(p, i);
+}
+void XSetChild(bool aug, char* p, size_t i, PageId id) {
+  if (aug) {
+    nb::AugSetChild(p, i, id);
+  } else {
+    nb::SetChild(p, i, id);
+  }
+}
+nb::CKey XKey(bool aug, const char* p, size_t i) {
+  return aug ? nb::AugInternalKey(p, i) : nb::InternalKey(p, i);
+}
+void XSetKey(bool aug, char* p, size_t i, const nb::CKey& e) {
+  if (aug) {
+    nb::AugSetInternalKey(p, i, e);
+  } else {
+    nb::SetInternalKey(p, i, e);
+  }
+}
+void XInsertEntry(bool aug, char* p, size_t i, const nb::CKey& e,
+                  PageId right) {
+  if (aug) {
+    nb::AugInsertInternalEntry(p, i, e, right);
+  } else {
+    nb::InsertInternalEntry(p, i, e, right);
+  }
+}
+void XRemoveEntry(bool aug, char* p, size_t i) {
+  if (aug) {
+    nb::AugRemoveInternalEntry(p, i);
+  } else {
+    nb::RemoveInternalEntry(p, i);
+  }
+}
+size_t XDescendIndex(bool aug, const char* p, const nb::CKey& c) {
+  return aug ? nb::AugDescendIndex(p, c) : nb::DescendIndex(p, c);
+}
+size_t XInternalCapacity(bool aug, size_t page_size) {
+  return aug ? nb::AugInternalCapacity(page_size)
+             : nb::InternalCapacity(page_size);
+}
+
+// Split `total` items into chunk sizes of ~per, keeping every chunk (and
+// especially the last) at or above `min`: an underfull tail merges into
+// its predecessor when the pair fits one node of capacity `cap`, and is
+// rebalanced evenly otherwise (pool > cap >= 2*min guarantees both
+// halves reach the minimum).
+std::vector<size_t> ChunkSizes(size_t total, size_t per, size_t min,
+                               size_t cap) {
+  std::vector<size_t> sizes;
+  size_t left = total;
+  while (left > 0) {
+    size_t take = std::min(per, left);
+    sizes.push_back(take);
+    left -= take;
+  }
+  if (sizes.size() >= 2 && sizes.back() < min) {
+    size_t pool = sizes.back() + sizes[sizes.size() - 2];
+    if (pool <= cap) {
+      sizes.pop_back();
+      sizes.back() = pool;
+    } else {
+      sizes[sizes.size() - 2] = pool - pool / 2;
+      sizes.back() = pool / 2;
+    }
+  }
+  return sizes;
+}
 
 }  // namespace
 
@@ -72,6 +149,16 @@ Status LeafCursor::PrevLeaf() {
 // --- Construction --------------------------------------------------------
 
 Status BPlusTree::Create(Pager* pager, std::unique_ptr<BPlusTree>* out) {
+  return CreateImpl(pager, /*augmented=*/false, out);
+}
+
+Status BPlusTree::CreateAugmented(Pager* pager,
+                                  std::unique_ptr<BPlusTree>* out) {
+  return CreateImpl(pager, /*augmented=*/true, out);
+}
+
+Status BPlusTree::CreateImpl(Pager* pager, bool augmented,
+                             std::unique_ptr<BPlusTree>* out) {
   Result<PageId> meta = pager->Allocate();
   if (!meta.ok()) return meta.status();
   Result<PageId> root = pager->Allocate();
@@ -81,6 +168,7 @@ Status BPlusTree::Create(Pager* pager, std::unique_ptr<BPlusTree>* out) {
   tree->root_ = root.value();
   tree->count_ = 0;
   tree->height_ = 1;
+  tree->augmented_ = augmented;
 
   Result<PageRef> ref = pager->Fetch(root.value());
   if (!ref.ok()) return ref.status();
@@ -88,7 +176,12 @@ Status BPlusTree::Create(Pager* pager, std::unique_ptr<BPlusTree>* out) {
   nb::SetCount(ref.value().data(), 0);
   nb::SetNextLeaf(ref.value().data(), kInvalidPageId);
   nb::SetPrevLeaf(ref.value().data(), kInvalidPageId);
-  nb::ResetHandicaps(ref.value().data());
+  if (augmented) {
+    nb::SetAugFlag(ref.value().data());
+    nb::AugResetHandicaps(ref.value().data());
+  } else {
+    nb::ResetHandicaps(ref.value().data());
+  }
   ref.value().MarkDirty();
 
   CDB_RETURN_IF_ERROR(tree->StoreMeta());
@@ -134,32 +227,6 @@ Status BPlusTree::BulkLoad(Pager* pager,
   const size_t leaf_cap = nb::LeafCapacity(page_size);
   const size_t leaf_min = leaf_cap / 2;
 
-  // Split `total` items into chunk sizes of ~per, keeping every chunk (and
-  // especially the last) at or above `min`: an underfull tail merges into
-  // its predecessor when the pair fits one node of capacity `cap`, and is
-  // rebalanced evenly otherwise (pool > cap >= 2*min guarantees both
-  // halves reach the minimum).
-  auto chunk_sizes = [](size_t total, size_t per, size_t min, size_t cap) {
-    std::vector<size_t> sizes;
-    size_t left = total;
-    while (left > 0) {
-      size_t take = std::min(per, left);
-      sizes.push_back(take);
-      left -= take;
-    }
-    if (sizes.size() >= 2 && sizes.back() < min) {
-      size_t pool = sizes.back() + sizes[sizes.size() - 2];
-      if (pool <= cap) {
-        sizes.pop_back();
-        sizes.back() = pool;
-      } else {
-        sizes[sizes.size() - 2] = pool - pool / 2;
-        sizes.back() = pool / 2;
-      }
-    }
-    return sizes;
-  };
-
   // --- Leaves.
   struct ChildRef {
     nb::CKey first;
@@ -172,7 +239,7 @@ Status BPlusTree::BulkLoad(Pager* pager,
   std::vector<size_t> sizes =
       entries.empty()
           ? std::vector<size_t>{0}
-          : chunk_sizes(entries.size(), per_leaf, leaf_min, leaf_cap);
+          : ChunkSizes(entries.size(), per_leaf, leaf_min, leaf_cap);
   size_t pos = 0;
   PageId prev_leaf = kInvalidPageId;
   for (size_t si = 0; si < sizes.size(); ++si) {
@@ -211,7 +278,7 @@ Status BPlusTree::BulkLoad(Pager* pager,
     size_t per = std::max<size_t>(
         2, static_cast<size_t>(static_cast<double>(max_children) * fill));
     std::vector<size_t> group =
-        chunk_sizes(level.size(), per, min_children, max_children);
+        ChunkSizes(level.size(), per, min_children, max_children);
     std::vector<ChildRef> next;
     size_t at = 0;
     for (size_t gi = 0; gi < group.size(); ++gi) {
@@ -241,6 +308,142 @@ Status BPlusTree::BulkLoad(Pager* pager,
   return Status::OK();
 }
 
+Status BPlusTree::BulkLoadAugmented(Pager* pager,
+                                    std::vector<AugEntry> entries,
+                                    double fill,
+                                    std::unique_ptr<BPlusTree>* out) {
+  if (!(fill > 0.0 && fill <= 1.0)) {
+    return Status::InvalidArgument("fill factor must be in (0, 1]");
+  }
+  for (const AugEntry& e : entries) {
+    if (std::isnan(e.key)) return Status::InvalidArgument("NaN key");
+    for (int s = 0; s < nb::kHandicapSlots; ++s) {
+      if (std::isnan(e.m[s])) {
+        return Status::InvalidArgument("NaN assignment value");
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const AugEntry& a, const AugEntry& b) {
+              return nb::CKeyLess({a.key, a.value}, {b.key, b.value});
+            });
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].key == entries[i - 1].key &&
+        entries[i].value == entries[i - 1].value) {
+      return Status::InvalidArgument("duplicate (key, value) pair");
+    }
+  }
+
+  Result<PageId> meta = pager->Allocate();
+  if (!meta.ok()) return meta.status();
+  std::unique_ptr<BPlusTree> tree(new BPlusTree(pager, meta.value()));
+  tree->count_ = entries.size();
+  tree->augmented_ = true;
+
+  const size_t page_size = pager->page_size();
+  const size_t leaf_cap = nb::LeafCapacity(page_size);
+  const size_t leaf_min = leaf_cap / 2;
+
+  // --- Leaves (same packing as BulkLoad, so the leaf structure — and
+  // every sweep's page count — matches an ordinary build exactly).
+  struct ChildRef {
+    nb::CKey first;
+    PageId page;
+    double agg[nb::kHandicapSlots];
+  };
+  std::vector<ChildRef> level;
+  size_t per_leaf = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(leaf_cap) * fill));
+  per_leaf = std::max(per_leaf, std::min(leaf_min, entries.size()));
+  std::vector<size_t> sizes =
+      entries.empty()
+          ? std::vector<size_t>{0}
+          : ChunkSizes(entries.size(), per_leaf, leaf_min, leaf_cap);
+  size_t pos = 0;
+  PageId prev_leaf = kInvalidPageId;
+  for (size_t si = 0; si < sizes.size(); ++si) {
+    Result<PageId> page = pager->Allocate();
+    if (!page.ok()) return page.status();
+    Result<PageRef> ref = pager->Fetch(page.value());
+    if (!ref.ok()) return ref.status();
+    char* p = ref.value().data();
+    nb::SetType(p, /*leaf=*/true);
+    nb::SetAugFlag(p);
+    nb::SetCount(p, static_cast<uint16_t>(sizes[si]));
+    nb::SetPrevLeaf(p, prev_leaf);
+    nb::SetNextLeaf(p, kInvalidPageId);
+    nb::AugResetHandicaps(p);
+    for (size_t i = 0; i < sizes[si]; ++i, ++pos) {
+      nb::SetLeafEntry(p, i, {entries[pos].key, entries[pos].value});
+      for (int s = 0; s < nb::kHandicapSlots; ++s) {
+        nb::AugCombineHandicap(p, s, entries[pos].m[s]);
+      }
+    }
+    if (prev_leaf != kInvalidPageId) {
+      Result<PageRef> pref = pager->Fetch(prev_leaf);
+      if (!pref.ok()) return pref.status();
+      nb::SetNextLeaf(pref.value().data(), page.value());
+      pref.value().MarkDirty();
+    }
+    ref.value().MarkDirty();
+    ChildRef cr;
+    cr.first = sizes[si] > 0 ? nb::LeafEntry(p, 0) : nb::CKey{0.0, 0};
+    cr.page = page.value();
+    for (int s = 0; s < nb::kHandicapSlots; ++s) {
+      cr.agg[s] = nb::Handicap(p, s);
+    }
+    level.push_back(cr);
+    prev_leaf = page.value();
+  }
+
+  // --- Internal levels (augmented layout, child aggregates inline).
+  const size_t icap = nb::AugInternalCapacity(page_size);
+  const size_t max_children = icap + 1;
+  const size_t min_children = icap / 2 + 1;
+  uint32_t height = 1;
+  while (level.size() > 1) {
+    size_t per = std::max<size_t>(
+        2, static_cast<size_t>(static_cast<double>(max_children) * fill));
+    std::vector<size_t> group =
+        ChunkSizes(level.size(), per, min_children, max_children);
+    std::vector<ChildRef> next;
+    size_t at = 0;
+    for (size_t gi = 0; gi < group.size(); ++gi) {
+      Result<PageId> page = pager->Allocate();
+      if (!page.ok()) return page.status();
+      Result<PageRef> ref = pager->Fetch(page.value());
+      if (!ref.ok()) return ref.status();
+      char* p = ref.value().data();
+      nb::SetType(p, /*leaf=*/false);
+      nb::SetAugFlag(p);
+      nb::SetCount(p, static_cast<uint16_t>(group[gi] - 1));
+      nb::AugSetChild(p, 0, level[at].page);
+      nb::AugSetAgg(p, 0, level[at].agg);
+      ChildRef cr;
+      cr.first = level[at].first;
+      cr.page = page.value();
+      nb::AugNeutralArray(cr.agg);
+      nb::AugFoldArray(cr.agg, level[at].agg);
+      for (size_t i = 1; i < group[gi]; ++i) {
+        nb::AugSetInternalKey(p, i - 1, level[at + i].first);
+        nb::AugSetChild(p, i, level[at + i].page);
+        nb::AugSetAgg(p, i, level[at + i].agg);
+        nb::AugFoldArray(cr.agg, level[at + i].agg);
+      }
+      ref.value().MarkDirty();
+      next.push_back(cr);
+      at += group[gi];
+    }
+    level = std::move(next);
+    ++height;
+  }
+  tree->root_ = level.front().page;
+  tree->height_ = height;
+  CDB_RETURN_IF_ERROR(tree->StoreMeta());
+  *out = std::move(tree);
+  return Status::OK();
+}
+
 Status BPlusTree::LoadMeta() {
   Result<PageRef> ref = pager_->Fetch(meta_page_);
   if (!ref.ok()) return ref.status();
@@ -252,24 +455,73 @@ Status BPlusTree::LoadMeta() {
   root_ = meta.root;
   height_ = meta.height;
   count_ = meta.count;
+  augmented_ = (meta.flags & kTreeFlagAugmented) != 0;
   return Status::OK();
 }
 
 Status BPlusTree::StoreMeta() {
   Result<PageRef> ref = pager_->Fetch(meta_page_);
   if (!ref.ok()) return ref.status();
-  TreeMeta meta{kTreeMagic, root_, height_, count_};
+  TreeMeta meta{};  // Zero padding too: the page bytes are checksummed.
+  meta.magic = kTreeMagic;
+  meta.root = root_;
+  meta.height = height_;
+  meta.count = count_;
+  meta.flags = augmented_ ? kTreeFlagAugmented : 0;
   std::memcpy(ref.value().data(), &meta, sizeof(meta));
   ref.value().MarkDirty();
+  return Status::OK();
+}
+
+Status BPlusTree::ReadView(PageId* root, uint32_t* height) const {
+  if (pager_->InSwmrReadContext()) {
+    // Single-writer mode, reader thread: the members are the writer's live
+    // state. Descend from the last committed meta instead (one extra
+    // logical fetch, paid only in this mode).
+    Result<PageRef> ref = pager_->Fetch(meta_page_);
+    if (!ref.ok()) return ref.status();
+    TreeMeta meta;
+    std::memcpy(&meta, ref.value().data(), sizeof(meta));
+    if (meta.magic != kTreeMagic) {
+      return Status::Corruption("bad B+-tree meta magic");
+    }
+    *root = meta.root;
+    *height = meta.height;
+    return Status::OK();
+  }
+  *root = root_;
+  *height = height_;
   return Status::OK();
 }
 
 // --- Insert ---------------------------------------------------------------
 
 Status BPlusTree::Insert(double key, uint32_t value) {
+  if (augmented_) {
+    return Status::InvalidArgument(
+        "augmented tree requires InsertWithAssignment");
+  }
+  return InsertImpl(key, value, nullptr);
+}
+
+Status BPlusTree::InsertWithAssignment(double key, uint32_t value,
+                                       const double* m) {
+  if (!augmented_) {
+    return Status::InvalidArgument(
+        "InsertWithAssignment requires an augmented tree");
+  }
+  for (int s = 0; s < nb::kHandicapSlots; ++s) {
+    if (std::isnan(m[s])) {
+      return Status::InvalidArgument("NaN assignment value");
+    }
+  }
+  return InsertImpl(key, value, m);
+}
+
+Status BPlusTree::InsertImpl(double key, uint32_t value, const double* m) {
   if (std::isnan(key)) return Status::InvalidArgument("NaN key");
   SplitResult split;
-  CDB_RETURN_IF_ERROR(InsertRec(root_, key, value, &split));
+  CDB_RETURN_IF_ERROR(InsertRec(root_, key, value, m, &split));
   if (split.split) {
     Result<PageId> new_root = pager_->Allocate();
     if (!new_root.ok()) return new_root.status();
@@ -278,9 +530,14 @@ Status BPlusTree::Insert(double key, uint32_t value) {
     char* p = ref.value().data();
     nb::SetType(p, /*leaf=*/false);
     nb::SetCount(p, 0);
-    nb::SetChild(p, 0, root_);
-    nb::InsertInternalEntry(p, 0, {split.sep_key, split.sep_value},
-                            split.right);
+    XSetChild(augmented_, p, 0, root_);
+    XInsertEntry(augmented_, p, 0, {split.sep_key, split.sep_value},
+                 split.right);
+    if (augmented_) {
+      nb::SetAugFlag(p);
+      CDB_RETURN_IF_ERROR(RefreshChildAgg(p, 0));
+      CDB_RETURN_IF_ERROR(RefreshChildAgg(p, 1));
+    }
     ref.value().MarkDirty();
     root_ = new_root.value();
     ++height_;
@@ -290,7 +547,7 @@ Status BPlusTree::Insert(double key, uint32_t value) {
 }
 
 Status BPlusTree::InsertRec(PageId page, double key, uint32_t value,
-                            SplitResult* out) {
+                            const double* m, SplitResult* out) {
   out->split = false;
   Result<PageRef> ref = pager_->Fetch(page);
   if (!ref.ok()) return ref.status();
@@ -306,6 +563,12 @@ Status BPlusTree::InsertRec(PageId page, double key, uint32_t value,
     size_t cap = nb::LeafCapacity(pager_->page_size());
     if (n < cap) {
       nb::InsertLeafEntry(p, pos, ckey);
+      if (augmented_) {
+        // Local slots: folding the new entry's assignments is exact.
+        for (int s = 0; s < nb::kHandicapSlots; ++s) {
+          nb::AugCombineHandicap(p, s, m[s]);
+        }
+      }
       ref.value().MarkDirty();
       return Status::OK();
     }
@@ -333,10 +596,16 @@ Status BPlusTree::InsertRec(PageId page, double key, uint32_t value,
       nb::SetPrevLeaf(nref.value().data(), right_id.value());
       nref.value().MarkDirty();
     }
-    // Handicaps: both halves inherit the original slots (conservative —
-    // never loses a qualifying tuple; see DESIGN.md).
-    for (int s = 0; s < nb::kHandicapSlots; ++s) {
-      nb::SetHandicap(r, s, nb::Handicap(p, s));
+    if (!augmented_) {
+      // Handicaps: both halves inherit the original slots (conservative —
+      // never loses a qualifying tuple; see DESIGN.md). This is the event
+      // that smears near-global bounds across leaves, so count it.
+      for (int s = 0; s < nb::kHandicapSlots; ++s) {
+        nb::SetHandicap(r, s, nb::Handicap(p, s));
+      }
+      ++handicap_staleness_;
+    } else {
+      nb::SetAugFlag(r);
     }
     // Place the new entry.
     nb::CKey sep = nb::LeafEntry(r, 0);
@@ -344,6 +613,13 @@ Status BPlusTree::InsertRec(PageId page, double key, uint32_t value,
       nb::InsertLeafEntry(p, nb::LeafLowerBound(p, ckey), ckey);
     } else {
       nb::InsertLeafEntry(r, nb::LeafLowerBound(r, ckey), ckey);
+    }
+    if (augmented_) {
+      // Local slots are recomputed exactly for both halves (the entries
+      // moved, so each half's fold changed); the callback resolves every
+      // entry's assignments, including the one just placed.
+      CDB_RETURN_IF_ERROR(RecomputeLeafLocal(p));
+      CDB_RETURN_IF_ERROR(RecomputeLeafLocal(r));
     }
     ref.value().MarkDirty();
     rref.value().MarkDirty();
@@ -356,18 +632,28 @@ Status BPlusTree::InsertRec(PageId page, double key, uint32_t value,
   }
 
   // Internal node.
-  size_t idx = nb::DescendIndex(p, ckey);
-  PageId child = nb::Child(p, idx);
+  const bool aug = augmented_;
+  size_t idx = XDescendIndex(aug, p, ckey);
+  PageId child = XChild(aug, p, idx);
   SplitResult child_split;
-  CDB_RETURN_IF_ERROR(InsertRec(child, key, value, &child_split));
-  if (!child_split.split) return Status::OK();
+  CDB_RETURN_IF_ERROR(InsertRec(child, key, value, m, &child_split));
+  if (!child_split.split) {
+    if (aug) {
+      CDB_RETURN_IF_ERROR(RefreshChildAgg(p, idx));
+      ref.value().MarkDirty();
+    }
+    return Status::OK();
+  }
 
-  nb::InsertInternalEntry(p, idx,
-                          {child_split.sep_key, child_split.sep_value},
-                          child_split.right);
+  XInsertEntry(aug, p, idx, {child_split.sep_key, child_split.sep_value},
+               child_split.right);
+  if (aug) {
+    CDB_RETURN_IF_ERROR(RefreshChildAgg(p, idx));
+    CDB_RETURN_IF_ERROR(RefreshChildAgg(p, idx + 1));
+  }
   ref.value().MarkDirty();
   uint16_t n = nb::Count(p);
-  size_t cap = nb::InternalCapacity(pager_->page_size());
+  size_t cap = XInternalCapacity(aug, pager_->page_size());
   if (n <= cap) return Status::OK();
 
   // Split the internal node; the middle key is promoted (not kept).
@@ -377,13 +663,24 @@ Status BPlusTree::InsertRec(PageId page, double key, uint32_t value,
   if (!rref.ok()) return rref.status();
   char* r = rref.value().data();
   nb::SetType(r, /*leaf=*/false);
+  if (aug) nb::SetAugFlag(r);
   size_t mid = n / 2;
-  nb::CKey promoted = nb::InternalKey(p, mid);
+  nb::CKey promoted = XKey(aug, p, mid);
   nb::SetCount(r, static_cast<uint16_t>(n - mid - 1));
-  nb::SetChild(r, 0, nb::Child(p, mid + 1));
+  XSetChild(aug, r, 0, XChild(aug, p, mid + 1));
+  if (aug) {
+    double a[nb::kHandicapSlots];
+    nb::AugGetAgg(p, mid + 1, a);
+    nb::AugSetAgg(r, 0, a);
+  }
   for (size_t i = mid + 1; i < n; ++i) {
-    nb::SetInternalKey(r, i - mid - 1, nb::InternalKey(p, i));
-    nb::SetChild(r, i - mid, nb::Child(p, i + 1));
+    XSetKey(aug, r, i - mid - 1, XKey(aug, p, i));
+    XSetChild(aug, r, i - mid, XChild(aug, p, i + 1));
+    if (aug) {
+      double a[nb::kHandicapSlots];
+      nb::AugGetAgg(p, i + 1, a);
+      nb::AugSetAgg(r, i - mid, a);
+    }
   }
   nb::SetCount(p, static_cast<uint16_t>(mid));
   rref.value().MarkDirty();
@@ -398,14 +695,28 @@ Status BPlusTree::InsertRec(PageId page, double key, uint32_t value,
 
 Status BPlusTree::Delete(double key, uint32_t value) {
   if (std::isnan(key)) return Status::InvalidArgument("NaN key");
+  double m[nb::kHandicapSlots];
+  const double* removed_m = nullptr;
+  if (augmented_) {
+    if (!assignment_fn_) {
+      return Status::InvalidArgument(
+          "augmented tree mutation without an assignment callback");
+    }
+    CDB_RETURN_IF_ERROR(assignment_fn_(value, m));
+    removed_m = m;
+  }
   bool underflow = false;
-  CDB_RETURN_IF_ERROR(DeleteRec(root_, key, value, &underflow));
+  CDB_RETURN_IF_ERROR(DeleteRec(root_, key, value, removed_m, &underflow));
+  if (!augmented_) {
+    // The removed tuple's folded contributions stay behind in the slots.
+    ++handicap_staleness_;
+  }
   // Shrink the root when an internal root has a single child.
   Result<PageRef> ref = pager_->Fetch(root_);
   if (!ref.ok()) return ref.status();
   char* p = ref.value().data();
   if (!nb::IsLeaf(p) && nb::Count(p) == 0) {
-    PageId only_child = nb::Child(p, 0);
+    PageId only_child = XChild(augmented_, p, 0);
     PageId old_root = root_;
     ref.value().Release();
     CDB_RETURN_IF_ERROR(pager_->Free(old_root));
@@ -417,7 +728,7 @@ Status BPlusTree::Delete(double key, uint32_t value) {
 }
 
 Status BPlusTree::DeleteRec(PageId page, double key, uint32_t value,
-                            bool* underflow) {
+                            const double* removed_m, bool* underflow) {
   *underflow = false;
   Result<PageRef> ref = pager_->Fetch(page);
   if (!ref.ok()) return ref.status();
@@ -430,40 +741,67 @@ Status BPlusTree::DeleteRec(PageId page, double key, uint32_t value,
       return Status::NotFound("(key, value) pair not in tree");
     }
     nb::RemoveLeafEntry(p, pos);
+    if (augmented_) {
+      // Only an extremal contributor can change a slot's fold; recompute
+      // the leaf when the removed assignments touch any slot value.
+      bool extremal = false;
+      for (int s = 0; s < nb::kHandicapSlots; ++s) {
+        if (removed_m[s] == nb::Handicap(p, s)) extremal = true;
+      }
+      if (extremal) CDB_RETURN_IF_ERROR(RecomputeLeafLocal(p));
+    }
     ref.value().MarkDirty();
     *underflow = nb::Count(p) < nb::LeafCapacity(pager_->page_size()) / 2;
     return Status::OK();
   }
 
-  size_t idx = nb::DescendIndex(p, ckey);
-  PageId child = nb::Child(p, idx);
+  const bool aug = augmented_;
+  size_t idx = XDescendIndex(aug, p, ckey);
+  PageId child = XChild(aug, p, idx);
   bool child_underflow = false;
-  CDB_RETURN_IF_ERROR(DeleteRec(child, key, value, &child_underflow));
+  CDB_RETURN_IF_ERROR(DeleteRec(child, key, value, removed_m,
+                                &child_underflow));
   if (child_underflow) {
     CDB_RETURN_IF_ERROR(FixUnderflow(p, page, idx));
     ref.value().MarkDirty();
+    if (aug) {
+      // The fix touched child idx and at most one neighbor (and may have
+      // removed one); refresh the aggregates of the surviving children in
+      // that window.
+      uint16_t n = nb::Count(p);
+      size_t lo = idx > 0 ? idx - 1 : 0;
+      size_t hi = std::min<size_t>(idx + 1, n);
+      for (size_t i = lo; i <= hi; ++i) {
+        CDB_RETURN_IF_ERROR(RefreshChildAgg(p, i));
+      }
+    }
+  } else if (aug) {
+    CDB_RETURN_IF_ERROR(RefreshChildAgg(p, idx));
+    ref.value().MarkDirty();
   }
-  *underflow = nb::Count(p) < nb::InternalCapacity(pager_->page_size()) / 2;
+  *underflow =
+      nb::Count(p) < XInternalCapacity(aug, pager_->page_size()) / 2;
   return Status::OK();
 }
 
 Status BPlusTree::FixUnderflow(char* parent, PageId /*parent_id*/,
                                size_t child_idx) {
+  const bool aug = augmented_;
   uint16_t pcount = nb::Count(parent);
-  PageId child_id = nb::Child(parent, child_idx);
+  PageId child_id = XChild(aug, parent, child_idx);
   Result<PageRef> cref = pager_->Fetch(child_id);
   if (!cref.ok()) return cref.status();
   char* c = cref.value().data();
   const bool leaves = nb::IsLeaf(c);
   const size_t min_count =
       (leaves ? nb::LeafCapacity(pager_->page_size())
-              : nb::InternalCapacity(pager_->page_size())) /
+              : XInternalCapacity(aug, pager_->page_size())) /
       2;
 
   PageId left_id =
-      child_idx > 0 ? nb::Child(parent, child_idx - 1) : kInvalidPageId;
-  PageId right_id =
-      child_idx < pcount ? nb::Child(parent, child_idx + 1) : kInvalidPageId;
+      child_idx > 0 ? XChild(aug, parent, child_idx - 1) : kInvalidPageId;
+  PageId right_id = child_idx < pcount ? XChild(aug, parent, child_idx + 1)
+                                       : kInvalidPageId;
 
   // --- Try borrowing from the left sibling.
   if (left_id != kInvalidPageId) {
@@ -475,27 +813,47 @@ Status BPlusTree::FixUnderflow(char* parent, PageId /*parent_id*/,
         nb::CKey moved = nb::LeafEntry(l, nb::Count(l) - 1);
         nb::RemoveLeafEntry(l, nb::Count(l) - 1);
         nb::InsertLeafEntry(c, 0, moved);
-        nb::SetInternalKey(parent, child_idx - 1, moved);
-        // Key ranges shifted between the two leaves: conservatively merge
-        // handicap slots into both.
-        for (int s = 0; s < nb::kHandicapSlots; ++s) {
-          double combined = s < 2 ? std::min(nb::Handicap(l, s),
-                                             nb::Handicap(c, s))
-                                  : std::max(nb::Handicap(l, s),
-                                             nb::Handicap(c, s));
-          nb::SetHandicap(l, s, combined);
-          nb::SetHandicap(c, s, combined);
+        XSetKey(aug, parent, child_idx - 1, moved);
+        if (aug) {
+          // Entries moved between the leaves; both local folds changed.
+          CDB_RETURN_IF_ERROR(RecomputeLeafLocal(l));
+          CDB_RETURN_IF_ERROR(RecomputeLeafLocal(c));
+        } else {
+          // Key ranges shifted between the two leaves: conservatively
+          // merge handicap slots into both.
+          for (int s = 0; s < nb::kHandicapSlots; ++s) {
+            double combined = s < 2 ? std::min(nb::Handicap(l, s),
+                                               nb::Handicap(c, s))
+                                    : std::max(nb::Handicap(l, s),
+                                               nb::Handicap(c, s));
+            nb::SetHandicap(l, s, combined);
+            nb::SetHandicap(c, s, combined);
+          }
+          ++handicap_staleness_;
         }
       } else {
         // Rotate through the parent separator.
-        nb::CKey sep = nb::InternalKey(parent, child_idx - 1);
-        PageId borrowed = nb::Child(l, nb::Count(l));
-        nb::CKey l_last = nb::InternalKey(l, nb::Count(l) - 1);
-        PageId old_child0 = nb::Child(c, 0);
-        nb::InsertInternalEntry(c, 0, sep, old_child0);
-        nb::SetChild(c, 0, borrowed);
-        nb::SetInternalKey(parent, child_idx - 1, l_last);
-        nb::RemoveInternalEntry(l, nb::Count(l) - 1);
+        nb::CKey sep = XKey(aug, parent, child_idx - 1);
+        PageId borrowed = XChild(aug, l, nb::Count(l));
+        nb::CKey l_last = XKey(aug, l, nb::Count(l) - 1);
+        PageId old_child0 = XChild(aug, c, 0);
+        if (aug) {
+          // The borrowed child's aggregate travels with it; c's old head
+          // aggregate moves from the header into entry 0.
+          double a_head[nb::kHandicapSlots];
+          double a_borrowed[nb::kHandicapSlots];
+          nb::AugGetAgg(c, 0, a_head);
+          nb::AugGetAgg(l, nb::Count(l), a_borrowed);
+          nb::AugInsertInternalEntry(c, 0, sep, old_child0);
+          nb::AugSetAgg(c, 1, a_head);
+          nb::AugSetChild(c, 0, borrowed);
+          nb::AugSetAgg(c, 0, a_borrowed);
+        } else {
+          nb::InsertInternalEntry(c, 0, sep, old_child0);
+          nb::SetChild(c, 0, borrowed);
+        }
+        XSetKey(aug, parent, child_idx - 1, l_last);
+        XRemoveEntry(aug, l, nb::Count(l) - 1);
       }
       lref.value().MarkDirty();
       cref.value().MarkDirty();
@@ -513,23 +871,41 @@ Status BPlusTree::FixUnderflow(char* parent, PageId /*parent_id*/,
         nb::CKey moved = nb::LeafEntry(r, 0);
         nb::RemoveLeafEntry(r, 0);
         nb::InsertLeafEntry(c, nb::Count(c), moved);
-        nb::SetInternalKey(parent, child_idx, nb::LeafEntry(r, 0));
-        for (int s = 0; s < nb::kHandicapSlots; ++s) {
-          double combined = s < 2 ? std::min(nb::Handicap(r, s),
-                                             nb::Handicap(c, s))
-                                  : std::max(nb::Handicap(r, s),
-                                             nb::Handicap(c, s));
-          nb::SetHandicap(r, s, combined);
-          nb::SetHandicap(c, s, combined);
+        XSetKey(aug, parent, child_idx, nb::LeafEntry(r, 0));
+        if (aug) {
+          CDB_RETURN_IF_ERROR(RecomputeLeafLocal(r));
+          CDB_RETURN_IF_ERROR(RecomputeLeafLocal(c));
+        } else {
+          for (int s = 0; s < nb::kHandicapSlots; ++s) {
+            double combined = s < 2 ? std::min(nb::Handicap(r, s),
+                                               nb::Handicap(c, s))
+                                    : std::max(nb::Handicap(r, s),
+                                               nb::Handicap(c, s));
+            nb::SetHandicap(r, s, combined);
+            nb::SetHandicap(c, s, combined);
+          }
+          ++handicap_staleness_;
         }
       } else {
-        nb::CKey sep = nb::InternalKey(parent, child_idx);
-        PageId borrowed = nb::Child(r, 0);
-        nb::CKey r_first = nb::InternalKey(r, 0);
-        nb::InsertInternalEntry(c, nb::Count(c), sep, borrowed);
-        nb::SetChild(r, 0, nb::Child(r, 1));
-        nb::RemoveInternalEntry(r, 0);
-        nb::SetInternalKey(parent, child_idx, r_first);
+        nb::CKey sep = XKey(aug, parent, child_idx);
+        PageId borrowed = XChild(aug, r, 0);
+        nb::CKey r_first = XKey(aug, r, 0);
+        if (aug) {
+          double a_borrowed[nb::kHandicapSlots];
+          double a_next[nb::kHandicapSlots];
+          nb::AugGetAgg(r, 0, a_borrowed);
+          nb::AugGetAgg(r, 1, a_next);
+          nb::AugInsertInternalEntry(c, nb::Count(c), sep, borrowed);
+          nb::AugSetAgg(c, nb::Count(c), a_borrowed);
+          nb::AugSetChild(r, 0, nb::AugChild(r, 1));
+          nb::AugSetAgg(r, 0, a_next);
+          nb::AugRemoveInternalEntry(r, 0);
+        } else {
+          nb::InsertInternalEntry(c, nb::Count(c), sep, borrowed);
+          nb::SetChild(r, 0, nb::Child(r, 1));
+          nb::RemoveInternalEntry(r, 0);
+        }
+        XSetKey(aug, parent, child_idx, r_first);
       }
       rref.value().MarkDirty();
       cref.value().MarkDirty();
@@ -557,20 +933,38 @@ Status BPlusTree::FixUnderflow(char* parent, PageId /*parent_id*/,
         nb::SetPrevLeaf(nref.value().data(), left_id);
         nref.value().MarkDirty();
       }
-      for (int s = 0; s < nb::kHandicapSlots; ++s) {
-        nb::CombineHandicap(l, s, nb::Handicap(c, s));
+      if (aug) {
+        // The union of two local folds is their (augmented) fold — exact.
+        for (int s = 0; s < nb::kHandicapSlots; ++s) {
+          nb::AugCombineHandicap(l, s, nb::Handicap(c, s));
+        }
+      } else {
+        for (int s = 0; s < nb::kHandicapSlots; ++s) {
+          nb::CombineHandicap(l, s, nb::Handicap(c, s));
+        }
+        ++handicap_staleness_;
       }
     } else {
-      nb::CKey sep = nb::InternalKey(parent, child_idx - 1);
-      nb::InsertInternalEntry(l, nb::Count(l), sep, nb::Child(c, 0));
+      nb::CKey sep = XKey(aug, parent, child_idx - 1);
+      XInsertEntry(aug, l, nb::Count(l), sep, XChild(aug, c, 0));
+      if (aug) {
+        double a[nb::kHandicapSlots];
+        nb::AugGetAgg(c, 0, a);
+        nb::AugSetAgg(l, nb::Count(l), a);
+      }
       uint16_t cn = nb::Count(c);
       for (uint16_t i = 0; i < cn; ++i) {
-        nb::InsertInternalEntry(l, nb::Count(l), nb::InternalKey(c, i),
-                                nb::Child(c, i + 1));
+        XInsertEntry(aug, l, nb::Count(l), XKey(aug, c, i),
+                     XChild(aug, c, i + 1));
+        if (aug) {
+          double a[nb::kHandicapSlots];
+          nb::AugGetAgg(c, i + 1, a);
+          nb::AugSetAgg(l, nb::Count(l), a);
+        }
       }
     }
     lref.value().MarkDirty();
-    nb::RemoveInternalEntry(parent, child_idx - 1);
+    XRemoveEntry(aug, parent, child_idx - 1);
     cref.value().Release();
     return pager_->Free(child_id);
   }
@@ -593,20 +987,37 @@ Status BPlusTree::FixUnderflow(char* parent, PageId /*parent_id*/,
         nb::SetPrevLeaf(nref.value().data(), child_id);
         nref.value().MarkDirty();
       }
-      for (int s = 0; s < nb::kHandicapSlots; ++s) {
-        nb::CombineHandicap(c, s, nb::Handicap(r, s));
+      if (aug) {
+        for (int s = 0; s < nb::kHandicapSlots; ++s) {
+          nb::AugCombineHandicap(c, s, nb::Handicap(r, s));
+        }
+      } else {
+        for (int s = 0; s < nb::kHandicapSlots; ++s) {
+          nb::CombineHandicap(c, s, nb::Handicap(r, s));
+        }
+        ++handicap_staleness_;
       }
     } else {
-      nb::CKey sep = nb::InternalKey(parent, child_idx);
-      nb::InsertInternalEntry(c, nb::Count(c), sep, nb::Child(r, 0));
+      nb::CKey sep = XKey(aug, parent, child_idx);
+      XInsertEntry(aug, c, nb::Count(c), sep, XChild(aug, r, 0));
+      if (aug) {
+        double a[nb::kHandicapSlots];
+        nb::AugGetAgg(r, 0, a);
+        nb::AugSetAgg(c, nb::Count(c), a);
+      }
       uint16_t rn = nb::Count(r);
       for (uint16_t i = 0; i < rn; ++i) {
-        nb::InsertInternalEntry(c, nb::Count(c), nb::InternalKey(r, i),
-                                nb::Child(r, i + 1));
+        XInsertEntry(aug, c, nb::Count(c), XKey(aug, r, i),
+                     XChild(aug, r, i + 1));
+        if (aug) {
+          double a[nb::kHandicapSlots];
+          nb::AugGetAgg(r, i + 1, a);
+          nb::AugSetAgg(c, nb::Count(c), a);
+        }
       }
     }
     cref.value().MarkDirty();
-    nb::RemoveInternalEntry(parent, child_idx);
+    XRemoveEntry(aug, parent, child_idx);
     rref.value().Release();
     return pager_->Free(right_id);
   }
@@ -619,9 +1030,11 @@ Status BPlusTree::FixUnderflow(char* parent, PageId /*parent_id*/,
 
 Status BPlusTree::DescendToLeaf(double key, uint32_t value,
                                 PageId* leaf) const {
-  PageId page = root_;
+  PageId page;
+  uint32_t height;
+  CDB_RETURN_IF_ERROR(ReadView(&page, &height));
   const nb::CKey ckey{key, value};
-  for (uint32_t level = 0; level < height_ + 2; ++level) {
+  for (uint32_t level = 0; level < height + 2; ++level) {
     Result<PageRef> ref = pager_->Fetch(page);
     if (!ref.ok()) return ref.status();
     const char* p = ref.value().data();
@@ -629,7 +1042,7 @@ Status BPlusTree::DescendToLeaf(double key, uint32_t value,
       *leaf = page;
       return Status::OK();
     }
-    page = nb::Child(p, nb::DescendIndex(p, ckey));
+    page = XChild(augmented_, p, XDescendIndex(augmented_, p, ckey));
   }
   return Status::Corruption("B+-tree deeper than recorded height");
 }
@@ -663,8 +1076,10 @@ Status BPlusTree::SeekFirstLeaf(LeafCursor* out) const {
 }
 
 Status BPlusTree::SeekLastLeaf(LeafCursor* out) const {
-  PageId page = root_;
-  for (uint32_t level = 0; level < height_ + 2; ++level) {
+  PageId page;
+  uint32_t height;
+  CDB_RETURN_IF_ERROR(ReadView(&page, &height));
+  for (uint32_t level = 0; level < height + 2; ++level) {
     Result<PageRef> ref = pager_->Fetch(page);
     if (!ref.ok()) return ref.status();
     const char* p = ref.value().data();
@@ -674,7 +1089,7 @@ Status BPlusTree::SeekLastLeaf(LeafCursor* out) const {
       out->seek_pos_ = out->count_;
       return Status::OK();
     }
-    page = nb::Child(p, nb::Count(p));
+    page = XChild(augmented_, p, nb::Count(p));
   }
   return Status::Corruption("B+-tree deeper than recorded height");
 }
@@ -682,6 +1097,11 @@ Status BPlusTree::SeekLastLeaf(LeafCursor* out) const {
 // --- Handicaps --------------------------------------------------------------
 
 Status BPlusTree::MergeHandicap(double at, int slot, double v) {
+  if (augmented_) {
+    return Status::InvalidArgument(
+        "MergeHandicap on an augmented tree (slots are maintained "
+        "incrementally)");
+  }
   if (std::isnan(at) || std::isnan(v)) {
     return Status::InvalidArgument("NaN handicap");
   }
@@ -698,6 +1118,10 @@ Status BPlusTree::MergeHandicap(double at, int slot, double v) {
 }
 
 Status BPlusTree::ResetHandicaps() {
+  if (augmented_) {
+    return Status::InvalidArgument(
+        "ResetHandicaps on an augmented tree (use RecomputeAugmented)");
+  }
   LeafCursor cur;
   CDB_RETURN_IF_ERROR(SeekFirstLeaf(&cur));
   while (cur.valid()) {
@@ -707,25 +1131,172 @@ Status BPlusTree::ResetHandicaps() {
     ref.value().MarkDirty();
     CDB_RETURN_IF_ERROR(cur.NextLeaf());
   }
+  handicap_staleness_ = 0;
   return Status::OK();
+}
+
+// --- Augmented maintenance --------------------------------------------------
+
+Status BPlusTree::NodeAggregate(PageId page, double* out) const {
+  Result<PageRef> ref = pager_->Fetch(page);
+  if (!ref.ok()) return ref.status();
+  const char* p = ref.value().data();
+  if (nb::IsLeaf(p)) {
+    for (int s = 0; s < nb::kHandicapSlots; ++s) {
+      out[s] = nb::Handicap(p, s);
+    }
+    return Status::OK();
+  }
+  nb::AugNeutralArray(out);
+  uint16_t n = nb::Count(p);
+  for (size_t i = 0; i <= n; ++i) {
+    double a[nb::kHandicapSlots];
+    nb::AugGetAgg(p, i, a);
+    nb::AugFoldArray(out, a);
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::RefreshChildAgg(char* parent, size_t i) {
+  double a[nb::kHandicapSlots];
+  CDB_RETURN_IF_ERROR(NodeAggregate(nb::AugChild(parent, i), a));
+  nb::AugSetAgg(parent, i, a);
+  return Status::OK();
+}
+
+Status BPlusTree::RecomputeLeafLocal(char* p) {
+  if (!assignment_fn_) {
+    return Status::InvalidArgument(
+        "augmented tree mutation without an assignment callback");
+  }
+  nb::AugResetHandicaps(p);
+  uint16_t n = nb::Count(p);
+  for (size_t i = 0; i < n; ++i) {
+    double m[nb::kHandicapSlots];
+    CDB_RETURN_IF_ERROR(assignment_fn_(nb::LeafEntry(p, i).value, m));
+    for (int s = 0; s < nb::kHandicapSlots; ++s) {
+      nb::AugCombineHandicap(p, s, m[s]);
+    }
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::RecomputeAggRec(PageId page, double* out) {
+  Result<PageRef> ref = pager_->Fetch(page);
+  if (!ref.ok()) return ref.status();
+  char* p = ref.value().data();
+  if (nb::IsLeaf(p)) {
+    CDB_RETURN_IF_ERROR(RecomputeLeafLocal(p));
+    ref.value().MarkDirty();
+    for (int s = 0; s < nb::kHandicapSlots; ++s) {
+      out[s] = nb::Handicap(p, s);
+    }
+    return Status::OK();
+  }
+  nb::AugNeutralArray(out);
+  uint16_t n = nb::Count(p);
+  // Copy the children and release the pin before recursing (pool hygiene),
+  // then re-fetch to store the recomputed aggregates.
+  std::vector<PageId> children(n + 1);
+  for (size_t i = 0; i <= n; ++i) children[i] = nb::AugChild(p, i);
+  ref.value().Release();
+  std::vector<double> aggs((n + 1) * nb::kHandicapSlots);
+  for (size_t i = 0; i <= n; ++i) {
+    CDB_RETURN_IF_ERROR(
+        RecomputeAggRec(children[i], &aggs[i * nb::kHandicapSlots]));
+    nb::AugFoldArray(out, &aggs[i * nb::kHandicapSlots]);
+  }
+  Result<PageRef> wref = pager_->Fetch(page);
+  if (!wref.ok()) return wref.status();
+  for (size_t i = 0; i <= n; ++i) {
+    nb::AugSetAgg(wref.value().data(), i, &aggs[i * nb::kHandicapSlots]);
+  }
+  wref.value().MarkDirty();
+  return Status::OK();
+}
+
+Status BPlusTree::RecomputeAugmented() {
+  if (!augmented_) {
+    return Status::InvalidArgument(
+        "RecomputeAugmented on an ordinary tree (use ResetHandicaps + "
+        "MergeHandicap)");
+  }
+  double root_agg[nb::kHandicapSlots];
+  return RecomputeAggRec(root_, root_agg);
+}
+
+Status BPlusTree::SecondSweepBound(int slot, double b, bool* have,
+                                   double* bound) const {
+  if (!augmented_) {
+    return Status::InvalidArgument("SecondSweepBound on an ordinary tree");
+  }
+  if (slot < 0 || slot >= nb::kHandicapSlots) {
+    return Status::InvalidArgument("handicap slot out of range");
+  }
+  if (std::isnan(b)) return Status::InvalidArgument("NaN bound");
+  *have = false;
+  const bool low = slot < 2;  // Low slots fold by max, qualify by m >= b.
+  PageId page;
+  uint32_t height;
+  CDB_RETURN_IF_ERROR(ReadView(&page, &height));
+  for (uint32_t level = 0; level < height + 2; ++level) {
+    Result<PageRef> ref = pager_->Fetch(page);
+    if (!ref.ok()) return ref.status();
+    const char* p = ref.value().data();
+    if (nb::IsLeaf(p)) {
+      uint16_t n = nb::Count(p);
+      double h = nb::Handicap(p, slot);
+      if (n == 0 || (low ? h < b : h > b)) return Status::OK();
+      // Conservative by at most this one leaf: the qualifying entry is in
+      // here somewhere, so its first (low) / last (high) key bounds it.
+      *have = true;
+      *bound = nb::LeafEntry(p, low ? 0 : n - 1).key;
+      return Status::OK();
+    }
+    uint16_t n = nb::Count(p);
+    bool found = false;
+    if (low) {
+      // Leftmost child whose subtree holds an entry with m_slot >= b.
+      for (size_t i = 0; i <= n && !found; ++i) {
+        double a[nb::kHandicapSlots];
+        nb::AugGetAgg(p, i, a);
+        if (a[slot] >= b) {
+          page = nb::AugChild(p, i);
+          found = true;
+        }
+      }
+    } else {
+      // Rightmost child whose subtree holds an entry with m_slot <= b.
+      for (size_t i = n + 1; i-- > 0 && !found;) {
+        double a[nb::kHandicapSlots];
+        nb::AugGetAgg(p, i, a);
+        if (a[slot] <= b) {
+          page = nb::AugChild(p, i);
+          found = true;
+        }
+      }
+    }
+    if (!found) return Status::OK();  // No entry qualifies: skip the sweep.
+  }
+  return Status::Corruption("B+-tree deeper than recorded height");
 }
 
 // --- Maintenance -------------------------------------------------------------
 
 namespace {
 
-Status DestroyRec(Pager* pager, PageId page) {
+Status DestroyRec(Pager* pager, PageId page, bool aug) {
   Result<PageRef> ref = pager->Fetch(page);
   if (!ref.ok()) return ref.status();
   if (!nb::IsLeaf(ref.value().data())) {
     uint16_t n = nb::Count(ref.value().data());
     std::vector<PageId> children;
     for (size_t i = 0; i <= n; ++i) {
-      children.push_back(nb::Child(ref.value().data(), i));
+      children.push_back(XChild(aug, ref.value().data(), i));
     }
     ref.value().Release();
     for (PageId child : children) {
-      CDB_RETURN_IF_ERROR(DestroyRec(pager, child));
+      CDB_RETURN_IF_ERROR(DestroyRec(pager, child, aug));
     }
   } else {
     ref.value().Release();
@@ -736,7 +1307,7 @@ Status DestroyRec(Pager* pager, PageId page) {
 }  // namespace
 
 Status BPlusTree::Destroy() {
-  CDB_RETURN_IF_ERROR(DestroyRec(pager_, root_));
+  CDB_RETURN_IF_ERROR(DestroyRec(pager_, root_, augmented_));
   CDB_RETURN_IF_ERROR(pager_->Free(meta_page_));
   root_ = kInvalidPageId;
   return Status::OK();
@@ -747,11 +1318,15 @@ Status BPlusTree::Destroy() {
 Status BPlusTree::CheckNode(PageId page, bool has_lo, double lo_key,
                             uint32_t lo_val, bool has_hi, double hi_key,
                             uint32_t hi_val, uint32_t depth,
-                            uint64_t* entries) const {
+                            uint64_t* entries, double* agg_out) const {
+  const bool aug = augmented_;
   Result<PageRef> ref = pager_->Fetch(page);
   if (!ref.ok()) return ref.status();
   const char* p = ref.value().data();
   const nb::CKey lo{lo_key, lo_val}, hi{hi_key, hi_val};
+  if (aug && !nb::AugFlag(p)) {
+    return Status::Corruption("augmented tree node missing layout stamp");
+  }
 
   if (nb::IsLeaf(p)) {
     if (depth + 1 != height_) {
@@ -775,20 +1350,26 @@ Status BPlusTree::CheckNode(PageId page, bool has_lo, double lo_key,
       }
     }
     *entries += n;
+    if (agg_out != nullptr) {
+      for (int s = 0; s < nb::kHandicapSlots; ++s) {
+        agg_out[s] = nb::Handicap(p, s);
+      }
+    }
     return Status::OK();
   }
 
   if (depth + 1 >= height_) return Status::Corruption("internal too deep");
   uint16_t n = nb::Count(p);
-  if (page != root_ && n < nb::InternalCapacity(pager_->page_size()) / 2) {
+  if (page != root_ &&
+      n < XInternalCapacity(aug, pager_->page_size()) / 2) {
     return Status::Corruption("internal node under minimum occupancy");
   }
   if (page == root_ && n == 0 && height_ > 1) {
     return Status::Corruption("internal root with single child not shrunk");
   }
   for (size_t i = 0; i < n; ++i) {
-    nb::CKey k = nb::InternalKey(p, i);
-    if (i > 0 && !nb::CKeyLess(nb::InternalKey(p, i - 1), k)) {
+    nb::CKey k = XKey(aug, p, i);
+    if (i > 0 && !nb::CKeyLess(XKey(aug, p, i - 1), k)) {
       return Status::Corruption("internal keys out of order");
     }
     if (has_lo && nb::CKeyLess(k, lo)) {
@@ -802,24 +1383,47 @@ Status BPlusTree::CheckNode(PageId page, bool has_lo, double lo_key,
   // deep trees do not exhaust the buffer pool.
   std::vector<nb::CKey> keys(n);
   std::vector<PageId> children(n + 1);
-  for (size_t i = 0; i < n; ++i) keys[i] = nb::InternalKey(p, i);
-  for (size_t i = 0; i <= n; ++i) children[i] = nb::Child(p, i);
+  std::vector<double> stored;
+  if (aug && agg_out != nullptr) {
+    stored.resize((n + 1) * nb::kHandicapSlots);
+    for (size_t i = 0; i <= n; ++i) {
+      nb::AugGetAgg(p, i, &stored[i * nb::kHandicapSlots]);
+    }
+    nb::AugNeutralArray(agg_out);
+  }
+  for (size_t i = 0; i < n; ++i) keys[i] = XKey(aug, p, i);
+  for (size_t i = 0; i <= n; ++i) children[i] = XChild(aug, p, i);
   ref.value().Release();
   for (size_t i = 0; i <= n; ++i) {
     bool clo = i > 0 || has_lo;
     nb::CKey blo = i > 0 ? keys[i - 1] : lo;
     bool chi = i < n || has_hi;
     nb::CKey bhi = i < n ? keys[i] : hi;
-    CDB_RETURN_IF_ERROR(CheckNode(children[i], clo, blo.key, blo.value, chi,
-                                  bhi.key, bhi.value, depth + 1, entries));
+    double child_agg[nb::kHandicapSlots];
+    CDB_RETURN_IF_ERROR(CheckNode(
+        children[i], clo, blo.key, blo.value, chi, bhi.key, bhi.value,
+        depth + 1, entries,
+        (aug && agg_out != nullptr) ? child_agg : nullptr));
+    if (aug && agg_out != nullptr) {
+      // The stored per-child aggregate must equal the child subtree's fold
+      // bit-for-bit: incremental maintenance is exact, not conservative.
+      for (int s = 0; s < nb::kHandicapSlots; ++s) {
+        if (stored[i * nb::kHandicapSlots + s] != child_agg[s]) {
+          return Status::Corruption("stale child aggregate in internal node");
+        }
+      }
+      nb::AugFoldArray(agg_out, child_agg);
+    }
   }
   return Status::OK();
 }
 
 Status BPlusTree::CheckInvariants() const {
   uint64_t entries = 0;
-  CDB_RETURN_IF_ERROR(
-      CheckNode(root_, false, 0, 0, false, 0, 0, /*depth=*/0, &entries));
+  double root_agg[nb::kHandicapSlots];
+  CDB_RETURN_IF_ERROR(CheckNode(root_, false, 0, 0, false, 0, 0, /*depth=*/0,
+                                &entries,
+                                augmented_ ? root_agg : nullptr));
   if (entries != count_) {
     return Status::Corruption("entry count mismatch: tree says " +
                               std::to_string(count_) + ", found " +

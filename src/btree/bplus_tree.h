@@ -13,7 +13,15 @@
 //    ("low" handicaps), slots 2 and 3 by maximum ("high"). The tree keeps
 //    them conservatively correct across splits (copy), merges and
 //    redistributions (combine); exact recomputation is the index's job
-//    (DualIndex::RebuildHandicaps).
+//    (DualIndex::RebuildHandicaps). `handicap_staleness()` counts the
+//    events that degraded them since the last reset.
+//  * Trees created with CreateAugmented / BulkLoadAugmented instead
+//    maintain the slots *incrementally* (DESIGN.md section 2d): each leaf
+//    slot folds the assignment values of its own entries, internal nodes
+//    carry per-child aggregates, and mutations keep both exact via an
+//    assignment callback — so SecondSweepBound() answers T2's second-sweep
+//    bound by one root-to-leaf descent and no rebuild is ever required for
+//    correctness or tightness.
 //  * Keys may be ±infinity (dual values of unbounded polyhedra); NaN is
 //    rejected.
 //
@@ -24,6 +32,7 @@
 #define CDB_BTREE_BPLUS_TREE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -78,11 +87,30 @@ class LeafCursor {
 /// See file comment.
 class BPlusTree {
  public:
+  /// Resolves a stored value to its four assignment values m_0..m_3 (one
+  /// per handicap slot). Augmented trees call this to recompute leaf slots
+  /// on splits, deletes and rebalances; the callee typically refetches the
+  /// tuple from the relation, so the value must still be resolvable when a
+  /// Delete runs. Must not return NaN.
+  using AssignmentFn = std::function<Status(uint32_t value, double* m)>;
+
+  /// Bulk-load input for augmented trees: an entry plus its assignments.
+  struct AugEntry {
+    double key;
+    uint32_t value;
+    double m[4];
+  };
+
   /// Creates an empty tree in `pager` (caller owns the pager). The tree's
   /// identity is its meta page id.
   static Status Create(Pager* pager, std::unique_ptr<BPlusTree>* out);
 
-  /// Opens an existing tree rooted at `meta_page`.
+  /// Creates an empty *augmented* tree (incremental handicaps; see file
+  /// comment). Mutations require SetAssignmentFn() first.
+  static Status CreateAugmented(Pager* pager, std::unique_ptr<BPlusTree>* out);
+
+  /// Opens an existing tree rooted at `meta_page`. Whether the tree is
+  /// augmented is read back from its meta page.
   static Status Open(Pager* pager, PageId meta_page,
                      std::unique_ptr<BPlusTree>* out);
 
@@ -95,14 +123,35 @@ class BPlusTree {
                          std::vector<std::pair<double, uint32_t>> entries,
                          double fill, std::unique_ptr<BPlusTree>* out);
 
+  /// Augmented twin of BulkLoad: leaf slots and internal aggregates are
+  /// computed from the entries' assignment values during the build, so the
+  /// tree is exact without any rebuild pass.
+  static Status BulkLoadAugmented(Pager* pager, std::vector<AugEntry> entries,
+                                  double fill,
+                                  std::unique_ptr<BPlusTree>* out);
+
   /// Meta page id; persist to reopen the tree.
   PageId meta_page() const { return meta_page_; }
 
+  /// True when this tree maintains handicaps incrementally.
+  bool augmented() const { return augmented_; }
+
+  /// Registers the assignment callback an augmented tree uses to recompute
+  /// leaf slots. Required before Insert/Delete on augmented trees.
+  void SetAssignmentFn(AssignmentFn fn) { assignment_fn_ = std::move(fn); }
+
   /// Inserts (key, value). Duplicate keys are allowed; the exact (key,
-  /// value) pair must be unique. NaN keys are rejected.
+  /// value) pair must be unique. NaN keys are rejected. Augmented trees
+  /// must use InsertWithAssignment instead.
   Status Insert(double key, uint32_t value);
 
-  /// Removes the exact (key, value) pair; NotFound when absent.
+  /// Augmented insert: folds the entry's assignment values `m[4]` into its
+  /// leaf's slots and maintains the aggregate path to the root.
+  Status InsertWithAssignment(double key, uint32_t value, const double* m);
+
+  /// Removes the exact (key, value) pair; NotFound when absent. On an
+  /// augmented tree the assignment callback resolves the removed entry's
+  /// contributions, so the value must still be resolvable at call time.
   Status Delete(double key, uint32_t value);
 
   /// True when the exact pair is present.
@@ -125,11 +174,31 @@ class BPlusTree {
   Status SeekLastLeaf(LeafCursor* out) const;
 
   /// Folds `v` into handicap `slot` of the leaf whose range contains `at`
-  /// (min for slots 0-1, max for 2-3).
+  /// (min for slots 0-1, max for 2-3). Ordinary trees only.
   Status MergeHandicap(double at, int slot, double v);
 
-  /// Resets every leaf's handicaps to the neutral values.
+  /// Resets every leaf's handicaps to the neutral values and zeroes the
+  /// staleness counter. Ordinary trees only.
   Status ResetHandicaps();
+
+  /// T2 second-sweep bound for an augmented tree: one root-to-leaf descent
+  /// through the aggregates. For low slots (0, 1) finds the leftmost leaf
+  /// whose subtree holds an entry with m_slot >= b and returns that leaf's
+  /// first key; for high slots (2, 3) the rightmost leaf with an entry of
+  /// m_slot <= b and its last key. `*have` is false when no entry
+  /// qualifies (the second sweep can be skipped entirely).
+  Status SecondSweepBound(int slot, double b, bool* have, double* bound) const;
+
+  /// Exact recomputation of every leaf slot and internal aggregate via the
+  /// assignment callback; the augmented counterpart of the index's
+  /// RebuildHandicaps pass (a compaction, not a correctness requirement —
+  /// incremental maintenance already keeps the values exact).
+  Status RecomputeAugmented();
+
+  /// Number of handicap-degrading events (leaf split/borrow/merge, any
+  /// delete) since open or the last ResetHandicaps(). Always 0 on an
+  /// augmented tree. In-memory only; not persisted.
+  uint64_t handicap_staleness() const { return handicap_staleness_; }
 
   /// Frees every page of the tree (the tree object must not be used after).
   Status Destroy();
@@ -152,22 +221,49 @@ class BPlusTree {
   Status LoadMeta();
   Status StoreMeta();
 
-  Status InsertRec(PageId page, double key, uint32_t value, SplitResult* out);
-  // Returns (via *underflow) whether `page` dropped below minimum occupancy.
-  Status DeleteRec(PageId page, double key, uint32_t value, bool* underflow);
+  // Root and height as the calling thread should see them: the in-memory
+  // members normally, but the *committed* meta page when the calling
+  // thread is a single-writer-mode reader (the writer mutates the members
+  // concurrently; readers must descend from the published root).
+  Status ReadView(PageId* root, uint32_t* height) const;
+
+  static Status CreateImpl(Pager* pager, bool augmented,
+                           std::unique_ptr<BPlusTree>* out);
+  Status InsertImpl(double key, uint32_t value, const double* m);
+  // `m` carries the new entry's assignments on augmented trees (else null).
+  Status InsertRec(PageId page, double key, uint32_t value, const double* m,
+                   SplitResult* out);
+  // Returns (via *underflow) whether `page` dropped below minimum
+  // occupancy. `removed_m` carries the removed entry's assignments on
+  // augmented trees (else null).
+  Status DeleteRec(PageId page, double key, uint32_t value,
+                   const double* removed_m, bool* underflow);
   // Fixes an underflowing child i of internal node `parent`.
   Status FixUnderflow(char* parent, PageId parent_id, size_t child_idx);
+
+  // Augmented helpers: fold of a node's subtree (leaf slots, or the fold
+  // of an internal node's stored child aggregates) ...
+  Status NodeAggregate(PageId page, double* out) const;
+  // ... refresh of `parent`'s stored aggregate for child i ...
+  Status RefreshChildAgg(char* parent, size_t i);
+  // ... exact recomputation of one leaf's slots via the callback ...
+  Status RecomputeLeafLocal(char* p);
+  // ... and the post-order walk behind RecomputeAugmented().
+  Status RecomputeAggRec(PageId page, double* out);
 
   Status DescendToLeaf(double key, uint32_t value, PageId* leaf) const;
   Status CheckNode(PageId page, bool has_lo, double lo_key, uint32_t lo_val,
                    bool has_hi, double hi_key, uint32_t hi_val,
-                   uint32_t depth, uint64_t* entries) const;
+                   uint32_t depth, uint64_t* entries, double* agg_out) const;
 
   Pager* pager_;
   PageId meta_page_;
   PageId root_ = kInvalidPageId;
   uint64_t count_ = 0;
   uint32_t height_ = 1;
+  bool augmented_ = false;
+  AssignmentFn assignment_fn_;
+  uint64_t handicap_staleness_ = 0;
 };
 
 }  // namespace cdb

@@ -18,6 +18,24 @@
 //   u32 child0
 //   entries: count * { f64 key, u32 value, u32 child }
 //     child(i+1) holds composites >= (key_i, value_i); child0 the rest.
+//
+// Augmented layout (incremental handicaps, DESIGN.md section 2d): trees
+// created augmented stamp every node's pad byte with 1 and reinterpret the
+// four leaf handicap slots with *local* semantics — slot s folds the
+// assignment values m_s(t) of the entries stored in THIS leaf (slots 0,1
+// combine by max, 2,3 by min; polarity is inverted relative to the
+// ordinary layout because the second-sweep bound asks "does this subtree
+// hold an entry with m_s >= b", a subtree maximum, for the low slots).
+// Augmented internal pages carry one agg[4] array per child, the fold of
+// that child subtree's slots:
+//
+//   u8 type (=1)  u8 flags (=1)  u16 count
+//   u32 child0    f64 agg0[4]
+//   entries: count * { f64 key, u32 value, u32 child, f64 agg[4] }
+//
+// The fatter entries cost internal fanout only; leaf density — and thus
+// every sweep's page count — is unchanged, which is what keeps the serial
+// figures byte-identical while augmented trees exist beside them.
 
 #ifndef CDB_BTREE_NODE_LAYOUT_H_
 #define CDB_BTREE_NODE_LAYOUT_H_
@@ -215,6 +233,134 @@ inline size_t LeafLowerBound(const char* p, const CKey& c) {
       lo = mid + 1;
     } else {
       hi = mid;
+    }
+  }
+  return lo;
+}
+
+// --- Augmented accessors (see file comment) ------------------------------
+
+inline constexpr size_t kAugInternalHeader = 4 + 4 + 32;  // 40 bytes.
+inline constexpr size_t kAugInternalEntry = 48;  // f64 + u32 + u32 + 4*f64.
+
+/// Pad-byte flag distinguishing augmented nodes; only meaningful inside a
+/// tree whose meta says it is augmented (recycled pages may carry stale
+/// bytes in ordinary trees, which never read it).
+inline bool AugFlag(const char* p) { return p[1] == 1; }
+inline void SetAugFlag(char* p) { p[1] = 1; }
+
+/// Neutral value per augmented slot: -inf for the max-combined low slots
+/// (0, 1), +inf for the min-combined high slots (2, 3).
+inline double AugNeutralHandicap(int slot) {
+  return slot < 2 ? -std::numeric_limits<double>::infinity()
+                  : std::numeric_limits<double>::infinity();
+}
+inline void AugResetHandicaps(char* p) {
+  for (int s = 0; s < kHandicapSlots; ++s) {
+    SetHandicap(p, s, AugNeutralHandicap(s));
+  }
+}
+/// Folds `v` into leaf `slot` with augmented polarity (max for 0-1, min
+/// for 2-3).
+inline void AugCombineHandicap(char* p, int slot, double v) {
+  double cur = Handicap(p, slot);
+  SetHandicap(p, slot, slot < 2 ? (v > cur ? v : cur) : (v < cur ? v : cur));
+}
+/// Array forms of the neutral element and the fold, for aggregates.
+inline void AugNeutralArray(double m[kHandicapSlots]) {
+  for (int s = 0; s < kHandicapSlots; ++s) m[s] = AugNeutralHandicap(s);
+}
+inline void AugFoldArray(double acc[kHandicapSlots],
+                         const double m[kHandicapSlots]) {
+  for (int s = 0; s < kHandicapSlots; ++s) {
+    acc[s] = s < 2 ? (m[s] > acc[s] ? m[s] : acc[s])
+                   : (m[s] < acc[s] ? m[s] : acc[s]);
+  }
+}
+
+inline size_t AugInternalCapacity(size_t page_size) {
+  // Mirrors InternalCapacity: one slot reserved for transient overflow.
+  return (page_size - kAugInternalHeader - 4) / kAugInternalEntry - 1;
+}
+
+inline PageId AugChild(const char* p, size_t i) {
+  PageId id;
+  if (i == 0) {
+    std::memcpy(&id, p + 4, 4);
+  } else {
+    std::memcpy(&id,
+                p + kAugInternalHeader + (i - 1) * kAugInternalEntry + 12, 4);
+  }
+  return id;
+}
+inline void AugSetChild(char* p, size_t i, PageId id) {
+  if (i == 0) {
+    std::memcpy(p + 4, &id, 4);
+  } else {
+    std::memcpy(p + kAugInternalHeader + (i - 1) * kAugInternalEntry + 12,
+                &id, 4);
+  }
+}
+
+/// Aggregate of child subtree i (agg0 lives in the header, like child0).
+inline void AugGetAgg(const char* p, size_t i, double out[kHandicapSlots]) {
+  const char* at =
+      i == 0 ? p + 8 : p + kAugInternalHeader + (i - 1) * kAugInternalEntry + 16;
+  std::memcpy(out, at, 8 * kHandicapSlots);
+}
+inline void AugSetAgg(char* p, size_t i, const double m[kHandicapSlots]) {
+  char* at =
+      i == 0 ? p + 8 : p + kAugInternalHeader + (i - 1) * kAugInternalEntry + 16;
+  std::memcpy(at, m, 8 * kHandicapSlots);
+}
+
+inline CKey AugInternalKey(const char* p, size_t i) {
+  CKey e;
+  std::memcpy(&e.key, p + kAugInternalHeader + i * kAugInternalEntry, 8);
+  std::memcpy(&e.value, p + kAugInternalHeader + i * kAugInternalEntry + 8, 4);
+  return e;
+}
+inline void AugSetInternalKey(char* p, size_t i, const CKey& e) {
+  std::memcpy(p + kAugInternalHeader + i * kAugInternalEntry, &e.key, 8);
+  std::memcpy(p + kAugInternalHeader + i * kAugInternalEntry + 8, &e.value, 4);
+}
+
+/// Inserts separator `e` at key position i with `right` as child i+1; the
+/// moved entries carry their agg arrays with them. The new entry's agg is
+/// zeroed — the caller must set it (AugSetAgg at i+1) before the page is
+/// read again.
+inline void AugInsertInternalEntry(char* p, size_t i, const CKey& e,
+                                   PageId right) {
+  uint16_t n = Count(p);
+  char* base = p + kAugInternalHeader;
+  std::memmove(base + (i + 1) * kAugInternalEntry,
+               base + i * kAugInternalEntry, (n - i) * kAugInternalEntry);
+  AugSetInternalKey(p, i, e);
+  std::memcpy(base + i * kAugInternalEntry + 12, &right, 4);
+  std::memset(base + i * kAugInternalEntry + 16, 0, 8 * kHandicapSlots);
+  SetCount(p, static_cast<uint16_t>(n + 1));
+}
+
+/// Removes separator i together with child i+1 and its agg.
+inline void AugRemoveInternalEntry(char* p, size_t i) {
+  uint16_t n = Count(p);
+  char* base = p + kAugInternalHeader;
+  std::memmove(base + i * kAugInternalEntry,
+               base + (i + 1) * kAugInternalEntry,
+               (n - i - 1) * kAugInternalEntry);
+  SetCount(p, static_cast<uint16_t>(n - 1));
+}
+
+/// Augmented-layout twin of DescendIndex.
+inline size_t AugDescendIndex(const char* p, const CKey& c) {
+  uint16_t n = Count(p);
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (CKeyLess(c, AugInternalKey(p, mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
     }
   }
   return lo;

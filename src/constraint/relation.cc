@@ -131,6 +131,11 @@ Result<TupleId> Relation::Insert(const GeneralizedTuple& tuple) {
   if (tuple.empty()) {
     return Status::InvalidArgument("tuple must have at least one constraint");
   }
+  if (pager_->concurrent_reads_active() &&
+      directory_.size() >= swmr_capacity_) {
+    return Status::InvalidArgument(
+        "online append capacity exhausted (BeginOnlineAppends reservation)");
+  }
   size_t len = RecordLength(tuple.size());
   if (len + kHeaderSize > pager_->page_size()) {
     return Status::InvalidArgument("tuple too large for a page");
@@ -171,7 +176,15 @@ Result<TupleId> Relation::Insert(const GeneralizedTuple& tuple) {
 }
 
 Status Relation::Get(TupleId id, GeneralizedTuple* out) const {
-  if (id >= directory_.size() || !directory_[id].live) {
+  if (pager_->InSwmrReadContext()) {
+    // Reader under single-writer mode: bound-check against the published
+    // count — directory_.size() is the writer's, and unpublished entries
+    // reference pages the pager would refuse to fetch anyway.
+    if (id >= published_tuples_.load(std::memory_order_acquire) ||
+        !directory_[id].live) {
+      return Status::NotFound("tuple " + std::to_string(id));
+    }
+  } else if (id >= directory_.size() || !directory_[id].live) {
     return Status::NotFound("tuple " + std::to_string(id));
   }
   const Location& loc = directory_[id];
@@ -188,6 +201,11 @@ Status Relation::Get(TupleId id, GeneralizedTuple* out) const {
 }
 
 Status Relation::Delete(TupleId id) {
+  if (pager_->concurrent_reads_active()) {
+    // Online serving is insert-only: a delete would mutate directory
+    // entries readers consult lock-free.
+    return Status::InvalidArgument("Delete during online appends");
+  }
   if (id >= directory_.size() || !directory_[id].live) {
     return Status::NotFound("tuple " + std::to_string(id));
   }
@@ -232,6 +250,17 @@ Status Relation::Delete(TupleId id) {
     }
     CDB_RETURN_IF_ERROR(pager_->Free(dead));
   }
+  return Status::OK();
+}
+
+Status Relation::BeginOnlineAppends(size_t max_inserts) {
+  if (pager_->concurrent_reads_active()) {
+    return Status::InvalidArgument(
+        "BeginOnlineAppends after BeginConcurrentReads");
+  }
+  swmr_capacity_ = directory_.size() + max_inserts;
+  directory_.reserve(swmr_capacity_);
+  published_tuples_.store(directory_.size(), std::memory_order_release);
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #ifndef CDB_CONSTRAINT_RELATION_H_
 #define CDB_CONSTRAINT_RELATION_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -58,6 +59,21 @@ class Relation {
   Status ForEach(
       const std::function<Status(TupleId, const GeneralizedTuple&)>& fn) const;
 
+  /// Prepares insert-only online appends under the pager's single-writer
+  /// mode: reserves directory capacity for up to `max_inserts` new tuples
+  /// (readers index the directory lock-free, so it must never reallocate
+  /// while they run) and initializes the published tuple count. Call
+  /// *before* Pager::BeginConcurrentReads(true); while that mode is
+  /// active, Insert fails once the reservation is exhausted and Delete is
+  /// rejected outright.
+  Status BeginOnlineAppends(size_t max_inserts);
+
+  /// Makes every tuple appended so far visible to single-writer-mode
+  /// readers. Call after the pager's Flush() published their pages.
+  void PublishAppends() {
+    published_tuples_.store(directory_.size(), std::memory_order_release);
+  }
+
  private:
   struct Location {
     PageId page = kInvalidPageId;
@@ -74,6 +90,13 @@ class Relation {
   PageId tail_page_ = kInvalidPageId;
   std::vector<Location> directory_;  // Indexed by TupleId.
   uint64_t live_count_ = 0;
+
+  // Online-append state. Readers bound-check ids against the published
+  // count (acquire) instead of directory_.size(), whose vector bookkeeping
+  // the writer's push_back mutates; entries below the published count are
+  // immutable while the mode is active (Delete is rejected).
+  size_t swmr_capacity_ = 0;
+  std::atomic<uint64_t> published_tuples_{0};
 };
 
 }  // namespace cdb

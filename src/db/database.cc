@@ -82,7 +82,10 @@ Status ConstraintDatabase::Open(const std::string& path,
 }
 
 ConstraintDatabase::~ConstraintDatabase() {
-  if (idx_pager_ != nullptr) Flush().ok();
+  // A failed Open() destroys a partially-attached database: pagers may be
+  // open while `index_` was never loaded. There is nothing consistent to
+  // flush then, and StoreCatalog() needs the index manifest.
+  if (idx_pager_ != nullptr && index_ != nullptr) Flush().ok();
 }
 
 Status ConstraintDatabase::StoreCatalog() {

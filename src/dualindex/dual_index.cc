@@ -40,7 +40,10 @@ Status DualIndex::Build(Pager* pager, Relation* relation, SlopeSet slopes,
   // settled leaf structure, like the paper's preprocessing phase. (Folding
   // them while leaves split would smear early contributions across the
   // whole tree — conservative but useless bounds.)
+  const bool inc = options.incremental_handicaps;
   std::vector<std::vector<std::pair<double, uint32_t>>> ups(k), downs(k);
+  std::vector<std::vector<BPlusTree::AugEntry>> aug_ups(inc ? k : 0),
+      aug_downs(inc ? k : 0);
   std::vector<std::pair<double, uint32_t>> xmaxs, xmins;
   CDB_RETURN_IF_ERROR(relation->ForEach(
       [&](TupleId id, const GeneralizedTuple& tuple) -> Status {
@@ -52,8 +55,19 @@ Status DualIndex::Build(Pager* pager, Relation* relation, SlopeSet slopes,
                 "unsatisfiable tuple cannot be indexed (id " +
                 std::to_string(id) + ")");
           }
-          ups[i].emplace_back(top, id);
-          downs[i].emplace_back(bot, id);
+          if (inc) {
+            BPlusTree::AugEntry eu{top, id, {}};
+            BPlusTree::AugEntry ed{bot, id, {}};
+            CDB_RETURN_IF_ERROR(
+                index->TreeAssignments(i, /*is_up=*/true, tuple, eu.m));
+            CDB_RETURN_IF_ERROR(
+                index->TreeAssignments(i, /*is_up=*/false, tuple, ed.m));
+            aug_ups[i].push_back(eu);
+            aug_downs[i].push_back(ed);
+          } else {
+            ups[i].emplace_back(top, id);
+            downs[i].emplace_back(bot, id);
+          }
         }
         if (options.support_vertical) {
           xmaxs.emplace_back(XMaxValue(tuple.constraints()), id);
@@ -65,10 +79,17 @@ Status DualIndex::Build(Pager* pager, Relation* relation, SlopeSet slopes,
   index->up_.resize(k);
   index->down_.resize(k);
   for (size_t i = 0; i < k; ++i) {
-    CDB_RETURN_IF_ERROR(BPlusTree::BulkLoad(pager, std::move(ups[i]),
-                                            kBulkFill, &index->up_[i]));
-    CDB_RETURN_IF_ERROR(BPlusTree::BulkLoad(pager, std::move(downs[i]),
-                                            kBulkFill, &index->down_[i]));
+    if (inc) {
+      CDB_RETURN_IF_ERROR(BPlusTree::BulkLoadAugmented(
+          pager, std::move(aug_ups[i]), kBulkFill, &index->up_[i]));
+      CDB_RETURN_IF_ERROR(BPlusTree::BulkLoadAugmented(
+          pager, std::move(aug_downs[i]), kBulkFill, &index->down_[i]));
+    } else {
+      CDB_RETURN_IF_ERROR(BPlusTree::BulkLoad(pager, std::move(ups[i]),
+                                              kBulkFill, &index->up_[i]));
+      CDB_RETURN_IF_ERROR(BPlusTree::BulkLoad(pager, std::move(downs[i]),
+                                              kBulkFill, &index->down_[i]));
+    }
   }
   if (options.support_vertical) {
     CDB_RETURN_IF_ERROR(
@@ -76,7 +97,12 @@ Status DualIndex::Build(Pager* pager, Relation* relation, SlopeSet slopes,
     CDB_RETURN_IF_ERROR(
         BPlusTree::BulkLoad(pager, std::move(xmins), kBulkFill, &index->xmin_));
   }
-  CDB_RETURN_IF_ERROR(index->RebuildHandicaps());
+  if (inc) {
+    // The augmented bulk load already produced exact slots and aggregates.
+    index->RegisterAssignmentFns();
+  } else {
+    CDB_RETURN_IF_ERROR(index->RebuildHandicaps());
+  }
   *out = std::move(index);
   return Status::OK();
 }
@@ -104,6 +130,18 @@ Status DualIndex::Open(Pager* pager, Relation* relation,
     CDB_RETURN_IF_ERROR(
         BPlusTree::Open(pager, manifest.down_metas[i], &index->down_[i]));
   }
+  // Whether the trees are augmented is persisted in their meta pages, not
+  // the manifest; rederive the mode from the first tree (all 2k agree).
+  index->options_.incremental_handicaps = index->up_[0]->augmented();
+  for (size_t i = 0; i < k; ++i) {
+    if (index->up_[i]->augmented() !=
+            index->options_.incremental_handicaps ||
+        index->down_[i]->augmented() !=
+            index->options_.incremental_handicaps) {
+      return Status::Corruption("mixed augmented/ordinary trees in manifest");
+    }
+  }
+  if (index->options_.incremental_handicaps) index->RegisterAssignmentFns();
   if (manifest.support_vertical) {
     if (manifest.xmax_meta == kInvalidPageId ||
         manifest.xmin_meta == kInvalidPageId) {
@@ -173,6 +211,63 @@ Status DualIndex::FoldHandicaps(size_t i, size_t other,
   return Status::OK();
 }
 
+Status DualIndex::TreeAssignments(size_t i, bool is_up,
+                                  const GeneralizedTuple& tuple,
+                                  double* m) const {
+  const double s_i = slopes_.slope(i);
+  const double top_i = tuple.Top(s_i);
+  const double bot_i = tuple.Bot(s_i);
+  if (std::isnan(top_i) || std::isnan(bot_i)) {
+    return Status::InvalidArgument("unsatisfiable tuple");
+  }
+  // Augmented neutral values for slots without a neighbour interval: low
+  // slots (0, 1) fold by max, high slots (2, 3) by min.
+  m[0] = m[1] = -kInf;
+  m[2] = m[3] = kInf;
+  const size_t k = slopes_.size();
+  for (int step = -1; step <= 1; step += 2) {
+    if (step < 0 ? i == 0 : i + 1 >= k) continue;
+    const size_t other = step < 0 ? i - 1 : i + 1;
+    const bool next_side = other > i;
+    const double amid = (s_i + slopes_.slope(other)) / 2.0;
+    const double lo = std::min(s_i, amid);
+    const double hi = std::max(s_i, amid);
+    const double top_mid = tuple.Top(amid);
+    const double bot_mid = tuple.Bot(amid);
+    // Same assignment math as FoldHandicaps; the values land in the slots
+    // of the tuple's own leaf instead of the leaf covering the assignment.
+    if (is_up) {
+      m[LowSlot(next_side)] = std::max(top_i, top_mid);  // EXIST(q(>=)).
+      m[HighSlot(next_side)] =
+          options_.tight_assignment
+              ? MinTopOverInterval(tuple.constraints(), lo, hi)
+              : std::min(bot_i, bot_mid);  // ALL(q(<=)).
+    } else {
+      m[LowSlot(next_side)] =
+          options_.tight_assignment
+              ? MaxBotOverInterval(tuple.constraints(), lo, hi)
+              : std::max(top_i, top_mid);                // ALL(q(>=)).
+      m[HighSlot(next_side)] = std::min(bot_i, bot_mid);  // EXIST(q(<=)).
+    }
+  }
+  return Status::OK();
+}
+
+void DualIndex::RegisterAssignmentFns() {
+  for (size_t i = 0; i < up_.size(); ++i) {
+    up_[i]->SetAssignmentFn([this, i](uint32_t value, double* m) -> Status {
+      GeneralizedTuple tuple;
+      CDB_RETURN_IF_ERROR(relation_->Get(value, &tuple));
+      return TreeAssignments(i, /*is_up=*/true, tuple, m);
+    });
+    down_[i]->SetAssignmentFn([this, i](uint32_t value, double* m) -> Status {
+      GeneralizedTuple tuple;
+      CDB_RETURN_IF_ERROR(relation_->Get(value, &tuple));
+      return TreeAssignments(i, /*is_up=*/false, tuple, m);
+    });
+  }
+}
+
 Status DualIndex::Insert(TupleId id, const GeneralizedTuple& tuple) {
   const size_t k = slopes_.size();
   // One pass to validate before mutating any tree.
@@ -196,6 +291,17 @@ Status DualIndex::Insert(TupleId id, const GeneralizedTuple& tuple) {
     CDB_RETURN_IF_ERROR(xmin_->Insert(mn, id));
   }
   for (size_t i = 0; i < k; ++i) {
+    if (options_.incremental_handicaps) {
+      // Assignments ride along with the entry; the tree folds them into
+      // the target leaf's slots and refreshes the aggregate path — no
+      // global handicap smearing, values stay exact.
+      double mu[4], md[4];
+      CDB_RETURN_IF_ERROR(TreeAssignments(i, /*is_up=*/true, tuple, mu));
+      CDB_RETURN_IF_ERROR(TreeAssignments(i, /*is_up=*/false, tuple, md));
+      CDB_RETURN_IF_ERROR(up_[i]->InsertWithAssignment(tops[i], id, mu));
+      CDB_RETURN_IF_ERROR(down_[i]->InsertWithAssignment(bots[i], id, md));
+      continue;
+    }
     CDB_RETURN_IF_ERROR(up_[i]->Insert(tops[i], id));
     CDB_RETURN_IF_ERROR(down_[i]->Insert(bots[i], id));
     if (i > 0) {
@@ -227,7 +333,10 @@ Status DualIndex::Remove(TupleId id, const GeneralizedTuple& tuple) {
     }
     CDB_RETURN_IF_ERROR(up_[i]->Delete(top, id));
     CDB_RETURN_IF_ERROR(down_[i]->Delete(bot, id));
-    // Handicaps stay conservatively stale (see header).
+    // Ordinary trees: handicaps stay conservatively stale (see header).
+    // Augmented trees resolve the removed assignments via the callback
+    // (which is why Remove must run before the relation's Delete) and
+    // stay exact.
   }
   return Status::OK();
 }
@@ -416,14 +525,26 @@ Result<std::vector<TupleId>> DualIndex::SelectT2(SelectionType type,
 
   std::vector<TupleId> ids;
   double bound = 0.0;
+  bool have_bound = true;
   {
     CDB_TRACE_SPAN("filter");
     {
       CDB_TRACE_SPAN("sweep/first");
-      CDB_RETURN_IF_ERROR(
-          SweepCollect(tree, b, sweep_up, slot, &ids, &bound, stats));
+      if (options_.incremental_handicaps) {
+        // Augmented tree: the first sweep reads no handicaps at all ...
+        CDB_RETURN_IF_ERROR(SweepCollect(tree, b, sweep_up, /*slot=*/-1, &ids,
+                                         /*handicap_bound=*/nullptr, stats));
+      } else {
+        CDB_RETURN_IF_ERROR(
+            SweepCollect(tree, b, sweep_up, slot, &ids, &bound, stats));
+      }
     }
-    if (sweep_up ? bound < b : bound > b) {
+    if (options_.incremental_handicaps) {
+      // ... the bound comes from one aggregate descent instead.
+      CDB_TRACE_SPAN("sweep/bound");
+      CDB_RETURN_IF_ERROR(tree->SecondSweepBound(slot, b, &have_bound, &bound));
+    }
+    if (have_bound && (sweep_up ? bound < b : bound > b)) {
       CDB_TRACE_SPAN("sweep/second");
       CDB_RETURN_IF_ERROR(
           SweepSecond(tree, b, /*downward=*/sweep_up, bound, &ids, stats));
@@ -701,7 +822,28 @@ Status DualIndex::CheckInvariants() const {
   return Status::OK();
 }
 
+uint64_t DualIndex::handicap_staleness() const {
+  uint64_t total = 0;
+  for (const auto& tree : up_) total += tree->handicap_staleness();
+  for (const auto& tree : down_) total += tree->handicap_staleness();
+  return total;
+}
+
+void DualIndex::ExportStalenessMetrics() const {
+  obs::GlobalMetrics()
+      .gauge("dual.handicap.staleness")
+      ->Set(static_cast<double>(handicap_staleness()));
+}
+
 Status DualIndex::RebuildHandicaps() {
+  if (options_.incremental_handicaps) {
+    // Compaction only: incremental maintenance keeps slots and aggregates
+    // exact, but a full recompute is still the recovery path of last
+    // resort (and what the staleness bench compares against).
+    for (auto& tree : up_) CDB_RETURN_IF_ERROR(tree->RecomputeAugmented());
+    for (auto& tree : down_) CDB_RETURN_IF_ERROR(tree->RecomputeAugmented());
+    return Status::OK();
+  }
   for (auto& tree : up_) CDB_RETURN_IF_ERROR(tree->ResetHandicaps());
   for (auto& tree : down_) CDB_RETURN_IF_ERROR(tree->ResetHandicaps());
   return relation_->ForEach(

@@ -72,6 +72,14 @@ struct DualIndexOptions {
   /// values (min/max of x), enabling *exact* vertical half-plane queries
   /// x θ c (the paper's footnote 4 extension). Costs ~2/k extra space.
   bool support_vertical = false;
+
+  /// Maintain handicaps incrementally (DESIGN.md section 2d): the 2k trees
+  /// are built augmented, Insert/Remove keep every leaf slot and internal
+  /// aggregate exact, and T2 reads its second-sweep bound by one
+  /// root-to-leaf descent instead of folding per-leaf handicaps. With this
+  /// on, RebuildHandicaps() is a no-op compaction — values never go stale.
+  /// Persisted in the trees' meta pages; Open() rederives it from there.
+  bool incremental_handicaps = false;
 };
 
 /// Everything needed to reopen a DualIndex from its pager: the slope set,
@@ -144,7 +152,19 @@ class DualIndex {
       QueryStats* stats = nullptr, obs::ExplainProfile* profile = nullptr);
 
   /// Recomputes every handicap value exactly from the relation contents.
+  /// With incremental_handicaps this is a compaction pass (the values are
+  /// already exact); without it, the only way to restore exactness.
   Status RebuildHandicaps();
+
+  /// Sum of BPlusTree::handicap_staleness() over the 2k trees: how many
+  /// handicap-degrading events have accumulated since the last rebuild.
+  /// Always 0 with incremental_handicaps.
+  uint64_t handicap_staleness() const;
+
+  /// Publishes handicap_staleness() as the "dual.handicap.staleness" gauge.
+  /// Export-path only (never called by Insert/Remove/Select): serial bench
+  /// artifacts that predate this metric stay byte-identical.
+  void ExportStalenessMetrics() const;
 
   /// Runs BPlusTree::CheckInvariants on all 2k trees (and the vertical
   /// support trees when present); returns the first violation. Used by the
@@ -187,6 +207,17 @@ class DualIndex {
   // neighbour `other` (Section 4.2 assignment values).
   Status FoldHandicaps(size_t i, size_t other, const GeneralizedTuple& tuple,
                        double top_i, double bot_i);
+
+  // Incremental-mode twin of FoldHandicaps: fills the tuple's four
+  // assignment values m[0..3] for tree i (up or down), one per handicap
+  // slot; slots whose neighbour interval does not exist get the augmented
+  // neutral values. Same Section 4.2 math, same tight_assignment knob.
+  Status TreeAssignments(size_t i, bool is_up, const GeneralizedTuple& tuple,
+                         double* m) const;
+
+  // Installs the AssignmentFn of every augmented tree (refetches the tuple
+  // from the relation and delegates to TreeAssignments).
+  void RegisterAssignmentFns();
 
   // Sweeps tree `tree` starting at `intercept`: upward collects entries with
   // key >= intercept, downward key < intercept... (exact semantics in .cc).

@@ -4,7 +4,28 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/float_cmp.h"
+
 namespace cdb {
+
+namespace {
+
+// True when the closed hull [min, max] of the angle range avoids every odd
+// multiple of pi/2 (where tan is undefined). Endpoint-inclusive on purpose:
+// UniformInAngle evaluates tan at both boundary angles.
+bool AngleRangeValid(double angle_lo, double angle_hi) {
+  if (!std::isfinite(angle_lo) || !std::isfinite(angle_hi)) return false;
+  const double lo = std::min(angle_lo, angle_hi);
+  const double hi = std::max(angle_lo, angle_hi);
+  const double half_pi = std::asin(1.0);
+  const double pi = 2.0 * half_pi;
+  // Smallest n with half_pi + n*pi >= lo; the range is valid iff that
+  // multiple already overshoots hi.
+  const double n = std::ceil((lo - half_pi) / pi);
+  return half_pi + n * pi > hi;
+}
+
+}  // namespace
 
 SlopeSet::SlopeSet(std::vector<double> slopes) : slopes_(std::move(slopes)) {
   assert(!slopes_.empty());
@@ -14,6 +35,7 @@ SlopeSet::SlopeSet(std::vector<double> slopes) : slopes_(std::move(slopes)) {
 
 SlopeSet SlopeSet::UniformInAngle(size_t k, double angle_lo, double angle_hi) {
   assert(k >= 1);
+  assert(AngleRangeValid(angle_lo, angle_hi));  // Precondition: see header.
   std::vector<double> slopes;
   slopes.reserve(k);
   for (size_t i = 0; i < k; ++i) {
@@ -28,17 +50,36 @@ SlopeSet SlopeSet::UniformInAngle(size_t k, double angle_lo, double angle_hi) {
   return SlopeSet(std::move(slopes));
 }
 
+Result<SlopeSet> SlopeSet::UniformInAngleChecked(size_t k, double angle_lo,
+                                                 double angle_hi) {
+  if (k == 0) {
+    return Status::InvalidArgument("slope set needs at least one slope");
+  }
+  if (!AngleRangeValid(angle_lo, angle_hi)) {
+    return Status::InvalidArgument(
+        "angle range must be finite and avoid odd multiples of pi/2 "
+        "(vertical direction; tan is undefined)");
+  }
+  return UniformInAngle(k, angle_lo, angle_hi);
+}
+
 SlopeLocation SlopeSet::Locate(double a) const {
+  // Tolerance check first (both lower_bound neighbours), so a slope that
+  // drifted a few ulps — e.g. reconstructed via tan(atan(s)) — classifies
+  // as kExact instead of leaking into kBetween or the wrap-around kinds.
+  auto it = std::lower_bound(slopes_.begin(), slopes_.end(), a);
+  size_t i = static_cast<size_t>(it - slopes_.begin());
+  if (it != slopes_.end() && ApproxEq(*it, a)) {
+    return {SlopeLocation::Kind::kExact, i};
+  }
+  if (it != slopes_.begin() && ApproxEq(*(it - 1), a)) {
+    return {SlopeLocation::Kind::kExact, i - 1};
+  }
   if (a < slopes_.front()) {
     return {SlopeLocation::Kind::kBelowMin, 0};
   }
   if (a > slopes_.back()) {
     return {SlopeLocation::Kind::kAboveMax, slopes_.size() - 1};
-  }
-  auto it = std::lower_bound(slopes_.begin(), slopes_.end(), a);
-  size_t i = static_cast<size_t>(it - slopes_.begin());
-  if (it != slopes_.end() && *it == a) {
-    return {SlopeLocation::Kind::kExact, i};
   }
   // slopes_[i-1] < a < slopes_[i]; report the left neighbour.
   return {SlopeLocation::Kind::kBetween, i - 1};

@@ -7,6 +7,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/result.h"
+
 namespace cdb {
 
 /// Where a query slope falls relative to S.
@@ -30,14 +32,30 @@ class SlopeSet {
   /// k slopes whose *angles* are evenly spaced over (angle_lo, angle_hi),
   /// mirroring the paper's workload, whose constraint angles span
   /// (0, pi) \ {pi/2}. Angles are measured against the x-axis; slopes are
-  /// their tangents. Requires the interval to avoid ±pi/2.
+  /// their tangents.
+  ///
+  /// Precondition (asserted in debug builds): k >= 1 and the closed hull
+  /// [min, max] of the angle range contains no odd multiple of pi/2 —
+  /// tan() is undefined there, and because the spacing is
+  /// endpoint-inclusive a boundary angle of pi/2 *is* evaluated. Use
+  /// UniformInAngleChecked when the range comes from untrusted input.
   static SlopeSet UniformInAngle(size_t k, double angle_lo, double angle_hi);
+
+  /// Validated twin of UniformInAngle: returns InvalidArgument instead of
+  /// asserting when k == 0, an angle is non-finite, or the angle range
+  /// touches an odd multiple of pi/2.
+  static Result<SlopeSet> UniformInAngleChecked(size_t k, double angle_lo,
+                                                double angle_hi);
 
   size_t size() const { return slopes_.size(); }
   double slope(size_t i) const { return slopes_[i]; }
   const std::vector<double>& slopes() const { return slopes_; }
 
-  /// Classifies `a` against the set (exact double match for kExact).
+  /// Classifies `a` against the set. kExact is decided by the geometry
+  /// tolerance (common/float_cmp.h), not bit equality: a slope
+  /// reconstructed from its angle (tan of a stored angle) must still hit
+  /// the exact-query path. The B+-tree keys themselves remain exactly
+  /// compared — the tolerance only selects the tree.
   SlopeLocation Locate(double a) const;
 
   /// Index of the slope nearest to `a` in slope distance.

@@ -50,16 +50,29 @@ void QueryExecutor::WorkerLoop() {
     {
       // One read session per pager for this worker's whole share of the
       // batch; destruction (reverse order, RAII) merges the thread's
-      // IoStats delta back into each pager.
+      // IoStats delta back into each pager. Under a live writer
+      // (per_item_sessions) the sessions instead scope each item, so the
+      // writer's publish gate only drains in-flight queries.
       std::vector<std::unique_ptr<PagerReadSession>> sessions;
-      sessions.reserve(pagers.size());
-      for (Pager* p : pagers) {
-        sessions.push_back(std::make_unique<PagerReadSession>(p));
+      if (!batch->per_item_sessions) {
+        sessions.reserve(pagers.size());
+        for (Pager* p : pagers) {
+          sessions.push_back(std::make_unique<PagerReadSession>(p));
+        }
       }
       for (;;) {
         size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
         if (i >= batch->n) break;
-        (*batch->job)(i);
+        if (batch->per_item_sessions) {
+          std::vector<std::unique_ptr<PagerReadSession>> item_sessions;
+          item_sessions.reserve(pagers.size());
+          for (Pager* p : pagers) {
+            item_sessions.push_back(std::make_unique<PagerReadSession>(p));
+          }
+          (*batch->job)(i);
+        } else {
+          (*batch->job)(i);
+        }
       }
     }
     {
@@ -113,6 +126,82 @@ Status QueryExecutor::RunSharded(std::vector<Pager*> pagers, size_t n,
     if (!st.ok() && first_error.ok()) first_error = st;
   }
   return first_error;
+}
+
+Status QueryExecutor::RunWithWriter(std::vector<Pager*> pagers, size_t n,
+                                    const std::function<void(size_t)>& job,
+                                    const std::function<Status()>& writer) {
+  std::sort(pagers.begin(), pagers.end());
+  pagers.erase(std::unique(pagers.begin(), pagers.end()), pagers.end());
+  pagers.erase(std::remove(pagers.begin(), pagers.end(), nullptr),
+               pagers.end());
+
+  // Single-writer mode switch; the calling thread (this one) becomes the
+  // writer of every pager. On partial failure, restore the ones already
+  // switched.
+  for (size_t i = 0; i < pagers.size(); ++i) {
+    Status st = pagers[i]->BeginConcurrentReads(/*single_writer=*/true);
+    if (!st.ok()) {
+      for (size_t j = 0; j < i; ++j) {
+        pagers[j]->EndConcurrentReads().ok();
+      }
+      return st;
+    }
+  }
+
+  Batch batch;
+  batch.n = n;
+  batch.job = &job;
+  batch.per_item_sessions = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = &batch;
+    session_pagers_ = pagers;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The writer runs here, concurrent with the workers, mutating through
+  // the journal and publishing at its own cadence.
+  Status writer_status = writer();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock,
+                  [&] { return batch.finished_workers == workers_.size(); });
+    current_ = nullptr;
+    session_pagers_.clear();
+  }
+
+  // EndConcurrentReads publishes any remaining writer state (it must run
+  // on the writer thread — which is this one).
+  Status first_error = writer_status;
+  for (Pager* p : pagers) {
+    Status st = p->EndConcurrentReads();
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status QueryExecutor::RunBatchWithWriter(DualIndex* index,
+                                         const std::vector<BatchQuery>& batch,
+                                         std::vector<BatchItemResult>* results,
+                                         const std::function<Status()>& writer) {
+  results->clear();
+  results->resize(batch.size());
+  auto job = [&](size_t i) {
+    const BatchQuery& q = batch[i];
+    BatchItemResult& out = (*results)[i];
+    Result<std::vector<TupleId>> r =
+        index->Select(q.type, q.query, q.method, &out.stats);
+    if (r.ok()) {
+      out.ids = std::move(r.value());
+    } else {
+      out.status = r.status();
+    }
+  };
+  return RunWithWriter({index->pager(), index->relation()->pager()},
+                       batch.size(), job, writer);
 }
 
 Status QueryExecutor::RunBatch(DualIndex* index,

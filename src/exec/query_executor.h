@@ -106,12 +106,38 @@ class QueryExecutor {
   Status RunSharded(std::vector<Pager*> pagers, size_t n,
                     const std::function<void(size_t)>& job);
 
+  /// Ingest lane: like RunSharded, but the pagers enter single-writer mode
+  /// (Pager::BeginConcurrentReads(true)) with the *calling thread* as the
+  /// writer, and `writer` runs on it concurrently with the workers. The
+  /// writer mutates through the journal and publishes each batch of
+  /// changes with Pager::Flush(); workers open their read sessions per
+  /// *item* instead of per batch, so a publish only waits for in-flight
+  /// queries, never for the whole batch. Returns the writer's error if
+  /// any, else the first mode-switch/teardown error (per-item query
+  /// failures land in the job's own results, as in RunSharded).
+  Status RunWithWriter(std::vector<Pager*> pagers, size_t n,
+                       const std::function<void(size_t)>& job,
+                       const std::function<Status()>& writer);
+
+  /// Typed ingest-lane helper over the dual index: runs `batch` like
+  /// RunBatch(DualIndex*, ...) while `writer` (typically a loop of
+  /// Relation::Insert + DualIndex::Insert + publish) runs on the calling
+  /// thread.
+  Status RunBatchWithWriter(DualIndex* index,
+                            const std::vector<BatchQuery>& batch,
+                            std::vector<BatchItemResult>* results,
+                            const std::function<Status()>& writer);
+
  private:
   struct Batch {
     size_t n = 0;
     const std::function<void(size_t)>* job = nullptr;
     std::atomic<size_t> next{0};
     size_t finished_workers = 0;
+    // Open read sessions around each item instead of the worker's whole
+    // share — required under a live writer, whose publish gate drains
+    // active sessions (a per-batch session would deadlock it).
+    bool per_item_sessions = false;
   };
 
   void WorkerLoop();

@@ -68,6 +68,16 @@ thread_local PagerReadSession* t_session_head = nullptr;
 PagerReadSession::PagerReadSession(Pager* pager)
     : pager_(pager), prev_(t_session_head) {
   t_session_head = this;
+  // Under single-writer mode a session is the commit-epoch boundary: wait
+  // out any in-flight publish, then register so the next publish waits for
+  // us. (The writer thread never registers — it would deadlock its own
+  // publish, and its Fetches bypass the shard pools anyway.)
+  if (pager_->shared_mode_ && pager_->swmr_ && !pager_->IsSwmrWriterThread()) {
+    std::unique_lock<std::mutex> lock(pager_->publish_mu_);
+    pager_->publish_cv_.wait(lock, [&] { return !pager_->gate_closed_; });
+    ++pager_->active_swmr_sessions_;
+    counted_ = true;
+  }
 }
 
 PagerReadSession::~PagerReadSession() {
@@ -83,7 +93,16 @@ PagerReadSession::~PagerReadSession() {
       }
     }
   }
+  // Merge *before* deregistering from the publish gate, so a publish that
+  // drains on this session observes its counters already folded in.
   pager_->MergeSessionStats(local_);
+  if (counted_) {
+    {
+      std::lock_guard<std::mutex> lock(pager_->publish_mu_);
+      --pager_->active_swmr_sessions_;
+    }
+    pager_->publish_cv_.notify_all();
+  }
 }
 
 PageRef& PageRef::operator=(PageRef&& other) noexcept {
@@ -183,6 +202,9 @@ Pager::~Pager() {
 
 const IoStats& Pager::ThreadStats() const {
   if (shared_mode_) {
+    // The single writer's view is its un-published delta (cleared into
+    // stats() at each publish).
+    if (IsSwmrWriterThread()) return writer_stats_;
     for (PagerReadSession* s = t_session_head; s != nullptr; s = s->prev_) {
       if (s->pager_ == this) return s->local_;
     }
@@ -281,10 +303,10 @@ Status Pager::WalkFreeList() {
 }
 
 Result<PageId> Pager::Allocate() {
-  if (shared_mode_) {
+  if (shared_mode_ && !IsSwmrWriterThread()) {
     return Status::InvalidArgument("Allocate during concurrent reads");
   }
-  ++stats_.pages_allocated;
+  ++MutStats().pages_allocated;
   txn_active_ = true;
   PageId id;
   if (free_head_ != kInvalidPageId) {
@@ -315,7 +337,7 @@ Result<PageId> Pager::Allocate() {
 }
 
 Status Pager::Free(PageId id) {
-  if (shared_mode_) {
+  if (shared_mode_ && !IsSwmrWriterThread()) {
     return Status::InvalidArgument("Free during concurrent reads");
   }
   if (id == kInvalidPageId || id >= next_page_id_) {
@@ -343,6 +365,10 @@ Status Pager::Free(PageId id) {
 }
 
 Result<PageRef> Pager::Fetch(PageId id) {
+  // Readers validate against the published snapshot inside SharedFetch —
+  // the live next_page_id_/free_set_ are the writer's under single-writer
+  // mode (and identical to the snapshot in plain concurrent-read mode).
+  if (shared_mode_ && !IsSwmrWriterThread()) return SharedFetch(id);
   if (id == kInvalidPageId || id >= next_page_id_) {
     return Status::InvalidArgument("Fetch of invalid page id " +
                                    std::to_string(id));
@@ -350,11 +376,11 @@ Result<PageRef> Pager::Fetch(PageId id) {
   if (free_set_.count(id) > 0) {
     return Status::Corruption("Fetch of free page " + std::to_string(id));
   }
-  if (shared_mode_) return SharedFetch(id);
-  ++stats_.page_fetches;
+  IoStats& sink = MutStats();
+  ++sink.page_fetches;
   auto it = frames_.find(id);
   if (it == frames_.end()) {
-    ++stats_.page_reads;
+    ++sink.page_reads;
     Frame frame;
     frame.data.resize(block_size_);
     // Pages allocated but never flushed do not exist in the file yet; they
@@ -363,13 +389,13 @@ Result<PageRef> Pager::Fetch(PageId id) {
     // which are zero by definition).
     if (id < file_->BlockCount()) {
       CDB_RETURN_IF_ERROR(file_->ReadBlock(id, frame.data.data()));
-      CDB_RETURN_IF_ERROR(VerifyPageBlock(id, frame.data.data(), &stats_));
+      CDB_RETURN_IF_ERROR(VerifyPageBlock(id, frame.data.data(), &sink));
     } else {
       std::fill(frame.data.begin(), frame.data.end(), 0);
     }
     it = frames_.emplace(id, std::move(frame)).first;
   } else {
-    ++stats_.buffer_hits;
+    ++sink.buffer_hits;
     if (it->second.in_lru) {
       lru_.erase(it->second.lru_pos);
       it->second.in_lru = false;
@@ -389,7 +415,7 @@ Result<PageRef> Pager::Fetch(PageId id) {
 }
 
 void Pager::Unpin(PageId id) {
-  if (shared_mode_) {
+  if (shared_mode_ && !IsSwmrWriterThread()) {
     SharedUnpin(id);
     return;
   }
@@ -406,12 +432,12 @@ void Pager::Unpin(PageId id) {
 }
 
 void Pager::MarkDirty(PageId id) {
-  // Writes are a programming error in concurrent-read mode; there is no
-  // Status channel here, so fail loudly in debug builds and ignore the mark
-  // otherwise (the frame would never be written back anyway — write-back
-  // paths are all mode-guarded).
-  assert(!shared_mode_);
-  if (shared_mode_) return;
+  // Writes are a programming error in concurrent-read mode (except from
+  // the single writer); there is no Status channel here, so fail loudly in
+  // debug builds and ignore the mark otherwise (the frame would never be
+  // written back anyway — write-back paths are all mode-guarded).
+  assert(!shared_mode_ || IsSwmrWriterThread());
+  if (shared_mode_ && !IsSwmrWriterThread()) return;
   auto it = frames_.find(id);
   assert(it != frames_.end());
   it->second.dirty = true;
@@ -449,7 +475,7 @@ Status Pager::EnsureJournaled(PageId id) {
                           block_size_));
   CDB_RETURN_IF_ERROR(journal_->WriteBlock(1 + journal_records_, rec));
   ++journal_records_;
-  ++stats_.journal_records;
+  ++MutStats().journal_records;
   journaled_.insert(id);
   journal_synced_ = false;
   return Status::OK();
@@ -513,7 +539,7 @@ Status Pager::WriteBack(PageId id, Frame* frame) {
   if (!frame->dirty) return Status::OK();
   CDB_RETURN_IF_ERROR(EnsureJournaled(id));
   CDB_RETURN_IF_ERROR(SyncJournalForWrite());
-  ++stats_.page_writes;
+  ++MutStats().page_writes;
   if (checksums_) {
     char* p = frame->data.data();
     Store<uint32_t>(p, 0, kPageMagicV1);
@@ -527,6 +553,11 @@ Status Pager::WriteBack(PageId id, Frame* frame) {
 }
 
 Status Pager::EvictIfNeeded() {
+  // The single-writer overlay is never evicted: a mid-transaction
+  // write-back would make uncommitted bytes readable. The overlay is
+  // bounded by the writer's batch size between publishes, not by
+  // cache_frames_ (documented trade-off, DESIGN.md §2d).
+  if (shared_mode_) return Status::OK();
   while (frames_.size() > cache_frames_ && !lru_.empty()) {
     PageId victim = lru_.back();
     auto it = frames_.find(victim);
@@ -542,8 +573,13 @@ Status Pager::EvictIfNeeded() {
 
 Status Pager::Flush() {
   if (shared_mode_) {
+    if (IsSwmrWriterThread()) return PublishWriter();
     return Status::InvalidArgument("Flush during concurrent reads");
   }
+  return FlushBody();
+}
+
+Status Pager::FlushBody() {
   // An empty transaction has nothing to commit — in particular the
   // destructor's flush after a clean Flush() must not advance the
   // sequence or touch the file.
@@ -567,7 +603,7 @@ Status Pager::Flush() {
     if (journal_header_written_) {
       CDB_RETURN_IF_ERROR(InvalidateJournal());
     }
-    ++stats_.journal_commits;
+    ++MutStats().journal_commits;
   }
   commit_seq_ = txn_seq();
   journaled_.clear();
@@ -577,6 +613,50 @@ Status Pager::Flush() {
   txn_active_ = false;
   txn_base_blocks_ = file_->BlockCount();
   return Status::OK();
+}
+
+Status Pager::PublishWriter() {
+  // Nothing to commit: don't close the gate for a no-op (the ingest lane
+  // calls Flush once more on exit even when the tail batch was empty).
+  if (!txn_active_ && !journal_header_written_) return Status::OK();
+  std::unique_lock<std::mutex> lock(publish_mu_);
+  gate_closed_ = true;
+  publish_cv_.wait(lock, [&] { return active_swmr_sessions_ == 0; });
+  // Every read session is drained and new ones are parked at the gate, so
+  // the commit below is invisible until the snapshot swap completes.
+  std::vector<PageId> written;
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) written.push_back(id);
+  }
+  Status st = FlushBody();
+  if (st.ok()) {
+    // Purge superseded copies so post-publish readers refetch the new
+    // bytes from disk. (Pages freed this transaction may leave stale
+    // clean frames behind; the published free set blocks fetching them,
+    // and a later reuse lands in `written` and purges them here.)
+    for (PageId id : written) {
+      ReadShard& shard = *shards_[ShardOf(id)];
+      std::lock_guard<std::mutex> slock(shard.mu);
+      auto it = shard.frames.find(id);
+      if (it != shard.frames.end()) {
+        assert(it->second.pins.load(std::memory_order_relaxed) == 0);
+        if (it->second.in_lru) shard.lru.erase(it->second.lru_pos);
+        shard.frames.erase(it);
+        shared_frames_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    published_next_page_id_ = next_page_id_;
+    published_free_ = free_set_;
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.Merge(writer_stats_);
+    writer_stats_.Reset();
+  }
+  gate_closed_ = false;
+  lock.unlock();
+  publish_cv_.notify_all();
+  return st;
 }
 
 Status Pager::DropCache() {
@@ -595,7 +675,7 @@ Status Pager::DropCache() {
   return Status::OK();
 }
 
-Status Pager::BeginConcurrentReads() {
+Status Pager::BeginConcurrentReads(bool single_writer) {
   if (shared_mode_) {
     return Status::InvalidArgument("already in concurrent-read mode");
   }
@@ -629,6 +709,16 @@ Status Pager::BeginConcurrentReads() {
   lru_.clear();
   shared_frames_.store(moved, std::memory_order_relaxed);
   shared_pinned_.store(0, std::memory_order_relaxed);
+  // Snapshot the allocation state readers validate against. In plain
+  // concurrent-read mode it never diverges from the live state (mutations
+  // are rejected); under single-writer mode it advances only at publish.
+  published_next_page_id_ = next_page_id_;
+  published_free_ = free_set_;
+  swmr_ = single_writer;
+  writer_thread_ = std::this_thread::get_id();
+  writer_stats_.Reset();
+  gate_closed_ = false;
+  active_swmr_sessions_ = 0;
   shared_mode_ = true;
   return Status::OK();
 }
@@ -637,13 +727,34 @@ Status Pager::EndConcurrentReads() {
   if (!shared_mode_) {
     return Status::InvalidArgument("not in concurrent-read mode");
   }
+  if (swmr_) {
+    if (!IsSwmrWriterThread()) {
+      return Status::InvalidArgument(
+          "EndConcurrentReads must run on the writer thread");
+    }
+    // Commit whatever the writer left pending so exclusive mode resumes
+    // from a published state.
+    CDB_RETURN_IF_ERROR(PublishWriter());
+    {
+      std::lock_guard<std::mutex> lock(publish_mu_);
+      if (active_swmr_sessions_ != 0) {
+        return Status::InvalidArgument(
+            "EndConcurrentReads with open read sessions");
+      }
+    }
+    if (pinned_frames_ != 0) {
+      return Status::InvalidArgument("EndConcurrentReads with writer pins");
+    }
+  }
   if (shared_pinned_.load(std::memory_order_relaxed) != 0) {
     return Status::InvalidArgument(
         "EndConcurrentReads with live PageRefs or sessions");
   }
   // Fold the shards back. Recency within a shard is preserved; ordering
   // across shards is approximate, which only perturbs future eviction
-  // order, never counters or query results.
+  // order, never counters or query results. Under single-writer mode the
+  // writer's overlay may already hold a (clean, identical post-publish)
+  // copy of a shard frame — keep the overlay's and drop the shard's.
   for (auto& shard_ptr : shards_) {
     ReadShard& shard = *shard_ptr;
     for (PageId id : shard.lru) {
@@ -651,7 +762,7 @@ Status Pager::EndConcurrentReads() {
       assert(it != shard.frames.end());
       it->second.in_lru = false;
       auto res = frames_.emplace(id, std::move(it->second));
-      assert(res.second);
+      if (!res.second) continue;
       lru_.push_back(id);
       res.first->second.lru_pos = --lru_.end();
       res.first->second.in_lru = true;
@@ -660,13 +771,24 @@ Status Pager::EndConcurrentReads() {
     shard.lru.clear();
   }
   shared_frames_.store(0, std::memory_order_relaxed);
+  // Residual writer counters (reads that never hit a publish) and the
+  // mode reset. The publish above already merged the mutation counters.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.Merge(writer_stats_);
+    writer_stats_.Reset();
+  }
+  const bool had_writer = swmr_;
+  swmr_ = false;
   shared_mode_ = false;
-  return Status::OK();
+  // The writer overlay may have grown past the frame budget while
+  // eviction was disabled; shed the excess now that exclusive eviction is
+  // legal again. (Plain concurrent-read mode never overflows: shard-local
+  // eviction kept the pool at the budget.)
+  return had_writer ? EvictIfNeeded() : Status::OK();
 }
 
 Result<PageRef> Pager::SharedFetch(PageId id) {
-  // Fetch() already range- and free-checked `id`; next_page_id_ and
-  // free_set_ are frozen while shared mode is active.
   PagerReadSession* session = nullptr;
   for (PagerReadSession* s = t_session_head; s != nullptr; s = s->prev_) {
     if (s->pager_ == this) {
@@ -677,6 +799,16 @@ Result<PageRef> Pager::SharedFetch(PageId id) {
   if (session == nullptr) {
     return Status::InvalidArgument(
         "concurrent-read Fetch requires a PagerReadSession on this thread");
+  }
+  // Validate against the published snapshot (== the live state in plain
+  // concurrent-read mode; the last commit under single-writer mode). The
+  // session's gate registration ordered this read after the snapshot swap.
+  if (id == kInvalidPageId || id >= published_next_page_id_) {
+    return Status::InvalidArgument("Fetch of invalid page id " +
+                                   std::to_string(id));
+  }
+  if (published_free_.count(id) > 0) {
+    return Status::Corruption("Fetch of free page " + std::to_string(id));
   }
   IoStats& stats = session->local_;
   ++stats.page_fetches;

@@ -48,10 +48,12 @@
 #define CDB_STORAGE_PAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -226,7 +228,21 @@ class Pager {
   /// live pins. After this, Fetch() is thread-safe for any thread holding a
   /// PagerReadSession, and every mutating entry point returns
   /// Status::InvalidArgument until EndConcurrentReads().
-  Status BeginConcurrentReads();
+  ///
+  /// With `single_writer` the mode becomes single-writer/multi-reader
+  /// (DESIGN.md §2d): the *calling* thread keeps the full exclusive-mode
+  /// API — Allocate/Free/Fetch/MarkDirty mutate a private frame overlay
+  /// (never evicted, so in-flight changes stay invisible) — while every
+  /// other thread reads the last *committed* state through sessions as
+  /// before. The writer publishes by calling Flush(), which drains open
+  /// read sessions (sessions, not the mode, are the commit-epoch boundary:
+  /// a session opened after the publish sees the new state), write-backs
+  /// the transaction through the journal, purges superseded frames from
+  /// the shard pools and re-opens the gate. Reader-side id validation runs
+  /// against the published allocation snapshot, so readers can neither see
+  /// a half-built page nor lose one the writer freed but has not
+  /// committed.
+  Status BeginConcurrentReads(bool single_writer = false);
 
   /// Leaves concurrent-read mode, folding the shard pools back into the
   /// exclusive-mode LRU (shard-local recency is preserved; cross-shard
@@ -235,6 +251,15 @@ class Pager {
   Status EndConcurrentReads();
 
   bool concurrent_reads_active() const { return shared_mode_; }
+
+  /// True when the calling thread is a *reader* under single-writer mode:
+  /// concurrent reads are active with a writer, and this is not the writer
+  /// thread. Index structures use this to descend from their committed
+  /// meta instead of in-memory state the writer is mutating.
+  bool InSwmrReadContext() const {
+    return shared_mode_ && swmr_ &&
+           std::this_thread::get_id() != writer_thread_;
+  }
 
   /// The calling thread's view of the I/O counters: in concurrent-read mode
   /// with an open PagerReadSession this is the session's local delta (so a
@@ -285,9 +310,25 @@ class Pager {
   void SharedUnpin(PageId id);
   void MergeSessionStats(const IoStats& delta);
 
+  // Single-writer machinery.
+  bool IsSwmrWriterThread() const {
+    return swmr_ && std::this_thread::get_id() == writer_thread_;
+  }
+  // The accumulator mutations charge: the pager-wide stats_ in exclusive
+  // mode, the writer's private delta under single-writer mode (merged into
+  // stats_ at each publish; readers merge via sessions concurrently).
+  IoStats& MutStats() { return shared_mode_ ? writer_stats_ : stats_; }
+  // Flush()'s writer-thread form: drain read sessions, commit the
+  // transaction, purge superseded shard frames, advance the published
+  // allocation snapshot, re-open the gate.
+  Status PublishWriter();
+
   Status LoadMeta();
   Status StoreMeta();
   Status WalkFreeList();
+  // Flush's transaction body (journal pre-images, write-backs, meta,
+  // commit). Shared between exclusive Flush() and PublishWriter().
+  Status FlushBody();
   Status EvictIfNeeded();
   Status WriteBack(PageId id, Frame* frame);
   // `sink` receives checksum_failures (the caller's IoStats: the pager-wide
@@ -343,6 +384,24 @@ class Pager {
   std::atomic<size_t> shared_frames_{0};  // Frames across all shards.
   std::atomic<size_t> shared_pinned_{0};  // Pinned frames across all shards.
   std::mutex stats_mu_;  // Guards stats_ during session merges.
+
+  // Single-writer/multi-reader state (meaningful only while shared_mode_
+  // with swmr_; the flags themselves flip only during the Begin/End
+  // handshake, like shared_mode_). Readers validate page ids against the
+  // *published* allocation snapshot — the live next_page_id_/free_set_
+  // belong to the writer's uncommitted transaction.
+  bool swmr_ = false;
+  std::thread::id writer_thread_{};
+  IoStats writer_stats_;
+  PageId published_next_page_id_ = 1;
+  std::unordered_set<PageId> published_free_;
+  // Publish gate: session ctors wait while a publish drains and count
+  // themselves in; PublishWriter closes the gate and waits for the count
+  // to reach zero. All four fields are guarded by publish_mu_.
+  std::mutex publish_mu_;
+  std::condition_variable publish_cv_;
+  bool gate_closed_ = false;
+  size_t active_swmr_sessions_ = 0;
 };
 
 /// RAII handle making the current thread a reader of a pager that is in
@@ -368,6 +427,9 @@ class PagerReadSession {
   Pager* pager_;
   IoStats local_;
   PagerReadSession* prev_;  // Next-older session on this thread's stack.
+  // True when this session registered with the single-writer publish gate
+  // (and so must deregister + wake a waiting publish on close).
+  bool counted_ = false;
 };
 
 }  // namespace cdb

@@ -153,6 +153,45 @@ TEST(CheckTest, BitFlipInDatabaseFileIsDetected) {
   RemoveDb(path);
 }
 
+// Regression: when Open() fails partway through attach (corrupt catalog
+// page), the partially-constructed database must tear down without
+// flushing — the destructor used to call StoreCatalog() through the
+// never-attached null index and crash instead of surfacing Corruption.
+TEST(CheckTest, CorruptCatalogFailsOpenWithoutCrashing) {
+  std::string path = TempPath("cdb_check_test_catalog");
+  RemoveDb(path);
+  DatabaseOptions opts;
+  {
+    std::unique_ptr<ConstraintDatabase> db;
+    ASSERT_TRUE(ConstraintDatabase::Open(path, opts, &db).ok());
+    Rng rng(5);
+    WorkloadOptions wopts;
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(db->Insert(RandomBoundedTuple(&rng, wopts)).ok());
+    }
+  }
+  // Page ids map to file blocks 1:1 (block 0 is pager meta); the catalog
+  // is the first allocated page, so flip a payload byte in block 1.
+  std::string idx = path + ".idx";
+  std::fstream f(idx, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  std::streamoff target =
+      static_cast<std::streamoff>(opts.page_size + opts.page_size / 2);
+  f.seekg(target);
+  char byte = 0;
+  f.get(byte);
+  f.seekp(target);
+  f.put(static_cast<char>(byte ^ 0x10));
+  f.close();
+
+  std::unique_ptr<ConstraintDatabase> db;
+  Status st = ConstraintDatabase::Open(path, opts, &db);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_EQ(db, nullptr);
+  RemoveDb(path);
+}
+
 TEST(CheckTest, TreeCheckersCountSoundTrees) {
   PagerOptions popts;
   popts.page_size = 512;

@@ -1,0 +1,241 @@
+// Single-writer/multi-reader pager mode (PR 4 tentpole).
+//
+// BeginConcurrentReads(/*single_writer=*/true) keeps the full mutating API
+// on the calling thread — changes accumulate in a private overlay — while
+// other threads read the last *committed* state through PagerReadSessions.
+// Flush() on the writer thread is the publish point. These tests pin down
+// the visibility rules (readers never see unpublished bytes or page ids),
+// the thread-role guards, and the accounting invariant
+// page_fetches == buffer_hits + page_reads across writer + readers. The
+// stress case runs under `-L tsan`.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "pager_test_util.h"
+#include "storage/file.h"
+#include "storage/pager.h"
+
+namespace cdb {
+namespace {
+
+std::unique_ptr<Pager> MakePager(size_t cache_frames = 64) {
+  PagerOptions opts;
+  opts.page_size = 1024;
+  opts.cache_frames = cache_frames;
+  std::unique_ptr<Pager> pager;
+  EXPECT_TRUE(Pager::Open(std::make_unique<MemFile>(1024), opts, &pager).ok());
+  return pager;
+}
+
+// Allocates a page filled with `fill` and commits it.
+PageId SeedPage(Pager* pager, char fill) {
+  Result<PageId> id = pager->Allocate();
+  EXPECT_TRUE(id.ok());
+  Result<PageRef> ref = pager->Fetch(id.value());
+  EXPECT_TRUE(ref.ok());
+  std::memset(ref.value().data(), fill, pager->page_size());
+  ref.value().MarkDirty();
+  ref.value().Release();
+  EXPECT_TRUE(pager->Flush().ok());
+  return id.value();
+}
+
+// Runs `fn` on a fresh thread with an open read session and joins it.
+void OnReaderThread(Pager* pager, const std::function<void()>& fn) {
+  std::thread t([&] {
+    PagerReadSession session(pager);
+    fn();
+  });
+  t.join();
+}
+
+TEST(PagerSwmrTest, ReadersSeeCommittedStateUntilPublish) {
+  std::unique_ptr<Pager> pager = MakePager();
+  const PageId p1 = SeedPage(pager.get(), '\xaa');
+
+  ASSERT_TRUE(pager->BeginConcurrentReads(/*single_writer=*/true).ok());
+
+  // Writer mutates p1 and allocates p2 — all unpublished.
+  Result<PageId> p2 = pager->Allocate();
+  ASSERT_TRUE(p2.ok());
+  {
+    Result<PageRef> ref = pager->Fetch(p1);
+    ASSERT_TRUE(ref.ok());
+    std::memset(ref.value().data(), '\xbb', pager->page_size());
+    ref.value().MarkDirty();
+  }
+
+  // A reader still sees the old bytes, and the unpublished id is not a
+  // valid page for it at all (no half-built pages leak).
+  OnReaderThread(pager.get(), [&] {
+    ASSERT_TRUE(pager->InSwmrReadContext());
+    Result<PageRef> ref = pager->Fetch(p1);
+    ASSERT_TRUE(ref.ok());
+    for (size_t i = 0; i < pager->page_size(); ++i) {
+      ASSERT_EQ(ref.value().data()[i], '\xaa') << "byte " << i;
+    }
+    ref.value().Release();
+    EXPECT_FALSE(pager->Fetch(p2.value()).ok());
+  });
+
+  // Publish. New sessions see the new bytes and the new page.
+  ASSERT_TRUE(pager->Flush().ok());
+  OnReaderThread(pager.get(), [&] {
+    Result<PageRef> ref = pager->Fetch(p1);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(ref.value().data()[0], '\xbb');
+    ref.value().Release();
+    Result<PageRef> fresh = pager->Fetch(p2.value());
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(fresh.value().data()[0], '\0');  // Allocate zeroes pages.
+  });
+
+  ASSERT_TRUE(pager->EndConcurrentReads().ok());
+  ExpectNoPinnedFrames(*pager);
+  EXPECT_EQ(pager->stats().page_fetches,
+            pager->stats().buffer_hits + pager->stats().page_reads);
+}
+
+TEST(PagerSwmrTest, NonWriterThreadsAreReadOnly) {
+  std::unique_ptr<Pager> pager = MakePager();
+  const PageId p1 = SeedPage(pager.get(), '\x11');
+
+  ASSERT_TRUE(pager->BeginConcurrentReads(/*single_writer=*/true).ok());
+  OnReaderThread(pager.get(), [&] {
+    EXPECT_TRUE(pager->Allocate().status().IsInvalidArgument());
+    EXPECT_TRUE(pager->Free(p1).IsInvalidArgument());
+    EXPECT_TRUE(pager->Flush().IsInvalidArgument());
+    EXPECT_TRUE(pager->DropCache().IsInvalidArgument());
+    EXPECT_TRUE(pager->EndConcurrentReads().IsInvalidArgument());
+  });
+  // The mode survived the readers' rejected attempts; the writer can still
+  // mutate, publish, and tear down.
+  ASSERT_TRUE(pager->concurrent_reads_active());
+  ASSERT_TRUE(pager->Allocate().ok());
+  ASSERT_TRUE(pager->EndConcurrentReads().ok());
+  ExpectNoPinnedFrames(*pager);
+}
+
+TEST(PagerSwmrTest, WriterKeepsFullApiAndIsNotAReadContext) {
+  std::unique_ptr<Pager> pager = MakePager();
+  const PageId p1 = SeedPage(pager.get(), '\x22');
+
+  ASSERT_TRUE(pager->BeginConcurrentReads(/*single_writer=*/true).ok());
+  EXPECT_FALSE(pager->InSwmrReadContext());  // This thread is the writer.
+  {
+    Result<PageRef> ref = pager->Fetch(p1);
+    ASSERT_TRUE(ref.ok());
+    ref.value().data()[0] = '\x33';
+    ref.value().MarkDirty();
+  }
+  // The writer reads its own (unpublished) write.
+  {
+    Result<PageRef> ref = pager->Fetch(p1);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(ref.value().data()[0], '\x33');
+  }
+  ASSERT_TRUE(pager->EndConcurrentReads().ok());  // Auto-publishes.
+  ExpectNoPinnedFrames(*pager);
+
+  // Back in exclusive mode the published state persisted.
+  Result<PageRef> ref = pager->Fetch(p1);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref.value().data()[0], '\x33');
+}
+
+TEST(PagerSwmrTest, StatsMergeAcrossWriterAndReaders) {
+  std::unique_ptr<Pager> pager = MakePager();
+  const PageId p1 = SeedPage(pager.get(), '\x44');
+  const IoStats before = pager->stats();
+
+  ASSERT_TRUE(pager->BeginConcurrentReads(/*single_writer=*/true).ok());
+  constexpr size_t kReaders = 4;
+  constexpr size_t kFetchesEach = 8;
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      PagerReadSession session(pager.get());
+      for (size_t i = 0; i < kFetchesEach; ++i) {
+        Result<PageRef> ref = pager->Fetch(p1);
+        ASSERT_TRUE(ref.ok());
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  // Writer work counts too.
+  Result<PageRef> ref = pager->Fetch(p1);
+  ASSERT_TRUE(ref.ok());
+  ref.value().Release();
+  ASSERT_TRUE(pager->EndConcurrentReads().ok());
+
+  const IoStats& after = pager->stats();
+  EXPECT_EQ(after.page_fetches, after.buffer_hits + after.page_reads);
+  EXPECT_EQ(after.page_fetches - before.page_fetches,
+            kReaders * kFetchesEach + 1);
+  ExpectNoPinnedFrames(*pager);
+}
+
+// TSan target: one writer republishing a page while readers hammer it.
+// Every read must observe an internally consistent (single-fill) page
+// whose round number never runs ahead of what was published, and each
+// reader's view must be monotone across its sessions.
+TEST(PagerSwmrTest, ConcurrentPublishStress) {
+  std::unique_ptr<Pager> pager = MakePager(/*cache_frames=*/16);
+  const PageId p1 = SeedPage(pager.get(), 0);
+
+  ASSERT_TRUE(pager->BeginConcurrentReads(/*single_writer=*/true).ok());
+
+  constexpr int kRounds = 40;
+  std::atomic<int> published{0};
+  std::atomic<bool> stop{false};
+  constexpr size_t kReaders = 4;
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      char last_seen = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        PagerReadSession session(pager.get());
+        Result<PageRef> ref = pager->Fetch(p1);
+        ASSERT_TRUE(ref.ok());
+        const char v = ref.value().data()[0];
+        for (size_t i = 1; i < pager->page_size(); ++i) {
+          ASSERT_EQ(ref.value().data()[i], v) << "torn page at byte " << i;
+        }
+        ASSERT_LE(static_cast<int>(v), published.load(std::memory_order_acquire));
+        ASSERT_GE(v, last_seen) << "published state went backwards";
+        last_seen = v;
+      }
+    });
+  }
+
+  for (int round = 1; round <= kRounds; ++round) {
+    {
+      Result<PageRef> ref = pager->Fetch(p1);
+      ASSERT_TRUE(ref.ok());
+      std::memset(ref.value().data(), round, pager->page_size());
+      ref.value().MarkDirty();
+    }
+    published.store(round, std::memory_order_release);
+    ASSERT_TRUE(pager->Flush().ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  ASSERT_TRUE(pager->EndConcurrentReads().ok());
+  ExpectNoPinnedFrames(*pager);
+  EXPECT_EQ(pager->stats().page_fetches,
+            pager->stats().buffer_hits + pager->stats().page_reads);
+
+  Result<PageRef> ref = pager->Fetch(p1);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref.value().data()[0], static_cast<char>(kRounds));
+}
+
+}  // namespace
+}  // namespace cdb
