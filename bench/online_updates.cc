@@ -16,6 +16,11 @@
 // Phase B (concurrent): sustained query throughput while a single writer
 // ingests and publishes through the same index
 // (exec::QueryExecutor::RunBatchWithWriter); zero failed queries required.
+// ISSUE 5 instruments the publish pipeline: every writer-side publish
+// (Flush + PublishAppends + Flush) is timed into a LatencyRecorder and
+// reported as percentiles ("publish" row), alongside the pager's SWMR
+// publish/contention counters and the full ExportPagerMetrics gauge set
+// for the dual-index pager.
 
 #include <algorithm>
 #include <chrono>
@@ -25,6 +30,8 @@
 
 #include "exec/query_executor.h"
 #include "harness.h"
+#include "obs/clock.h"
+#include "obs/latency.h"
 
 namespace cdb {
 namespace bench {
@@ -202,6 +209,8 @@ int main(int argc, char** argv) {
 
   if (!inc.relation->BeginOnlineAppends(kIngest).ok()) return 1;
   size_t inserted = 0;
+  obs::LatencyRecorder publish_lat;
+  obs::Clock* clock = obs::DefaultClock();
   auto writer = [&]() -> Status {
     for (const GeneralizedTuple& t : stream) {
       Result<TupleId> id = inc.relation->Insert(t);
@@ -209,9 +218,14 @@ int main(int argc, char** argv) {
       CDB_RETURN_IF_ERROR(inc.dual->Insert(id.value(), t));
       ++inserted;
       if (inserted % kPublishEvery == 0) {
+        // One publish = making this batch of inserts visible to readers:
+        // relation flush, append snapshot swap, index flush (which drains
+        // the read sessions — the drain is part of the cost).
+        const uint64_t t0 = clock->NowNanos();
         CDB_RETURN_IF_ERROR(inc.rel_pager->Flush());
         inc.relation->PublishAppends();
         CDB_RETURN_IF_ERROR(inc.dual_pager->Flush());
+        publish_lat.RecordNanos(clock->NowNanos() - t0);
       }
     }
     return Status::OK();
@@ -266,6 +280,36 @@ int main(int argc, char** argv) {
                     static_cast<double>(inserted));
   reporter.AddValue("online", online_params, "failed",
                     static_cast<double>(failed));
+
+  // Publish-pipeline visibility (ISSUE 5): writer-side publish latency
+  // percentiles plus the pager's own SWMR accounting (epochs includes the
+  // final EndConcurrentReads publish, so epochs >= count).
+  const obs::LatencySnapshot pub = publish_lat.Snapshot();
+  const PagerConcurrencyStats cs = inc.dual_pager->concurrency_stats();
+  std::printf(
+      "publish latency: %llu publishes  p50 %.3f ms  p95 %.3f ms  p99 %.3f "
+      "ms  max %.3f ms  (%llu epochs, %llu pages, %llu sessions drained)\n",
+      static_cast<unsigned long long>(pub.count), pub.p50_ms, pub.p95_ms,
+      pub.p99_ms, pub.max_ms,
+      static_cast<unsigned long long>(cs.publish_epochs),
+      static_cast<unsigned long long>(cs.publish_pages),
+      static_cast<unsigned long long>(cs.publish_sessions_drained));
+  reporter.AddValue("publish", online_params, "count",
+                    static_cast<double>(pub.count));
+  reporter.AddValue("publish", online_params, "p50_ms", pub.p50_ms);
+  reporter.AddValue("publish", online_params, "p95_ms", pub.p95_ms);
+  reporter.AddValue("publish", online_params, "p99_ms", pub.p99_ms);
+  reporter.AddValue("publish", online_params, "max_ms", pub.max_ms);
+  reporter.AddValue("publish", online_params, "epochs",
+                    static_cast<double>(cs.publish_epochs));
+  reporter.AddValue("publish", online_params, "pages",
+                    static_cast<double>(cs.publish_pages));
+  reporter.AddValue("publish", online_params, "sessions_drained",
+                    static_cast<double>(cs.publish_sessions_drained));
+  reporter.AddValue("publish", online_params, "drain_ms",
+                    static_cast<double>(cs.publish_drain_ns) / 1e6);
+  obs::ExportPagerMetrics(*inc.dual_pager, &obs::GlobalMetrics(),
+                          "pager.dual");
 
   std::printf(
       "\nExpected shape: identical results everywhere; stale handicaps pay\n"

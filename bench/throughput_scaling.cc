@@ -7,9 +7,18 @@
 // single-core machine the curve is flat, and the artifact says so rather
 // than inventing speedup (scripts/check_bench_json.py only requires the
 // 1->2 thread step to be monotone within a scheduler-noise floor).
+//
+// ISSUE 5 adds a per-thread-count instrumented pass (warm cache) through
+// the BatchObservability overload of RunBatch: service-latency and
+// queue-wait percentiles ("latency"/"queue_wait" rows), plus 1-in-4
+// deterministic trace sampling whose profiles must all pass the
+// self==total balance invariant ("sampling" row; the bench exits nonzero
+// if any recorded count misses the batch size or a sampled profile is
+// unbalanced). --smoke shrinks the dataset/batch for CI.
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "exec/query_executor.h"
@@ -19,10 +28,14 @@ namespace cdb {
 namespace bench {
 namespace {
 
-constexpr size_t kWorkerStreams = 8;
-constexpr int kQueriesPerStream = 32;
+size_t kWorkerStreams = 8;
+int kQueriesPerStream = 32;
 constexpr uint64_t kSeed = 20260807;
-constexpr int kRepeats = 3;
+int kRepeats = 3;
+// Every 4th query (in expectation) carries an ExplainProfile in the
+// instrumented pass — dense enough to exercise tracing on every thread,
+// sparse enough to stay out of the timing's way.
+constexpr uint64_t kSampleEvery = 4;
 
 double MillisSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
@@ -108,6 +121,79 @@ struct ThroughputRow {
   size_t failed = 0;
 };
 
+// Warm-cache instrumented pass (ISSUE 5): latency recording plus 1-in-N
+// deterministic trace sampling. Returns false (after printing why) when an
+// invariant failed: every recorded latency count must equal the batch size
+// exactly, and every sampled profile must balance.
+bool MeasureObservability(Dataset* ds,
+                          const std::vector<exec::BatchQuery>& batch,
+                          size_t threads, BenchReporter* reporter) {
+  exec::QueryExecutor executor(threads);
+  exec::BatchObservability bobs;
+  bobs.record_latency = true;
+  bobs.trace_sample_every = kSampleEvery;
+  bobs.trace_sample_seed = kSeed;
+  exec::BatchResult out;
+  // One unmeasured pass leaves both pools hot, as in the warm qps rows.
+  DropCaches(ds);
+  if (!executor.RunBatch(ds->dual.get(), batch, bobs, &out).ok() ||
+      !exec::FirstError(out.items).ok()) {
+    std::fprintf(stderr, "FATAL: instrumented warmup failed\n");
+    std::abort();
+  }
+  if (!executor.RunBatch(ds->dual.get(), batch, bobs, &out).ok() ||
+      !exec::FirstError(out.items).ok()) {
+    std::fprintf(stderr, "FATAL: instrumented batch failed\n");
+    std::abort();
+  }
+
+  BenchReporter::Params params = {{"threads", static_cast<double>(threads)}};
+  reporter->AddValue("latency", params, "count",
+                     static_cast<double>(out.service.count));
+  reporter->AddValue("latency", params, "mean_ms", out.service.mean_ms);
+  reporter->AddValue("latency", params, "p50_ms", out.service.p50_ms);
+  reporter->AddValue("latency", params, "p95_ms", out.service.p95_ms);
+  reporter->AddValue("latency", params, "p99_ms", out.service.p99_ms);
+  reporter->AddValue("latency", params, "max_ms", out.service.max_ms);
+  reporter->AddValue("queue_wait", params, "count",
+                     static_cast<double>(out.queue_wait.count));
+  reporter->AddValue("queue_wait", params, "p50_ms", out.queue_wait.p50_ms);
+  reporter->AddValue("queue_wait", params, "p95_ms", out.queue_wait.p95_ms);
+  reporter->AddValue("queue_wait", params, "p99_ms", out.queue_wait.p99_ms);
+  reporter->AddValue("sampling", params, "sampled",
+                     static_cast<double>(out.sampled_traces));
+  reporter->AddValue("sampling", params, "balanced",
+                     static_cast<double>(out.balanced_traces));
+
+  bool ok = true;
+  if (out.service.count != batch.size() ||
+      out.queue_wait.count != batch.size()) {
+    std::fprintf(stderr,
+                 "FAIL: latency counts (%llu service / %llu queue) != batch "
+                 "size %zu at %zu threads\n",
+                 static_cast<unsigned long long>(out.service.count),
+                 static_cast<unsigned long long>(out.queue_wait.count),
+                 batch.size(), threads);
+    ok = false;
+  }
+  if (out.sampled_traces == 0 || out.sampled_traces != out.balanced_traces) {
+    std::fprintf(stderr,
+                 "FAIL: sampled traces %llu, balanced %llu at %zu threads\n",
+                 static_cast<unsigned long long>(out.sampled_traces),
+                 static_cast<unsigned long long>(out.balanced_traces),
+                 threads);
+    ok = false;
+  }
+  std::printf(
+      "  obs t=%zu: p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  queue p95 %.3f "
+      "ms  sampled %llu/%llu balanced\n",
+      threads, out.service.p50_ms, out.service.p95_ms, out.service.p99_ms,
+      out.queue_wait.p95_ms,
+      static_cast<unsigned long long>(out.balanced_traces),
+      static_cast<unsigned long long>(out.sampled_traces));
+  return ok;
+}
+
 ThroughputRow MeasureThroughput(Dataset* ds,
                                 const std::vector<exec::BatchQuery>& batch,
                                 size_t threads, bool warm) {
@@ -144,10 +230,20 @@ ThroughputRow MeasureThroughput(Dataset* ds,
 
 int Run(int argc, char** argv) {
   BenchReporter reporter("throughput_scaling", &argc, argv);
-  std::printf("=== Throughput scaling: parallel batch query executor ===\n");
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (smoke) {
+    kWorkerStreams = 4;
+    kQueriesPerStream = 8;
+    kRepeats = 2;
+  }
+  std::printf("=== Throughput scaling: parallel batch query executor%s ===\n",
+              smoke ? " (smoke)" : "");
 
   DatasetConfig config;
-  config.n = 2000;
+  config.n = smoke ? 600 : 2000;
   config.size = ObjectSize::kSmall;
   config.k = 3;
   config.seed = kSeed;
@@ -163,6 +259,7 @@ int Run(int argc, char** argv) {
   PrintTableHeader("qps, " + std::to_string(batch.size()) + " queries, n=" +
                        std::to_string(config.n),
                    {"threads", "cold qps", "cold ms", "warm qps", "warm ms"});
+  bool obs_ok = true;
   for (size_t threads : {1, 2, 4, 8}) {
     ThroughputRow cold = MeasureThroughput(&ds, batch, threads, false);
     ThroughputRow warm = MeasureThroughput(&ds, batch, threads, true);
@@ -182,10 +279,17 @@ int Run(int argc, char** argv) {
                       static_cast<double>(batch.size()));
     reporter.AddValue("warm", params, "failed",
                       static_cast<double>(warm.failed));
+    if (!MeasureObservability(&ds, batch, threads, &reporter)) {
+      obs_ok = false;
+    }
   }
 
   if (mismatches != 0) {
     std::fprintf(stderr, "FAIL: accounting mismatch\n");
+    return 1;
+  }
+  if (!obs_ok) {
+    std::fprintf(stderr, "FAIL: latency/sampling invariant violated\n");
     return 1;
   }
   return reporter.Write() ? 0 : 1;

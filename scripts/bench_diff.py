@@ -1,0 +1,332 @@
+#!/usr/bin/env python3
+"""Regression gate for cdb bench artifacts (schema cdb-bench/v1).
+
+Usage:
+    bench_diff.py BASELINE_DIR CANDIDATE_DIR [options]
+    bench_diff.py --self-test
+
+Compares every BENCH_*.json in BASELINE_DIR against the artifact of the
+same name in CANDIDATE_DIR. Each value is classified as either
+
+  deterministic -- counts, page-fetch averages, flags: anything the fixed
+                   bench seeds pin down exactly. Compared with relative
+                   tolerance 1e-9; any drift is a failed gate (it means
+                   behaviour changed, not that the machine was busy).
+
+  timing        -- wall-clock-derived keys: suffix _ms/_ns/_us, qps,
+                   ns_per_*, *_ratio, and anything listed in _TIMING_KEYS.
+                   Skipped by default (CI machines are noisy); with
+                   --timing they are compared direction-aware against a
+                   noise band (default 0.5, i.e. a candidate may be up to
+                   50% worse than baseline before the gate fails; being
+                   better never fails). qps is higher-is-better, all other
+                   timing keys are lower-is-better.
+
+Per-key band overrides: --band 'PATTERN=F' (fnmatch, first match wins)
+where PATTERN is matched against "bench/label/key", "label/key", and
+"key". --band 'publish/p99_ms=1.0' allows publish p99 to double.
+
+metrics.counters are deterministic and diffed exactly; gauges and
+histograms are reporting surface, not gate surface, and are skipped.
+
+A measurement row or counter present in baseline but missing from the
+candidate fails the gate (coverage must not silently shrink); rows only
+in the candidate are reported as warnings (new coverage is fine).
+
+Exit status: 0 = gate passed, 1 = regression(s), 2 = usage/IO error.
+Stdlib only; `--self-test` runs under ctest as `bench_diff_selftest`.
+"""
+
+import fnmatch
+import glob
+import json
+import numbers
+import os
+import sys
+
+DETERMINISTIC_RTOL = 1e-9
+DEFAULT_BAND = 0.5
+
+# Timing classification: suffixes/fragments that mark a value as derived
+# from wall-clock time (and therefore machine-dependent). Schedule-dependent
+# keys (how reader sessions happened to interleave with an epoch drain) are
+# just as machine-dependent, so they ride the same skip/band path.
+_TIMING_SUFFIXES = ("_ms", "_ns", "_us", "_ratio")
+_TIMING_KEYS = {"qps", "sessions_drained"}
+_HIGHER_IS_BETTER = {"qps"}
+
+
+def is_timing_key(key):
+    if key in _TIMING_KEYS:
+        return True
+    if any(key.endswith(s) for s in _TIMING_SUFFIXES):
+        return True
+    return "ns_per" in key
+
+
+def _is_number(v):
+    return isinstance(v, numbers.Real) and not isinstance(v, bool)
+
+
+def _row_key(m):
+    params = m.get("params") or {}
+    return (m.get("label", ""),
+            tuple(sorted((str(k), float(v)) for k, v in params.items()
+                         if _is_number(v))))
+
+
+def _index_rows(doc):
+    """(label, params) -> merged values dict. The harness emits one row
+    per AddValue call, so values for the same (label, params) merge."""
+    rows = {}
+    for m in doc.get("measurements", []):
+        if not isinstance(m, dict):
+            continue
+        values = m.get("values")
+        if not isinstance(values, dict):
+            continue
+        rows.setdefault(_row_key(m), {}).update(
+            {k: v for k, v in values.items() if _is_number(v)})
+    return rows
+
+
+def _fmt_key(key):
+    label, params = key
+    if not params:
+        return label
+    return label + "[" + ",".join(f"{k}={v:g}" for k, v in params) + "]"
+
+
+class Gate:
+    def __init__(self, timing, bands):
+        self.timing = timing        # compare timing keys at all?
+        self.bands = bands          # [(pattern, band), ...] first match wins
+        self.failures = []
+        self.warnings = []
+        self.compared = 0
+        self.skipped_timing = 0
+
+    def band_for(self, bench, label, key):
+        candidates = (f"{bench}/{label}/{key}", f"{label}/{key}", key)
+        for pattern, band in self.bands:
+            if any(fnmatch.fnmatch(c, pattern) for c in candidates):
+                return band
+        return DEFAULT_BAND
+
+    def compare_value(self, where, bench, label, key, base, cand):
+        self.compared += 1
+        if is_timing_key(key):
+            if not self.timing:
+                self.skipped_timing += 1
+                return
+            band = self.band_for(bench, label, key)
+            if key in _HIGHER_IS_BETTER:
+                floor = base * (1.0 - band)
+                if cand < floor:
+                    self.failures.append(
+                        f"{where}: {key} fell {base:g} -> {cand:g} "
+                        f"(> {band:.0%} below baseline)")
+            else:
+                ceiling = base * (1.0 + band)
+                if base >= 0 and cand > ceiling:
+                    self.failures.append(
+                        f"{where}: {key} rose {base:g} -> {cand:g} "
+                        f"(> {band:.0%} above baseline)")
+            return
+        # Deterministic: the seeds pin this down; any drift is a behaviour
+        # change that must be explained by refreshing the baseline.
+        tol = DETERMINISTIC_RTOL * max(abs(base), abs(cand), 1.0)
+        if abs(cand - base) > tol:
+            self.failures.append(
+                f"{where}: deterministic {key} changed {base!r} -> {cand!r}")
+
+    def compare_rows(self, bench, base_rows, cand_rows):
+        for key, base_values in sorted(base_rows.items()):
+            where = f"{bench}: {_fmt_key(key)}"
+            cand_values = cand_rows.get(key)
+            if cand_values is None:
+                self.failures.append(f"{where}: row missing from candidate")
+                continue
+            for vkey, base in sorted(base_values.items()):
+                if vkey not in cand_values:
+                    self.failures.append(
+                        f"{where}: value {vkey} missing from candidate")
+                    continue
+                self.compare_value(where, bench, key[0], vkey, base,
+                                   cand_values[vkey])
+        for key in sorted(set(cand_rows) - set(base_rows)):
+            self.warnings.append(
+                f"{bench}: candidate-only row {_fmt_key(key)} "
+                "(not gated; refresh the baseline to gate it)")
+
+    def compare_counters(self, bench, base_doc, cand_doc):
+        base = (base_doc.get("metrics") or {}).get("counters") or {}
+        cand = (cand_doc.get("metrics") or {}).get("counters") or {}
+        for name, bv in sorted(base.items()):
+            if not _is_number(bv):
+                continue
+            if name not in cand:
+                self.failures.append(
+                    f"{bench}: counter {name} missing from candidate")
+                continue
+            self.compare_value(f"{bench}: counter", bench, "counters", name,
+                               bv, cand[name])
+        for name in sorted(set(cand) - set(base)):
+            self.warnings.append(f"{bench}: candidate-only counter {name}")
+
+    def compare_docs(self, bench, base_doc, cand_doc):
+        self.compare_rows(bench, _index_rows(base_doc), _index_rows(cand_doc))
+        self.compare_counters(bench, base_doc, cand_doc)
+
+
+def _load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def run_diff(baseline_dir, candidate_dir, gate):
+    base_paths = sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json")))
+    if not base_paths:
+        print(f"bench_diff: no BENCH_*.json under {baseline_dir}",
+              file=sys.stderr)
+        return 2
+    for base_path in base_paths:
+        name = os.path.basename(base_path)
+        cand_path = os.path.join(candidate_dir, name)
+        if not os.path.exists(cand_path):
+            gate.failures.append(f"{name}: missing from candidate dir")
+            continue
+        try:
+            base_doc = _load(base_path)
+            cand_doc = _load(cand_path)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_diff: {e}", file=sys.stderr)
+            return 2
+        gate.compare_docs(base_doc.get("bench", name), base_doc, cand_doc)
+    base_names = {os.path.basename(p) for p in base_paths}
+    for cand_path in sorted(
+            glob.glob(os.path.join(candidate_dir, "BENCH_*.json"))):
+        if os.path.basename(cand_path) not in base_names:
+            gate.warnings.append(
+                f"{os.path.basename(cand_path)}: candidate-only artifact")
+    for w in gate.warnings:
+        print(f"warning: {w}")
+    for f in gate.failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    verdict = "FAILED" if gate.failures else "passed"
+    print(f"bench_diff {verdict}: {gate.compared} values compared, "
+          f"{gate.skipped_timing} timing values skipped, "
+          f"{len(gate.failures)} regression(s), "
+          f"{len(gate.warnings)} warning(s)")
+    return 1 if gate.failures else 0
+
+
+def _parse_bands(specs):
+    bands = []
+    for spec in specs:
+        pattern, sep, value = spec.partition("=")
+        if not sep or not pattern:
+            raise ValueError(f"--band wants PATTERN=FLOAT, got {spec!r}")
+        bands.append((pattern, float(value)))
+    return bands
+
+
+def self_test():
+    base = {
+        "schema": "cdb-bench/v1", "bench": "demo",
+        "measurements": [
+            {"label": "warm", "params": {"threads": 1},
+             "values": {"qps": 100.0, "queries": 256, "failed": 0}},
+            {"label": "latency", "params": {"threads": 1},
+             "values": {"count": 256, "p50_ms": 2.0, "p99_ms": 6.0}},
+            {"label": "t2/exist", "params": {"n": 2000},
+             "values": {"index_fetches": 12.5}},
+        ],
+        "metrics": {"counters": {"dual.refine.lp_calls": 4181},
+                    "gauges": {"noise": 1}, "histograms": {}},
+    }
+    import copy
+    failures = []
+
+    def run(mutate, timing, bands, expect_fail, what):
+        cand = copy.deepcopy(base)
+        mutate(cand)
+        gate = Gate(timing, bands)
+        gate.compare_docs("demo", base, cand)
+        if bool(gate.failures) != expect_fail:
+            failures.append(
+                f"{what}: {'unexpected ' + repr(gate.failures) if gate.failures else 'expected a failure, got none'}")
+
+    run(lambda d: None, False, [], False, "identical artifacts")
+    run(lambda d: None, True, [], False, "identical artifacts with --timing")
+    run(lambda d: d["measurements"][2]["values"].update(index_fetches=13.0),
+        False, [], True, "deterministic drift")
+    run(lambda d: d["measurements"][0]["values"].update(qps=30.0),
+        False, [], False, "timing drift ignored without --timing")
+    run(lambda d: d["measurements"][0]["values"].update(qps=30.0),
+        True, [], True, "qps collapse caught with --timing")
+    run(lambda d: d["measurements"][0]["values"].update(qps=140.0),
+        True, [], False, "qps improvement never fails")
+    run(lambda d: d["measurements"][1]["values"].update(p99_ms=30.0),
+        True, [], True, "latency blow-up caught with --timing")
+    run(lambda d: d["measurements"][1]["values"].update(p99_ms=3.0),
+        True, [], False, "latency improvement never fails")
+    run(lambda d: d["measurements"][1]["values"].update(p99_ms=30.0),
+        True, [("latency/p99_ms", 9.0)], False, "--band override widens")
+    run(lambda d: d["measurements"].pop(1), False, [], True,
+        "missing row fails")
+    run(lambda d: d["measurements"][1]["values"].pop("count"), False, [],
+        True, "missing value fails")
+    run(lambda d: d["measurements"].append(
+        {"label": "extra", "params": {}, "values": {"x": 1}}),
+        False, [], False, "candidate-only row only warns")
+    run(lambda d: d["metrics"]["counters"].update({"dual.refine.lp_calls": 9}),
+        False, [], True, "counter drift fails")
+    run(lambda d: d["metrics"]["counters"].pop("dual.refine.lp_calls"),
+        False, [], True, "missing counter fails")
+    run(lambda d: d["metrics"]["gauges"].update(noise=999), False, [], False,
+        "gauges are not gated")
+    base["measurements"][1]["values"]["sessions_drained"] = 8
+    run(lambda d: d["measurements"][1]["values"].update(sessions_drained=0),
+        False, [], False, "schedule-dependent key ignored without --timing")
+
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
+        return 1
+    print("self-test OK (16 scenarios)")
+    return 0
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    args = []
+    timing = False
+    band_specs = []
+    it = iter(argv[1:])
+    for arg in it:
+        if arg == "--timing":
+            timing = True
+        elif arg == "--band":
+            band_specs.append(next(it, ""))
+        elif arg.startswith("--band="):
+            band_specs.append(arg[len("--band="):])
+        elif arg.startswith("-"):
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            args.append(arg)
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        bands = _parse_bands(band_specs)
+    except ValueError as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+    return run_diff(args[0], args[1], Gate(timing, bands))
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

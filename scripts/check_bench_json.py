@@ -111,6 +111,28 @@ def _check_micro_substrates(doc, errors):
             f"exceeds budget {WARM_OVERHEAD_BUDGET}")
 
 
+def _check_percentile_order(bench, where, values, errors,
+                            required=("p50_ms", "p95_ms", "p99_ms")):
+    """Percentile keys that are present must be numeric and non-decreasing
+    in rank order; the `required` ones must be present."""
+    order = ("p50_ms", "p90_ms", "p95_ms", "p99_ms", "max_ms")
+    for key in required:
+        if key not in values:
+            errors.append(f"{bench}: {where} missing {key}")
+            return
+    series = [(k, values[k]) for k in order if k in values]
+    for key, v in series:
+        if not _is_number(v):
+            errors.append(f"{bench}: {where}.{key} is not a number: {v!r}")
+            return
+    for (ka, va), (kb, vb) in zip(series, series[1:]):
+        if va > vb:
+            errors.append(
+                f"{bench}: {where} percentiles out of order "
+                f"({ka}={va} > {kb}={vb})")
+            return
+
+
 # Going from 1 to 2 worker threads must not *lose* throughput. On a
 # single-core machine the parallel path cannot speed anything up, so the
 # rule only demands the warm curve stays within a scheduler-noise floor of
@@ -122,9 +144,12 @@ SCALING_NOISE_FLOOR = 0.9
 def _check_throughput_scaling(doc, errors):
     """Semantic rules for the throughput_scaling artifact: the 1-thread
     executor must reproduce serial accounting exactly, no query may fail,
-    and warm throughput must be monotone (within noise) from 1 to 2
-    threads."""
+    warm throughput must be monotone (within noise) from 1 to 2 threads,
+    and every measured thread count must carry service-latency, queue-wait,
+    and trace-sampling rows with internally consistent values (ISSUE 5)."""
     warm_qps = {}
+    warm_queries = {}
+    obs_rows = {"latency": {}, "queue_wait": {}, "sampling": {}}
     accounting = None
     for m in doc.get("measurements", []):
         if not isinstance(m, dict):
@@ -132,6 +157,8 @@ def _check_throughput_scaling(doc, errors):
         values = m.get("values")
         if not isinstance(values, dict):
             continue
+        params = m.get("params")
+        threads = params.get("threads") if isinstance(params, dict) else None
         if m.get("label") == "accounting":
             accounting = values.get("accounting_match")
         if m.get("label") in ("warm", "cold"):
@@ -141,10 +168,42 @@ def _check_throughput_scaling(doc, errors):
                     f"throughput_scaling: {m.get('label')} run reports "
                     f"{failed} failed queries")
         if m.get("label") == "warm":
-            params = m.get("params")
-            threads = params.get("threads") if isinstance(params, dict) else None
             if _is_number(threads) and _is_number(values.get("qps")):
                 warm_qps[threads] = values["qps"]
+            if _is_number(threads) and _is_number(values.get("queries")):
+                warm_queries[threads] = values["queries"]
+        if m.get("label") in obs_rows and _is_number(threads):
+            obs_rows[m.get("label")].setdefault(threads, {}).update(
+                {k: v for k, v in values.items() if _is_number(v)})
+    for threads, queries in sorted(warm_queries.items()):
+        t = f"threads={threads:g}"
+        lat = obs_rows["latency"].get(threads)
+        wait = obs_rows["queue_wait"].get(threads)
+        samp = obs_rows["sampling"].get(threads)
+        if lat is None or wait is None or samp is None:
+            errors.append(
+                f"throughput_scaling: missing latency/queue_wait/sampling "
+                f"rows for {t}")
+            continue
+        for name, row in (("latency", lat), ("queue_wait", wait)):
+            if row.get("count") != queries:
+                errors.append(
+                    f"throughput_scaling: {name}[{t}].count "
+                    f"{row.get('count')!r} != batch size {queries:g} "
+                    "(every query must be recorded exactly once)")
+            _check_percentile_order("throughput_scaling", f"{name}[{t}]",
+                                    row, errors)
+        sampled = samp.get("sampled")
+        balanced = samp.get("balanced")
+        if not _is_number(sampled) or sampled <= 0:
+            errors.append(
+                f"throughput_scaling: sampling[{t}].sampled {sampled!r} "
+                "(deterministic 1-in-N sampling must trace something)")
+        elif balanced != sampled:
+            errors.append(
+                f"throughput_scaling: sampling[{t}] {balanced!r} of "
+                f"{sampled!r} sampled traces balanced (self==total "
+                "invariant broken)")
     if accounting is None:
         errors.append("throughput_scaling: no accounting_match measurement")
     elif accounting != 1:
@@ -172,10 +231,13 @@ ONLINE_T2_BUDGET = 1.2
 
 def _check_online_updates(doc, errors):
     """Semantic rules for the online_updates artifact: incremental
-    handicaps stay within budget of freshly rebuilt and beat stale, and the
-    concurrent serving phase ingested without failing any query."""
+    handicaps stay within budget of freshly rebuilt and beat stale, the
+    concurrent serving phase ingested without failing any query, and the
+    writer's publish pipeline reports ordered latency percentiles
+    (ISSUE 5)."""
     totals = {}
     online = {}
+    publish = {}
     for m in doc.get("measurements", []):
         if not isinstance(m, dict):
             continue
@@ -191,6 +253,25 @@ def _check_online_updates(doc, errors):
         if label == "online":
             online.update(
                 {k: v for k, v in values.items() if _is_number(v)})
+        if label == "publish":
+            publish.update(
+                {k: v for k, v in values.items() if _is_number(v)})
+    if not publish:
+        errors.append("online_updates: no publish-pipeline measurements")
+    else:
+        count = publish.get("count")
+        if not _is_number(count) or count < 1:
+            errors.append(
+                f"online_updates: publish.count {count!r} (the writer must "
+                "publish at least once)")
+        else:
+            _check_percentile_order("online_updates", "publish", publish,
+                                    errors)
+        epochs = publish.get("epochs")
+        if _is_number(count) and _is_number(epochs) and epochs < count:
+            errors.append(
+                f"online_updates: pager saw {epochs:.0f} publish epochs but "
+                f"the writer timed {count:.0f} publishes")
     missing = [v for v in ("stale", "incremental", "rebuilt")
                if v not in totals]
     if missing:
@@ -316,6 +397,22 @@ _GOOD_THROUGHPUT = {
         {"label": "warm", "params": {"threads": 2},
          "values": {"qps": 355.0, "wall_ms": 721.1, "queries": 256,
                     "failed": 0}},
+        {"label": "latency", "params": {"threads": 1},
+         "values": {"count": 256, "mean_ms": 2.3, "p50_ms": 1.9,
+                    "p95_ms": 4.1, "p99_ms": 5.8, "max_ms": 6.2}},
+        {"label": "queue_wait", "params": {"threads": 1},
+         "values": {"count": 256, "p50_ms": 0.01, "p95_ms": 0.04,
+                    "p99_ms": 0.09}},
+        {"label": "sampling", "params": {"threads": 1},
+         "values": {"sampled": 61, "balanced": 61}},
+        {"label": "latency", "params": {"threads": 2},
+         "values": {"count": 256, "mean_ms": 2.5, "p50_ms": 2.0,
+                    "p95_ms": 4.6, "p99_ms": 6.3, "max_ms": 7.0}},
+        {"label": "queue_wait", "params": {"threads": 2},
+         "values": {"count": 256, "p50_ms": 0.02, "p95_ms": 0.07,
+                    "p99_ms": 0.13}},
+        {"label": "sampling", "params": {"threads": 2},
+         "values": {"sampled": 61, "balanced": 61}},
     ],
     "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
 }
@@ -337,6 +434,11 @@ _GOOD_ONLINE = {
          "values": {"inserted": 500}},
         {"label": "online", "params": {"threads": 8},
          "values": {"failed": 0}},
+        {"label": "publish", "params": {"threads": 8},
+         "values": {"count": 10, "p50_ms": 0.8, "p95_ms": 1.5,
+                    "p99_ms": 2.1, "max_ms": 2.2, "epochs": 11,
+                    "pages": 430, "sessions_drained": 64,
+                    "drain_ms": 3.7}},
     ],
     "metrics": {"counters": {}, "gauges": {"dual.handicap.staleness": 235},
                 "histograms": {}},
@@ -347,8 +449,10 @@ def self_test():
     import copy
 
     failures = []
+    counts = {"good": 0, "bad": 0}
 
     def expect(doc, should_pass, what):
+        counts["good" if should_pass else "bad"] += 1
         errs = validate(doc)
         if bool(not errs) != should_pass:
             failures.append(f"{what}: {'unexpected errors ' + repr(errs) if errs else 'expected errors, got none'}")
@@ -409,6 +513,24 @@ def self_test():
     broken_throughput(
         lambda d: d["measurements"][1]["values"].update(failed=3),
         "cold run with failed queries")
+    broken_throughput(
+        lambda d: d["measurements"][4]["values"].update(count=255),
+        "latency count disagrees with batch size")
+    broken_throughput(
+        lambda d: d["measurements"][4]["values"].update(p95_ms=6.0),
+        "service-latency percentiles out of order")
+    broken_throughput(
+        lambda d: d["measurements"][5]["values"].pop("p99_ms"),
+        "queue-wait row missing a required percentile")
+    broken_throughput(lambda d: d["measurements"].pop(6),
+                      "throughput_scaling sans sampling row")
+    broken_throughput(
+        lambda d: d["measurements"][6]["values"].update(balanced=60),
+        "sampled trace with unbalanced spans")
+    broken_throughput(
+        lambda d: d["measurements"][6]["values"].update(sampled=0,
+                                                        balanced=0),
+        "sampling enabled but nothing traced")
 
     expect(_GOOD_ONLINE, True, "good online_updates artifact")
 
@@ -430,12 +552,24 @@ def self_test():
         "queries failed under the concurrent writer")
     broken_online(lambda d: d["measurements"].pop(5),
                   "online_updates sans concurrent failed count")
+    broken_online(lambda d: d["measurements"].pop(6),
+                  "online_updates sans publish-pipeline row")
+    broken_online(
+        lambda d: d["measurements"][6]["values"].update(p99_ms=1.0),
+        "publish percentiles out of order")
+    broken_online(
+        lambda d: d["measurements"][6]["values"].update(count=0),
+        "publish pipeline never published")
+    broken_online(
+        lambda d: d["measurements"][6]["values"].update(epochs=5),
+        "pager epochs below timed publish count")
 
     if failures:
         for f in failures:
             print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
         return 1
-    print("self-test OK (4 good + 22 broken artifacts)")
+    print(f"self-test OK ({counts['good']} good + "
+          f"{counts['bad']} broken artifacts)")
     return 0
 
 

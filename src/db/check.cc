@@ -4,6 +4,14 @@
 
 namespace cdb {
 
+void CheckReport::AddCheck(std::string name, size_t violations_before) {
+  Entry e;
+  e.name = std::move(name);
+  e.violations = violations.size() - violations_before;
+  e.ok = e.violations == 0;
+  checks.push_back(std::move(e));
+}
+
 std::string CheckReport::Summary() const {
   char buf[160];
   if (ok()) {
@@ -82,12 +90,18 @@ Status CheckRPlusTree(const RPlusTree& tree, CheckReport* report) {
 }
 
 Status CheckDatabase(ConstraintDatabase* db, CheckReport* report) {
+  size_t before = report->violations.size();
   CDB_RETURN_IF_ERROR(CheckPagerIntegrity(db->relation_pager(), report));
+  report->AddCheck("pager.relation", before);
+
+  before = report->violations.size();
   CDB_RETURN_IF_ERROR(CheckPagerIntegrity(db->index_pager(), report));
+  report->AddCheck("pager.index", before);
 
   // Structural invariants of all 2k (+2) index trees. CheckInvariants
   // stops at the first broken tree; the per-page pass above already
   // enumerated low-level damage, so one structural verdict suffices.
+  before = report->violations.size();
   Status trees = db->index()->CheckInvariants();
   if (trees.ok()) {
     report->trees_checked += db->index()->tree_count();
@@ -96,8 +110,10 @@ Status CheckDatabase(ConstraintDatabase* db, CheckReport* report) {
   } else {
     return trees;
   }
+  report->AddCheck("index.trees", before);
 
   // Every live tuple must deserialize.
+  before = report->violations.size();
   uint64_t tuples = 0;
   Status scan = db->relation()->ForEach(
       [&tuples](TupleId, const GeneralizedTuple&) {
@@ -113,7 +129,30 @@ Status CheckDatabase(ConstraintDatabase* db, CheckReport* report) {
                          " tuples, directory records " +
                          std::to_string(db->size()));
   }
+  report->AddCheck("relation.tuples", before);
   return Status::OK();
+}
+
+void WriteCheckReportJson(const CheckReport& report, obs::JsonWriter* w) {
+  w->BeginObject();
+  w->Key("schema").Value("cdb-check/v1");
+  w->Key("ok").Value(report.ok());
+  w->Key("pages_checked").Value(report.pages_checked);
+  w->Key("free_pages").Value(report.free_pages);
+  w->Key("trees_checked").Value(report.trees_checked);
+  w->Key("checks").BeginArray();
+  for (const CheckReport::Entry& e : report.checks) {
+    w->BeginObject();
+    w->Key("name").Value(e.name);
+    w->Key("ok").Value(e.ok);
+    w->Key("violations").Value(e.violations);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("violations").BeginArray();
+  for (const std::string& v : report.violations) w->Value(v);
+  w->EndArray();
+  w->EndObject();
 }
 
 }  // namespace cdb

@@ -15,6 +15,7 @@
 
 #include "btree/bplus_tree.h"
 #include "db/database.h"
+#include "obs/json.h"
 #include "rtree/rplus_tree.h"
 #include "storage/pager.h"
 
@@ -24,9 +25,20 @@ namespace cdb {
 /// checked structures are sound; environmental failures (I/O errors and the
 /// like) are returned as a non-OK Status by the check functions instead.
 struct CheckReport {
+  /// Per-phase verdict (ISSUE 5): CheckDatabase appends one entry per
+  /// check phase it ran ("pager.relation", "pager.index", "index.trees",
+  /// "relation.tuples"), so machine consumers (cdb_check --json) see which
+  /// phase failed, not just the flat violation list.
+  struct Entry {
+    std::string name;
+    bool ok = true;
+    uint64_t violations = 0;  // Violations this phase contributed.
+  };
+
   uint64_t pages_checked = 0;   // Live pages whose checksums were verified.
   uint64_t free_pages = 0;      // Pages found on free lists.
   uint64_t trees_checked = 0;   // Trees whose invariants were verified.
+  std::vector<Entry> checks;
   std::vector<std::string> violations;
 
   bool ok() const { return violations.empty(); }
@@ -34,6 +46,11 @@ struct CheckReport {
   void AddViolation(std::string what) {
     violations.push_back(std::move(what));
   }
+
+  /// Records phase `name` as covering every violation added since
+  /// `violations_before` (callers snapshot violations.size() before the
+  /// phase runs).
+  void AddCheck(std::string name, size_t violations_before);
 
   /// One-line human-readable summary ("ok: 12 pages, 8 trees ..." or
   /// "FAILED: 2 violations ...").
@@ -52,8 +69,15 @@ Status CheckBPlusTree(const BPlusTree& tree, CheckReport* report);
 Status CheckRPlusTree(const RPlusTree& tree, CheckReport* report);
 
 /// Full-database check: pager integrity of both files, dual-index tree
-/// invariants, and a readability scan of every live tuple.
+/// invariants, and a readability scan of every live tuple. Each phase
+/// appends a CheckReport::Entry (see there).
 Status CheckDatabase(ConstraintDatabase* db, CheckReport* report);
+
+/// Serializes `report` as one JSON object (schema "cdb-check/v1"):
+/// overall verdict, the counters, the per-phase `checks` array, and the
+/// flat violation list. Machine counterpart of Summary(); consumed by CI
+/// via `cdb_check --json`.
+void WriteCheckReportJson(const CheckReport& report, obs::JsonWriter* w);
 
 }  // namespace cdb
 

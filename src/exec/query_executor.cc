@@ -1,8 +1,10 @@
 #include "exec/query_executor.h"
 
 #include <algorithm>
+#include <cassert>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "storage/pager.h"
 
 namespace cdb {
@@ -63,6 +65,15 @@ void QueryExecutor::WorkerLoop() {
       for (;;) {
         size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
         if (i >= batch->n) break;
+        // Latency probes (ISSUE 5): queue wait = submit to pickup, service
+        // = pickup to job return (per-item session open/close included —
+        // that cost is part of serving the query). clock == nullptr means
+        // observability is off and no clock is read at all.
+        uint64_t picked_ns = 0;
+        if (batch->clock != nullptr) {
+          picked_ns = batch->clock->NowNanos();
+          batch->queue->RecordNanos(picked_ns - batch->submit_ns);
+        }
         if (batch->per_item_sessions) {
           std::vector<std::unique_ptr<PagerReadSession>> item_sessions;
           item_sessions.reserve(pagers.size());
@@ -72,6 +83,9 @@ void QueryExecutor::WorkerLoop() {
           (*batch->job)(i);
         } else {
           (*batch->job)(i);
+        }
+        if (batch->clock != nullptr) {
+          batch->service->RecordNanos(batch->clock->NowNanos() - picked_ns);
         }
       }
     }
@@ -84,16 +98,22 @@ void QueryExecutor::WorkerLoop() {
   }
 }
 
-Status QueryExecutor::RunSharded(std::vector<Pager*> pagers, size_t n,
-                                 const std::function<void(size_t)>& job) {
+Status QueryExecutor::Execute(std::vector<Pager*> pagers, size_t n,
+                              const std::function<void(size_t)>& job,
+                              const std::function<Status()>* writer,
+                              const BatchObservability* bobs,
+                              BatchResult* out) {
   std::sort(pagers.begin(), pagers.end());
   pagers.erase(std::unique(pagers.begin(), pagers.end()), pagers.end());
   pagers.erase(std::remove(pagers.begin(), pagers.end(), nullptr),
                pagers.end());
 
-  // Mode switch; on partial failure, restore the pagers already switched.
+  // Mode switch; with a writer, the calling thread (this one) becomes the
+  // single writer of every pager. On partial failure, restore the pagers
+  // already switched.
+  const bool single_writer = writer != nullptr;
   for (size_t i = 0; i < pagers.size(); ++i) {
-    Status st = pagers[i]->BeginConcurrentReads();
+    Status st = pagers[i]->BeginConcurrentReads(single_writer);
     if (!st.ok()) {
       for (size_t j = 0; j < i; ++j) {
         pagers[j]->EndConcurrentReads().ok();
@@ -102,57 +122,24 @@ Status QueryExecutor::RunSharded(std::vector<Pager*> pagers, size_t n,
     }
   }
 
-  Batch batch;
-  batch.n = n;
-  batch.job = &job;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    current_ = &batch;
-    session_pagers_ = pagers;
-    ++generation_;
-  }
-  work_cv_.notify_all();
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock,
-                  [&] { return batch.finished_workers == workers_.size(); });
-    current_ = nullptr;
-    session_pagers_.clear();
-  }
-
-  Status first_error;
-  for (Pager* p : pagers) {
-    Status st = p->EndConcurrentReads();
-    if (!st.ok() && first_error.ok()) first_error = st;
-  }
-  return first_error;
-}
-
-Status QueryExecutor::RunWithWriter(std::vector<Pager*> pagers, size_t n,
-                                    const std::function<void(size_t)>& job,
-                                    const std::function<Status()>& writer) {
-  std::sort(pagers.begin(), pagers.end());
-  pagers.erase(std::unique(pagers.begin(), pagers.end()), pagers.end());
-  pagers.erase(std::remove(pagers.begin(), pagers.end(), nullptr),
-               pagers.end());
-
-  // Single-writer mode switch; the calling thread (this one) becomes the
-  // writer of every pager. On partial failure, restore the ones already
-  // switched.
-  for (size_t i = 0; i < pagers.size(); ++i) {
-    Status st = pagers[i]->BeginConcurrentReads(/*single_writer=*/true);
-    if (!st.ok()) {
-      for (size_t j = 0; j < i; ++j) {
-        pagers[j]->EndConcurrentReads().ok();
-      }
-      return st;
-    }
-  }
+  // Per-batch latency recorders live on this frame; workers reference
+  // them only between dispatch and the done_cv_ handshake below.
+  const bool record_latency =
+      bobs != nullptr && bobs->record_latency && out != nullptr;
+  obs::LatencyRecorder service;
+  obs::LatencyRecorder queue_wait;
 
   Batch batch;
   batch.n = n;
   batch.job = &job;
-  batch.per_item_sessions = true;
+  batch.per_item_sessions = single_writer;
+  if (record_latency) {
+    batch.clock =
+        bobs->clock != nullptr ? bobs->clock : obs::DefaultClock();
+    batch.service = &service;
+    batch.queue = &queue_wait;
+    batch.submit_ns = batch.clock->NowNanos();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     current_ = &batch;
@@ -161,9 +148,10 @@ Status QueryExecutor::RunWithWriter(std::vector<Pager*> pagers, size_t n,
   }
   work_cv_.notify_all();
 
-  // The writer runs here, concurrent with the workers, mutating through
-  // the journal and publishing at its own cadence.
-  Status writer_status = writer();
+  // The writer (if any) runs here, concurrent with the workers, mutating
+  // through the journal and publishing at its own cadence.
+  Status writer_status;
+  if (writer != nullptr) writer_status = (*writer)();
 
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -171,6 +159,15 @@ Status QueryExecutor::RunWithWriter(std::vector<Pager*> pagers, size_t n,
                   [&] { return batch.finished_workers == workers_.size(); });
     current_ = nullptr;
     session_pagers_.clear();
+  }
+
+  if (record_latency) {
+    out->service = service.Snapshot();
+    out->queue_wait = queue_wait.Snapshot();
+    obs::ExportLatencyMetrics(service, &obs::GlobalMetrics(),
+                              "exec.query.latency");
+    obs::ExportLatencyMetrics(queue_wait, &obs::GlobalMetrics(),
+                              "exec.queue.wait");
   }
 
   // EndConcurrentReads publishes any remaining writer state (it must run
@@ -181,6 +178,100 @@ Status QueryExecutor::RunWithWriter(std::vector<Pager*> pagers, size_t n,
     if (!st.ok() && first_error.ok()) first_error = st;
   }
   return first_error;
+}
+
+Status QueryExecutor::RunSharded(std::vector<Pager*> pagers, size_t n,
+                                 const std::function<void(size_t)>& job) {
+  return Execute(std::move(pagers), n, job, /*writer=*/nullptr,
+                 /*bobs=*/nullptr, /*out=*/nullptr);
+}
+
+Status QueryExecutor::RunWithWriter(std::vector<Pager*> pagers, size_t n,
+                                    const std::function<void(size_t)>& job,
+                                    const std::function<Status()>& writer) {
+  return Execute(std::move(pagers), n, job, &writer, /*bobs=*/nullptr,
+                 /*out=*/nullptr);
+}
+
+namespace {
+
+// Tallies the sampled traces of an instrumented batch: every attached
+// ExplainProfile must re-prove the self==total balance invariant (the
+// whole point of sampling under concurrency is that the attribution stays
+// exact; a mismatch is a bug, so debug builds assert).
+void TallySampledTraces(BatchResult* out) {
+  for (const BatchItemResult& item : out->items) {
+    if (item.profile == nullptr) continue;
+    ++out->sampled_traces;
+    const bool balanced = item.profile->SumsBalance();
+    assert(balanced && "sampled ExplainProfile failed self==total balance");
+    if (balanced) ++out->balanced_traces;
+  }
+}
+
+}  // namespace
+
+Status QueryExecutor::RunBatch(DualIndex* index,
+                               const std::vector<BatchQuery>& batch,
+                               const BatchObservability& bobs,
+                               BatchResult* out) {
+  out->items.clear();
+  out->items.resize(batch.size());
+  out->sampled_traces = 0;
+  out->balanced_traces = 0;
+  obs::TraceSampler sampler(bobs.trace_sample_every, bobs.trace_sample_seed);
+  auto job = [&](size_t i) {
+    const BatchQuery& q = batch[i];
+    BatchItemResult& item = out->items[i];
+    obs::ExplainProfile* profile = nullptr;
+    if (sampler.enabled() && sampler.ShouldSample(i)) {
+      item.profile = std::make_unique<obs::ExplainProfile>();
+      profile = item.profile.get();
+    }
+    Result<std::vector<TupleId>> r =
+        index->Select(q.type, q.query, q.method, &item.stats, profile);
+    if (r.ok()) {
+      item.ids = std::move(r.value());
+    } else {
+      item.status = r.status();
+    }
+  };
+  Status st = Execute({index->pager(), index->relation()->pager()},
+                      batch.size(), job, /*writer=*/nullptr, &bobs, out);
+  TallySampledTraces(out);
+  return st;
+}
+
+Status QueryExecutor::RunBatchWithWriter(DualIndex* index,
+                                         const std::vector<BatchQuery>& batch,
+                                         const BatchObservability& bobs,
+                                         BatchResult* out,
+                                         const std::function<Status()>& writer) {
+  out->items.clear();
+  out->items.resize(batch.size());
+  out->sampled_traces = 0;
+  out->balanced_traces = 0;
+  obs::TraceSampler sampler(bobs.trace_sample_every, bobs.trace_sample_seed);
+  auto job = [&](size_t i) {
+    const BatchQuery& q = batch[i];
+    BatchItemResult& item = out->items[i];
+    obs::ExplainProfile* profile = nullptr;
+    if (sampler.enabled() && sampler.ShouldSample(i)) {
+      item.profile = std::make_unique<obs::ExplainProfile>();
+      profile = item.profile.get();
+    }
+    Result<std::vector<TupleId>> r =
+        index->Select(q.type, q.query, q.method, &item.stats, profile);
+    if (r.ok()) {
+      item.ids = std::move(r.value());
+    } else {
+      item.status = r.status();
+    }
+  };
+  Status st = Execute({index->pager(), index->relation()->pager()},
+                      batch.size(), job, &writer, &bobs, out);
+  TallySampledTraces(out);
+  return st;
 }
 
 Status QueryExecutor::RunBatchWithWriter(DualIndex* index,

@@ -33,6 +33,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -41,6 +42,9 @@
 #include "common/status.h"
 #include "dualindex/ddim_index.h"
 #include "dualindex/dual_index.h"
+#include "obs/clock.h"
+#include "obs/latency.h"
+#include "obs/trace.h"
 #include "rtree/rtree_query.h"
 
 namespace cdb {
@@ -61,15 +65,55 @@ struct BatchQueryD {
 };
 
 /// Outcome of one query. `ids` and `stats` are meaningful iff status.ok().
+/// `profile` is non-null only when the batch ran with trace sampling on
+/// and the deterministic sampler selected this index (ISSUE 5); it then
+/// holds the span-attributed ExplainProfile of the execution.
 struct BatchItemResult {
   Status status;
   std::vector<TupleId> ids;
   QueryStats stats;
+  std::unique_ptr<obs::ExplainProfile> profile;
 };
 
 /// Returns the first non-OK status in `results` (batch-level error
 /// summary), or OK.
 Status FirstError(const std::vector<BatchItemResult>& results);
+
+/// Per-batch observability knobs (ISSUE 5). Default-constructed = fully
+/// off: the executor then reads no clock and allocates nothing, keeping
+/// the serial/paper paths byte-identical.
+struct BatchObservability {
+  /// Record per-query service time and queue-wait time into
+  /// BatchResult::service / ::queue_wait and export them as
+  /// "exec.query.latency.*" / "exec.queue.wait.*" gauges.
+  bool record_latency = false;
+  /// Clock behind the latency timers and sampled tracers (null =
+  /// obs::DefaultClock(); tests inject a ManualClock).
+  obs::Clock* clock = nullptr;
+  /// Attach an ExplainProfile to ~1-in-N queries, chosen deterministically
+  /// from (trace_sample_seed, query index) — see obs::TraceSampler. 0
+  /// disables sampling, 1 traces everything.
+  uint64_t trace_sample_every = 0;
+  uint64_t trace_sample_seed = 0;
+};
+
+/// Outcome of an instrumented batch (the RunBatch overloads taking a
+/// BatchObservability). `items[i]` corresponds to batch[i]; the latency
+/// digests cover exactly the batch (service.count == queue_wait.count ==
+/// items.size() — the throughput bench asserts this).
+struct BatchResult {
+  std::vector<BatchItemResult> items;
+  /// Per-query service time: job pickup to completion on a worker,
+  /// including per-item session open/close and refinement I/O.
+  obs::LatencySnapshot service;
+  /// Per-query queue wait: batch submission to job pickup.
+  obs::LatencySnapshot queue_wait;
+  /// Sampled-tracing tallies: profiles attached, and how many of them
+  /// passed the self==total balance invariant (must be equal; the bench
+  /// and tests fail otherwise).
+  uint64_t sampled_traces = 0;
+  uint64_t balanced_traces = 0;
+};
 
 /// See file comment. Thread-compatible: one batch runs at a time.
 class QueryExecutor {
@@ -87,6 +131,11 @@ class QueryExecutor {
   /// element i corresponds to batch[i].
   Status RunBatch(DualIndex* index, const std::vector<BatchQuery>& batch,
                   std::vector<BatchItemResult>* results);
+
+  /// Instrumented form: as above, plus per-query service/queue-wait latency
+  /// recording and deterministic trace sampling per `bobs` (ISSUE 5).
+  Status RunBatch(DualIndex* index, const std::vector<BatchQuery>& batch,
+                  const BatchObservability& bobs, BatchResult* out);
 
   /// Runs `batch` against the R+-tree baseline (refined on `relation`).
   Status RunBatch(RPlusTree* tree, Relation* relation,
@@ -128,6 +177,13 @@ class QueryExecutor {
                             std::vector<BatchItemResult>* results,
                             const std::function<Status()>& writer);
 
+  /// Instrumented ingest lane: RunBatchWithWriter plus the ISSUE 5
+  /// latency/sampling machinery of the instrumented RunBatch.
+  Status RunBatchWithWriter(DualIndex* index,
+                            const std::vector<BatchQuery>& batch,
+                            const BatchObservability& bobs, BatchResult* out,
+                            const std::function<Status()>& writer);
+
  private:
   struct Batch {
     size_t n = 0;
@@ -138,7 +194,26 @@ class QueryExecutor {
     // share — required under a live writer, whose publish gate drains
     // active sessions (a per-batch session would deadlock it).
     bool per_item_sessions = false;
+    // Latency instrumentation (null = off: the worker loop then reads no
+    // clock at all, preserving the uninstrumented path exactly). Queue
+    // wait is measured from submit_ns (stamped just before the batch is
+    // handed to the pool) to job pickup; service from pickup to job
+    // return, per-item sessions included.
+    obs::Clock* clock = nullptr;
+    obs::LatencyRecorder* service = nullptr;
+    obs::LatencyRecorder* queue = nullptr;
+    uint64_t submit_ns = 0;
   };
+
+  // The engine behind RunSharded / RunWithWriter: mode switch, dispatch,
+  // teardown. `writer` null = plain concurrent-read mode with per-batch
+  // sessions; non-null = single-writer mode, per-item sessions, writer
+  // runs on the calling thread. `bobs`/`out` non-null = latency recording
+  // into *out plus "exec.query.latency.*"/"exec.queue.wait.*" gauges.
+  Status Execute(std::vector<Pager*> pagers, size_t n,
+                 const std::function<void(size_t)>& job,
+                 const std::function<Status()>* writer,
+                 const BatchObservability* bobs, BatchResult* out);
 
   void WorkerLoop();
 

@@ -1,0 +1,118 @@
+#include "obs/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace cdb {
+namespace obs {
+
+namespace {
+
+// Inclusive upper bounds of the finite buckets: bounds[0] = kMinTrackedNs,
+// then floor(kMinTrackedNs * 2^(i/kSubBuckets)). Built once; strictly
+// increasing because consecutive bounds differ by ~19% of at least 1024.
+struct BoundsTable {
+  std::array<uint64_t, LatencyRecorder::kBuckets - 1> upper;
+  BoundsTable() {
+    for (size_t i = 0; i < upper.size(); ++i) {
+      upper[i] = static_cast<uint64_t>(std::floor(
+          static_cast<double>(LatencyRecorder::kMinTrackedNs) *
+          std::exp2(static_cast<double>(i) / LatencyRecorder::kSubBuckets)));
+    }
+  }
+};
+
+const BoundsTable& Bounds() {
+  static const BoundsTable table;
+  return table;
+}
+
+}  // namespace
+
+size_t LatencyRecorder::BucketOf(uint64_t ns) {
+  const auto& upper = Bounds().upper;
+  auto it = std::lower_bound(upper.begin(), upper.end(), ns);
+  // Past the last finite bound -> overflow bucket (kBuckets - 1).
+  return static_cast<size_t>(it - upper.begin());
+}
+
+uint64_t LatencyRecorder::BucketUpperNs(size_t i) {
+  const auto& upper = Bounds().upper;
+  return upper[std::min(i, upper.size() - 1)];
+}
+
+void LatencyRecorder::RecordNanos(uint64_t ns) {
+  counts_[BucketOf(ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  uint64_t cur = max_ns_.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !max_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyRecorder::PercentileNs(double p) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  double clamped = std::min(1.0, std::max(0.0, p));
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(clamped * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  uint64_t exact_max = max_ns();
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      // The overflow bucket has no finite bound; the exact max is its
+      // honest upper bound (never an under-report, since every overflow
+      // value is <= max). Finite buckets clamp *down* to the exact max so
+      // the top of the distribution stays honest too.
+      if (i == kBuckets - 1) return static_cast<double>(exact_max);
+      return static_cast<double>(std::min(BucketUpperNs(i), exact_max));
+    }
+  }
+  // Concurrent recording raced count_ past the bucket sums; the exact max
+  // is the conservative answer.
+  return static_cast<double>(exact_max);
+}
+
+LatencySnapshot LatencyRecorder::Snapshot() const {
+  LatencySnapshot s;
+  s.count = count();
+  s.sum_ms = static_cast<double>(sum_ns()) / 1e6;
+  s.mean_ms = s.count > 0 ? s.sum_ms / static_cast<double>(s.count) : 0;
+  s.p50_ms = PercentileNs(0.50) / 1e6;
+  s.p90_ms = PercentileNs(0.90) / 1e6;
+  s.p95_ms = PercentileNs(0.95) / 1e6;
+  s.p99_ms = PercentileNs(0.99) / 1e6;
+  s.max_ms = static_cast<double>(max_ns()) / 1e6;
+  return s;
+}
+
+void LatencyRecorder::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+void ExportLatencyMetrics(const LatencyRecorder& recorder,
+                          MetricsRegistry* registry,
+                          const std::string& prefix) {
+  LatencySnapshot s = recorder.Snapshot();
+  auto set = [&](const char* name, double v) {
+    registry->gauge(prefix + "." + name)->Set(v);
+  };
+  set("count", static_cast<double>(s.count));
+  set("mean_ms", s.mean_ms);
+  set("p50_ms", s.p50_ms);
+  set("p90_ms", s.p90_ms);
+  set("p95_ms", s.p95_ms);
+  set("p99_ms", s.p99_ms);
+  set("max_ms", s.max_ms);
+}
+
+}  // namespace obs
+}  // namespace cdb

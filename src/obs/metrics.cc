@@ -170,6 +170,24 @@ void ExportPagerMetrics(const Pager& pager, MetricsRegistry* registry,
   set("resident_frames", static_cast<double>(pager.resident_frame_count()));
   set("pinned_frames", static_cast<double>(pager.pinned_frame_count()));
   set("live_pages", static_cast<double>(pager.live_page_count()));
+  // Concurrency/pipeline instrumentation (ISSUE 5). Exported
+  // unconditionally: the serial paper benches never call
+  // ExportPagerMetrics, so the extra gauges cannot perturb their
+  // artifacts, and a concurrent caller always wants the full picture
+  // (zeros included — "no contention" is a result).
+  const PagerConcurrencyStats c = pager.concurrency_stats();
+  set("shard.lock_waits", static_cast<double>(c.shard_lock_waits));
+  set("shard.lock_wait_ns", static_cast<double>(c.shard_lock_wait_ns));
+  set("shard.imbalance", pager.ShardImbalance());
+  set("publish.epochs", static_cast<double>(c.publish_epochs));
+  set("publish.drain_ns", static_cast<double>(c.publish_drain_ns));
+  set("publish.sessions_drained",
+      static_cast<double>(c.publish_sessions_drained));
+  set("publish.pages", static_cast<double>(c.publish_pages));
+  set("fsync.data_count", static_cast<double>(c.data_fsyncs));
+  set("fsync.data_ns", static_cast<double>(c.data_fsync_ns));
+  set("fsync.journal_count", static_cast<double>(c.journal_fsyncs));
+  set("fsync.journal_ns", static_cast<double>(c.journal_fsync_ns));
 }
 
 }  // namespace obs

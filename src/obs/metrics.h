@@ -177,7 +177,11 @@ MetricsRegistry& GlobalMetrics();
 /// Publishes a pager's IoStats counters and buffer-pool state as gauges
 /// named "<prefix>.page_fetches", "<prefix>.buffer_hits",
 /// "<prefix>.resident_frames", ... (gauges, not counters: this is a
-/// point-in-time snapshot of an externally owned accumulator).
+/// point-in-time snapshot of an externally owned accumulator). Also
+/// publishes the concurrency/pipeline instrumentation (ISSUE 5):
+/// "<prefix>.shard.lock_waits"/".lock_wait_ns"/".imbalance",
+/// "<prefix>.publish.epochs"/".drain_ns"/".sessions_drained"/".pages", and
+/// "<prefix>.fsync.data_count"/".data_ns"/".journal_count"/".journal_ns".
 void ExportPagerMetrics(const Pager& pager, MetricsRegistry* registry,
                         const std::string& prefix);
 

@@ -47,9 +47,11 @@ const ProfileNode* ProfileNode::Find(std::string_view target) const {
 
 Tracer* Tracer::Current() { return g_current_tracer; }
 
-Tracer::Tracer(const char* root_name, Pager* index_pager, Pager* tuple_pager)
+Tracer::Tracer(const char* root_name, Pager* index_pager, Pager* tuple_pager,
+               Clock* clock)
     : index_pager_(index_pager),
-      tuple_pager_(tuple_pager == index_pager ? nullptr : tuple_pager) {
+      tuple_pager_(tuple_pager == index_pager ? nullptr : tuple_pager),
+      clock_(clock != nullptr ? clock : DefaultClock()) {
   root_.name = root_name;
   root_.invocations = 1;
   stack_.push_back(&root_);
@@ -57,8 +59,8 @@ Tracer::Tracer(const char* root_name, Pager* index_pager, Pager* tuple_pager)
   if (tuple_pager_ != nullptr) initial_tuple_ = tuple_pager_->ThreadStats();
   last_index_ = initial_index_;
   last_tuple_ = initial_tuple_;
-  initial_time_ = std::chrono::steady_clock::now();
-  last_time_ = initial_time_;
+  initial_time_ns_ = clock_->NowNanos();
+  last_time_ns_ = initial_time_ns_;
   previous_ = g_current_tracer;
   g_current_tracer = this;
 }
@@ -67,9 +69,9 @@ Tracer::~Tracer() {
   if (g_current_tracer == this) g_current_tracer = previous_;
 }
 
-PhaseCost Tracer::ReadDelta(
-    const IoStats& index_base, const IoStats& tuple_base,
-    std::chrono::steady_clock::time_point time_base) const {
+PhaseCost Tracer::ReadDelta(const IoStats& index_base,
+                            const IoStats& tuple_base,
+                            uint64_t time_base_ns) const {
   PhaseCost d;
   if (index_pager_ != nullptr) {
     IoStats delta = index_pager_->ThreadStats().Delta(index_base);
@@ -81,17 +83,17 @@ PhaseCost Tracer::ReadDelta(
     d.tuple_fetches = delta.page_fetches;
     d.tuple_reads = delta.page_reads;
   }
-  d.wall_ms = std::chrono::duration<double, std::milli>(
-                  std::chrono::steady_clock::now() - time_base)
-                  .count();
+  d.wall_ms =
+      static_cast<double>(clock_->NowNanos() - time_base_ns) / 1e6;
   return d;
 }
 
 void Tracer::AccumulateToOpenSpan() {
-  stack_.back()->self.Add(ReadDelta(last_index_, last_tuple_, last_time_));
+  stack_.back()->self.Add(
+      ReadDelta(last_index_, last_tuple_, last_time_ns_));
   if (index_pager_ != nullptr) last_index_ = index_pager_->ThreadStats();
   if (tuple_pager_ != nullptr) last_tuple_ = tuple_pager_->ThreadStats();
-  last_time_ = std::chrono::steady_clock::now();
+  last_time_ns_ = clock_->NowNanos();
 }
 
 void Tracer::Enter(const char* name) {
@@ -134,9 +136,30 @@ ProfileNode Tracer::Finish(PhaseCost* overall) {
   finished_ = true;
   if (g_current_tracer == this) g_current_tracer = previous_;
   if (overall != nullptr) {
-    *overall = ReadDelta(initial_index_, initial_tuple_, initial_time_);
+    *overall = ReadDelta(initial_index_, initial_tuple_, initial_time_ns_);
   }
   return std::move(root_);
+}
+
+// --- TraceSampler -------------------------------------------------------------
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche mix so that e.g. every 4th index is
+// not systematically (un)sampled.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool TraceSampler::ShouldSample(uint64_t index) const {
+  if (every_ == 0) return false;
+  if (every_ == 1) return true;
+  return Mix64(index ^ seed_) % every_ == 0;
 }
 
 // --- ExplainProfile -----------------------------------------------------------

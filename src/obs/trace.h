@@ -29,12 +29,12 @@
 #ifndef CDB_OBS_TRACE_H_
 #define CDB_OBS_TRACE_H_
 
-#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/io_stats.h"
+#include "obs/clock.h"
 #include "obs/json.h"
 
 namespace cdb {
@@ -77,8 +77,12 @@ struct ProfileNode {
 class Tracer {
  public:
   /// `tuple_pager` may be null, or equal to `index_pager` (then all cost is
-  /// reported on the index slots and the tuple slots stay zero).
-  Tracer(const char* root_name, Pager* index_pager, Pager* tuple_pager);
+  /// reported on the index slots and the tuple slots stay zero). `clock`
+  /// drives every wall_ms reading (ISSUE 5: null = obs::DefaultClock(), so
+  /// production call sites change nothing while tests inject a
+  /// ManualClock and assert span timings exactly).
+  Tracer(const char* root_name, Pager* index_pager, Pager* tuple_pager,
+         Clock* clock = nullptr);
   ~Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -102,17 +106,39 @@ class Tracer {
   /// Charges pager/clock deltas since the last boundary to the open span.
   void AccumulateToOpenSpan();
   PhaseCost ReadDelta(const IoStats& index_base, const IoStats& tuple_base,
-                      std::chrono::steady_clock::time_point time_base) const;
+                      uint64_t time_base_ns) const;
 
   Pager* index_pager_;
   Pager* tuple_pager_;  // Null when unused or same as index_pager_.
+  Clock* clock_;
   ProfileNode root_;
   std::vector<ProfileNode*> stack_;  // Root + open ancestors; see Enter().
   IoStats last_index_, last_tuple_;
   IoStats initial_index_, initial_tuple_;
-  std::chrono::steady_clock::time_point last_time_, initial_time_;
+  uint64_t last_time_ns_ = 0, initial_time_ns_ = 0;
   Tracer* previous_;
   bool finished_ = false;
+};
+
+/// Deterministic 1-in-N trace sampling (ISSUE 5): whether query `index` of
+/// a batch gets a Tracer profile attached depends only on (seed, index) —
+/// never on wall clock or thread schedule — so the sampled set is
+/// reproducible run-to-run and thread-count-to-thread-count, and the
+/// unsampled queries pay nothing. every == 0 disables, every == 1 samples
+/// everything; otherwise each index is chosen with probability 1/every via
+/// a splitmix64 hash (decorrelated from the index's position, so striped
+/// batch layouts cannot alias the sample).
+class TraceSampler {
+ public:
+  TraceSampler() = default;
+  TraceSampler(uint64_t every, uint64_t seed) : every_(every), seed_(seed) {}
+
+  bool enabled() const { return every_ != 0; }
+  bool ShouldSample(uint64_t index) const;
+
+ private:
+  uint64_t every_ = 0;
+  uint64_t seed_ = 0;
 };
 
 /// RAII span. Opens a phase on the ambient tracer (no-op without one).

@@ -1,6 +1,8 @@
 #include "storage/pager.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 
 #include "common/crc32c.h"
@@ -62,6 +64,17 @@ T Load(const char* p, size_t off) {
 // singly-linked list is enough because sessions are scoped locals and so
 // strictly nested.
 thread_local PagerReadSession* t_session_head = nullptr;
+
+// Monotonic nanoseconds for the contention/fsync/publish timers. The
+// storage layer sits below obs in the link order, so it cannot take an
+// obs::Clock; these durations are real-time measurements by design (they
+// feed gauges, not test assertions).
+uint64_t MonoNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -481,9 +494,25 @@ Status Pager::EnsureJournaled(PageId id) {
   return Status::OK();
 }
 
+Status Pager::SyncDataFile() {
+  uint64_t t0 = MonoNanos();
+  Status st = file_->Sync();
+  cc_.data_fsyncs.fetch_add(1, std::memory_order_relaxed);
+  cc_.data_fsync_ns.fetch_add(MonoNanos() - t0, std::memory_order_relaxed);
+  return st;
+}
+
+Status Pager::SyncJournalFile() {
+  uint64_t t0 = MonoNanos();
+  Status st = journal_->Sync();
+  cc_.journal_fsyncs.fetch_add(1, std::memory_order_relaxed);
+  cc_.journal_fsync_ns.fetch_add(MonoNanos() - t0, std::memory_order_relaxed);
+  return st;
+}
+
 Status Pager::SyncJournalForWrite() {
   if (journal_ == nullptr || journal_synced_) return Status::OK();
-  CDB_RETURN_IF_ERROR(journal_->Sync());
+  CDB_RETURN_IF_ERROR(SyncJournalFile());
   journal_synced_ = true;
   return Status::OK();
 }
@@ -491,7 +520,7 @@ Status Pager::SyncJournalForWrite() {
 Status Pager::InvalidateJournal() {
   std::memset(journal_scratch_.data(), 0, journal_scratch_.size());
   CDB_RETURN_IF_ERROR(journal_->WriteBlock(0, journal_scratch_.data()));
-  return journal_->Sync();
+  return SyncJournalFile();
 }
 
 Status Pager::RecoverFromJournal() {
@@ -529,7 +558,7 @@ Status Pager::RecoverFromJournal() {
         file_->WriteBlock(id, rec.data() + kJournalBlockOverhead));
     ++applied;
   }
-  if (applied > 0) CDB_RETURN_IF_ERROR(file_->Sync());
+  if (applied > 0) CDB_RETURN_IF_ERROR(SyncDataFile());
   ++stats_.journal_replays;
   stats_.pages_rolled_back += applied;
   return InvalidateJournal();
@@ -596,7 +625,7 @@ Status Pager::FlushBody() {
     CDB_RETURN_IF_ERROR(WriteBack(id, &frame));
   }
   CDB_RETURN_IF_ERROR(StoreMeta());
-  CDB_RETURN_IF_ERROR(file_->Sync());
+  CDB_RETURN_IF_ERROR(SyncDataFile());
   if (journal_ != nullptr) {
     // Commit point: dropping the journal makes this transaction the state
     // recovery preserves.
@@ -621,13 +650,21 @@ Status Pager::PublishWriter() {
   if (!txn_active_ && !journal_header_written_) return Status::OK();
   std::unique_lock<std::mutex> lock(publish_mu_);
   gate_closed_ = true;
+  const uint64_t drain_start = MonoNanos();
+  const uint64_t sessions_at_gate = active_swmr_sessions_;
   publish_cv_.wait(lock, [&] { return active_swmr_sessions_ == 0; });
+  cc_.publish_epochs.fetch_add(1, std::memory_order_relaxed);
+  cc_.publish_drain_ns.fetch_add(MonoNanos() - drain_start,
+                                 std::memory_order_relaxed);
+  cc_.publish_sessions_drained.fetch_add(sessions_at_gate,
+                                         std::memory_order_relaxed);
   // Every read session is drained and new ones are parked at the gate, so
   // the commit below is invisible until the snapshot swap completes.
   std::vector<PageId> written;
   for (auto& [id, frame] : frames_) {
     if (frame.dirty) written.push_back(id);
   }
+  cc_.publish_pages.fetch_add(written.size(), std::memory_order_relaxed);
   Status st = FlushBody();
   if (st.ok()) {
     // Purge superseded copies so post-publish readers refetch the new
@@ -689,6 +726,8 @@ Status Pager::BeginConcurrentReads(bool single_writer) {
     shards_.resize(shard_mask_ + 1);
     for (auto& s : shards_) s = std::make_unique<ReadShard>();
   }
+  // Per-epoch fetch distribution restarts with the mode (ShardImbalance()).
+  for (auto& s : shards_) s->fetches.store(0, std::memory_order_relaxed);
   // Distribute resident frames, walking the exclusive LRU from MRU to LRU
   // so each shard's list preserves relative recency — a warm cache stays
   // warm across the mode switch.
@@ -788,6 +827,21 @@ Status Pager::EndConcurrentReads() {
   return had_writer ? EvictIfNeeded() : Status::OK();
 }
 
+std::unique_lock<std::mutex> Pager::LockShard(ReadShard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Contended: charge the blocking wait. The uncontended path above never
+    // reads the clock, so instrumentation costs nothing when shards are
+    // well spread.
+    uint64_t t0 = MonoNanos();
+    lock.lock();
+    cc_.shard_lock_waits.fetch_add(1, std::memory_order_relaxed);
+    cc_.shard_lock_wait_ns.fetch_add(MonoNanos() - t0,
+                                     std::memory_order_relaxed);
+  }
+  return lock;
+}
+
 Result<PageRef> Pager::SharedFetch(PageId id) {
   PagerReadSession* session = nullptr;
   for (PagerReadSession* s = t_session_head; s != nullptr; s = s->prev_) {
@@ -813,7 +867,8 @@ Result<PageRef> Pager::SharedFetch(PageId id) {
   IoStats& stats = session->local_;
   ++stats.page_fetches;
   ReadShard& shard = *shards_[ShardOf(id)];
-  std::unique_lock<std::mutex> lock(shard.mu);
+  shard.fetches.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
   auto it = shard.frames.find(id);
   if (it == shard.frames.end()) {
     // Miss: do the physical read outside the shard lock so a slow read
@@ -828,7 +883,7 @@ Result<PageRef> Pager::SharedFetch(PageId id) {
       CDB_RETURN_IF_ERROR(file_->ReadBlock(id, block.data()));
       CDB_RETURN_IF_ERROR(VerifyPageBlock(id, block.data(), &stats));
     }
-    lock.lock();
+    lock = LockShard(shard);
     it = shard.frames.find(id);
     if (it == shard.frames.end()) {
       Frame frame;
@@ -865,9 +920,42 @@ Result<PageRef> Pager::SharedFetch(PageId id) {
   return PageRef(this, id, frame.data.data() + payload_offset_);
 }
 
+PagerConcurrencyStats Pager::concurrency_stats() const {
+  PagerConcurrencyStats s;
+  s.shard_lock_waits = cc_.shard_lock_waits.load(std::memory_order_relaxed);
+  s.shard_lock_wait_ns =
+      cc_.shard_lock_wait_ns.load(std::memory_order_relaxed);
+  s.publish_epochs = cc_.publish_epochs.load(std::memory_order_relaxed);
+  s.publish_drain_ns = cc_.publish_drain_ns.load(std::memory_order_relaxed);
+  s.publish_sessions_drained =
+      cc_.publish_sessions_drained.load(std::memory_order_relaxed);
+  s.publish_pages = cc_.publish_pages.load(std::memory_order_relaxed);
+  s.data_fsyncs = cc_.data_fsyncs.load(std::memory_order_relaxed);
+  s.data_fsync_ns = cc_.data_fsync_ns.load(std::memory_order_relaxed);
+  s.journal_fsyncs = cc_.journal_fsyncs.load(std::memory_order_relaxed);
+  s.journal_fsync_ns =
+      cc_.journal_fsync_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
+double Pager::ShardImbalance() const {
+  uint64_t total = 0;
+  uint64_t peak = 0;
+  size_t shards = 0;
+  for (const auto& shard_ptr : shards_) {
+    uint64_t f = shard_ptr->fetches.load(std::memory_order_relaxed);
+    total += f;
+    peak = std::max(peak, f);
+    ++shards;
+  }
+  if (total == 0 || shards == 0) return 0;
+  double mean = static_cast<double>(total) / static_cast<double>(shards);
+  return static_cast<double>(peak) / mean;
+}
+
 void Pager::SharedUnpin(PageId id) {
   ReadShard& shard = *shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
   auto it = shard.frames.find(id);
   assert(it != shard.frames.end());
   Frame& frame = it->second;

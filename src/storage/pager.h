@@ -130,6 +130,38 @@ struct PagerOptions {
   size_t read_shards = 8;
 };
 
+/// Concurrency/pipeline instrumentation snapshot (ISSUE 5). Counters
+/// accumulate from Open() onward; all are zero until the corresponding
+/// machinery runs (shard counters need concurrent-read mode, publish
+/// counters need a single-writer publish, fsync counters need real Sync
+/// calls). Durations are steady-clock nanoseconds measured inside the
+/// pager (the storage layer sits below obs and cannot take an obs::Clock).
+struct PagerConcurrencyStats {
+  /// Shard-mutex acquisitions that found the lock held (try_lock failed)
+  /// and the total nanoseconds those acquisitions then waited. Uncontended
+  /// acquisitions never read the clock, so the hot path stays cheap.
+  uint64_t shard_lock_waits = 0;
+  uint64_t shard_lock_wait_ns = 0;
+  /// Single-writer publishes: how many, total nanoseconds spent waiting
+  /// for open read sessions to drain, sessions waited out, and dirty
+  /// pages written back across all publishes.
+  uint64_t publish_epochs = 0;
+  uint64_t publish_drain_ns = 0;
+  uint64_t publish_sessions_drained = 0;
+  uint64_t publish_pages = 0;
+  /// Physical Sync() calls (and their total duration) on the data file and
+  /// the journal file.
+  uint64_t data_fsyncs = 0;
+  uint64_t data_fsync_ns = 0;
+  uint64_t journal_fsyncs = 0;
+  uint64_t journal_fsync_ns = 0;
+
+  bool any() const {
+    return shard_lock_waits != 0 || publish_epochs != 0 || data_fsyncs != 0 ||
+           journal_fsyncs != 0;
+  }
+};
+
 /// See file comment.
 class Pager {
  public:
@@ -267,6 +299,16 @@ class Pager {
   /// the pager-wide accumulator, i.e. exactly stats().
   const IoStats& ThreadStats() const;
 
+  /// Snapshot of the contention/publish/fsync counters (see
+  /// PagerConcurrencyStats). Safe to call from any thread at any time.
+  PagerConcurrencyStats concurrency_stats() const;
+
+  /// Shard-load imbalance over the *current* concurrent-read epoch:
+  /// max(per-shard fetches) / mean(per-shard fetches), 0 when no shard saw
+  /// a fetch (or outside concurrent-read mode). 1.0 = perfectly even.
+  /// Per-shard fetch counters reset at each BeginConcurrentReads().
+  double ShardImbalance() const;
+
  private:
   struct Frame {
     std::vector<char> data;  // Full block; payload at payload_offset_.
@@ -293,6 +335,25 @@ class Pager {
     std::mutex mu;
     std::unordered_map<PageId, Frame> frames;
     std::list<PageId> lru;  // Front = most recently used, unpinned only.
+    // Fetches routed to this shard in the current concurrent-read epoch
+    // (reset by BeginConcurrentReads); feeds ShardImbalance().
+    std::atomic<uint64_t> fetches{0};
+  };
+
+  /// Atomic accumulators behind concurrency_stats(); see that struct for
+  /// the meaning of each field. All relaxed — these are statistics, and
+  /// every reader tolerates a torn-across-fields view.
+  struct ConcurrencyCounters {
+    std::atomic<uint64_t> shard_lock_waits{0};
+    std::atomic<uint64_t> shard_lock_wait_ns{0};
+    std::atomic<uint64_t> publish_epochs{0};
+    std::atomic<uint64_t> publish_drain_ns{0};
+    std::atomic<uint64_t> publish_sessions_drained{0};
+    std::atomic<uint64_t> publish_pages{0};
+    std::atomic<uint64_t> data_fsyncs{0};
+    std::atomic<uint64_t> data_fsync_ns{0};
+    std::atomic<uint64_t> journal_fsyncs{0};
+    std::atomic<uint64_t> journal_fsync_ns{0};
   };
 
   Pager(std::unique_ptr<BlockFile> file, std::unique_ptr<BlockFile> journal,
@@ -309,6 +370,14 @@ class Pager {
   Result<PageRef> SharedFetch(PageId id);
   void SharedUnpin(PageId id);
   void MergeSessionStats(const IoStats& delta);
+  // Acquires shard.mu; on contention (try_lock failure) charges the wait to
+  // cc_.shard_lock_waits / shard_lock_wait_ns. Uncontended path is just the
+  // try_lock — no clock read.
+  std::unique_lock<std::mutex> LockShard(ReadShard& shard);
+  // Timed wrappers around file_->Sync() / journal_->Sync(); the only Sync
+  // call sites, so cc_ sees every fsync.
+  Status SyncDataFile();
+  Status SyncJournalFile();
 
   // Single-writer machinery.
   bool IsSwmrWriterThread() const {
@@ -384,6 +453,7 @@ class Pager {
   std::atomic<size_t> shared_frames_{0};  // Frames across all shards.
   std::atomic<size_t> shared_pinned_{0};  // Pinned frames across all shards.
   std::mutex stats_mu_;  // Guards stats_ during session merges.
+  ConcurrencyCounters cc_;  // See concurrency_stats().
 
   // Single-writer/multi-reader state (meaningful only while shared_mode_
   // with swmr_; the flags themselves flip only during the Begin/End

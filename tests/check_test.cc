@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "common/rng.h"
+#include "obs/json.h"
 #include "storage/file.h"
 #include "workload/generator.h"
 
@@ -46,6 +47,85 @@ TEST(CheckTest, InMemoryDatabaseChecksOut) {
   EXPECT_GT(report.pages_checked, 0u);
   EXPECT_EQ(report.trees_checked, db->index()->tree_count());
   EXPECT_EQ(report.Summary().substr(0, 3), "ok:");
+}
+
+// ISSUE 5 satellite: the machine-readable verdict. Every CheckDatabase
+// phase lands in report.checks in order, and WriteCheckReportJson emits a
+// cdb-check/v1 document that parses back and mirrors the report.
+TEST(CheckTest, ReportCarriesPerCheckEntriesAndJsonVerdict) {
+  DatabaseOptions opts;
+  opts.in_memory = true;
+  std::unique_ptr<ConstraintDatabase> db;
+  ASSERT_TRUE(ConstraintDatabase::Open("mem_json", opts, &db).ok());
+  Rng rng(13);
+  WorkloadOptions wopts;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db->Insert(RandomBoundedTuple(&rng, wopts)).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+
+  CheckReport report;
+  ASSERT_TRUE(CheckDatabase(db.get(), &report).ok());
+  const char* expected[] = {"pager.relation", "pager.index", "index.trees",
+                            "relation.tuples"};
+  ASSERT_EQ(report.checks.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(report.checks[i].name, expected[i]);
+    EXPECT_TRUE(report.checks[i].ok) << report.checks[i].name;
+    EXPECT_EQ(report.checks[i].violations, 0u);
+  }
+
+  obs::JsonWriter w;
+  WriteCheckReportJson(report, &w);
+  Result<obs::JsonValue> doc = obs::ParseJson(w.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue& v = doc.value();
+  ASSERT_TRUE(v.is_object());
+  ASSERT_NE(v.Find("schema"), nullptr);
+  EXPECT_EQ(v.Find("schema")->string_value, "cdb-check/v1");
+  EXPECT_TRUE(v.Find("ok")->bool_value);
+  EXPECT_EQ(v.Find("pages_checked")->number,
+            static_cast<double>(report.pages_checked));
+  EXPECT_EQ(v.Find("trees_checked")->number,
+            static_cast<double>(report.trees_checked));
+  const obs::JsonValue* checks = v.Find("checks");
+  ASSERT_NE(checks, nullptr);
+  ASSERT_TRUE(checks->is_array());
+  ASSERT_EQ(checks->items.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(checks->items[i].Find("name")->string_value, expected[i]);
+    EXPECT_TRUE(checks->items[i].Find("ok")->bool_value);
+  }
+  ASSERT_NE(v.Find("violations"), nullptr);
+  EXPECT_TRUE(v.Find("violations")->items.empty());
+}
+
+// AddCheck attributes exactly the violations recorded since its snapshot,
+// and a failing entry flips both the entry and the document verdict.
+TEST(CheckTest, AddCheckAttributesViolationDeltas) {
+  CheckReport report;
+  report.AddViolation("pre-existing");
+  const size_t before = report.violations.size();
+  report.AddCheck("clean", before);
+  report.AddViolation("bad page");
+  report.AddViolation("bad tree");
+  report.AddCheck("dirty", before);
+  ASSERT_EQ(report.checks.size(), 2u);
+  EXPECT_TRUE(report.checks[0].ok);
+  EXPECT_EQ(report.checks[0].violations, 0u);
+  EXPECT_FALSE(report.checks[1].ok);
+  EXPECT_EQ(report.checks[1].violations, 2u);
+
+  obs::JsonWriter w;
+  WriteCheckReportJson(report, &w);
+  Result<obs::JsonValue> doc = obs::ParseJson(w.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_FALSE(doc.value().Find("ok")->bool_value);
+  EXPECT_EQ(doc.value().Find("violations")->items.size(), 3u);
+  const obs::JsonValue* checks = doc.value().Find("checks");
+  ASSERT_NE(checks, nullptr);
+  EXPECT_FALSE(checks->items[1].Find("ok")->bool_value);
+  EXPECT_EQ(checks->items[1].Find("violations")->number, 2.0);
 }
 
 TEST(CheckTest, FileBackedDatabaseChecksOutAndJournals) {

@@ -1,0 +1,161 @@
+// obs::JsonParser edge cases (ISSUE 5 satellite): adversarial inputs must
+// fail as Status, never crash or read out of bounds — this suite runs under
+// `-L sanitize`. Covers the nesting-depth limit, every escape the grammar
+// accepts (round-tripped through JsonWriter), \u decoding into UTF-8,
+// non-finite doubles (written as null, parsed back as kNull), exhaustive
+// truncation of a representative document, and trailing-garbage rejection.
+
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace cdb {
+namespace obs {
+namespace {
+
+TEST(JsonEdgeTest, ModerateNestingParses) {
+  std::string doc;
+  for (int i = 0; i < 60; ++i) doc += '[';
+  doc += "1";
+  for (int i = 0; i < 60; ++i) doc += ']';
+  Result<JsonValue> r = ParseJson(doc);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const JsonValue* v = &r.value();
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(v->is_array());
+    ASSERT_EQ(v->items.size(), 1u);
+    v = &v->items[0];
+  }
+  EXPECT_TRUE(v->is_number());
+  EXPECT_EQ(v->number, 1.0);
+}
+
+TEST(JsonEdgeTest, DeepNestingIsRejectedNotOverflowed) {
+  // Far beyond the parser's depth limit: must return a Status, not
+  // exhaust the stack (the recursive descent is depth-capped).
+  for (size_t depth : {100u, 1000u, 100000u}) {
+    std::string doc(depth, '[');
+    Result<JsonValue> r = ParseJson(doc);
+    EXPECT_FALSE(r.ok()) << "depth " << depth;
+    // Mixed object/array nesting takes the same guard.
+    std::string mixed;
+    for (size_t i = 0; i < depth; ++i) mixed += "{\"k\":[";
+    EXPECT_FALSE(ParseJson(mixed).ok()) << "mixed depth " << depth;
+  }
+}
+
+TEST(JsonEdgeTest, AllEscapesRoundTripThroughTheWriter) {
+  const std::string raw = "q\"b\\s/n\nt\tr\rb\bf\fctl\x01\x1f end";
+  JsonWriter w;
+  w.Value(raw);
+  Result<JsonValue> r = ParseJson(w.str());
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << " for " << w.str();
+  ASSERT_TRUE(r.value().is_string());
+  EXPECT_EQ(r.value().string_value, raw);
+}
+
+TEST(JsonEdgeTest, UnicodeEscapesDecodeToUtf8) {
+  struct Case {
+    const char* doc;
+    std::string expect;
+  };
+  const Case cases[] = {
+      {"\"\\u0041\"", "A"},                    // 1-byte UTF-8.
+      {"\"\\u00e9\"", "\xc3\xa9"},             // 2-byte (é).
+      {"\"\\u20ac\"", "\xe2\x82\xac"},         // 3-byte (€).
+      {"\"\\u0000x\"", std::string("\0x", 2)},  // NUL survives in-string.
+  };
+  for (const Case& c : cases) {
+    Result<JsonValue> r = ParseJson(c.doc);
+    ASSERT_TRUE(r.ok()) << c.doc << ": " << r.status().ToString();
+    ASSERT_TRUE(r.value().is_string()) << c.doc;
+    EXPECT_EQ(r.value().string_value, c.expect) << c.doc;
+  }
+}
+
+TEST(JsonEdgeTest, MalformedEscapesFailAsStatus) {
+  const char* bad[] = {
+      "\"\\u12\"",     // Truncated \u.
+      "\"\\u12",       // Truncated \u at end of input.
+      "\"\\uzzzz\"",   // Non-hex digits.
+      "\"\\x41\"",     // Unknown escape.
+      "\"\\\"",        // Escape then end of input.
+      "\"\\",          // Bare backslash at end of input.
+  };
+  for (const char* doc : bad) {
+    EXPECT_FALSE(ParseJson(doc).ok()) << doc;
+  }
+}
+
+TEST(JsonEdgeTest, NonFiniteDoublesWriteAsNullAndParseBack) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(std::numeric_limits<double>::quiet_NaN());
+  w.Value(std::numeric_limits<double>::infinity());
+  w.Value(-std::numeric_limits<double>::infinity());
+  w.Value(1.5);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,null,1.5]");
+  Result<JsonValue> r = ParseJson(w.str());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().items.size(), 4u);
+  EXPECT_EQ(r.value().items[0].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(r.value().items[1].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(r.value().items[2].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(r.value().items[3].number, 1.5);
+}
+
+// Every proper prefix of a document exercising all token kinds must be
+// rejected cleanly — truncation can cut inside a string, an escape, a
+// number, a keyword, or between structural tokens.
+TEST(JsonEdgeTest, EveryTruncationFailsCleanly) {
+  const std::string doc =
+      "{\"a\":[1,-2.5e3,{\"b\":\"c\\n\\u0041\"}],\"d\":true,\"e\":null}";
+  ASSERT_TRUE(ParseJson(doc).ok());
+  for (size_t len = 0; len < doc.size(); ++len) {
+    Result<JsonValue> r = ParseJson(doc.substr(0, len));
+    EXPECT_FALSE(r.ok()) << "prefix of length " << len << " parsed";
+  }
+}
+
+TEST(JsonEdgeTest, TrailingGarbageAndBrokenKeywordsAreRejected) {
+  const char* bad[] = {
+      "",
+      "   ",
+      "1 x",
+      "{} {}",
+      "tru",
+      "truex",
+      "nul",
+      "nullx",
+      "falsey",
+      "-",
+      "1.2.3",
+      "[1,]x",
+      "{\"a\"1}",
+      "{\"a\":}",
+      "{a:1}",
+      "[1 2]",
+  };
+  for (const char* doc : bad) {
+    EXPECT_FALSE(ParseJson(doc).ok()) << "accepted: " << doc;
+  }
+}
+
+TEST(JsonEdgeTest, FindOnNonObjectsIsNull) {
+  Result<JsonValue> r = ParseJson("[1,2]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Find("a"), nullptr);
+  Result<JsonValue> obj = ParseJson("{\"a\":1}");
+  ASSERT_TRUE(obj.ok());
+  ASSERT_NE(obj.value().Find("a"), nullptr);
+  EXPECT_EQ(obj.value().Find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cdb
