@@ -93,6 +93,42 @@ std::vector<CalibratedQuery> MakeQueries(const Relation& relation,
   return out;
 }
 
+namespace {
+
+// Folds one query's filter phase counts into the running measurement. The
+// bench artifacts must never publish broken precision rows, so a phase
+// accounting that does not balance aborts the benchmark outright.
+void AccumulateFilter(const QueryStats& stats, Measurement* m) {
+  if (!stats.filter.Balances()) {
+    std::fprintf(stderr,
+                 "harness: filter accounting does not balance "
+                 "(%llu cand = %llu dedup + %llu early + %llu acc + %llu rej "
+                 "-> %llu res)\n",
+                 static_cast<unsigned long long>(stats.filter.candidates),
+                 static_cast<unsigned long long>(stats.filter.dedup_dropped),
+                 static_cast<unsigned long long>(stats.filter.early_accepts),
+                 static_cast<unsigned long long>(stats.filter.refine_accepts),
+                 static_cast<unsigned long long>(stats.filter.refine_rejects),
+                 static_cast<unsigned long long>(stats.filter.results));
+    std::abort();
+  }
+  m->dedup_dropped += static_cast<double>(stats.filter.dedup_dropped);
+  m->early_accepts += static_cast<double>(stats.filter.early_accepts);
+  m->refine_accepts += static_cast<double>(stats.filter.refine_accepts);
+  m->refine_rejects += static_cast<double>(stats.filter.refine_rejects);
+  m->precision += stats.filter.precision();
+}
+
+void AverageFilter(double n, Measurement* m) {
+  m->dedup_dropped /= n;
+  m->early_accepts /= n;
+  m->refine_accepts /= n;
+  m->refine_rejects /= n;
+  m->precision /= n;
+}
+
+}  // namespace
+
 Measurement MeasureDual(Dataset* ds, const std::vector<CalibratedQuery>& qs,
                         QueryMethod method) {
   Measurement m;
@@ -110,6 +146,7 @@ Measurement MeasureDual(Dataset* ds, const std::vector<CalibratedQuery>& qs,
     m.duplicates += static_cast<double>(stats.duplicates);
     m.results += static_cast<double>(stats.results);
     m.selectivity += cq.selectivity;
+    AccumulateFilter(stats, &m);
   }
   double n = static_cast<double>(qs.size());
   m.index_fetches /= n;
@@ -119,6 +156,7 @@ Measurement MeasureDual(Dataset* ds, const std::vector<CalibratedQuery>& qs,
   m.duplicates /= n;
   m.results /= n;
   m.selectivity /= n;
+  AverageFilter(n, &m);
   return m;
 }
 
@@ -138,6 +176,7 @@ Measurement MeasureRTree(Dataset* ds, const std::vector<CalibratedQuery>& qs) {
     m.duplicates += static_cast<double>(stats.duplicates);
     m.results += static_cast<double>(stats.results);
     m.selectivity += cq.selectivity;
+    AccumulateFilter(stats, &m);
   }
   double n = static_cast<double>(qs.size());
   m.index_fetches /= n;
@@ -147,6 +186,7 @@ Measurement MeasureRTree(Dataset* ds, const std::vector<CalibratedQuery>& qs) {
   m.duplicates /= n;
   m.results /= n;
   m.selectivity /= n;
+  AverageFilter(n, &m);
   return m;
 }
 
@@ -226,6 +266,16 @@ void BenchReporter::Add(const std::string& label, const Params& params,
                 {"duplicates", m.duplicates},
                 {"results", m.results},
                 {"selectivity", m.selectivity}};
+  // Filter-precision keys only where a filter phase ran (not the naive
+  // baseline): bench_diff.py ignores keys absent from the baseline, so
+  // old artifacts stay comparable.
+  if (m.candidates > 0) {
+    row.values.emplace_back("dedup_dropped", m.dedup_dropped);
+    row.values.emplace_back("early_accepts", m.early_accepts);
+    row.values.emplace_back("refine_accepts", m.refine_accepts);
+    row.values.emplace_back("refine_rejects", m.refine_rejects);
+    row.values.emplace_back("precision", m.precision);
+  }
   rows_.push_back(std::move(row));
 }
 

@@ -64,6 +64,16 @@ struct Measurement {
   double duplicates = 0;
   double results = 0;
   double selectivity = 0;
+  // Filter-precision phase accounting, averaged per query (ISSUE 6): how
+  // each candidate left the pipeline, plus the mean per-query precision
+  // (results/candidates). All zero for the naive baseline, which has no
+  // filter phase — BenchReporter::Add emits the precision keys only for
+  // rows with candidates.
+  double dedup_dropped = 0;
+  double early_accepts = 0;
+  double refine_accepts = 0;
+  double refine_rejects = 0;
+  double precision = 0;
 };
 
 /// Runs every query cold-cache through the dual index.

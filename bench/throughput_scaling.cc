@@ -15,14 +15,20 @@
 // self==total balance invariant ("sampling" row; the bench exits nonzero
 // if any recorded count misses the batch size or a sampled profile is
 // unbalanced). --smoke shrinks the dataset/batch for CI.
+//
+// ISSUE 6 adds --trace <path>: the sampled profiles of every instrumented
+// pass are exported as a Chrome-trace JSON file (obs/export.h), self-checked
+// through the strict JSON parser before it is written.
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "exec/query_executor.h"
 #include "harness.h"
+#include "obs/export.h"
 
 namespace cdb {
 namespace bench {
@@ -127,7 +133,8 @@ struct ThroughputRow {
 // exactly, and every sampled profile must balance.
 bool MeasureObservability(Dataset* ds,
                           const std::vector<exec::BatchQuery>& batch,
-                          size_t threads, BenchReporter* reporter) {
+                          size_t threads, BenchReporter* reporter,
+                          std::vector<obs::ExplainProfile>* sampled) {
   exec::QueryExecutor executor(threads);
   exec::BatchObservability bobs;
   bobs.record_latency = true;
@@ -145,6 +152,12 @@ bool MeasureObservability(Dataset* ds,
       !exec::FirstError(out.items).ok()) {
     std::fprintf(stderr, "FATAL: instrumented batch failed\n");
     std::abort();
+  }
+
+  if (sampled != nullptr) {
+    for (const exec::BatchItemResult& item : out.items) {
+      if (item.profile != nullptr) sampled->push_back(*item.profile);
+    }
   }
 
   BenchReporter::Params params = {{"threads", static_cast<double>(threads)}};
@@ -231,8 +244,13 @@ ThroughputRow MeasureThroughput(Dataset* ds,
 int Run(int argc, char** argv) {
   BenchReporter reporter("throughput_scaling", &argc, argv);
   bool smoke = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
   }
   if (smoke) {
     kWorkerStreams = 4;
@@ -260,6 +278,7 @@ int Run(int argc, char** argv) {
                        std::to_string(config.n),
                    {"threads", "cold qps", "cold ms", "warm qps", "warm ms"});
   bool obs_ok = true;
+  std::vector<obs::ExplainProfile> sampled;
   for (size_t threads : {1, 2, 4, 8}) {
     ThroughputRow cold = MeasureThroughput(&ds, batch, threads, false);
     ThroughputRow warm = MeasureThroughput(&ds, batch, threads, true);
@@ -279,9 +298,30 @@ int Run(int argc, char** argv) {
                       static_cast<double>(batch.size()));
     reporter.AddValue("warm", params, "failed",
                       static_cast<double>(warm.failed));
-    if (!MeasureObservability(&ds, batch, threads, &reporter)) {
+    if (!MeasureObservability(&ds, batch, threads, &reporter,
+                              trace_path.empty() ? nullptr : &sampled)) {
       obs_ok = false;
     }
+  }
+
+  if (!trace_path.empty()) {
+    std::vector<const obs::ExplainProfile*> ptrs;
+    ptrs.reserve(sampled.size());
+    for (const obs::ExplainProfile& p : sampled) ptrs.push_back(&p);
+    std::string trace = obs::ChromeTraceJson(ptrs);
+    if (!obs::ParseJson(trace).ok()) {
+      std::fprintf(stderr, "FAIL: exported Chrome trace is not valid JSON\n");
+      return 1;
+    }
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fwrite(trace.data(), 1, trace.size(), f);
+    std::fclose(f);
+    std::printf("trace: %zu sampled profiles -> %s\n", sampled.size(),
+                trace_path.c_str());
   }
 
   if (mismatches != 0) {

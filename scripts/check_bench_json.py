@@ -42,6 +42,40 @@ def _check_number_map(obj, where, errors):
             errors.append(f"{where}.{key}: expected a number, got {value!r}")
 
 
+# Phase keys of the filter-precision accounting (bench/harness.h): when a
+# row carries all of them plus candidates, they must partition candidates.
+_FILTER_PHASE_KEYS = ("dedup_dropped", "early_accepts", "refine_accepts",
+                      "refine_rejects")
+
+
+def _check_filter_precision(where, values, errors):
+    """Generic filter-precision rules (ISSUE 6), applied to any row that
+    carries the keys: precision lies in (0, 1], the filter can only
+    over-approximate (candidates >= results), and the per-phase counts sum
+    to candidates exactly (up to averaging round-off)."""
+    precision = values.get("precision")
+    if precision is not None and _is_number(precision):
+        if not 0 < precision <= 1:
+            errors.append(
+                f"{where}.precision: {precision!r} outside (0, 1] "
+                "(results/candidates cannot leave that range)")
+    candidates = values.get("candidates")
+    results = values.get("results")
+    if _is_number(candidates) and _is_number(results):
+        if candidates < results - 1e-9 * max(1.0, results):
+            errors.append(
+                f"{where}: candidates {candidates!r} < results {results!r} "
+                "(the filter step must over-approximate)")
+        phases = [values.get(k) for k in _FILTER_PHASE_KEYS]
+        if all(_is_number(p) for p in phases):
+            total = sum(phases)
+            if abs(candidates - total) > 1e-6 * max(1.0, candidates):
+                errors.append(
+                    f"{where}: phase counts sum to {total!r} but candidates "
+                    f"say {candidates!r} (every candidate must meet exactly "
+                    "one fate)")
+
+
 def _check_measurement(i, m, errors):
     where = f"measurements[{i}]"
     if not isinstance(m, dict):
@@ -55,6 +89,8 @@ def _check_measurement(i, m, errors):
     _check_number_map(values, f"{where}.values", errors)
     if isinstance(values, dict) and not values:
         errors.append(f"{where}.values: empty (a measurement must measure)")
+    if isinstance(values, dict):
+        _check_filter_precision(f"{where}.values", values, errors)
 
 
 def _check_histogram(name, h, errors):
@@ -356,7 +392,10 @@ _GOOD = {
     "bench": "fig8_small_objects",
     "measurements": [
         {"label": "t2/exist", "params": {"n": 2000, "k": 3},
-         "values": {"index_fetches": 12.5, "results": 200}},
+         "values": {"index_fetches": 12.5, "results": 200,
+                    "candidates": 250, "dedup_dropped": 20,
+                    "early_accepts": 0, "refine_accepts": 200,
+                    "refine_rejects": 30, "precision": 0.8}},
     ],
     "metrics": {
         "counters": {"dual.refine.lp_calls": 4181},
@@ -478,6 +517,14 @@ def self_test():
     broken(lambda d: d["metrics"]["histograms"]["lat"].update(
         bounds=[10.0, 1.0]), "unsorted bounds")
     broken(lambda d: d.pop("metrics"), "missing metrics")
+    broken(lambda d: d["measurements"][0]["values"].update(precision=0),
+           "precision of zero (an empty candidate set is vacuously 1)")
+    broken(lambda d: d["measurements"][0]["values"].update(precision=1.2),
+           "precision above 1")
+    broken(lambda d: d["measurements"][0]["values"].update(candidates=150),
+           "candidates below results")
+    broken(lambda d: d["measurements"][0]["values"].update(refine_rejects=40),
+           "filter phase counts do not sum to candidates")
 
     expect(_GOOD_MICRO, True, "good micro_substrates artifact")
 

@@ -1117,6 +1117,11 @@ Status BPlusTree::MergeHandicap(double at, int slot, double v) {
   return Status::OK();
 }
 
+Status BPlusTree::HandicapLeaf(double at, PageId* leaf) const {
+  if (std::isnan(at)) return Status::InvalidArgument("NaN handicap key");
+  return DescendToLeaf(at, 0, leaf);
+}
+
 Status BPlusTree::ResetHandicaps() {
   if (augmented_) {
     return Status::InvalidArgument(

@@ -66,6 +66,9 @@ class LeafCursor {
   /// Handicap slot of the current leaf (see bplus_tree.h file comment).
   double handicap(int slot) const;
 
+  /// Page id of the current leaf (kInvalidPageId when !valid()).
+  PageId page() const { return leaf_; }
+
   /// Moves to the next/previous leaf in key order; the cursor becomes
   /// invalid past either end.
   Status NextLeaf();
@@ -176,6 +179,11 @@ class BPlusTree {
   /// Folds `v` into handicap `slot` of the leaf whose range contains `at`
   /// (min for slots 0-1, max for 2-3). Ordinary trees only.
   Status MergeHandicap(double at, int slot, double v);
+
+  /// The leaf MergeHandicap(at, ...) would fold into — same descent, no
+  /// mutation. Lets the health inspector replay the fold against a
+  /// side table keyed by leaf page (obs/health.h tightness gaps).
+  Status HandicapLeaf(double at, PageId* leaf) const;
 
   /// Resets every leaf's handicaps to the neutral values and zeroes the
   /// staleness counter. Ordinary trees only.

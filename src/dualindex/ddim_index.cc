@@ -308,8 +308,10 @@ Status DDimDualIndex::Refine(SelectionType type, const HalfPlaneQueryD& q,
                    : ExactExistD(tuple.constraints(), q);
     if (hit) {
       kept.push_back(id);
+      ++st->filter.refine_accepts;
     } else {
       ++st->false_hits;
+      ++st->filter.refine_rejects;
     }
   }
   *ids = std::move(kept);
@@ -349,6 +351,7 @@ Result<std::vector<TupleId>> DDimDualIndex::SelectT1(SelectionType type,
     size_t before_dedup = ids.size();
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     st->duplicates += before_dedup - ids.size();
+    st->filter.dedup_dropped += before_dedup - ids.size();
   }
   CDB_RETURN_IF_ERROR(Refine(type, q, &ids, st));
   return ids;
@@ -452,6 +455,7 @@ Result<std::vector<TupleId>> DDimDualIndex::Select(SelectionType type,
       Status s = RunExact(exact, type, q.cmp, q.intercept, &ids, st);
       if (!s.ok()) return s;
       std::sort(ids.begin(), ids.end());
+      st->filter.early_accepts += ids.size();  // Exact sweep: no refinement.
       return ids;
     }
     switch (method) {
@@ -468,7 +472,12 @@ Result<std::vector<TupleId>> DDimDualIndex::Select(SelectionType type,
   obs::PhaseCost totals = obs::FinishQueryTrace(&tracer, profile);
   st->index_page_fetches = totals.index_fetches;  // Logical (decision 11).
   st->tuple_page_fetches = totals.tuple_reads;    // Physical (decision 11).
-  if (result.ok()) st->results = result.value().size();
+  if (result.ok()) {
+    st->results = result.value().size();
+    st->filter.candidates = st->candidates;
+    st->filter.results = st->results;
+    if (profile != nullptr) profile->filter = st->filter;
+  }
   return result;
 }
 

@@ -168,9 +168,10 @@ DualIndexManifest DualIndex::Manifest() const {
   return m;
 }
 
-Status DualIndex::FoldHandicaps(size_t i, size_t other,
-                                const GeneralizedTuple& tuple, double top_i,
-                                double bot_i) {
+Status DualIndex::HandicapContributions(size_t i, size_t other,
+                                        const GeneralizedTuple& tuple,
+                                        double top_i, double bot_i,
+                                        HandicapContribution out[4]) const {
   const bool next_side = other > i;
   const double s_i = slopes_.slope(i);
   const double amid = (s_i + slopes_.slope(other)) / 2.0;
@@ -182,32 +183,43 @@ Status DualIndex::FoldHandicaps(size_t i, size_t other,
 
   // EXIST(q(>=)) on B_i^up: assignment = max TOP over [s_i, amid]
   // (exact at endpoints: TOP is convex in the slope).
-  double m_exist_up = std::max(top_i, top_mid);
-  CDB_RETURN_IF_ERROR(
-      up_[i]->MergeHandicap(m_exist_up, LowSlot(next_side), top_i));
+  out[0] = {/*is_up=*/true, std::max(top_i, top_mid), LowSlot(next_side),
+            top_i};
 
   // ALL(q(<=)) on B_i^up: assignment must lower-bound min TOP over the
   // interval; paper variant uses min BOT at endpoints (concave, exact),
   // tight variant solves the minimax LP.
-  double m_all_up = options_.tight_assignment
-                        ? MinTopOverInterval(tuple.constraints(), lo, hi)
-                        : std::min(bot_i, bot_mid);
-  CDB_RETURN_IF_ERROR(
-      up_[i]->MergeHandicap(m_all_up, HighSlot(next_side), top_i));
+  out[1] = {/*is_up=*/true,
+            options_.tight_assignment
+                ? MinTopOverInterval(tuple.constraints(), lo, hi)
+                : std::min(bot_i, bot_mid),
+            HighSlot(next_side), top_i};
 
   // ALL(q(>=)) on B_i^down: assignment must upper-bound max BOT over the
   // interval; paper variant uses max TOP at endpoints.
-  double m_all_down = options_.tight_assignment
-                          ? MaxBotOverInterval(tuple.constraints(), lo, hi)
-                          : std::max(top_i, top_mid);
-  CDB_RETURN_IF_ERROR(
-      down_[i]->MergeHandicap(m_all_down, LowSlot(next_side), bot_i));
+  out[2] = {/*is_up=*/false,
+            options_.tight_assignment
+                ? MaxBotOverInterval(tuple.constraints(), lo, hi)
+                : std::max(top_i, top_mid),
+            LowSlot(next_side), bot_i};
 
   // EXIST(q(<=)) on B_i^down: assignment = min BOT over [s_i, amid]
   // (exact at endpoints: BOT is concave).
-  double m_exist_down = std::min(bot_i, bot_mid);
+  out[3] = {/*is_up=*/false, std::min(bot_i, bot_mid), HighSlot(next_side),
+            bot_i};
+  return Status::OK();
+}
+
+Status DualIndex::FoldHandicaps(size_t i, size_t other,
+                                const GeneralizedTuple& tuple, double top_i,
+                                double bot_i) {
+  HandicapContribution c[4];
   CDB_RETURN_IF_ERROR(
-      down_[i]->MergeHandicap(m_exist_down, HighSlot(next_side), bot_i));
+      HandicapContributions(i, other, tuple, top_i, bot_i, c));
+  for (const HandicapContribution& hc : c) {
+    BPlusTree* tree = hc.is_up ? up_[i].get() : down_[i].get();
+    CDB_RETURN_IF_ERROR(tree->MergeHandicap(hc.at, hc.slot, hc.v));
+  }
   return Status::OK();
 }
 
@@ -453,6 +465,8 @@ Result<std::vector<TupleId>> DualIndex::SelectT1(SelectionType type,
   if (plan.exact) {
     CDB_RETURN_IF_ERROR(RunExact(plan.exact_query, &ids, stats));
     std::sort(ids.begin(), ids.end());
+    // Exact sweep, no refinement: every candidate is an early accept.
+    if (stats != nullptr) stats->filter.early_accepts += ids.size();
     return ids;
   }
   {
@@ -463,7 +477,10 @@ Result<std::vector<TupleId>> DualIndex::SelectT1(SelectionType type,
     std::sort(ids.begin(), ids.end());
     size_t before = ids.size();
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-    if (stats != nullptr) stats->duplicates += before - ids.size();
+    if (stats != nullptr) {
+      stats->duplicates += before - ids.size();
+      stats->filter.dedup_dropped += before - ids.size();
+    }
   }
   CDB_RETURN_IF_ERROR(Refine(type, q, &ids, stats));
   return ids;
@@ -480,6 +497,7 @@ Result<std::vector<TupleId>> DualIndex::SelectT2(SelectionType type,
     CDB_RETURN_IF_ERROR(
         RunExact({loc.index, type, q.cmp, q.intercept}, &ids, stats));
     std::sort(ids.begin(), ids.end());
+    if (stats != nullptr) stats->filter.early_accepts += ids.size();
     return ids;
   }
   if (loc.kind != SlopeLocation::Kind::kBetween || slopes_.size() < 2) {
@@ -559,7 +577,12 @@ Result<std::vector<TupleId>> DualIndex::SelectT2(SelectionType type,
 
 Status DualIndex::Refine(SelectionType type, const HalfPlaneQuery& q,
                          std::vector<TupleId>* ids, QueryStats* stats) {
-  if (!options_.refine) return Status::OK();
+  if (!options_.refine) {
+    // Raw-superset mode: the post-dedup candidates ship as results
+    // untested, so the filter accounting books them as early accepts.
+    if (stats != nullptr) stats->filter.early_accepts += ids->size();
+    return Status::OK();
+  }
   CDB_TRACE_SPAN("refine");
   static obs::Counter* const lp_calls =
       obs::GlobalMetrics().counter("dual.refine.lp_calls");
@@ -580,8 +603,10 @@ Status DualIndex::Refine(SelectionType type, const HalfPlaneQuery& q,
     }
     if (hit) {
       kept.push_back(id);
+      if (stats != nullptr) ++stats->filter.refine_accepts;
     } else if (stats != nullptr) {
       ++stats->false_hits;
+      ++stats->filter.refine_rejects;
     }
   }
   *ids = std::move(kept);
@@ -685,6 +710,7 @@ Result<std::vector<TupleId>> DualIndex::Select(SelectionType type,
       std::isinf(q.slope)) {
     return Status::InvalidArgument("query slope/intercept must be finite");
   }
+  if (slope_observer_ != nullptr) slope_observer_->Observe(q.slope);
   QueryStats local;
   QueryStats* st = stats != nullptr ? stats : &local;
   *st = QueryStats();
@@ -706,6 +732,7 @@ Result<std::vector<TupleId>> DualIndex::Select(SelectionType type,
         Status s = RunExact({loc.index, type, q.cmp, q.intercept}, &ids, st);
         if (!s.ok()) return s;
         std::sort(ids.begin(), ids.end());
+        st->filter.early_accepts += ids.size();
         return ids;
       }
       case QueryMethod::kT1:
@@ -720,7 +747,12 @@ Result<std::vector<TupleId>> DualIndex::Select(SelectionType type,
   obs::PhaseCost totals = obs::FinishQueryTrace(&tracer, profile);
   st->index_page_fetches = totals.index_fetches;  // Logical (decision 11).
   st->tuple_page_fetches = totals.tuple_reads;    // Physical (decision 11).
-  if (result.ok()) st->results = result.value().size();
+  if (result.ok()) {
+    st->results = result.value().size();
+    st->filter.candidates = st->candidates;
+    st->filter.results = st->results;
+    if (profile != nullptr) profile->filter = st->filter;
+  }
   return result;
 }
 
@@ -761,6 +793,11 @@ Result<std::vector<TupleId>> DualIndex::SelectVertical(
   st->index_page_fetches =
       obs::FinishQueryTrace(&tracer, profile).index_fetches;
   st->results = ids.size();
+  // Exact support sweep: every candidate is a result.
+  st->filter.candidates = st->candidates;
+  st->filter.early_accepts = ids.size();
+  st->filter.results = st->results;
+  if (profile != nullptr) profile->filter = st->filter;
   return ids;
 }
 
@@ -805,6 +842,13 @@ Result<std::vector<TupleId>> DualIndex::SelectSlab(
   st->index_page_fetches =
       obs::FinishQueryTrace(&tracer, profile).index_fetches;
   st->results = out.size();
+  // Exact set algebra over the two sweeps: candidates outside the
+  // intersection drop like T1 duplicates, survivors are early accepts.
+  st->filter.candidates = st->candidates;
+  st->filter.dedup_dropped = st->candidates - out.size();
+  st->filter.early_accepts = out.size();
+  st->filter.results = st->results;
+  if (profile != nullptr) profile->filter = st->filter;
   return out;
 }
 

@@ -27,6 +27,7 @@
 #include "constraint/relation.h"
 #include "dualindex/app_query.h"
 #include "dualindex/slope_set.h"
+#include "obs/health.h"
 #include "obs/trace.h"
 
 namespace cdb {
@@ -52,6 +53,13 @@ struct QueryStats {
   uint64_t false_hits = 0;          // Candidates removed by refinement.
   uint64_t results = 0;
   bool used_wrap_fallback = false;  // T2 delegated to T1 (slope outside S).
+
+  /// Filter-precision phase accounting (ISSUE 6): partitions `candidates`
+  /// into dedup drops / early accepts / refinement accepts / refinement
+  /// rejects. filter.Balances() holds on every path by construction (the
+  /// filter_precision tests prove it); also copied into the query's
+  /// ExplainProfile when one is attached.
+  obs::FilterCounts filter;
 };
 
 struct DualIndexOptions {
@@ -182,6 +190,22 @@ class DualIndex {
   /// cdb_check integrity checker and the crash-recovery tests.
   Status CheckInvariants() const;
 
+  /// Fills `out` with per-tree structure, occupancy, staleness and
+  /// handicap-tightness numbers plus slope-set coverage (ISSUE 6,
+  /// obs/health.h). Tightness replays the exact fold over the live
+  /// relation through the same contribution enumeration the write path
+  /// uses, so stored-vs-exact gaps measure staleness drift, never math
+  /// drift. Read-only; O(|relation| * k + leaves) page accesses.
+  Status CollectHealth(obs::HealthReport* out) const;
+
+  /// Attaches (nullptr detaches) an observed query-slope histogram:
+  /// Select() then records every query's slope. Off by default — the
+  /// serving path pays one null check and serial bench artifacts stay
+  /// untouched. The observer must outlive its attachment.
+  void set_slope_observer(obs::SlopeHistogram* observer) {
+    slope_observer_ = observer;
+  }
+
   /// Trees this index owns (2k, plus 2 with vertical support).
   size_t tree_count() const {
     return up_.size() + down_.size() + (xmax_ != nullptr ? 2 : 0);
@@ -214,8 +238,24 @@ class DualIndex {
         slopes_(std::move(slopes)),
         options_(options) {}
 
-  // Handicap contributions of one tuple for tree i on the interval toward
-  // neighbour `other` (Section 4.2 assignment values).
+  // One handicap write of FoldHandicaps: fold `v` into `slot` of the leaf
+  // covering assignment value `at` on B_i^up (is_up) or B_i^down.
+  struct HandicapContribution {
+    bool is_up;
+    double at;
+    int slot;
+    double v;
+  };
+
+  // Enumerates the four contributions of one tuple for tree i on the
+  // interval toward neighbour `other` (Section 4.2 assignment values).
+  // Shared by the FoldHandicaps write path and CollectHealth's read-only
+  // replay, so the tightness measurement can never drift from the fold.
+  Status HandicapContributions(size_t i, size_t other,
+                               const GeneralizedTuple& tuple, double top_i,
+                               double bot_i, HandicapContribution out[4]) const;
+
+  // Folds the contributions of HandicapContributions into tree i's leaves.
   Status FoldHandicaps(size_t i, size_t other, const GeneralizedTuple& tuple,
                        double top_i, double bot_i);
 
@@ -262,6 +302,7 @@ class DualIndex {
   Relation* relation_;
   SlopeSet slopes_;
   DualIndexOptions options_;
+  obs::SlopeHistogram* slope_observer_ = nullptr;
   std::vector<std::unique_ptr<BPlusTree>> up_;    // TOP^P(a_i) trees.
   std::vector<std::unique_ptr<BPlusTree>> down_;  // BOT^P(a_i) trees.
   std::unique_ptr<BPlusTree> xmax_;  // max x per tuple (vertical queries).

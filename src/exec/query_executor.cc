@@ -198,13 +198,16 @@ namespace {
 // Tallies the sampled traces of an instrumented batch: every attached
 // ExplainProfile must re-prove the self==total balance invariant (the
 // whole point of sampling under concurrency is that the attribution stays
-// exact; a mismatch is a bug, so debug builds assert).
+// exact; a mismatch is a bug, so debug builds assert) and, since the query
+// paths fill it, the filter-precision phase accounting must balance too
+// (candidates = dedup + early + accepts + rejects, results <= candidates).
 void TallySampledTraces(BatchResult* out) {
   for (const BatchItemResult& item : out->items) {
     if (item.profile == nullptr) continue;
     ++out->sampled_traces;
-    const bool balanced = item.profile->SumsBalance();
-    assert(balanced && "sampled ExplainProfile failed self==total balance");
+    const bool balanced =
+        item.profile->SumsBalance() && item.profile->filter.Balances();
+    assert(balanced && "sampled ExplainProfile failed balance invariants");
     if (balanced) ++out->balanced_traces;
   }
 }

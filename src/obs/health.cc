@@ -1,0 +1,136 @@
+#include "obs/health.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cdb {
+namespace obs {
+
+namespace {
+
+constexpr double kHalfPi = 1.5707963267948966;
+
+}  // namespace
+
+SlopeHistogram::SlopeHistogram(int buckets)
+    : counts_(buckets > 0 ? static_cast<size_t>(buckets) : 1) {}
+
+void SlopeHistogram::Observe(double slope) {
+  if (std::isnan(slope)) return;
+  const double angle = std::atan(slope);  // (-pi/2, pi/2).
+  const double frac = (angle + kHalfPi) / (2 * kHalfPi);
+  auto i = static_cast<size_t>(frac * static_cast<double>(counts_.size()));
+  if (i >= counts_.size()) i = counts_.size() - 1;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t SlopeHistogram::total() const {
+  uint64_t sum = 0;
+  for (const auto& c : counts_) sum += c.load(std::memory_order_relaxed);
+  return sum;
+}
+
+double SlopeHistogram::bucket_lo(int i) const {
+  return -kHalfPi +
+         2 * kHalfPi * static_cast<double>(i) /
+             static_cast<double>(counts_.size());
+}
+
+double SlopeHistogram::bucket_hi(int i) const { return bucket_lo(i + 1); }
+
+void HealthReport::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("schema").Value("cdb-health/v1");
+  w->Key("tuples").Value(tuples);
+  w->Key("staleness_total").Value(staleness_total);
+  w->Key("unsound_total").Value(unsound_total);
+  w->Key("trees").BeginArray();
+  for (const TreeHealth& t : trees) {
+    w->BeginObject();
+    w->Key("name").Value(t.name);
+    w->Key("slope").Value(t.slope);
+    w->Key("augmented").Value(t.augmented);
+    w->Key("entries").Value(t.entries);
+    w->Key("leaves").Value(t.leaves);
+    w->Key("height").Value(static_cast<uint64_t>(t.height));
+    w->Key("occupancy").Value(t.occupancy);
+    w->Key("staleness").Value(t.staleness);
+    w->Key("gap_samples").Value(t.gap_samples);
+    w->Key("gap_zero").Value(t.gap_zero);
+    w->Key("gap_unbounded").Value(t.gap_unbounded);
+    w->Key("gap_mean").Value(t.gap_mean());
+    w->Key("gap_max").Value(t.gap_max);
+    w->Key("unsound").Value(t.unsound);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("coverage").BeginObject();
+  w->Key("slope_angles").BeginArray();
+  for (double a : coverage.slope_angles) w->Value(a);
+  w->EndArray();
+  w->Key("max_adjacent_gap").Value(coverage.max_adjacent_gap);
+  w->Key("observed_total").Value(coverage.observed_total);
+  w->Key("observed_outside").Value(coverage.observed_outside);
+  w->Key("observed_bounds").BeginArray();
+  for (double b : coverage.observed_bounds) w->Value(b);
+  w->EndArray();
+  w->Key("observed_counts").BeginArray();
+  for (uint64_t c : coverage.observed_counts) w->Value(c);
+  w->EndArray();
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string HealthReport::ToJson() const {
+  JsonWriter w;
+  WriteJson(&w);
+  return w.TakeString();
+}
+
+std::string HealthReport::ToText() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "index health: %llu tuples, %zu trees, staleness %llu, "
+                "unsound %llu\n",
+                static_cast<unsigned long long>(tuples), trees.size(),
+                static_cast<unsigned long long>(staleness_total),
+                static_cast<unsigned long long>(unsound_total));
+  out += buf;
+  out +=
+      "tree        slope      entries leaves  occ   stale  gaps(0/ub)   "
+      "mean      max  unsound\n";
+  for (const TreeHealth& t : trees) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%-10s %8s%s %8llu %6llu %5.2f %6llu %5llu(%llu/%llu) %s %s %8llu\n",
+        t.name.c_str(), FormatDouble(t.slope).c_str(),
+        t.augmented ? "*" : " ", static_cast<unsigned long long>(t.entries),
+        static_cast<unsigned long long>(t.leaves), t.occupancy,
+        static_cast<unsigned long long>(t.staleness),
+        static_cast<unsigned long long>(t.gap_samples),
+        static_cast<unsigned long long>(t.gap_zero),
+        static_cast<unsigned long long>(t.gap_unbounded),
+        FormatDouble(t.gap_mean()).c_str(), FormatDouble(t.gap_max).c_str(),
+        static_cast<unsigned long long>(t.unsound));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "slope coverage: %zu slopes, max adjacent angular gap %s rad\n",
+                coverage.slope_angles.size(),
+                FormatDouble(coverage.max_adjacent_gap).c_str());
+  out += buf;
+  if (coverage.observed_total > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "observed queries: %llu total, %llu outside S's angle span\n",
+                  static_cast<unsigned long long>(coverage.observed_total),
+                  static_cast<unsigned long long>(coverage.observed_outside));
+    out += buf;
+  } else {
+    out += "observed queries: none recorded (no slope observer attached)\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace cdb

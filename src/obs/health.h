@@ -1,0 +1,112 @@
+// Index-health data model and renderers (ISSUE 6): what
+// DualIndex::CollectHealth measures about an index, plus JSON and text
+// reports over it. The obs layer defines only the vocabulary — the
+// collection logic lives with the index (dualindex/dual_health.cc), which
+// replays the exact handicap fold to measure tightness.
+//
+// Handicap tightness (DESIGN.md section 2f): for every (leaf, slot) of an
+// ordinary tree, the gap between the stored handicap and the exact value a
+// fresh RebuildHandicaps() would produce. Stored values may only be
+// *conservative* (splits copy, deletes leave contributions behind), so the
+// gap is signed in the slot's safe direction and a negative gap — a stored
+// bound tighter than the truth — is counted as `unsound` and must be 0.
+// Augmented trees are maintained exactly; any gap there is a bug.
+
+#ifndef CDB_OBS_HEALTH_H_
+#define CDB_OBS_HEALTH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace cdb {
+namespace obs {
+
+/// Observed query-slope histogram: fixed buckets over the slope *angle*
+/// atan(slope) in (-pi/2, pi/2). Attach one to a DualIndex with
+/// set_slope_observer() and every Select() records its query slope;
+/// detached (the default) the serving path pays one null check. Observe()
+/// is atomic — safe from concurrent batch workers.
+class SlopeHistogram {
+ public:
+  explicit SlopeHistogram(int buckets = 32);
+  SlopeHistogram(const SlopeHistogram&) = delete;
+  SlopeHistogram& operator=(const SlopeHistogram&) = delete;
+
+  void Observe(double slope);
+
+  int buckets() const { return static_cast<int>(counts_.size()); }
+  uint64_t count(int i) const {
+    return counts_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  uint64_t total() const;
+  /// [lo, hi) angle range of bucket i, radians.
+  double bucket_lo(int i) const;
+  double bucket_hi(int i) const;
+
+ private:
+  std::vector<std::atomic<uint64_t>> counts_;
+};
+
+/// Health of one B+-tree of the index (one slope surface, or a vertical
+/// support tree).
+struct TreeHealth {
+  std::string name;  // "up[i]" / "down[i]" / "xmax" / "xmin".
+  double slope = 0;  // a_i; 0 for the vertical support trees.
+  bool augmented = false;
+  uint64_t entries = 0;
+  uint64_t leaves = 0;
+  uint32_t height = 0;
+  double occupancy = 0;    // entries / (leaves * leaf capacity).
+  uint64_t staleness = 0;  // BPlusTree::handicap_staleness().
+
+  // Handicap tightness over (leaf, slot) pairs; see file comment. Finite
+  // stored-vs-exact pairs land in the gap distribution; a finite stored
+  // value whose exact counterpart is neutral (every contribution deleted)
+  // counts as `gap_unbounded` instead of skewing the mean.
+  uint64_t gap_samples = 0;
+  uint64_t gap_zero = 0;  // Samples with gap == 0 (still exact).
+  uint64_t gap_unbounded = 0;
+  double gap_sum = 0;
+  double gap_max = 0;
+  uint64_t unsound = 0;  // Stored bound tighter than exact; must be 0.
+
+  double gap_mean() const {
+    return gap_samples == 0 ? 0 : gap_sum / static_cast<double>(gap_samples);
+  }
+};
+
+/// Slope-set angular coverage vs the observed query-slope histogram.
+struct SlopeCoverageHealth {
+  std::vector<double> slope_angles;  // atan(a_i), ascending, radians.
+  double max_adjacent_gap = 0;       // Largest angular gap inside S.
+
+  // Observed histogram (empty when no observer was attached).
+  std::vector<double> observed_bounds;    // buckets+1 angle edges.
+  std::vector<uint64_t> observed_counts;  // One count per bucket.
+  uint64_t observed_total = 0;
+  uint64_t observed_outside = 0;  // Queries outside [min angle, max angle]
+                                  // of S — the ones T2 must wrap-fallback.
+};
+
+/// The full report; schema "cdb-health/v1" in JSON form.
+struct HealthReport {
+  uint64_t tuples = 0;
+  uint64_t staleness_total = 0;
+  uint64_t unsound_total = 0;
+  std::vector<TreeHealth> trees;
+  SlopeCoverageHealth coverage;
+
+  void WriteJson(JsonWriter* w) const;
+  std::string ToJson() const;
+  /// Human-readable multi-line report (one line per tree plus summaries).
+  std::string ToText() const;
+};
+
+}  // namespace obs
+}  // namespace cdb
+
+#endif  // CDB_OBS_HEALTH_H_

@@ -1,6 +1,7 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -67,28 +68,36 @@ JsonWriter& JsonWriter::Value(std::string_view v) {
 JsonWriter& JsonWriter::Value(double v) {
   if (!std::isfinite(v)) return Null();
   Separate();
+  out_ += FormatDouble(v);
+  return *this;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[40];
   // Integral values print as plain integers ("200", not the equally
-  // round-trippable but unreadable "2e+02" that %.1g would win with).
+  // round-trippable but unreadable "2e+02" that precision 1 would win with).
   if (v == std::floor(v) && std::fabs(v) < 1e15) {
-    char ibuf[32];
-    std::snprintf(ibuf, sizeof(ibuf), "%.0f", v);
-    out_ += ibuf;
-    return *this;
+    auto r = std::to_chars(buf, buf + sizeof(buf), v,
+                           std::chars_format::fixed, 0);
+    return std::string(buf, r.ptr);
   }
-  char buf[32];
-  // Shortest representation that round-trips a double.
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  // Prefer a shorter form when it parses back exactly.
-  for (int prec = 1; prec < 17; ++prec) {
-    char probe[32];
-    std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
-    if (std::strtod(probe, nullptr) == v) {
-      out_ += probe;
-      return *this;
+  // Shortest %g-style form that parses back exactly. to_chars/from_chars
+  // match "C"-locale printf/strtod byte for byte but never consult the
+  // process locale.
+  for (int prec = 1; prec <= 17; ++prec) {
+    auto r = std::to_chars(buf, buf + sizeof(buf), v,
+                           std::chars_format::general, prec);
+    double back = 0;
+    auto f = std::from_chars(buf, r.ptr, back);
+    if (f.ec == std::errc() && f.ptr == r.ptr && back == v) {
+      return std::string(buf, r.ptr);
     }
   }
-  out_ += buf;
-  return *this;
+  auto r =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 17);
+  return std::string(buf, r.ptr);
 }
 
 JsonWriter& JsonWriter::Value(uint64_t v) {

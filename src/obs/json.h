@@ -56,6 +56,15 @@ class JsonWriter {
 /// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
 std::string JsonEscape(std::string_view s);
 
+/// Formats a double as the shortest decimal string that parses back to the
+/// same value, via std::to_chars — byte-identical to the "C"-locale printf
+/// output JsonWriter historically produced, but independent of the process
+/// locale (a German LC_NUMERIC cannot turn "0.5" into "0,5"). Integral
+/// values below 1e15 print as plain integers ("200", not "2e+02").
+/// Non-finite values yield "inf" / "-inf" / "nan" tokens; callers that
+/// need JSON (null) or Prometheus ("+Inf") spellings map them themselves.
+std::string FormatDouble(double v);
+
 /// A parsed JSON document. Object member order is preserved.
 class JsonValue {
  public:

@@ -144,6 +144,49 @@ std::string MetricsRegistry::ToJson() const {
   return w.TakeString();
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = h->bounds();
+    data.counts.resize(data.bounds.size() + 1);
+    for (size_t i = 0; i < data.counts.size(); ++i) {
+      data.counts[i] = h->bucket_count(i);
+    }
+    data.count = h->count();
+    data.sum = h->sum();
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& later,
+                              const MetricsSnapshot& earlier) {
+  auto sub = [](uint64_t a, uint64_t b) { return a > b ? a - b : 0; };
+  MetricsSnapshot out;
+  for (const auto& [name, v] : later.counters) {
+    auto it = earlier.counters.find(name);
+    out.counters[name] = it == earlier.counters.end() ? v : sub(v, it->second);
+  }
+  out.gauges = later.gauges;
+  for (const auto& [name, h] : later.histograms) {
+    MetricsSnapshot::HistogramData d = h;
+    auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end() && it->second.bounds == h.bounds) {
+      for (size_t i = 0; i < d.counts.size(); ++i) {
+        d.counts[i] = sub(d.counts[i], it->second.counts[i]);
+      }
+      d.count = sub(d.count, it->second.count);
+      d.sum = d.count == 0 ? 0 : d.sum - it->second.sum;
+    }
+    out.histograms[name] = std::move(d);
+  }
+  return out;
+}
+
 MetricsRegistry& GlobalMetrics() {
   static MetricsRegistry* registry = new MetricsRegistry(/*enabled=*/false);
   return *registry;

@@ -128,6 +128,31 @@ class Histogram {
   std::atomic<double> sum_{0};
 };
 
+/// Point-in-time copy of a registry's contents, decoupled from the live
+/// atomics. The unit of export (obs/export.h Prometheus exposition) and of
+/// interval accounting via SnapshotDelta. Maps keep everything sorted by
+/// metric name, so renderings diff cleanly across runs.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  // bounds.size() + 1; overflow last.
+    uint64_t count = 0;
+    double sum = 0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+};
+
+/// Interval view between two snapshots of the same registry: counters and
+/// histogram tallies become `later - earlier` (clamped at zero, so a
+/// ResetAll between the snapshots reads as a fresh start rather than an
+/// underflow); gauges keep the later point-in-time value. Metrics absent
+/// from `earlier` are taken whole.
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& later,
+                              const MetricsSnapshot& earlier);
+
 /// See file comment.
 class MetricsRegistry {
  public:
@@ -158,6 +183,11 @@ class MetricsRegistry {
   /// members sorted by metric name.
   void WriteJson(JsonWriter* w) const;
   std::string ToJson() const;
+
+  /// Copies every metric's current value (sorted by name). The snapshot is
+  /// internally consistent per metric; concurrent writers may land between
+  /// two metrics' reads, like any export.
+  MetricsSnapshot Snapshot() const;
 
  private:
   std::atomic<bool> enabled_;

@@ -215,6 +215,18 @@ std::string ExplainProfile::ToString() const {
                 static_cast<unsigned long long>(totals.tuple_reads),
                 totals.wall_ms, SumsBalance() ? "balanced" : "UNBALANCED");
   out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "filter: %llu cand = %llu dedup + %llu early + %llu accept + "
+                "%llu reject -> %llu results  precision %.3f  [%s]\n",
+                static_cast<unsigned long long>(filter.candidates),
+                static_cast<unsigned long long>(filter.dedup_dropped),
+                static_cast<unsigned long long>(filter.early_accepts),
+                static_cast<unsigned long long>(filter.refine_accepts),
+                static_cast<unsigned long long>(filter.refine_rejects),
+                static_cast<unsigned long long>(filter.results),
+                filter.precision(),
+                filter.Balances() ? "balanced" : "UNBALANCED");
+  out += buf;
   AppendNode(root, 0, &out);
   return out;
 }
@@ -229,6 +241,16 @@ void ExplainProfile::WriteJson(JsonWriter* w) const {
   w->Key("wall_ms").Value(totals.wall_ms);
   w->EndObject();
   w->Key("balanced").Value(SumsBalance());
+  w->Key("filter").BeginObject();
+  w->Key("candidates").Value(filter.candidates);
+  w->Key("dedup_dropped").Value(filter.dedup_dropped);
+  w->Key("early_accepts").Value(filter.early_accepts);
+  w->Key("refine_accepts").Value(filter.refine_accepts);
+  w->Key("refine_rejects").Value(filter.refine_rejects);
+  w->Key("results").Value(filter.results);
+  w->Key("precision").Value(filter.precision());
+  w->Key("balanced").Value(filter.Balances());
+  w->EndObject();
   w->Key("root");
   WriteNodeJson(root, w);
   w->EndObject();

@@ -163,11 +163,49 @@ class ScopedSpan {
 #define CDB_TRACE_SPAN(name) \
   ::cdb::obs::ScopedSpan CDB_TRACE_CONCAT(cdb_trace_span_, __LINE__)(name)
 
+/// Per-query filter-precision accounting (ISSUE 6): how many candidate
+/// entries the filter step produced and what happened to each of them.
+/// Every candidate meets exactly one of four fates — dropped by
+/// deduplication / set algebra before refinement, accepted without an LP
+/// test (exact paths, or refinement disabled), accepted by the LP
+/// predicate, or rejected by it — so the counts partition `candidates`,
+/// which Balances() re-proves per query.
+struct FilterCounts {
+  uint64_t candidates = 0;      // Entries produced by index sweeps/searches.
+  uint64_t dedup_dropped = 0;   // Removed before refinement (T1 duplicates,
+                                // slab set-intersection drops).
+  uint64_t early_accepts = 0;   // Accepted without an LP refinement test.
+  uint64_t refine_accepts = 0;  // Accepted by the exact LP predicate.
+  uint64_t refine_rejects = 0;  // Rejected by it (the false hits).
+
+  uint64_t results = 0;
+
+  /// The partition invariant: the four phase counts sum to `candidates`,
+  /// accepted candidates are exactly the results, and the filter step can
+  /// only over-approximate (candidates >= results).
+  bool Balances() const {
+    return candidates ==
+               dedup_dropped + early_accepts + refine_accepts +
+                   refine_rejects &&
+           results == early_accepts + refine_accepts &&
+           candidates >= results;
+  }
+
+  /// Filter precision results/candidates in (0, 1]; an empty candidate set
+  /// is vacuously precise.
+  double precision() const {
+    return candidates == 0
+               ? 1.0
+               : static_cast<double>(results) / static_cast<double>(candidates);
+  }
+};
+
 /// "EXPLAIN ANALYZE"-style result of one query execution: the phase tree
 /// plus the whole-query totals it provably sums to.
 struct ExplainProfile {
   ProfileNode root;
-  PhaseCost totals;  // Whole-query pager delta (== root.Total()).
+  PhaseCost totals;     // Whole-query pager delta (== root.Total()).
+  FilterCounts filter;  // Filled by the query path after FinishQueryTrace.
 
   /// Re-proves the attribution invariant: root.Total() must reproduce
   /// `totals` exactly on all four I/O counters.

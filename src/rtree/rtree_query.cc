@@ -26,6 +26,7 @@ Result<std::vector<TupleId>> SelectImpl(Tree* tree, Relation* relation,
   if (!candidates.ok()) return candidates.status();
   st->candidates = candidates.value().size() + rstats.duplicates;
   st->duplicates = rstats.duplicates;
+  st->filter.dedup_dropped = rstats.duplicates;
 
   static obs::Counter* const lp_calls =
       obs::GlobalMetrics().counter("rtree.refine.lp_calls");
@@ -47,8 +48,10 @@ Result<std::vector<TupleId>> SelectImpl(Tree* tree, Relation* relation,
                      : ExactExist(tuple.constraints(), q);
       if (hit) {
         kept.push_back(id);
+        ++st->filter.refine_accepts;
       } else {
         ++st->false_hits;
+        ++st->filter.refine_rejects;
       }
     }
   }
@@ -56,6 +59,9 @@ Result<std::vector<TupleId>> SelectImpl(Tree* tree, Relation* relation,
   st->index_page_fetches = totals.index_fetches;  // Logical (decision 11).
   st->tuple_page_fetches = totals.tuple_reads;    // Physical (decision 11).
   st->results = kept.size();
+  st->filter.candidates = st->candidates;
+  st->filter.results = st->results;
+  if (profile != nullptr) profile->filter = st->filter;
   return kept;
 }
 

@@ -1,0 +1,232 @@
+// cdb_stats: index-health inspector for a ConstraintDatabase (ISSUE 6).
+//
+//   cdb_stats <db-path> [--page_size=N] [--json] [--generate=N] [--seed=S]
+//             [--probe=N]
+//
+// Opens the database at <path> (the <path>.rel / <path>.idx pair) and
+// prints the health report DualIndex::CollectHealth measures: per-tree
+// structure and occupancy, handicap staleness debt, handicap-tightness gap
+// distributions (stored vs exact replay), and slope-set angular coverage.
+//
+//   --generate=N  create a fresh database at <path> first (error if one
+//                 already exists) with N random bounded tuples — a
+//                 self-contained smoke mode for CI.
+//   --probe=N     run N selectivity-calibrated queries with a slope
+//                 observer attached before reporting: fills the observed
+//                 query-slope histogram and aggregates filter precision,
+//                 verifying the phase-count balance invariant per query.
+//   --json        emit one "cdb-stats/v1" JSON object (health report plus
+//                 probe summary) instead of the text report.
+//
+// Exit status: 0 = healthy, 1 = unsound handicaps or filter-accounting
+// violations found, 2 = could not open / usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "obs/health.h"
+#include "obs/json.h"
+#include "workload/generator.h"
+#include "workload/query_gen.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <db-path> [--page_size=N] [--json] [--generate=N] "
+               "[--seed=S] [--probe=N]\n",
+               argv0);
+  return 2;
+}
+
+int EmitJsonError(const std::string& path, const char* stage,
+                  const cdb::Status& st, int exit_code) {
+  cdb::obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").Value("cdb-stats/v1");
+  w.Key("path").Value(path);
+  w.Key("ok").Value(false);
+  w.Key("error").Value(std::string(stage) + ": " + st.ToString());
+  w.EndObject();
+  std::printf("%s\n", w.TakeString().c_str());
+  return exit_code;
+}
+
+struct ProbeSummary {
+  uint64_t queries = 0;
+  uint64_t candidates = 0;
+  uint64_t results = 0;
+  double precision_sum = 0;  // Sum of per-query results/candidates.
+  uint64_t balance_violations = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool json = false;
+  long generate = 0;
+  long probe = 0;
+  uint64_t seed = 1;
+  cdb::DatabaseOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--page_size=", 12) == 0) {
+      long v = std::atol(arg + 12);
+      if (v <= 0) return Usage(argv[0]);
+      options.page_size = static_cast<size_t>(v);
+    } else if (std::strncmp(arg, "--generate=", 11) == 0) {
+      generate = std::atol(arg + 11);
+      if (generate <= 0) return Usage(argv[0]);
+    } else if (std::strncmp(arg, "--probe=", 8) == 0) {
+      probe = std::atol(arg + 8);
+      if (probe <= 0) return Usage(argv[0]);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (arg[0] == '-') {
+      return Usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (path.empty()) return Usage(argv[0]);
+
+  const bool exists = std::filesystem::exists(path + ".rel") ||
+                      std::filesystem::exists(path + ".idx");
+  if (generate > 0 && exists) {
+    cdb::Status st = cdb::Status::InvalidArgument(
+        "--generate refuses to overwrite an existing database");
+    if (json) return EmitJsonError(path, "generate", st, 2);
+    std::fprintf(stderr, "cdb_stats: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  if (generate == 0 && !exists) {
+    // ConstraintDatabase::Open creates missing files; an inspector must not.
+    cdb::Status st =
+        cdb::Status::InvalidArgument("no database (.rel/.idx missing)");
+    if (json) return EmitJsonError(path, "open", st, 2);
+    std::fprintf(stderr, "cdb_stats: no database at %s (.rel/.idx missing)\n",
+                 path.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<cdb::ConstraintDatabase> db;
+  cdb::Status st = cdb::ConstraintDatabase::Open(path, options, &db);
+  if (!st.ok()) {
+    if (json) return EmitJsonError(path, "open", st, 2);
+    std::fprintf(stderr, "cdb_stats: open failed: %s\n",
+                 st.ToString().c_str());
+    return 2;
+  }
+
+  cdb::Rng rng(seed);
+  if (generate > 0) {
+    cdb::WorkloadOptions wopts;
+    for (long i = 0; i < generate; ++i) {
+      cdb::Result<cdb::TupleId> id =
+          db->Insert(cdb::RandomBoundedTuple(&rng, wopts));
+      if (!id.ok()) {
+        if (json) return EmitJsonError(path, "generate", id.status(), 2);
+        std::fprintf(stderr, "cdb_stats: insert failed: %s\n",
+                     id.status().ToString().c_str());
+        return 2;
+      }
+    }
+    st = db->Flush();
+    if (!st.ok()) {
+      if (json) return EmitJsonError(path, "generate", st, 2);
+      std::fprintf(stderr, "cdb_stats: flush failed: %s\n",
+                   st.ToString().c_str());
+      return 2;
+    }
+  }
+
+  cdb::obs::SlopeHistogram observer;
+  ProbeSummary ps;
+  if (probe > 0) {
+    db->index()->set_slope_observer(&observer);
+    for (long i = 0; i < probe; ++i) {
+      cdb::SelectionType type = i % 2 == 0 ? cdb::SelectionType::kExist
+                                           : cdb::SelectionType::kAll;
+      cdb::Result<cdb::CalibratedQuery> cq = cdb::GenerateQuery(
+          *db->relation(), type, 0.05, 0.6, &rng);
+      if (!cq.ok()) {
+        if (json) return EmitJsonError(path, "probe", cq.status(), 2);
+        std::fprintf(stderr, "cdb_stats: query generation failed: %s\n",
+                     cq.status().ToString().c_str());
+        return 2;
+      }
+      cdb::QueryStats qs;
+      cdb::Result<std::vector<cdb::TupleId>> r =
+          db->Select(cq.value().type, cq.value().query,
+                     cdb::QueryMethod::kAuto, &qs);
+      if (!r.ok()) {
+        if (json) return EmitJsonError(path, "probe", r.status(), 2);
+        std::fprintf(stderr, "cdb_stats: probe query failed: %s\n",
+                     r.status().ToString().c_str());
+        return 2;
+      }
+      ++ps.queries;
+      ps.candidates += qs.filter.candidates;
+      ps.results += qs.filter.results;
+      ps.precision_sum += qs.filter.precision();
+      if (!qs.filter.Balances()) ++ps.balance_violations;
+    }
+  }
+
+  cdb::obs::HealthReport report;
+  st = db->index()->CollectHealth(&report);
+  if (!st.ok()) {
+    if (json) return EmitJsonError(path, "collect", st, 2);
+    std::fprintf(stderr, "cdb_stats: health collection failed: %s\n",
+                 st.ToString().c_str());
+    return 2;
+  }
+
+  if (json) {
+    cdb::obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").Value("cdb-stats/v1");
+    w.Key("path").Value(path);
+    w.Key("ok").Value(report.unsound_total == 0 &&
+                      ps.balance_violations == 0);
+    w.Key("health");
+    report.WriteJson(&w);
+    if (ps.queries > 0) {
+      w.Key("probe");
+      w.BeginObject();
+      w.Key("queries").Value(ps.queries);
+      w.Key("candidates").Value(ps.candidates);
+      w.Key("results").Value(ps.results);
+      w.Key("mean_precision")
+          .Value(ps.precision_sum / static_cast<double>(ps.queries));
+      w.Key("balance_violations").Value(ps.balance_violations);
+      w.EndObject();
+    }
+    w.EndObject();
+    std::printf("%s\n", w.TakeString().c_str());
+  } else {
+    std::printf("%s", report.ToText().c_str());
+    if (ps.queries > 0) {
+      std::printf(
+          "probe: %llu queries  %llu candidates -> %llu results  "
+          "mean precision %.3f  balance violations %llu\n",
+          static_cast<unsigned long long>(ps.queries),
+          static_cast<unsigned long long>(ps.candidates),
+          static_cast<unsigned long long>(ps.results),
+          ps.precision_sum / static_cast<double>(ps.queries),
+          static_cast<unsigned long long>(ps.balance_violations));
+    }
+  }
+  return report.unsound_total == 0 && ps.balance_violations == 0 ? 0 : 1;
+}
