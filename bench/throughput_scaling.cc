@@ -207,6 +207,50 @@ bool MeasureObservability(Dataset* ds,
   return ok;
 }
 
+// Overload pass (ISSUE 7): one batch through a bounded admission queue of
+// half the submitted size. The "overload" row records the full ledger —
+// submitted, completed, shed — and check_bench_json.py enforces the
+// identity shed + completed == submitted on the artifact. Returns false
+// when the ledger does not balance or an *admitted* query failed.
+bool MeasureOverload(Dataset* ds, const std::vector<exec::BatchQuery>& batch,
+                     BenchReporter* reporter) {
+  exec::QueryExecutor executor(4);
+  exec::BatchObservability bobs;
+  bobs.overload.admission_capacity = (batch.size() + 1) / 2;
+  exec::BatchResult out;
+  DropCaches(ds);
+  if (!executor.RunBatch(ds->dual.get(), batch, bobs, &out).ok()) {
+    std::fprintf(stderr, "FATAL: overload batch failed\n");
+    std::abort();
+  }
+  size_t completed = 0;
+  size_t other_errors = 0;
+  for (const exec::BatchItemResult& item : out.items) {
+    if (item.status.ok()) {
+      ++completed;
+    } else if (!item.status.IsUnavailable()) {
+      ++other_errors;
+    }
+  }
+  reporter->AddValue("overload", {}, "submitted",
+                     static_cast<double>(batch.size()));
+  reporter->AddValue("overload", {}, "completed",
+                     static_cast<double>(completed));
+  reporter->AddValue("overload", {}, "shed", static_cast<double>(out.shed));
+  std::printf("overload: %zu submitted, %zu completed, %llu shed\n",
+              batch.size(), completed,
+              static_cast<unsigned long long>(out.shed));
+  if (other_errors != 0 || out.shed + completed != batch.size()) {
+    std::fprintf(stderr,
+                 "FAIL: overload ledger %llu shed + %zu completed != %zu "
+                 "submitted (%zu other errors)\n",
+                 static_cast<unsigned long long>(out.shed), completed,
+                 batch.size(), other_errors);
+    return false;
+  }
+  return true;
+}
+
 ThroughputRow MeasureThroughput(Dataset* ds,
                                 const std::vector<exec::BatchQuery>& batch,
                                 size_t threads, bool warm) {
@@ -304,6 +348,8 @@ int Run(int argc, char** argv) {
     }
   }
 
+  const bool overload_ok = MeasureOverload(&ds, batch, &reporter);
+
   if (!trace_path.empty()) {
     std::vector<const obs::ExplainProfile*> ptrs;
     ptrs.reserve(sampled.size());
@@ -330,6 +376,10 @@ int Run(int argc, char** argv) {
   }
   if (!obs_ok) {
     std::fprintf(stderr, "FAIL: latency/sampling invariant violated\n");
+    return 1;
+  }
+  if (!overload_ok) {
+    std::fprintf(stderr, "FAIL: overload ledger does not balance\n");
     return 1;
   }
   return reporter.Write() ? 0 : 1;

@@ -76,6 +76,21 @@ def _check_filter_precision(where, values, errors):
                     "one fate)")
 
 
+def _check_overload_ledger(where, values, errors):
+    """Overload-control ledger (ISSUE 7), applied to any row carrying the
+    full set of keys: every submitted query must be accounted for exactly
+    once — shed (at admission or by the queue-wait rung) or completed."""
+    submitted = values.get("submitted")
+    completed = values.get("completed")
+    shed = values.get("shed")
+    if not all(_is_number(v) for v in (submitted, completed, shed)):
+        return
+    if abs((shed + completed) - submitted) > 1e-9 * max(1.0, abs(submitted)):
+        errors.append(
+            f"{where}: shed {shed!r} + completed {completed!r} != "
+            f"submitted {submitted!r} (every query must be shed or served)")
+
+
 def _check_measurement(i, m, errors):
     where = f"measurements[{i}]"
     if not isinstance(m, dict):
@@ -91,6 +106,7 @@ def _check_measurement(i, m, errors):
         errors.append(f"{where}.values: empty (a measurement must measure)")
     if isinstance(values, dict):
         _check_filter_precision(f"{where}.values", values, errors)
+        _check_overload_ledger(f"{where}.values", values, errors)
 
 
 def _check_histogram(name, h, errors):
@@ -187,6 +203,7 @@ def _check_throughput_scaling(doc, errors):
     warm_queries = {}
     obs_rows = {"latency": {}, "queue_wait": {}, "sampling": {}}
     accounting = None
+    overload = None
     for m in doc.get("measurements", []):
         if not isinstance(m, dict):
             continue
@@ -197,6 +214,8 @@ def _check_throughput_scaling(doc, errors):
         threads = params.get("threads") if isinstance(params, dict) else None
         if m.get("label") == "accounting":
             accounting = values.get("accounting_match")
+        if m.get("label") == "overload":
+            overload = values
         if m.get("label") in ("warm", "cold"):
             failed = values.get("failed")
             if _is_number(failed) and failed != 0:
@@ -240,6 +259,15 @@ def _check_throughput_scaling(doc, errors):
                 f"throughput_scaling: sampling[{t}] {balanced!r} of "
                 f"{sampled!r} sampled traces balanced (self==total "
                 "invariant broken)")
+    if overload is None:
+        errors.append(
+            "throughput_scaling: no overload ledger row (the bench must "
+            "exercise admission shedding and account for every query)")
+    elif not all(_is_number(overload.get(k))
+                 for k in ("submitted", "completed", "shed")):
+        errors.append(
+            "throughput_scaling: overload row must carry numeric "
+            "submitted/completed/shed")
     if accounting is None:
         errors.append("throughput_scaling: no accounting_match measurement")
     elif accounting != 1:
@@ -452,6 +480,8 @@ _GOOD_THROUGHPUT = {
                     "p99_ms": 0.13}},
         {"label": "sampling", "params": {"threads": 2},
          "values": {"sampled": 61, "balanced": 61}},
+        {"label": "overload", "params": {},
+         "values": {"submitted": 256, "completed": 128, "shed": 128}},
     ],
     "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
 }
@@ -578,6 +608,14 @@ def self_test():
         lambda d: d["measurements"][6]["values"].update(sampled=0,
                                                         balanced=0),
         "sampling enabled but nothing traced")
+    broken_throughput(lambda d: d["measurements"].pop(10),
+                      "throughput_scaling sans overload ledger row")
+    broken_throughput(
+        lambda d: d["measurements"][10]["values"].update(shed=100),
+        "overload ledger does not balance (shed + completed != submitted)")
+    broken_throughput(
+        lambda d: d["measurements"][10]["values"].pop("completed"),
+        "overload row missing a ledger column")
 
     expect(_GOOD_ONLINE, True, "good online_updates artifact")
 

@@ -24,12 +24,16 @@ constexpr int kHighSlot = 2;
 // slot >= 0.
 Status SweepTree(BPlusTree* tree, double b, bool upward, int slot,
                  std::vector<TupleId>* out, double* bound,
-                 QueryStats* stats) {
+                 QueryStats* stats, const QueryContext* ctx) {
   LeafCursor cur;
   CDB_RETURN_IF_ERROR(tree->SeekLeaf(b, &cur));
   if (bound != nullptr) *bound = upward ? kInf : -kInf;
   bool first = true;
   while (cur.valid()) {
+    // Deadline/cancellation checkpoint, once per leaf (= one page fetch).
+    // The cursor holds no pins between moves, so this early exit is
+    // pin-clean by construction.
+    CDB_RETURN_IF_ERROR(CheckQueryContext(ctx));
     if (slot >= 0 && bound != nullptr) {
       double h = cur.handicap(slot);
       *bound = upward ? std::min(*bound, h) : std::max(*bound, h);
@@ -64,11 +68,13 @@ Status SweepTree(BPlusTree* tree, double b, bool upward, int slot,
 // Second sweep: the opposite direction, bounded by the handicap value
 // (see DualIndex::SweepSecond; keys equal to b belong to the first sweep).
 Status SweepSecondTree(BPlusTree* tree, double b, bool downward, double bound,
-                       std::vector<TupleId>* out, QueryStats* stats) {
+                       std::vector<TupleId>* out, QueryStats* stats,
+                       const QueryContext* ctx) {
   LeafCursor cur;
   CDB_RETURN_IF_ERROR(tree->SeekLeaf(b, &cur));
   bool first = true;
   while (cur.valid()) {
+    CDB_RETURN_IF_ERROR(CheckQueryContext(ctx));
     if (downward) {
       int start = first ? cur.seek_pos() - 1 : cur.entry_count() - 1;
       for (int j = start; j >= 0; --j) {
@@ -277,7 +283,7 @@ std::vector<size_t> DDimDualIndex::FindCoveringSimplex(
 
 Status DDimDualIndex::RunExact(size_t slope_idx, SelectionType type, Cmp cmp,
                                double intercept, std::vector<TupleId>* out,
-                               QueryStats* stats) {
+                               QueryStats* stats, const QueryContext* ctx) {
   BPlusTree* tree;
   if (type == SelectionType::kExist) {
     tree = cmp == Cmp::kGE ? up_[slope_idx].get() : down_[slope_idx].get();
@@ -285,17 +291,21 @@ Status DDimDualIndex::RunExact(size_t slope_idx, SelectionType type, Cmp cmp,
     tree = cmp == Cmp::kGE ? down_[slope_idx].get() : up_[slope_idx].get();
   }
   return SweepTree(tree, intercept, /*upward=*/cmp == Cmp::kGE, /*slot=*/-1,
-                   out, nullptr, stats);
+                   out, nullptr, stats, ctx);
 }
 
 Status DDimDualIndex::Refine(SelectionType type, const HalfPlaneQueryD& q,
-                             std::vector<TupleId>* ids, QueryStats* st) {
+                             std::vector<TupleId>* ids, QueryStats* st,
+                             const QueryContext* ctx) {
   CDB_TRACE_SPAN("refine");
   static obs::Counter* const lp_calls =
       obs::GlobalMetrics().counter("ddim.refine.lp_calls");
   std::vector<TupleId> kept;
   kept.reserve(ids->size());
   for (TupleId id : *ids) {
+    // Checkpoint before each tuple fetch (a page-fetch boundary);
+    // candidates not yet tested are booked as abandoned by Select.
+    CDB_RETURN_IF_ERROR(CheckQueryContext(ctx));
     GeneralizedTupleD tuple;
     {
       CDB_TRACE_SPAN("fetch-tuple");
@@ -320,7 +330,8 @@ Status DDimDualIndex::Refine(SelectionType type, const HalfPlaneQueryD& q,
 
 Result<std::vector<TupleId>> DDimDualIndex::SelectT1(SelectionType type,
                                                      const HalfPlaneQueryD& q,
-                                                     QueryStats* st) {
+                                                     QueryStats* st,
+                                                     const QueryContext* ctx) {
   std::vector<size_t> simplex = FindCoveringSimplex(q.slope);
   if (simplex.empty()) {
     return Status::NotSupported(
@@ -345,7 +356,8 @@ Result<std::vector<TupleId>> DDimDualIndex::SelectT1(SelectionType type,
           (type == SelectionType::kAll && j == all_idx)
               ? SelectionType::kAll
               : SelectionType::kExist;
-      CDB_RETURN_IF_ERROR(RunExact(j, app_type, q.cmp, q.intercept, &ids, st));
+      CDB_RETURN_IF_ERROR(
+          RunExact(j, app_type, q.cmp, q.intercept, &ids, st, ctx));
     }
     std::sort(ids.begin(), ids.end());
     size_t before_dedup = ids.size();
@@ -353,13 +365,14 @@ Result<std::vector<TupleId>> DDimDualIndex::SelectT1(SelectionType type,
     st->duplicates += before_dedup - ids.size();
     st->filter.dedup_dropped += before_dedup - ids.size();
   }
-  CDB_RETURN_IF_ERROR(Refine(type, q, &ids, st));
+  CDB_RETURN_IF_ERROR(Refine(type, q, &ids, st, ctx));
   return ids;
 }
 
 Result<std::vector<TupleId>> DDimDualIndex::SelectT2(SelectionType type,
                                                      const HalfPlaneQueryD& q,
-                                                     QueryStats* st) {
+                                                     QueryStats* st,
+                                                     const QueryContext* ctx) {
   // Applicability: d == 3 with precomputed cells, query slope point inside
   // the bounding box of S (the cells tile exactly that box).
   bool applicable = !cell_vertices_.empty();
@@ -376,7 +389,7 @@ Result<std::vector<TupleId>> DDimDualIndex::SelectT2(SelectionType type,
   }
   if (!applicable) {
     st->used_wrap_fallback = true;
-    return SelectT1(type, q, st);
+    return SelectT1(type, q, st, ctx);
   }
 
   // Nearest site: the query point lies in its Voronoi cell by definition.
@@ -420,17 +433,17 @@ Result<std::vector<TupleId>> DDimDualIndex::SelectT2(SelectionType type,
     {
       CDB_TRACE_SPAN("sweep/first");
       CDB_RETURN_IF_ERROR(
-          SweepTree(tree, q.intercept, sweep_up, slot, &ids, &bound, st));
+          SweepTree(tree, q.intercept, sweep_up, slot, &ids, &bound, st, ctx));
     }
     if (sweep_up ? bound < q.intercept : bound > q.intercept) {
       CDB_TRACE_SPAN("sweep/second");
       CDB_RETURN_IF_ERROR(SweepSecondTree(tree, q.intercept,
                                           /*downward=*/sweep_up, bound, &ids,
-                                          st));
+                                          st, ctx));
     }
     std::sort(ids.begin(), ids.end());
   }
-  CDB_RETURN_IF_ERROR(Refine(type, q, &ids, st));
+  CDB_RETURN_IF_ERROR(Refine(type, q, &ids, st, ctx));
   return ids;
 }
 
@@ -438,7 +451,8 @@ Result<std::vector<TupleId>> DDimDualIndex::Select(SelectionType type,
                                                    const HalfPlaneQueryD& q,
                                                    Method method,
                                                    QueryStats* stats,
-                                                   obs::ExplainProfile* profile) {
+                                                   obs::ExplainProfile* profile,
+                                                   const QueryContext* ctx) {
   if (q.dim() != relation_->dim()) {
     return Status::InvalidArgument("query dimension mismatch");
   }
@@ -452,7 +466,7 @@ Result<std::vector<TupleId>> DDimDualIndex::Select(SelectionType type,
     if (exact != kNpos) {
       CDB_TRACE_SPAN("sweep/exact");
       std::vector<TupleId> ids;
-      Status s = RunExact(exact, type, q.cmp, q.intercept, &ids, st);
+      Status s = RunExact(exact, type, q.cmp, q.intercept, &ids, st, ctx);
       if (!s.ok()) return s;
       std::sort(ids.begin(), ids.end());
       st->filter.early_accepts += ids.size();  // Exact sweep: no refinement.
@@ -462,9 +476,9 @@ Result<std::vector<TupleId>> DDimDualIndex::Select(SelectionType type,
       case Method::kExactOnly:
         return Status::InvalidArgument("query slope point not in S");
       case Method::kT1:
-        return SelectT1(type, q, st);
+        return SelectT1(type, q, st, ctx);
       case Method::kT2:
-        return SelectT2(type, q, st);
+        return SelectT2(type, q, st, ctx);
     }
     return Status::InvalidArgument("unknown method");
   }();
@@ -476,8 +490,19 @@ Result<std::vector<TupleId>> DDimDualIndex::Select(SelectionType type,
     st->results = result.value().size();
     st->filter.candidates = st->candidates;
     st->filter.results = st->results;
-    if (profile != nullptr) profile->filter = st->filter;
+  } else {
+    // Early exit (deadline/cancellation/I-O error): candidates the filter
+    // produced but never classified are booked as abandoned so the
+    // partition invariant still balances on partial queries.
+    st->filter.candidates = st->candidates;
+    st->filter.abandoned =
+        st->candidates -
+        (st->filter.dedup_dropped + st->filter.early_accepts +
+         st->filter.refine_accepts + st->filter.refine_rejects);
+    st->results = st->filter.early_accepts + st->filter.refine_accepts;
+    st->filter.results = st->results;
   }
+  if (profile != nullptr) profile->filter = st->filter;
   return result;
 }
 

@@ -66,12 +66,16 @@ class DDimDualIndex {
   /// Executes a d-dimensional ALL/EXIST half-plane selection. T1 requires
   /// the query slope point to lie in the convex hull of S (NotSupported
   /// otherwise). When `profile` is non-null it receives the per-phase span
-  /// breakdown.
+  /// breakdown. `ctx` (optional) is checked at every page-fetch boundary,
+  /// with the same early-exit contract as DualIndex::Select: no pinned
+  /// pages, balanced stats, unprocessed candidates booked as
+  /// `filter.abandoned`.
   Result<std::vector<TupleId>> Select(SelectionType type,
                                       const HalfPlaneQueryD& q,
                                       Method method = Method::kT1,
                                       QueryStats* stats = nullptr,
-                                      obs::ExplainProfile* profile = nullptr);
+                                      obs::ExplainProfile* profile = nullptr,
+                                      const QueryContext* ctx = nullptr);
 
   /// Back-compat convenience used by earlier revisions/tests.
   Result<std::vector<TupleId>> Select(SelectionType type,
@@ -118,16 +122,19 @@ class DDimDualIndex {
 
   Result<std::vector<TupleId>> SelectT1(SelectionType type,
                                         const HalfPlaneQueryD& q,
-                                        QueryStats* st);
+                                        QueryStats* st,
+                                        const QueryContext* ctx);
   Result<std::vector<TupleId>> SelectT2(SelectionType type,
                                         const HalfPlaneQueryD& q,
-                                        QueryStats* st);
+                                        QueryStats* st,
+                                        const QueryContext* ctx);
   Status Refine(SelectionType type, const HalfPlaneQueryD& q,
-                std::vector<TupleId>* ids, QueryStats* st);
+                std::vector<TupleId>* ids, QueryStats* st,
+                const QueryContext* ctx);
 
   Status RunExact(size_t slope_idx, SelectionType type, Cmp cmp,
                   double intercept, std::vector<TupleId>* out,
-                  QueryStats* stats);
+                  QueryStats* stats, const QueryContext* ctx);
 
   Pager* pager_;
   RelationD* relation_;

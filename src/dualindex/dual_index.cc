@@ -360,7 +360,8 @@ Status DualIndex::Remove(TupleId id, const GeneralizedTuple& tuple) {
 // over every visited leaf (slot < 0 disables handicap reading).
 Status DualIndex::SweepCollect(BPlusTree* tree, double from, bool upward,
                                int slot, std::vector<TupleId>* out,
-                               double* handicap_bound, QueryStats* stats) {
+                               double* handicap_bound, QueryStats* stats,
+                               const QueryContext* ctx) {
   LeafCursor cur;
   CDB_RETURN_IF_ERROR(tree->SeekLeaf(from, &cur));
   if (handicap_bound != nullptr) {
@@ -368,6 +369,10 @@ Status DualIndex::SweepCollect(BPlusTree* tree, double from, bool upward,
   }
   bool first = true;
   while (cur.valid()) {
+    // Deadline/cancellation checkpoint, once per leaf (= one page-fetch
+    // boundary). The cursor holds no pins between moves, so this early
+    // exit leaves the pager clean.
+    CDB_RETURN_IF_ERROR(CheckQueryContext(ctx));
     if (slot >= 0 && handicap_bound != nullptr) {
       double h = cur.handicap(slot);
       *handicap_bound =
@@ -407,11 +412,12 @@ Status DualIndex::SweepCollect(BPlusTree* tree, double from, bool upward,
 // from < key <= bound. Keys equal to `from` were taken by the first sweep.
 Status DualIndex::SweepSecond(BPlusTree* tree, double from, bool downward,
                               double bound, std::vector<TupleId>* out,
-                              QueryStats* stats) {
+                              QueryStats* stats, const QueryContext* ctx) {
   LeafCursor cur;
   CDB_RETURN_IF_ERROR(tree->SeekLeaf(from, &cur));
   bool first = true;
   while (cur.valid()) {
+    CDB_RETURN_IF_ERROR(CheckQueryContext(ctx));
     if (downward) {
       int start = first ? cur.seek_pos() - 1 : cur.entry_count() - 1;
       for (int j = start; j >= 0; --j) {
@@ -437,7 +443,7 @@ Status DualIndex::SweepSecond(BPlusTree* tree, double from, bool downward,
 // --- Exact (restricted) execution ---------------------------------------------
 
 Status DualIndex::RunExact(const AppQuery& aq, std::vector<TupleId>* out,
-                           QueryStats* stats) {
+                           QueryStats* stats, const QueryContext* ctx) {
   CDB_TRACE_SPAN("sweep/exact");
   // Section 3 mapping: B^up serves EXIST(q(>=)) and ALL(q(<=)); B^down
   // serves ALL(q(>=)) and EXIST(q(<=)). Sweep direction follows θ.
@@ -452,18 +458,19 @@ Status DualIndex::RunExact(const AppQuery& aq, std::vector<TupleId>* out,
   }
   upward = aq.cmp == Cmp::kGE;
   return SweepCollect(tree, aq.intercept, upward, /*slot=*/-1, out,
-                      /*handicap_bound=*/nullptr, stats);
+                      /*handicap_bound=*/nullptr, stats, ctx);
 }
 
 // --- T1 -----------------------------------------------------------------------
 
 Result<std::vector<TupleId>> DualIndex::SelectT1(SelectionType type,
                                                  const HalfPlaneQuery& q,
-                                                 QueryStats* stats) {
+                                                 QueryStats* stats,
+                                                 const QueryContext* ctx) {
   AppQueryPlan plan = PlanAppQueries(slopes_, type, q, options_.anchor_x);
   std::vector<TupleId> ids;
   if (plan.exact) {
-    CDB_RETURN_IF_ERROR(RunExact(plan.exact_query, &ids, stats));
+    CDB_RETURN_IF_ERROR(RunExact(plan.exact_query, &ids, stats, ctx));
     std::sort(ids.begin(), ids.end());
     // Exact sweep, no refinement: every candidate is an early accept.
     if (stats != nullptr) stats->filter.early_accepts += ids.size();
@@ -472,7 +479,7 @@ Result<std::vector<TupleId>> DualIndex::SelectT1(SelectionType type,
   {
     CDB_TRACE_SPAN("filter");
     for (const AppQuery& aq : plan.queries) {
-      CDB_RETURN_IF_ERROR(RunExact(aq, &ids, stats));
+      CDB_RETURN_IF_ERROR(RunExact(aq, &ids, stats, ctx));
     }
     std::sort(ids.begin(), ids.end());
     size_t before = ids.size();
@@ -482,7 +489,7 @@ Result<std::vector<TupleId>> DualIndex::SelectT1(SelectionType type,
       stats->filter.dedup_dropped += before - ids.size();
     }
   }
-  CDB_RETURN_IF_ERROR(Refine(type, q, &ids, stats));
+  CDB_RETURN_IF_ERROR(Refine(type, q, &ids, stats, ctx));
   return ids;
 }
 
@@ -490,12 +497,13 @@ Result<std::vector<TupleId>> DualIndex::SelectT1(SelectionType type,
 
 Result<std::vector<TupleId>> DualIndex::SelectT2(SelectionType type,
                                                  const HalfPlaneQuery& q,
-                                                 QueryStats* stats) {
+                                                 QueryStats* stats,
+                                                 const QueryContext* ctx) {
   SlopeLocation loc = slopes_.Locate(q.slope);
   if (loc.kind == SlopeLocation::Kind::kExact) {
     std::vector<TupleId> ids;
     CDB_RETURN_IF_ERROR(
-        RunExact({loc.index, type, q.cmp, q.intercept}, &ids, stats));
+        RunExact({loc.index, type, q.cmp, q.intercept}, &ids, stats, ctx));
     std::sort(ids.begin(), ids.end());
     if (stats != nullptr) stats->filter.early_accepts += ids.size();
     return ids;
@@ -504,7 +512,7 @@ Result<std::vector<TupleId>> DualIndex::SelectT2(SelectionType type,
     // Wrap-around region: the single-tree trick needs a same-surface
     // neighbour interval; fall back to T1 (DESIGN.md decision 4).
     if (stats != nullptr) stats->used_wrap_fallback = true;
-    return SelectT1(type, q, stats);
+    return SelectT1(type, q, stats, ctx);
   }
 
   // Query slope lies in (s_i, s_{i+1}); use the nearer tree and the
@@ -551,10 +559,11 @@ Result<std::vector<TupleId>> DualIndex::SelectT2(SelectionType type,
       if (options_.incremental_handicaps) {
         // Augmented tree: the first sweep reads no handicaps at all ...
         CDB_RETURN_IF_ERROR(SweepCollect(tree, b, sweep_up, /*slot=*/-1, &ids,
-                                         /*handicap_bound=*/nullptr, stats));
+                                         /*handicap_bound=*/nullptr, stats,
+                                         ctx));
       } else {
         CDB_RETURN_IF_ERROR(
-            SweepCollect(tree, b, sweep_up, slot, &ids, &bound, stats));
+            SweepCollect(tree, b, sweep_up, slot, &ids, &bound, stats, ctx));
       }
     }
     if (options_.incremental_handicaps) {
@@ -564,19 +573,20 @@ Result<std::vector<TupleId>> DualIndex::SelectT2(SelectionType type,
     }
     if (have_bound && (sweep_up ? bound < b : bound > b)) {
       CDB_TRACE_SPAN("sweep/second");
-      CDB_RETURN_IF_ERROR(
-          SweepSecond(tree, b, /*downward=*/sweep_up, bound, &ids, stats));
+      CDB_RETURN_IF_ERROR(SweepSecond(tree, b, /*downward=*/sweep_up, bound,
+                                      &ids, stats, ctx));
     }
     std::sort(ids.begin(), ids.end());
   }
-  CDB_RETURN_IF_ERROR(Refine(type, q, &ids, stats));
+  CDB_RETURN_IF_ERROR(Refine(type, q, &ids, stats, ctx));
   return ids;
 }
 
 // --- Refinement ----------------------------------------------------------------
 
 Status DualIndex::Refine(SelectionType type, const HalfPlaneQuery& q,
-                         std::vector<TupleId>* ids, QueryStats* stats) {
+                         std::vector<TupleId>* ids, QueryStats* stats,
+                         const QueryContext* ctx) {
   if (!options_.refine) {
     // Raw-superset mode: the post-dedup candidates ship as results
     // untested, so the filter accounting books them as early accepts.
@@ -589,6 +599,8 @@ Status DualIndex::Refine(SelectionType type, const HalfPlaneQuery& q,
   std::vector<TupleId> kept;
   kept.reserve(ids->size());
   for (TupleId id : *ids) {
+    // Checkpoint per candidate: each Get is a potential tuple-page fetch.
+    CDB_RETURN_IF_ERROR(CheckQueryContext(ctx));
     GeneralizedTuple tuple;
     {
       CDB_TRACE_SPAN("fetch-tuple");
@@ -705,7 +717,8 @@ Result<std::vector<TupleId>> DualIndex::Select(SelectionType type,
                                                const HalfPlaneQuery& q,
                                                QueryMethod method,
                                                QueryStats* stats,
-                                               obs::ExplainProfile* profile) {
+                                               obs::ExplainProfile* profile,
+                                               const QueryContext* ctx) {
   if (std::isnan(q.slope) || std::isnan(q.intercept) ||
       std::isinf(q.slope)) {
     return Status::InvalidArgument("query slope/intercept must be finite");
@@ -729,17 +742,18 @@ Result<std::vector<TupleId>> DualIndex::Select(SelectionType type,
               "restricted method requires the query slope to be in S");
         }
         std::vector<TupleId> ids;
-        Status s = RunExact({loc.index, type, q.cmp, q.intercept}, &ids, st);
+        Status s =
+            RunExact({loc.index, type, q.cmp, q.intercept}, &ids, st, ctx);
         if (!s.ok()) return s;
         std::sort(ids.begin(), ids.end());
         st->filter.early_accepts += ids.size();
         return ids;
       }
       case QueryMethod::kT1:
-        return SelectT1(type, q, st);
+        return SelectT1(type, q, st, ctx);
       case QueryMethod::kT2:
       case QueryMethod::kAuto:
-        return SelectT2(type, q, st);
+        return SelectT2(type, q, st, ctx);
     }
     return Status::InvalidArgument("unknown query method");
   }();
@@ -751,8 +765,19 @@ Result<std::vector<TupleId>> DualIndex::Select(SelectionType type,
     st->results = result.value().size();
     st->filter.candidates = st->candidates;
     st->filter.results = st->results;
-    if (profile != nullptr) profile->filter = st->filter;
+  } else {
+    // Partial execution (deadline, cancellation, I/O failure): the phase
+    // counts cover only the candidates actually processed; the rest are
+    // booked as abandoned so the partition still balances.
+    st->filter.candidates = st->candidates;
+    st->filter.abandoned =
+        st->candidates -
+        (st->filter.dedup_dropped + st->filter.early_accepts +
+         st->filter.refine_accepts + st->filter.refine_rejects);
+    st->results = st->filter.early_accepts + st->filter.refine_accepts;
+    st->filter.results = st->results;
   }
+  if (profile != nullptr) profile->filter = st->filter;
   return result;
 }
 
@@ -787,7 +812,7 @@ Result<std::vector<TupleId>> DualIndex::SelectVertical(
     CDB_TRACE_SPAN("sweep/support");
     CDB_RETURN_IF_ERROR(SweepCollect(tree, q.boundary,
                                      /*upward=*/q.cmp == Cmp::kGE, /*slot=*/-1,
-                                     &ids, nullptr, st));
+                                     &ids, nullptr, st, /*ctx=*/nullptr));
   }
   std::sort(ids.begin(), ids.end());
   st->index_page_fetches =
@@ -826,13 +851,13 @@ Result<std::vector<TupleId>> DualIndex::SelectSlab(
       type == SelectionType::kAll ? up_[i].get() : down_[i].get();
   {
     CDB_TRACE_SPAN("sweep/lo-bound");
-    CDB_RETURN_IF_ERROR(
-        SweepCollect(lo_tree, b_lo, /*upward=*/true, -1, &a, nullptr, st));
+    CDB_RETURN_IF_ERROR(SweepCollect(lo_tree, b_lo, /*upward=*/true, -1, &a,
+                                     nullptr, st, /*ctx=*/nullptr));
   }
   {
     CDB_TRACE_SPAN("sweep/hi-bound");
-    CDB_RETURN_IF_ERROR(
-        SweepCollect(hi_tree, b_hi, /*upward=*/false, -1, &b, nullptr, st));
+    CDB_RETURN_IF_ERROR(SweepCollect(hi_tree, b_hi, /*upward=*/false, -1, &b,
+                                     nullptr, st, /*ctx=*/nullptr));
   }
   std::sort(a.begin(), a.end());
   std::sort(b.begin(), b.end());

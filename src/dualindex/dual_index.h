@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "btree/bplus_tree.h"
+#include "common/query_context.h"
 #include "constraint/naive_eval.h"
 #include "constraint/relation.h"
 #include "dualindex/app_query.h"
@@ -145,11 +146,18 @@ class DualIndex {
   /// `profile` (optional) receives the span-attributed phase tree of the
   /// execution ("EXPLAIN ANALYZE"); its phase sums equal the pager totals
   /// exactly (obs/trace.h).
+  ///
+  /// `ctx` (optional) carries a deadline and/or CancelToken, checked at
+  /// every page-fetch boundary (each leaf visited, each candidate
+  /// refined). A fired context returns kDeadlineExceeded/kCancelled with
+  /// zero pinned pages and `stats` still balanced: the candidates the
+  /// query never processed are booked as filter.abandoned.
   Result<std::vector<TupleId>> Select(SelectionType type,
                                       const HalfPlaneQuery& q,
                                       QueryMethod method,
                                       QueryStats* stats = nullptr,
-                                      obs::ExplainProfile* profile = nullptr);
+                                      obs::ExplainProfile* profile = nullptr,
+                                      const QueryContext* ctx = nullptr);
 
   /// Exact vertical selection (x θ c). Requires
   /// DualIndexOptions::support_vertical; one sweep, no refinement.
@@ -277,26 +285,32 @@ class DualIndex {
 
   // Sweeps tree `tree` starting at `intercept`: upward collects entries with
   // key >= intercept, downward key < intercept... (exact semantics in .cc).
+  // All query-path helpers take the caller's QueryContext (may be null) and
+  // check it once per leaf moved / candidate refined.
   Status SweepCollect(BPlusTree* tree, double from, bool upward, int slot,
                       std::vector<TupleId>* out, double* handicap_bound,
-                      QueryStats* stats);
+                      QueryStats* stats, const QueryContext* ctx);
   Status SweepSecond(BPlusTree* tree, double from, bool downward, double bound,
-                     std::vector<TupleId>* out, QueryStats* stats);
+                     std::vector<TupleId>* out, QueryStats* stats,
+                     const QueryContext* ctx);
 
   // Executes one exact (slope in S) selection; appends ids to out.
   Status RunExact(const AppQuery& aq, std::vector<TupleId>* out,
-                  QueryStats* stats);
+                  QueryStats* stats, const QueryContext* ctx);
 
   Result<std::vector<TupleId>> SelectT1(SelectionType type,
                                         const HalfPlaneQuery& q,
-                                        QueryStats* stats);
+                                        QueryStats* stats,
+                                        const QueryContext* ctx);
   Result<std::vector<TupleId>> SelectT2(SelectionType type,
                                         const HalfPlaneQuery& q,
-                                        QueryStats* stats);
+                                        QueryStats* stats,
+                                        const QueryContext* ctx);
 
   // Removes candidates failing the exact predicate (when options_.refine).
   Status Refine(SelectionType type, const HalfPlaneQuery& q,
-                std::vector<TupleId>* ids, QueryStats* stats);
+                std::vector<TupleId>* ids, QueryStats* stats,
+                const QueryContext* ctx);
 
   Pager* pager_;
   Relation* relation_;

@@ -68,11 +68,25 @@ void QueryExecutor::WorkerLoop() {
         // Latency probes (ISSUE 5): queue wait = submit to pickup, service
         // = pickup to job return (per-item session open/close included —
         // that cost is part of serving the query). clock == nullptr means
-        // observability is off and no clock is read at all.
+        // neither observability nor the overload ladder is on and no clock
+        // is read at all; the recorders may be null individually when the
+        // clock serves only the ladder.
         uint64_t picked_ns = 0;
+        uint64_t wait_ns = 0;
         if (batch->clock != nullptr) {
           picked_ns = batch->clock->NowNanos();
-          batch->queue->RecordNanos(picked_ns - batch->submit_ns);
+          wait_ns = picked_ns - batch->submit_ns;
+          if (batch->queue != nullptr) batch->queue->RecordNanos(wait_ns);
+        }
+        // Overload ladder (ISSUE 7): shed outranks degrade. A shed query
+        // is completed by on_shed (kUnavailable) without being served, so
+        // it records queue wait but no service time.
+        if (batch->shed_wait_ns > 0 && wait_ns >= batch->shed_wait_ns) {
+          (*batch->on_shed)(i);
+          continue;
+        }
+        if (batch->degrade_wait_ns > 0 && wait_ns >= batch->degrade_wait_ns) {
+          (*batch->on_degrade)(i);
         }
         if (batch->per_item_sessions) {
           std::vector<std::unique_ptr<PagerReadSession>> item_sessions;
@@ -84,7 +98,7 @@ void QueryExecutor::WorkerLoop() {
         } else {
           (*batch->job)(i);
         }
-        if (batch->clock != nullptr) {
+        if (batch->service != nullptr) {
           batch->service->RecordNanos(batch->clock->NowNanos() - picked_ns);
         }
       }
@@ -101,8 +115,9 @@ void QueryExecutor::WorkerLoop() {
 Status QueryExecutor::Execute(std::vector<Pager*> pagers, size_t n,
                               const std::function<void(size_t)>& job,
                               const std::function<Status()>* writer,
-                              const BatchObservability* bobs,
-                              BatchResult* out) {
+                              const BatchObservability* bobs, BatchResult* out,
+                              const std::function<void(size_t)>* on_degrade,
+                              const std::function<void(size_t)>* on_shed) {
   std::sort(pagers.begin(), pagers.end());
   pagers.erase(std::unique(pagers.begin(), pagers.end()), pagers.end());
   pagers.erase(std::remove(pagers.begin(), pagers.end(), nullptr),
@@ -129,15 +144,26 @@ Status QueryExecutor::Execute(std::vector<Pager*> pagers, size_t n,
   obs::LatencyRecorder service;
   obs::LatencyRecorder queue_wait;
 
+  const bool ladder = bobs != nullptr && bobs->overload.ladder_enabled() &&
+                      on_shed != nullptr && on_degrade != nullptr;
+
   Batch batch;
   batch.n = n;
   batch.job = &job;
   batch.per_item_sessions = single_writer;
   if (record_latency) {
-    batch.clock =
-        bobs->clock != nullptr ? bobs->clock : obs::DefaultClock();
     batch.service = &service;
     batch.queue = &queue_wait;
+  }
+  if (ladder) {
+    batch.degrade_wait_ns = bobs->overload.degrade_queue_wait_ns;
+    batch.shed_wait_ns = bobs->overload.shed_queue_wait_ns;
+    batch.on_degrade = on_degrade;
+    batch.on_shed = on_shed;
+  }
+  if (record_latency || ladder) {
+    batch.clock =
+        bobs->clock != nullptr ? bobs->clock : obs::DefaultClock();
     batch.submit_ns = batch.clock->NowNanos();
   }
   {
@@ -214,20 +240,59 @@ void TallySampledTraces(BatchResult* out) {
 
 }  // namespace
 
-Status QueryExecutor::RunBatch(DualIndex* index,
-                               const std::vector<BatchQuery>& batch,
-                               const BatchObservability& bobs,
-                               BatchResult* out) {
+Status QueryExecutor::RunInstrumented(DualIndex* index,
+                                      const std::vector<BatchQuery>& batch,
+                                      const BatchObservability& bobs,
+                                      BatchResult* out,
+                                      const std::function<Status()>* writer) {
   out->items.clear();
   out->items.resize(batch.size());
   out->sampled_traces = 0;
   out->balanced_traces = 0;
+  out->shed = 0;
+  out->degraded = 0;
+  static obs::Counter* const shed_counter =
+      obs::GlobalMetrics().counter("exec.shed.count");
+
+  // Bounded admission (ISSUE 7): queries past the capacity are rejected
+  // here, before dispatch, so the pool's queue never grows past the bound.
+  // Their items still occupy their slots (items[i] <-> batch[i]).
+  size_t admitted = batch.size();
+  const size_t capacity = bobs.overload.admission_capacity;
+  if (capacity > 0 && admitted > capacity) {
+    admitted = capacity;
+    for (size_t i = admitted; i < batch.size(); ++i) {
+      out->items[i].status =
+          Status::Unavailable("query shed: admission queue full");
+    }
+    const uint64_t rejected = batch.size() - admitted;
+    out->shed += rejected;
+    shed_counter->Increment(rejected);
+  }
+
   obs::TraceSampler sampler(bobs.trace_sample_every, bobs.trace_sample_seed);
+  // Ladder bookkeeping. degraded_flags[i] is written by on_degrade and read
+  // by job(i) on the same worker thread immediately after, so plain bytes
+  // suffice; the counters are cross-thread and atomic.
+  std::vector<char> degraded_flags(batch.size(), 0);
+  std::atomic<uint64_t> shed_count{0};
+  std::atomic<uint64_t> degraded_count{0};
+  std::function<void(size_t)> on_shed = [&](size_t i) {
+    out->items[i].status =
+        Status::Unavailable("query shed: queue wait over threshold");
+    shed_count.fetch_add(1, std::memory_order_relaxed);
+    shed_counter->Increment();
+  };
+  std::function<void(size_t)> on_degrade = [&](size_t i) {
+    degraded_flags[i] = 1;
+    degraded_count.fetch_add(1, std::memory_order_relaxed);
+  };
+
   auto job = [&](size_t i) {
     const BatchQuery& q = batch[i];
     BatchItemResult& item = out->items[i];
     obs::ExplainProfile* profile = nullptr;
-    if (sampler.enabled() && sampler.ShouldSample(i)) {
+    if (degraded_flags[i] == 0 && sampler.enabled() && sampler.ShouldSample(i)) {
       item.profile = std::make_unique<obs::ExplainProfile>();
       profile = item.profile.get();
     }
@@ -239,10 +304,19 @@ Status QueryExecutor::RunBatch(DualIndex* index,
       item.status = r.status();
     }
   };
-  Status st = Execute({index->pager(), index->relation()->pager()},
-                      batch.size(), job, /*writer=*/nullptr, &bobs, out);
+  Status st = Execute({index->pager(), index->relation()->pager()}, admitted,
+                      job, writer, &bobs, out, &on_degrade, &on_shed);
+  out->shed += shed_count.load(std::memory_order_relaxed);
+  out->degraded = degraded_count.load(std::memory_order_relaxed);
   TallySampledTraces(out);
   return st;
+}
+
+Status QueryExecutor::RunBatch(DualIndex* index,
+                               const std::vector<BatchQuery>& batch,
+                               const BatchObservability& bobs,
+                               BatchResult* out) {
+  return RunInstrumented(index, batch, bobs, out, /*writer=*/nullptr);
 }
 
 Status QueryExecutor::RunBatchWithWriter(DualIndex* index,
@@ -250,31 +324,7 @@ Status QueryExecutor::RunBatchWithWriter(DualIndex* index,
                                          const BatchObservability& bobs,
                                          BatchResult* out,
                                          const std::function<Status()>& writer) {
-  out->items.clear();
-  out->items.resize(batch.size());
-  out->sampled_traces = 0;
-  out->balanced_traces = 0;
-  obs::TraceSampler sampler(bobs.trace_sample_every, bobs.trace_sample_seed);
-  auto job = [&](size_t i) {
-    const BatchQuery& q = batch[i];
-    BatchItemResult& item = out->items[i];
-    obs::ExplainProfile* profile = nullptr;
-    if (sampler.enabled() && sampler.ShouldSample(i)) {
-      item.profile = std::make_unique<obs::ExplainProfile>();
-      profile = item.profile.get();
-    }
-    Result<std::vector<TupleId>> r =
-        index->Select(q.type, q.query, q.method, &item.stats, profile);
-    if (r.ok()) {
-      item.ids = std::move(r.value());
-    } else {
-      item.status = r.status();
-    }
-  };
-  Status st = Execute({index->pager(), index->relation()->pager()},
-                      batch.size(), job, &writer, &bobs, out);
-  TallySampledTraces(out);
-  return st;
+  return RunInstrumented(index, batch, bobs, out, &writer);
 }
 
 Status QueryExecutor::RunBatchWithWriter(DualIndex* index,

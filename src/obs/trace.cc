@@ -205,7 +205,7 @@ void WriteNodeJson(const ProfileNode& node, JsonWriter* w) {
 
 std::string ExplainProfile::ToString() const {
   std::string out;
-  char buf[192];
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "query profile (idx fetches/reads, tup fetches/reads):\n"
                 "totals: idx %llu/%llu  tup %llu/%llu  %.3f ms  [%s]\n",
@@ -217,12 +217,14 @@ std::string ExplainProfile::ToString() const {
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "filter: %llu cand = %llu dedup + %llu early + %llu accept + "
-                "%llu reject -> %llu results  precision %.3f  [%s]\n",
+                "%llu reject + %llu abandoned -> %llu results  "
+                "precision %.3f  [%s]\n",
                 static_cast<unsigned long long>(filter.candidates),
                 static_cast<unsigned long long>(filter.dedup_dropped),
                 static_cast<unsigned long long>(filter.early_accepts),
                 static_cast<unsigned long long>(filter.refine_accepts),
                 static_cast<unsigned long long>(filter.refine_rejects),
+                static_cast<unsigned long long>(filter.abandoned),
                 static_cast<unsigned long long>(filter.results),
                 filter.precision(),
                 filter.Balances() ? "balanced" : "UNBALANCED");
@@ -247,6 +249,7 @@ void ExplainProfile::WriteJson(JsonWriter* w) const {
   w->Key("early_accepts").Value(filter.early_accepts);
   w->Key("refine_accepts").Value(filter.refine_accepts);
   w->Key("refine_rejects").Value(filter.refine_rejects);
+  w->Key("abandoned").Value(filter.abandoned);
   w->Key("results").Value(filter.results);
   w->Key("precision").Value(filter.precision());
   w->Key("balanced").Value(filter.Balances());

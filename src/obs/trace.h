@@ -177,6 +177,9 @@ struct FilterCounts {
   uint64_t early_accepts = 0;   // Accepted without an LP refinement test.
   uint64_t refine_accepts = 0;  // Accepted by the exact LP predicate.
   uint64_t refine_rejects = 0;  // Rejected by it (the false hits).
+  uint64_t abandoned = 0;       // Left unprocessed by an early exit
+                                // (deadline/cancellation, ISSUE 7); always
+                                // zero for queries that ran to completion.
 
   uint64_t results = 0;
 
@@ -186,7 +189,7 @@ struct FilterCounts {
   bool Balances() const {
     return candidates ==
                dedup_dropped + early_accepts + refine_accepts +
-                   refine_rejects &&
+                   refine_rejects + abandoned &&
            results == early_accepts + refine_accepts &&
            candidates >= results;
   }

@@ -176,8 +176,10 @@ Status GuttmanRTree::BulkBuild(Pager* pager,
 
 template <typename Pred>
 Status GuttmanRTree::SearchRec(PageId page, const Pred& pred,
-                               std::vector<TupleId>* out,
-                               RTreeStats* stats) const {
+                               std::vector<TupleId>* out, RTreeStats* stats,
+                               const QueryContext* ctx) const {
+  // Checkpoint before each node read; see RPlusTree::SearchRec.
+  CDB_RETURN_IF_ERROR(CheckQueryContext(ctx));
   bool leaf;
   std::vector<Entry> entries;
   CDB_RETURN_IF_ERROR(ReadNode(pager_, page, &leaf, &entries,
@@ -189,18 +191,18 @@ Status GuttmanRTree::SearchRec(PageId page, const Pred& pred,
     if (leaf) {
       out->push_back(e.id);
     } else {
-      CDB_RETURN_IF_ERROR(SearchRec(e.id, pred, out, stats));
+      CDB_RETURN_IF_ERROR(SearchRec(e.id, pred, out, stats, ctx));
     }
   }
   return Status::OK();
 }
 
 Result<std::vector<TupleId>> GuttmanRTree::SearchHalfPlane(
-    const HalfPlaneQuery& q, RTreeStats* stats) {
+    const HalfPlaneQuery& q, RTreeStats* stats, const QueryContext* ctx) {
   std::vector<TupleId> out;
   Status st = SearchRec(
       root_, [&](const Rect& r) { return r.IntersectsHalfPlane(q); }, &out,
-      stats);
+      stats, ctx);
   if (!st.ok()) return st;
   std::sort(out.begin(), out.end());
   return out;  // No duplicates by construction (each object stored once).
@@ -211,7 +213,7 @@ Result<std::vector<TupleId>> GuttmanRTree::SearchRect(const Rect& window,
   std::vector<TupleId> out;
   Status st = SearchRec(
       root_, [&](const Rect& r) { return r.Intersects(window); }, &out,
-      stats);
+      stats, /*ctx=*/nullptr);
   if (!st.ok()) return st;
   std::sort(out.begin(), out.end());
   return out;

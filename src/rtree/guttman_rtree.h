@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/result.h"
 #include "constraint/generalized_tuple.h"
 #include "geometry/rect.h"
@@ -41,7 +42,9 @@ class GuttmanRTree {
   Status Delete(const Rect& rect, TupleId id);
 
   Result<std::vector<TupleId>> SearchHalfPlane(const HalfPlaneQuery& q,
-                                               RTreeStats* stats = nullptr);
+                                               RTreeStats* stats = nullptr,
+                                               const QueryContext* ctx =
+                                                   nullptr);
   Result<std::vector<TupleId>> SearchRect(const Rect& window,
                                           RTreeStats* stats = nullptr);
 
@@ -60,7 +63,7 @@ class GuttmanRTree {
 
   template <typename Pred>
   Status SearchRec(PageId page, const Pred& pred, std::vector<TupleId>* out,
-                   RTreeStats* stats) const;
+                   RTreeStats* stats, const QueryContext* ctx) const;
 
   // Returns (via *split) a new sibling entry when `page` was split.
   struct SplitEntry {

@@ -194,7 +194,11 @@ Status MxCifQuadtree::Insert(const Rect& rect, TupleId id) {
 template <typename Pred>
 Status MxCifQuadtree::SearchRec(PageId cell, const Rect& cell_rect,
                                 const Pred& pred, std::vector<TupleId>* out,
-                                RTreeStats* stats) const {
+                                RTreeStats* stats,
+                                const QueryContext* ctx) const {
+  // Checkpoint before fetching the cell: recursion happens only after the
+  // parent ref is released, so aborting here leaves nothing pinned.
+  CDB_RETURN_IF_ERROR(CheckQueryContext(ctx));
   Result<PageRef> ref = pager_->Fetch(cell);
   if (!ref.ok()) return ref.status();
   if (stats != nullptr) ++stats->page_fetches;
@@ -230,17 +234,17 @@ Status MxCifQuadtree::SearchRec(PageId cell, const Rect& cell_rect,
     // predicate is monotone (region intersection), so testing the cell
     // rect is sound.
     if (!pred(qr)) continue;
-    CDB_RETURN_IF_ERROR(SearchRec(children[q], qr, pred, out, stats));
+    CDB_RETURN_IF_ERROR(SearchRec(children[q], qr, pred, out, stats, ctx));
   }
   return Status::OK();
 }
 
 Result<std::vector<TupleId>> MxCifQuadtree::SearchHalfPlane(
-    const HalfPlaneQuery& q, RTreeStats* stats) {
+    const HalfPlaneQuery& q, RTreeStats* stats, const QueryContext* ctx) {
   std::vector<TupleId> out;
   Status st = SearchRec(
       root_, world_, [&](const Rect& r) { return r.IntersectsHalfPlane(q); },
-      &out, stats);
+      &out, stats, ctx);
   if (!st.ok()) return st;
   std::sort(out.begin(), out.end());
   return out;  // MX-CIF stores each object once: no duplicates.
@@ -251,7 +255,7 @@ Result<std::vector<TupleId>> MxCifQuadtree::SearchRect(const Rect& window,
   std::vector<TupleId> out;
   Status st = SearchRec(
       root_, world_, [&](const Rect& r) { return r.Intersects(window); },
-      &out, stats);
+      &out, stats, /*ctx=*/nullptr);
   if (!st.ok()) return st;
   std::sort(out.begin(), out.end());
   return out;

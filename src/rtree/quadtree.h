@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/result.h"
 #include "constraint/generalized_tuple.h"
 #include "geometry/rect.h"
@@ -38,7 +39,9 @@ class MxCifQuadtree {
   Status Delete(const Rect& rect, TupleId id);
 
   Result<std::vector<TupleId>> SearchHalfPlane(const HalfPlaneQuery& q,
-                                               RTreeStats* stats = nullptr);
+                                               RTreeStats* stats = nullptr,
+                                               const QueryContext* ctx =
+                                                   nullptr);
   Result<std::vector<TupleId>> SearchRect(const Rect& window,
                                           RTreeStats* stats = nullptr);
 
@@ -58,7 +61,8 @@ class MxCifQuadtree {
                    const Rect& rect, TupleId id);
   template <typename Pred>
   Status SearchRec(PageId cell, const Rect& cell_rect, const Pred& pred,
-                   std::vector<TupleId>* out, RTreeStats* stats) const;
+                   std::vector<TupleId>* out, RTreeStats* stats,
+                   const QueryContext* ctx) const;
   Status DeleteRec(PageId cell, const Rect& cell_rect, const Rect& rect,
                    TupleId id, bool* removed);
 

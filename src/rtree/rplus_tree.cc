@@ -280,8 +280,12 @@ Status RPlusTree::BulkBuild(Pager* pager,
 
 template <typename Pred>
 Status RPlusTree::SearchRec(PageId page, const Pred& pred,
-                            std::vector<TupleId>* out,
-                            RTreeStats* stats) const {
+                            std::vector<TupleId>* out, RTreeStats* stats,
+                            const QueryContext* ctx) const {
+  // Checkpoint before each node read (a page-fetch boundary); ReadNode
+  // materializes the node and leaves nothing pinned, so aborting between
+  // nodes is pin-clean.
+  CDB_RETURN_IF_ERROR(CheckQueryContext(ctx));
   bool leaf;
   std::vector<Entry> entries;
   CDB_RETURN_IF_ERROR(ReadNode(page, &leaf, &entries, stats));
@@ -291,18 +295,18 @@ Status RPlusTree::SearchRec(PageId page, const Pred& pred,
     if (leaf) {
       out->push_back(e.id);
     } else {
-      CDB_RETURN_IF_ERROR(SearchRec(e.id, pred, out, stats));
+      CDB_RETURN_IF_ERROR(SearchRec(e.id, pred, out, stats, ctx));
     }
   }
   return Status::OK();
 }
 
 Result<std::vector<TupleId>> RPlusTree::SearchHalfPlane(
-    const HalfPlaneQuery& q, RTreeStats* stats) {
+    const HalfPlaneQuery& q, RTreeStats* stats, const QueryContext* ctx) {
   std::vector<TupleId> out;
   Status st = SearchRec(
       root_, [&](const Rect& r) { return r.IntersectsHalfPlane(q); }, &out,
-      stats);
+      stats, ctx);
   if (!st.ok()) return st;
   std::sort(out.begin(), out.end());
   size_t before = out.size();
@@ -316,7 +320,7 @@ Result<std::vector<TupleId>> RPlusTree::SearchRect(const Rect& window,
   std::vector<TupleId> out;
   Status st = SearchRec(
       root_, [&](const Rect& r) { return r.Intersects(window); }, &out,
-      stats);
+      stats, /*ctx=*/nullptr);
   if (!st.ok()) return st;
   std::sort(out.begin(), out.end());
   size_t before = out.size();

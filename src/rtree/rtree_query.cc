@@ -12,57 +12,81 @@ Result<std::vector<TupleId>> SelectImpl(Tree* tree, Relation* relation,
                                         SelectionType type,
                                         const HalfPlaneQuery& q,
                                         QueryStats* stats,
-                                        obs::ExplainProfile* profile) {
+                                        obs::ExplainProfile* profile,
+                                        const QueryContext* ctx) {
   QueryStats local;
   QueryStats* st = stats != nullptr ? stats : &local;
   *st = QueryStats();
   obs::Tracer tracer("rtree/select", tree->pager(), relation->pager());
 
-  RTreeStats rstats;
-  Result<std::vector<TupleId>> candidates = [&] {
-    CDB_TRACE_SPAN("filter");
-    return tree->SearchHalfPlane(q, &rstats);
-  }();
-  if (!candidates.ok()) return candidates.status();
-  st->candidates = candidates.value().size() + rstats.duplicates;
-  st->duplicates = rstats.duplicates;
-  st->filter.dedup_dropped = rstats.duplicates;
+  // The whole execution runs inside a lambda so every exit — including a
+  // deadline/cancellation abort — flows through FinishQueryTrace and the
+  // filter-accounting tail below.
+  Result<std::vector<TupleId>> result = [&]() -> Result<std::vector<TupleId>> {
+    RTreeStats rstats;
+    Result<std::vector<TupleId>> candidates = [&] {
+      CDB_TRACE_SPAN("filter");
+      return tree->SearchHalfPlane(q, &rstats, ctx);
+    }();
+    if (!candidates.ok()) return candidates.status();
+    st->candidates = candidates.value().size() + rstats.duplicates;
+    st->duplicates = rstats.duplicates;
+    st->filter.dedup_dropped = rstats.duplicates;
 
-  static obs::Counter* const lp_calls =
-      obs::GlobalMetrics().counter("rtree.refine.lp_calls");
-  std::vector<TupleId> kept;
-  kept.reserve(candidates.value().size());
-  {
-    CDB_TRACE_SPAN("refine");
-    for (TupleId id : candidates.value()) {
-      GeneralizedTuple tuple;
-      {
-        CDB_TRACE_SPAN("fetch-tuple");
-        Status s = relation->Get(id, &tuple);
-        if (!s.ok()) return {s};
-      }
-      CDB_TRACE_SPAN("lp");
-      lp_calls->Increment();
-      bool hit = type == SelectionType::kAll
-                     ? ExactAll(tuple.constraints(), q)
-                     : ExactExist(tuple.constraints(), q);
-      if (hit) {
-        kept.push_back(id);
-        ++st->filter.refine_accepts;
-      } else {
-        ++st->false_hits;
-        ++st->filter.refine_rejects;
+    static obs::Counter* const lp_calls =
+        obs::GlobalMetrics().counter("rtree.refine.lp_calls");
+    std::vector<TupleId> kept;
+    kept.reserve(candidates.value().size());
+    {
+      CDB_TRACE_SPAN("refine");
+      for (TupleId id : candidates.value()) {
+        // Checkpoint before each tuple fetch; unprocessed candidates are
+        // booked as abandoned below.
+        CDB_RETURN_IF_ERROR(CheckQueryContext(ctx));
+        GeneralizedTuple tuple;
+        {
+          CDB_TRACE_SPAN("fetch-tuple");
+          Status s = relation->Get(id, &tuple);
+          if (!s.ok()) return {s};
+        }
+        CDB_TRACE_SPAN("lp");
+        lp_calls->Increment();
+        bool hit = type == SelectionType::kAll
+                       ? ExactAll(tuple.constraints(), q)
+                       : ExactExist(tuple.constraints(), q);
+        if (hit) {
+          kept.push_back(id);
+          ++st->filter.refine_accepts;
+        } else {
+          ++st->false_hits;
+          ++st->filter.refine_rejects;
+        }
       }
     }
-  }
+    return kept;
+  }();
+
   obs::PhaseCost totals = obs::FinishQueryTrace(&tracer, profile);
   st->index_page_fetches = totals.index_fetches;  // Logical (decision 11).
   st->tuple_page_fetches = totals.tuple_reads;    // Physical (decision 11).
-  st->results = kept.size();
-  st->filter.candidates = st->candidates;
-  st->filter.results = st->results;
+  if (result.ok()) {
+    st->results = result.value().size();
+    st->filter.candidates = st->candidates;
+    st->filter.results = st->results;
+  } else {
+    // Early exit: a search-phase abort discards its partial candidate set
+    // (st->candidates stays 0); a refine-phase abort leaves the untested
+    // tail, booked as abandoned so the partition still balances.
+    st->filter.candidates = st->candidates;
+    st->filter.abandoned =
+        st->candidates -
+        (st->filter.dedup_dropped + st->filter.early_accepts +
+         st->filter.refine_accepts + st->filter.refine_rejects);
+    st->results = st->filter.early_accepts + st->filter.refine_accepts;
+    st->filter.results = st->results;
+  }
   if (profile != nullptr) profile->filter = st->filter;
-  return kept;
+  return result;
 }
 
 }  // namespace
@@ -71,8 +95,9 @@ Result<std::vector<TupleId>> RTreeSelect(RPlusTree* tree, Relation* relation,
                                          SelectionType type,
                                          const HalfPlaneQuery& q,
                                          QueryStats* stats,
-                                         obs::ExplainProfile* profile) {
-  return SelectImpl(tree, relation, type, q, stats, profile);
+                                         obs::ExplainProfile* profile,
+                                         const QueryContext* ctx) {
+  return SelectImpl(tree, relation, type, q, stats, profile, ctx);
 }
 
 Result<std::vector<TupleId>> RTreeSelect(GuttmanRTree* tree,
@@ -80,8 +105,9 @@ Result<std::vector<TupleId>> RTreeSelect(GuttmanRTree* tree,
                                          SelectionType type,
                                          const HalfPlaneQuery& q,
                                          QueryStats* stats,
-                                         obs::ExplainProfile* profile) {
-  return SelectImpl(tree, relation, type, q, stats, profile);
+                                         obs::ExplainProfile* profile,
+                                         const QueryContext* ctx) {
+  return SelectImpl(tree, relation, type, q, stats, profile, ctx);
 }
 
 Result<std::vector<TupleId>> RTreeSelect(MxCifQuadtree* tree,
@@ -89,8 +115,9 @@ Result<std::vector<TupleId>> RTreeSelect(MxCifQuadtree* tree,
                                          SelectionType type,
                                          const HalfPlaneQuery& q,
                                          QueryStats* stats,
-                                         obs::ExplainProfile* profile) {
-  return SelectImpl(tree, relation, type, q, stats, profile);
+                                         obs::ExplainProfile* profile,
+                                         const QueryContext* ctx) {
+  return SelectImpl(tree, relation, type, q, stats, profile, ctx);
 }
 
 }  // namespace cdb

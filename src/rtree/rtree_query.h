@@ -22,11 +22,15 @@ namespace cdb {
 /// stored constraints. Results sorted by tuple id. Populates the same
 /// QueryStats the dual index reports, for apples-to-apples benchmarks.
 /// When `profile` is non-null it receives the per-phase span breakdown.
+/// `ctx` (optional) is checked at every page-fetch boundary with the same
+/// early-exit contract as DualIndex::Select (no pinned pages, balanced
+/// stats, unprocessed candidates booked as `filter.abandoned`).
 Result<std::vector<TupleId>> RTreeSelect(RPlusTree* tree, Relation* relation,
                                          SelectionType type,
                                          const HalfPlaneQuery& q,
                                          QueryStats* stats = nullptr,
-                                         obs::ExplainProfile* profile = nullptr);
+                                         obs::ExplainProfile* profile = nullptr,
+                                         const QueryContext* ctx = nullptr);
 
 /// Same execution over the classic Guttman R-tree baseline.
 Result<std::vector<TupleId>> RTreeSelect(GuttmanRTree* tree,
@@ -34,7 +38,8 @@ Result<std::vector<TupleId>> RTreeSelect(GuttmanRTree* tree,
                                          SelectionType type,
                                          const HalfPlaneQuery& q,
                                          QueryStats* stats = nullptr,
-                                         obs::ExplainProfile* profile = nullptr);
+                                         obs::ExplainProfile* profile = nullptr,
+                                         const QueryContext* ctx = nullptr);
 
 /// Same execution over the MX-CIF quadtree baseline.
 Result<std::vector<TupleId>> RTreeSelect(MxCifQuadtree* tree,
@@ -42,7 +47,8 @@ Result<std::vector<TupleId>> RTreeSelect(MxCifQuadtree* tree,
                                          SelectionType type,
                                          const HalfPlaneQuery& q,
                                          QueryStats* stats = nullptr,
-                                         obs::ExplainProfile* profile = nullptr);
+                                         obs::ExplainProfile* profile = nullptr,
+                                         const QueryContext* ctx = nullptr);
 
 }  // namespace cdb
 

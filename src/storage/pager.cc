@@ -156,6 +156,13 @@ Pager::Pager(std::unique_ptr<BlockFile> file,
       payload_offset_(options.checksums ? kPageHeaderSize : 0),
       checksums_(options.checksums),
       cache_frames_(options.cache_frames),
+      max_read_attempts_(options.max_read_attempts < 1
+                             ? 1
+                             : options.max_read_attempts),
+      retry_backoff_base_ns_(options.retry_backoff_base_ns),
+      retry_backoff_cap_ns_(options.retry_backoff_cap_ns),
+      retry_backoff_(options.retry_backoff),
+      reread_on_checksum_mismatch_(options.reread_on_checksum_mismatch),
       block_scratch_(options.page_size),
       journal_scratch_(JournalBlockSize(options.page_size)) {
   // Round the shard count up to a power of two so ShardOf is a mask.
@@ -401,8 +408,7 @@ Result<PageRef> Pager::Fetch(PageId id) {
     // unless the block is past EOF (possible only for never-written pages,
     // which are zero by definition).
     if (id < file_->BlockCount()) {
-      CDB_RETURN_IF_ERROR(file_->ReadBlock(id, frame.data.data()));
-      CDB_RETURN_IF_ERROR(VerifyPageBlock(id, frame.data.data(), &sink));
+      CDB_RETURN_IF_ERROR(ReadBlockVerified(id, frame.data.data(), &sink));
     } else {
       std::fill(frame.data.begin(), frame.data.end(), 0);
     }
@@ -880,8 +886,7 @@ Result<PageRef> Pager::SharedFetch(PageId id) {
     ++stats.page_reads;
     std::vector<char> block(block_size_);
     if (id < file_->BlockCount()) {
-      CDB_RETURN_IF_ERROR(file_->ReadBlock(id, block.data()));
-      CDB_RETURN_IF_ERROR(VerifyPageBlock(id, block.data(), &stats));
+      CDB_RETURN_IF_ERROR(ReadBlockVerified(id, block.data(), &stats));
     }
     lock = LockShard(shard);
     it = shard.frames.find(id);
@@ -918,6 +923,80 @@ Result<PageRef> Pager::SharedFetch(PageId id) {
     ++stats.buffer_evictions;
   }
   return PageRef(this, id, frame.data.data() + payload_offset_);
+}
+
+Status Pager::ReadBlockVerified(PageId id, char* block, IoStats* sink) {
+  // `page_reads` was already charged by the caller: one logical miss is one
+  // physical read in the paper's accounting, however many attempts the
+  // retry policy issues underneath (attempts are visible in retry_stats()).
+  bool failed_transiently = false;
+  bool crc_reread_done = false;
+  uint64_t backoff_ns = retry_backoff_base_ns_;
+  for (int attempt = 1;; ++attempt) {
+    Status st = file_->ReadBlock(id, block);
+    if (st.ok()) {
+      st = VerifyPageBlock(id, block, sink);
+      if (st.ok()) {
+        if (failed_transiently) {
+          rc_.read_recoveries.fetch_add(1, std::memory_order_relaxed);
+        }
+        return st;
+      }
+      if (st.IsCorruption() && reread_on_checksum_mismatch_ &&
+          !crc_reread_done) {
+        crc_reread_done = true;
+        // One re-read cures a fluked transfer; a second mismatch is rot.
+        // (Persistent mismatches therefore charge checksum_failures twice,
+        // once per verification — the miss still errors exactly once.)
+        rc_.crc_rereads.fetch_add(1, std::memory_order_relaxed);
+        Status reread = file_->ReadBlock(id, block);
+        if (reread.ok()) {
+          reread = VerifyPageBlock(id, block, sink);
+          if (reread.ok()) {
+            rc_.crc_reread_recoveries.fetch_add(1,
+                                                std::memory_order_relaxed);
+            if (failed_transiently) {
+              rc_.read_recoveries.fetch_add(1, std::memory_order_relaxed);
+            }
+            return reread;
+          }
+        }
+        return reread;
+      }
+      return st;
+    }
+    if (!st.IsTransient() || attempt >= max_read_attempts_) {
+      if (st.IsTransient()) {
+        rc_.read_exhausted.fetch_add(1, std::memory_order_relaxed);
+      }
+      return st;
+    }
+    failed_transiently = true;
+    rc_.read_retries.fetch_add(1, std::memory_order_relaxed);
+    if (backoff_ns > 0) {
+      uint64_t wait = retry_backoff_cap_ns_ > 0
+                          ? std::min(backoff_ns, retry_backoff_cap_ns_)
+                          : backoff_ns;
+      rc_.backoff_waits.fetch_add(1, std::memory_order_relaxed);
+      rc_.backoff_wait_ns.fetch_add(wait, std::memory_order_relaxed);
+      if (retry_backoff_) retry_backoff_(wait);
+      backoff_ns = backoff_ns > (UINT64_MAX >> 1) ? UINT64_MAX
+                                                  : backoff_ns << 1;
+    }
+  }
+}
+
+PagerRetryStats Pager::retry_stats() const {
+  PagerRetryStats s;
+  s.read_retries = rc_.read_retries.load(std::memory_order_relaxed);
+  s.read_recoveries = rc_.read_recoveries.load(std::memory_order_relaxed);
+  s.read_exhausted = rc_.read_exhausted.load(std::memory_order_relaxed);
+  s.backoff_waits = rc_.backoff_waits.load(std::memory_order_relaxed);
+  s.backoff_wait_ns = rc_.backoff_wait_ns.load(std::memory_order_relaxed);
+  s.crc_rereads = rc_.crc_rereads.load(std::memory_order_relaxed);
+  s.crc_reread_recoveries =
+      rc_.crc_reread_recoveries.load(std::memory_order_relaxed);
+  return s;
 }
 
 PagerConcurrencyStats Pager::concurrency_stats() const {

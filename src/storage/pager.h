@@ -50,6 +50,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -128,6 +129,34 @@ struct PagerOptions {
   /// power of two). Exclusive mode ignores this — the single LRU stays
   /// byte-identical to the paper's accounting.
   size_t read_shards = 8;
+
+  /// Transient-read retry policy (ISSUE 7; DESIGN.md §2g). Applies only to
+  /// the physical page reads behind Fetch() cache misses — open/recovery
+  /// reads are not retried (a flaky open should surface, not loop). With
+  /// the defaults every knob is off and the pager behaves exactly as
+  /// before; IoStats::page_reads stays "one per cache miss" either way
+  /// (retry attempts are tallied in PagerRetryStats instead), so paper
+  /// artifacts are unaffected.
+
+  /// Total read attempts per miss for errors with Status::IsTransient()
+  /// (kUnavailable). 1 = no retry. Non-transient errors never retry.
+  int max_read_attempts = 1;
+  /// Capped exponential backoff between attempts: wait
+  /// min(backoff_base_ns << attempt, backoff_cap_ns) nanoseconds. Base 0 =
+  /// no waiting (retry immediately).
+  uint64_t retry_backoff_base_ns = 0;
+  uint64_t retry_backoff_cap_ns = 0;
+  /// How to wait. Null = do not wait at all (backoff is still *accounted*
+  /// so tests can assert the schedule). Production callers pass a sleeper;
+  /// tests pass a ManualClock-advancing lambda — zero real sleeps. Must be
+  /// thread-safe: concurrent-read misses invoke it from worker threads.
+  /// (Storage sits below obs, so this is a plain function, not an
+  /// obs::Clock; obs-level code is free to wrap one.)
+  std::function<void(uint64_t wait_ns)> retry_backoff;
+  /// Re-read a page once when its checksum fails before declaring
+  /// Corruption, curing one-shot bus/DMA flukes while keeping persistent
+  /// rot loud. Counted in PagerRetryStats::crc_rereads.
+  bool reread_on_checksum_mismatch = false;
 };
 
 /// Concurrency/pipeline instrumentation snapshot (ISSUE 5). Counters
@@ -159,6 +188,29 @@ struct PagerConcurrencyStats {
   bool any() const {
     return shard_lock_waits != 0 || publish_epochs != 0 || data_fsyncs != 0 ||
            journal_fsyncs != 0;
+  }
+};
+
+/// Transient-retry instrumentation snapshot (ISSUE 7). All counters are
+/// zero unless PagerOptions enabled retries / CRC re-reads and a physical
+/// read actually failed. Exported as `<prefix>.retry.*` gauges by
+/// obs::ExportPagerMetrics.
+struct PagerRetryStats {
+  /// Retry attempts issued (excludes each miss's first attempt).
+  uint64_t read_retries = 0;
+  /// Misses that failed transiently at least once but ultimately succeeded.
+  uint64_t read_recoveries = 0;
+  /// Misses that exhausted max_read_attempts and surfaced kUnavailable.
+  uint64_t read_exhausted = 0;
+  /// Backoff waits taken and their total scheduled nanoseconds.
+  uint64_t backoff_waits = 0;
+  uint64_t backoff_wait_ns = 0;
+  /// Checksum-mismatch re-reads, and how many of them verified clean.
+  uint64_t crc_rereads = 0;
+  uint64_t crc_reread_recoveries = 0;
+
+  bool any() const {
+    return read_retries != 0 || read_exhausted != 0 || crc_rereads != 0;
   }
 };
 
@@ -303,6 +355,10 @@ class Pager {
   /// PagerConcurrencyStats). Safe to call from any thread at any time.
   PagerConcurrencyStats concurrency_stats() const;
 
+  /// Snapshot of the transient-retry counters (see PagerRetryStats). Safe
+  /// to call from any thread at any time.
+  PagerRetryStats retry_stats() const;
+
   /// Shard-load imbalance over the *current* concurrent-read epoch:
   /// max(per-shard fetches) / mean(per-shard fetches), 0 when no shard saw
   /// a fetch (or outside concurrent-read mode). 1.0 = perfectly even.
@@ -338,6 +394,18 @@ class Pager {
     // Fetches routed to this shard in the current concurrent-read epoch
     // (reset by BeginConcurrentReads); feeds ShardImbalance().
     std::atomic<uint64_t> fetches{0};
+  };
+
+  /// Atomic accumulators behind retry_stats(); same torn-view caveat as
+  /// ConcurrencyCounters below.
+  struct RetryCounters {
+    std::atomic<uint64_t> read_retries{0};
+    std::atomic<uint64_t> read_recoveries{0};
+    std::atomic<uint64_t> read_exhausted{0};
+    std::atomic<uint64_t> backoff_waits{0};
+    std::atomic<uint64_t> backoff_wait_ns{0};
+    std::atomic<uint64_t> crc_rereads{0};
+    std::atomic<uint64_t> crc_reread_recoveries{0};
   };
 
   /// Atomic accumulators behind concurrency_stats(); see that struct for
@@ -403,6 +471,12 @@ class Pager {
   // `sink` receives checksum_failures (the caller's IoStats: the pager-wide
   // accumulator in exclusive mode, the session's in concurrent-read mode).
   Status VerifyPageBlock(PageId id, const char* block, IoStats* sink);
+  // The one physical-read path behind Fetch()/SharedFetch() cache misses:
+  // ReadBlock + checksum verify, with the PagerOptions retry policy
+  // (transient retries with capped exponential backoff, one optional CRC
+  // re-read). Thread-safe; charges rc_, never `sink` beyond what a single
+  // verified read would.
+  Status ReadBlockVerified(PageId id, char* block, IoStats* sink);
 
   // Journal machinery (all no-ops when journal_ is null).
   uint64_t txn_seq() const { return commit_seq_ + 1; }
@@ -418,6 +492,13 @@ class Pager {
   size_t payload_offset_;  // kPageHeaderSize with checksums, else 0.
   bool checksums_;
   size_t cache_frames_;
+  // Retry policy, copied from PagerOptions at Open (see there).
+  int max_read_attempts_;
+  uint64_t retry_backoff_base_ns_;
+  uint64_t retry_backoff_cap_ns_;
+  std::function<void(uint64_t)> retry_backoff_;
+  bool reread_on_checksum_mismatch_;
+  RetryCounters rc_;  // See retry_stats().
 
   PageId next_page_id_ = 1;  // Block 0 is the meta page.
   PageId free_head_ = kInvalidPageId;

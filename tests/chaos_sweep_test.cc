@@ -1,0 +1,240 @@
+// Chaos sweep harness (ISSUE 7): inject a transient I/O fault at *every*
+// operation index of a build and a serve batch, and assert the system
+// degrades exactly as specified — per-item kUnavailable statuses only,
+// never a crash, hang, or corruption; accounting invariants still
+// balance; the pager stays usable (a follow-up clean batch is all-OK);
+// and with retries enabled the same sweep completes with zero surfaced
+// errors.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "constraint/naive_eval.h"
+#include "dualindex/dual_index.h"
+#include "storage/fault_file.h"
+#include "storage/file.h"
+#include "storage/pager.h"
+#include "workload/generator.h"
+
+namespace cdb {
+namespace {
+
+using FaultPlan = FaultInjectionFile::FaultPlan;
+
+struct ServeQuery {
+  SelectionType type;
+  HalfPlaneQuery q;
+  QueryMethod method;
+};
+
+std::vector<ServeQuery> ServeBatch() {
+  return {
+      {SelectionType::kAll, HalfPlaneQuery(0.37, 5.0, Cmp::kGE),
+       QueryMethod::kT1},
+      {SelectionType::kExist, HalfPlaneQuery(0.37, -3.0, Cmp::kLE),
+       QueryMethod::kT2},
+      {SelectionType::kAll, HalfPlaneQuery(-0.8, 0.0, Cmp::kGE),
+       QueryMethod::kT2},
+      {SelectionType::kExist, HalfPlaneQuery(1.1, 2.0, Cmp::kGE),
+       QueryMethod::kT1},
+  };
+}
+
+// Relation + dual index whose pagers sit on FaultInjectionFile wrappers
+// sharing one plan, so one armed window indexes the combined
+// data+index read stream — the same way production storage would see a
+// single flaky device under both files.
+struct ChaosRig {
+  std::shared_ptr<FaultPlan> plan = std::make_shared<FaultPlan>();
+  FaultInjectionFile* rel_fault = nullptr;  // Owned by the pagers.
+  FaultInjectionFile* idx_fault = nullptr;
+  std::unique_ptr<Pager> rel_pager;
+  std::unique_ptr<Pager> idx_pager;
+  std::unique_ptr<Relation> relation;
+  std::unique_ptr<DualIndex> index;
+
+  // `load` populates and builds (clean); set false to drive the build
+  // yourself (the build-phase sweep arms faults first).
+  explicit ChaosRig(int max_read_attempts, bool load = true) {
+    PagerOptions opts;
+    opts.page_size = 1024;
+    opts.cache_frames = 64;
+    opts.max_read_attempts = max_read_attempts;
+    auto make_pager = [&](FaultInjectionFile** fault_out) {
+      auto fault = std::make_unique<FaultInjectionFile>(
+          std::make_unique<MemFile>(opts.page_size), plan);
+      *fault_out = fault.get();
+      std::unique_ptr<Pager> pager;
+      EXPECT_TRUE(Pager::Open(std::move(fault), opts, &pager).ok());
+      return pager;
+    };
+    rel_pager = make_pager(&rel_fault);
+    idx_pager = make_pager(&idx_fault);
+    if (load) {
+      EXPECT_TRUE(Load().ok());
+    }
+  }
+
+  Status Load() {
+    CDB_RETURN_IF_ERROR(
+        Relation::Open(rel_pager.get(), kInvalidPageId, &relation));
+    Rng rng(9001);
+    WorkloadOptions w;
+    for (int i = 0; i < 80; ++i) {
+      CDB_RETURN_IF_ERROR(relation->Insert(RandomBoundedTuple(&rng, w)).status());
+    }
+    CDB_RETURN_IF_ERROR(DualIndex::Build(
+        idx_pager.get(), relation.get(),
+        SlopeSet::UniformInAngle(4, -1.3, 1.3), {}, &index));
+    CDB_RETURN_IF_ERROR(rel_pager->Flush());
+    return idx_pager->Flush();
+  }
+
+  // Cold-cache reset so every sweep iteration replays the identical
+  // physical read sequence.
+  void DropCaches() {
+    ASSERT_TRUE(rel_pager->Flush().ok());
+    ASSERT_TRUE(idx_pager->Flush().ok());
+    ASSERT_TRUE(rel_pager->DropCache().ok());
+    ASSERT_TRUE(idx_pager->DropCache().ok());
+  }
+
+  uint64_t reads_seen() const {
+    return rel_fault->reads_seen() + idx_fault->reads_seen();
+  }
+
+  // Runs the serve batch, checking the per-query chaos invariants:
+  // balanced filter accounting and zero pinned frames whatever the
+  // outcome. Returns one status per item.
+  std::vector<Status> RunBatch() {
+    std::vector<Status> out;
+    for (const ServeQuery& sq : ServeBatch()) {
+      QueryStats stats;
+      Result<std::vector<TupleId>> r =
+          index->Select(sq.type, sq.q, sq.method, &stats);
+      out.push_back(r.status());
+      EXPECT_TRUE(stats.filter.Balances());
+      EXPECT_EQ(rel_pager->pinned_frame_count(), 0u);
+      EXPECT_EQ(idx_pager->pinned_frame_count(), 0u);
+    }
+    return out;
+  }
+
+  std::vector<std::vector<TupleId>> RunBatchResults() {
+    std::vector<std::vector<TupleId>> out;
+    for (const ServeQuery& sq : ServeBatch()) {
+      Result<std::vector<TupleId>> r = index->Select(sq.type, sq.q, sq.method);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      out.push_back(r.ok() ? r.value() : std::vector<TupleId>{});
+    }
+    return out;
+  }
+};
+
+TEST(ChaosSweepTest, ServeTransientFaultAtEveryReadIndexWithoutRetries) {
+  ChaosRig rig(/*max_read_attempts=*/1);
+
+  // Ground truth and the serve-phase read count, from a fault-free run.
+  rig.DropCaches();
+  const std::vector<std::vector<TupleId>> truth = rig.RunBatchResults();
+  rig.DropCaches();
+  const uint64_t reads_before = rig.reads_seen();
+  rig.RunBatchResults();
+  const uint64_t total_reads = rig.reads_seen() - reads_before;
+  ASSERT_GT(total_reads, 0u);
+
+  uint64_t faulted_items = 0;
+  for (uint64_t k = 0; k < total_reads; ++k) {
+    rig.DropCaches();
+    rig.plan->ArmTransientReads(static_cast<int64_t>(k), /*k=*/1);
+    std::vector<Status> statuses = rig.RunBatch();
+    rig.plan->DisarmTransient();
+
+    // Only per-item kUnavailable — never a crash, never another code.
+    for (const Status& st : statuses) {
+      if (!st.ok()) {
+        EXPECT_TRUE(st.IsUnavailable()) << "k=" << k << ": " << st.ToString();
+        ++faulted_items;
+      }
+    }
+
+    // The pager must remain fully usable: a clean batch reproduces truth.
+    rig.DropCaches();
+    EXPECT_EQ(rig.RunBatchResults(), truth) << "after fault at read " << k;
+  }
+  // Every armed window that landed inside the batch must have surfaced.
+  EXPECT_GT(faulted_items, 0u);
+  EXPECT_EQ(rig.plan->transient_faults(), total_reads);
+}
+
+TEST(ChaosSweepTest, ServeSweepIsCleanWithOneRetry) {
+  // Same sweep, retries on: every single-shot fault is absorbed by the
+  // retry budget, so the whole sweep is all-OK and the recoveries are
+  // visible in the pager's retry stats instead.
+  ChaosRig rig(/*max_read_attempts=*/2);
+
+  rig.DropCaches();
+  const std::vector<std::vector<TupleId>> truth = rig.RunBatchResults();
+  rig.DropCaches();
+  const uint64_t reads_before = rig.reads_seen();
+  rig.RunBatchResults();
+  const uint64_t total_reads = rig.reads_seen() - reads_before;
+
+  for (uint64_t k = 0; k < total_reads; ++k) {
+    rig.DropCaches();
+    rig.plan->ArmTransientReads(static_cast<int64_t>(k), /*k=*/1);
+    std::vector<Status> statuses = rig.RunBatch();
+    rig.plan->DisarmTransient();
+    for (const Status& st : statuses) {
+      EXPECT_TRUE(st.ok()) << "k=" << k << ": " << st.ToString();
+    }
+    EXPECT_EQ(rig.RunBatchResults(), truth);
+  }
+  const PagerRetryStats rel = rig.rel_pager->retry_stats();
+  const PagerRetryStats idx = rig.idx_pager->retry_stats();
+  EXPECT_EQ(rel.read_recoveries + idx.read_recoveries, total_reads);
+  EXPECT_EQ(rel.read_exhausted + idx.read_exhausted, 0u);
+}
+
+TEST(ChaosSweepTest, BuildTransientWriteFaultAtEveryIndexFailsCleanly) {
+  // Dry run: count the writes a clean load issues.
+  uint64_t total_writes = 0;
+  {
+    ChaosRig rig(/*max_read_attempts=*/1);
+    total_writes = rig.rel_fault->writes_seen() + rig.idx_fault->writes_seen();
+    ASSERT_GT(total_writes, 0u);
+  }
+
+  // Writes are never retried (DESIGN.md §2g), so a transient write fault
+  // at any index must abort the load with kUnavailable — surfaced, not
+  // swallowed — and leave no pinned frames behind. Stride the sweep to
+  // keep the suite fast while still covering early, middle, and late
+  // build phases.
+  const uint64_t stride = std::max<uint64_t>(1, total_writes / 37);
+  int aborted = 0;
+  for (uint64_t k = 0; k < total_writes; k += stride) {
+    ChaosRig rig(/*max_read_attempts=*/1, /*load=*/false);
+    rig.plan->ArmTransientWrites(static_cast<int64_t>(k), /*k=*/1);
+    Status st = rig.Load();
+    rig.plan->DisarmTransient();
+    if (!st.ok()) {
+      EXPECT_TRUE(st.IsUnavailable()) << "k=" << k << ": " << st.ToString();
+      ++aborted;
+      EXPECT_EQ(rig.rel_pager->pinned_frame_count(), 0u);
+      EXPECT_EQ(rig.idx_pager->pinned_frame_count(), 0u);
+    }
+  }
+  EXPECT_GT(aborted, 0);
+
+  // And a fresh, fault-free rig still builds and serves.
+  ChaosRig rig(/*max_read_attempts=*/1);
+  for (const Status& st : rig.RunBatch()) EXPECT_TRUE(st.ok());
+}
+
+}  // namespace
+}  // namespace cdb

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "common/rng.h"
 #include "constraint/naive_eval.h"
 #include "db/database.h"
+#include "obs/metrics.h"
 #include "pager_test_util.h"
 #include "rtree/rtree_query.h"
 #include "storage/file.h"
@@ -311,6 +314,139 @@ TEST(QueryExecutorTest, DDimBatchMatchesSerial) {
   }
   ExpectNoPinnedFrames(*idx_pager);
   ExpectNoPinnedFrames(*rel_pager);
+}
+
+// Regression (ISSUE 7 satellite): when a later pager of a batch refuses
+// the concurrent-read mode switch, the pagers already switched must be
+// rolled back to exclusive mode — a half-switched set would wedge every
+// subsequent mutation. The failure is induced the same way a user could:
+// a live pin on one pager.
+TEST(QueryExecutorTest, PartialModeSwitchRollsBack) {
+  ExecFixture fx(508);
+  exec::QueryExecutor executor(2);
+  std::vector<exec::BatchQuery> batch = fx.MakeBatch(6);
+
+  {
+    // Pointer order decides which pager switches first; whichever side the
+    // pinned one lands on, no pager may be left in concurrent mode.
+    Result<PageRef> pin = fx.rel_pager->Fetch(fx.relation->root_page());
+    ASSERT_TRUE(pin.ok());
+    std::vector<exec::BatchItemResult> results;
+    Status st = executor.RunBatch(fx.index.get(), batch, &results);
+    EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+    EXPECT_FALSE(fx.rel_pager->concurrent_reads_active());
+    EXPECT_FALSE(fx.idx_pager->concurrent_reads_active());
+  }
+
+  // Exclusive mode is truly restored: mutations and Flush still work...
+  WorkloadOptions w;
+  GeneralizedTuple t = RandomBoundedTuple(&fx.rng, w);
+  Result<TupleId> id = fx.relation->Insert(t);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(fx.index->Insert(id.value(), t).ok());
+  ASSERT_TRUE(fx.rel_pager->Flush().ok());
+  ASSERT_TRUE(fx.idx_pager->Flush().ok());
+
+  // ...and with the pin gone the same batch runs clean.
+  std::vector<exec::BatchItemResult> results;
+  ASSERT_TRUE(executor.RunBatch(fx.index.get(), batch, &results).ok());
+  EXPECT_TRUE(exec::FirstError(results).ok());
+}
+
+TEST(QueryExecutorTest, AdmissionCapacityShedsBeyondBound) {
+  ExecFixture fx(509);
+  std::vector<exec::BatchQuery> batch = fx.MakeBatch(10);
+  exec::QueryExecutor executor(2);
+
+  const bool metrics_were_enabled = obs::GlobalMetrics().enabled();
+  obs::GlobalMetrics().SetEnabled(true);
+  obs::Counter* shed_counter = obs::GlobalMetrics().counter("exec.shed.count");
+  const uint64_t shed_before = shed_counter->value();
+
+  exec::BatchObservability bobs;
+  bobs.overload.admission_capacity = 4;
+  exec::BatchResult out;
+  ASSERT_TRUE(executor.RunBatch(fx.index.get(), batch, bobs, &out).ok());
+  obs::GlobalMetrics().SetEnabled(metrics_were_enabled);
+
+  ASSERT_EQ(out.items.size(), batch.size());
+  EXPECT_EQ(out.shed, 6u);
+  EXPECT_EQ(out.degraded, 0u);
+  EXPECT_EQ(shed_counter->value() - shed_before, 6u);
+  size_t completed = 0;
+  for (size_t i = 0; i < out.items.size(); ++i) {
+    if (i < 4) {
+      // Admitted queries are served normally and correctly.
+      ASSERT_TRUE(out.items[i].status.ok()) << "query " << i;
+      EXPECT_EQ(out.items[i].ids, fx.Truth(batch[i].type, batch[i].query));
+      ++completed;
+    } else {
+      EXPECT_TRUE(out.items[i].status.IsUnavailable()) << "query " << i;
+    }
+  }
+  // The bench-artifact invariant: every submitted query is accounted for.
+  EXPECT_EQ(out.shed + completed, batch.size());
+}
+
+// Returns a scripted sequence of instants, one per NowNanos() call (the
+// last value repeats). With one worker thread the executor's clock reads
+// are totally ordered, so the script dictates each query's queue wait.
+class StepClock final : public obs::Clock {
+ public:
+  explicit StepClock(std::vector<uint64_t> values)
+      : values_(std::move(values)) {}
+  uint64_t NowNanos() override {
+    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    return values_[std::min(i, values_.size() - 1)];
+  }
+
+ private:
+  std::vector<uint64_t> values_;
+  std::atomic<size_t> next_{0};
+};
+
+TEST(QueryExecutorTest, QueueWaitLadderDegradesThenSheds) {
+  ExecFixture fx(510);
+  std::vector<exec::BatchQuery> batch = fx.MakeBatch(5);
+  exec::QueryExecutor executor(1);  // Deterministic pickup order.
+
+  // Call order: submit, then per served item pickup + completion, per shed
+  // item pickup only. Query 0 waits 0 (normal), query 1 waits 150
+  // (degrade rung), queries 2-4 wait 350 (shed rung).
+  StepClock clock({0, 0, 10, 150, 160, 350});
+  exec::BatchObservability bobs;
+  bobs.record_latency = true;
+  bobs.clock = &clock;
+  bobs.trace_sample_every = 1;  // Trace everything — unless degraded.
+  bobs.overload.degrade_queue_wait_ns = 100;
+  bobs.overload.shed_queue_wait_ns = 300;
+
+  exec::BatchResult out;
+  ASSERT_TRUE(executor.RunBatch(fx.index.get(), batch, bobs, &out).ok());
+  ASSERT_EQ(out.items.size(), batch.size());
+  EXPECT_EQ(out.degraded, 1u);
+  EXPECT_EQ(out.shed, 3u);
+
+  // Query 0: under every threshold — served with its trace profile.
+  ASSERT_TRUE(out.items[0].status.ok());
+  EXPECT_NE(out.items[0].profile, nullptr);
+  // Query 1: degraded — served correctly, but the profile was the first
+  // cost dropped.
+  ASSERT_TRUE(out.items[1].status.ok());
+  EXPECT_EQ(out.items[1].profile, nullptr);
+  EXPECT_EQ(out.items[1].ids, fx.Truth(batch[1].type, batch[1].query));
+  // Queries 2-4: shed — kUnavailable, never executed.
+  for (size_t i = 2; i < out.items.size(); ++i) {
+    EXPECT_TRUE(out.items[i].status.IsUnavailable()) << "query " << i;
+    EXPECT_EQ(out.items[i].profile, nullptr);
+    EXPECT_TRUE(out.items[i].ids.empty());
+  }
+  // Shed queries record queue wait but no service time; the two served
+  // ones record both.
+  EXPECT_EQ(out.queue_wait.count, 5u);
+  EXPECT_EQ(out.service.count, 2u);
+  EXPECT_EQ(out.sampled_traces, 1u);
+  EXPECT_EQ(out.balanced_traces, 1u);
 }
 
 TEST(QueryExecutorTest, DatabaseSelectBatchMatchesSelectLoop) {
