@@ -1,9 +1,13 @@
 #include "harness.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "constraint/refine_batch.h"
 
 #include "obs/json.h"
 #include "obs/trace.h"
@@ -49,6 +53,9 @@ Dataset BuildDataset(const DatasetConfig& config) {
   ds.rtree_pager = MakePager();
   Check(Relation::Open(ds.rel_pager.get(), kInvalidPageId, &ds.relation),
         "relation open");
+  // Benches run with the sidecar on, like every fresh ConstraintDatabase;
+  // inserts below keep it current.
+  Check(ds.relation->EnableBoundingBoxCache(), "bbox cache enable");
 
   Rng rng(config.seed);
   WorkloadOptions w;
@@ -211,6 +218,150 @@ Measurement MeasureNaive(Dataset* ds, const std::vector<CalibratedQuery>& qs) {
   m.tuple_fetches /= n;
   m.results /= n;
   return m;
+}
+
+namespace {
+
+// Restores the process-wide batching toggle on scope exit so a measurement
+// pass cannot leak its forced mode into later benches.
+class ScopedBatching {
+ public:
+  explicit ScopedBatching(bool enabled) : prev_(RefineBatchingEnabled()) {
+    SetRefineBatchingEnabled(enabled);
+  }
+  ~ScopedBatching() { SetRefineBatchingEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+std::vector<TupleId> AllLiveIds(const Relation& relation) {
+  std::vector<TupleId> ids;
+  Status st = relation.ForEach([&ids](TupleId id, const GeneralizedTuple&) {
+    ids.push_back(id);
+    return Status::OK();
+  });
+  Check(st, "relation scan");
+  return ids;
+}
+
+double NanosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+RefineSubstrate MeasureRefineSubstrate(Dataset* ds,
+                                       const std::vector<CalibratedQuery>& qs,
+                                       bool batched, int reps) {
+  ScopedBatching mode(batched);
+  const std::vector<TupleId> ids = AllLiveIds(*ds->relation);
+  obs::Counter* lp_calls = obs::GlobalMetrics().counter("bench.refine.lp_calls");
+
+  RefineSubstrate out;
+  auto refine_pass = [&](const CalibratedQuery& cq, std::vector<TupleId>* work) {
+    obs::FilterCounts filter;
+    uint64_t false_hits = 0;
+    Check(RefineBatch2D(*ds->relation, cq.type, cq.query, lp_calls, nullptr,
+                        work, &filter, &false_hits),
+          "refine substrate");
+    filter.candidates = ids.size();
+    filter.results = work->size();
+    if (!filter.Balances()) {
+      std::fprintf(stderr, "FATAL: refine substrate accounting broken\n");
+      std::abort();
+    }
+  };
+
+  // Deterministic pass: physical relation reads per candidate, cold cache.
+  uint64_t reads = 0;
+  for (const CalibratedQuery& cq : qs) {
+    Check(ds->rel_pager->DropCache(), "drop cache");
+    const IoStats before = ds->rel_pager->stats();
+    std::vector<TupleId> work = ids;
+    refine_pass(cq, &work);
+    reads += ds->rel_pager->stats().Delta(before).page_reads;
+    out.accepts += static_cast<double>(work.size());
+    out.candidates += static_cast<double>(ids.size());
+  }
+  out.pages_per_candidate = static_cast<double>(reads) / out.candidates;
+
+  // Timed pass: warm cache, min over `reps` full sweeps of the query set.
+  double best_ns = 1e18;
+  for (int rep = 0; rep <= reps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    for (const CalibratedQuery& cq : qs) {
+      std::vector<TupleId> work = ids;
+      refine_pass(cq, &work);
+    }
+    double ns = NanosSince(start);
+    if (rep > 0) best_ns = std::min(best_ns, ns);  // rep 0 is the warm-up.
+  }
+  out.ns_per_candidate = best_ns / out.candidates;
+  return out;
+}
+
+WarmLatency MeasureWarmLatency(Dataset* ds,
+                               const std::vector<CalibratedQuery>& qs,
+                               QueryMethod method, bool batched, int rounds) {
+  ScopedBatching mode(batched);
+  auto run_pass = [&](std::vector<double>* samples) {
+    for (const CalibratedQuery& cq : qs) {
+      auto start = std::chrono::steady_clock::now();
+      Result<std::vector<TupleId>> r =
+          ds->dual->Select(cq.type, cq.query, method, nullptr);
+      double us = NanosSince(start) / 1e3;
+      Check(r.status(), "warm select");
+      if (samples != nullptr) samples->push_back(us);
+    }
+  };
+  run_pass(nullptr);  // Warm both pools.
+  std::vector<double> samples;
+  samples.reserve(qs.size() * static_cast<size_t>(rounds));
+  for (int i = 0; i < rounds; ++i) run_pass(&samples);
+  std::sort(samples.begin(), samples.end());
+  WarmLatency out;
+  out.samples = static_cast<double>(samples.size());
+  if (samples.empty()) return out;
+  out.p50_us = samples[samples.size() / 2];
+  out.p99_us = samples[std::min(samples.size() - 1, samples.size() * 99 / 100)];
+  return out;
+}
+
+void ReportRefineRows(Dataset* ds, const std::vector<CalibratedQuery>& qs,
+                      BenchReporter* reporter,
+                      const BenchReporter::Params& base_params, bool warm,
+                      QueryMethod method) {
+  if (reporter == nullptr || !reporter->enabled()) return;
+  double accepts[2] = {0, 0};
+  for (int b = 0; b < 2; ++b) {
+    BenchReporter::Params params = base_params;
+    params.emplace_back("batched", static_cast<double>(b));
+    RefineSubstrate rs = MeasureRefineSubstrate(ds, qs, b != 0);
+    accepts[b] = rs.accepts;
+    reporter->AddValue("refine", params, "ns_per_candidate",
+                       rs.ns_per_candidate);
+    reporter->AddValue("refine", params, "pages_per_candidate",
+                       rs.pages_per_candidate);
+    reporter->AddValue("refine", params, "candidates", rs.candidates);
+    reporter->AddValue("refine", params, "accepts", rs.accepts);
+    if (warm) {
+      WarmLatency wl = MeasureWarmLatency(ds, qs, method, b != 0);
+      reporter->AddValue("warm_latency", params, "p50_us", wl.p50_us);
+      reporter->AddValue("warm_latency", params, "p99_us", wl.p99_us);
+      reporter->AddValue("warm_latency", params, "samples", wl.samples);
+    }
+  }
+  if (accepts[0] != accepts[1]) {
+    std::fprintf(stderr,
+                 "FATAL: batched refinement accepted %.0f candidates, "
+                 "scalar accepted %.0f\n",
+                 accepts[1], accepts[0]);
+    std::abort();
+  }
 }
 
 void PrintTableHeader(const std::string& title,

@@ -267,6 +267,25 @@ void MeasureChecksumOverhead(bench::BenchReporter* out) {
                 cold[1] / cold[0]);
 }
 
+// Refinement-substrate rows (ISSUE 8): ns and physical relation pages per
+// candidate, scalar vs batched, over a fig8-style dataset.
+// scripts/check_bench_json.py requires both rows and asserts the batched
+// page count never exceeds the scalar one.
+void MeasureRefineCost(bench::BenchReporter* out) {
+  bench::DatasetConfig config;
+  config.n = 2000;
+  config.k = 3;
+  config.build_rtree = false;
+  bench::Dataset ds = bench::BuildDataset(config);
+  Rng rng(41);
+  auto qs = bench::MakeQueries(*ds.relation, SelectionType::kExist, 6, 0.10,
+                               0.15, &rng);
+  auto all = bench::MakeQueries(*ds.relation, SelectionType::kAll, 6, 0.10,
+                                0.15, &rng);
+  qs.insert(qs.end(), all.begin(), all.end());
+  bench::ReportRefineRows(&ds, qs, out, {}, /*warm=*/false);
+}
+
 }  // namespace
 }  // namespace cdb
 
@@ -305,6 +324,7 @@ int main(int argc, char** argv) {
   CaptureReporter capture(&reporter);
   benchmark::RunSpecifiedBenchmarks(&capture);
   cdb::MeasureChecksumOverhead(&reporter);
+  cdb::MeasureRefineCost(&reporter);
   benchmark::Shutdown();
   return reporter.Write() ? 0 : 1;
 }

@@ -49,5 +49,15 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape: T2 beats the R+-tree across the whole band, with\n"
       "the ALL advantage consistently wider (paper Section 5).\n");
+
+  // Refinement substrate + warm latency at the paper's headline band,
+  // scalar vs batched (ISSUE 8).
+  Rng rrng(31999);
+  auto refine_qs =
+      MakeQueries(*ds.relation, SelectionType::kExist, 6, 0.10, 0.15, &rrng);
+  auto refine_all =
+      MakeQueries(*ds.relation, SelectionType::kAll, 6, 0.10, 0.15, &rrng);
+  refine_qs.insert(refine_qs.end(), refine_all.begin(), refine_all.end());
+  ReportRefineRows(&ds, refine_qs, &reporter, {}, /*warm=*/true);
   return reporter.Write() ? 0 : 1;
 }

@@ -318,6 +318,18 @@ int Run(int argc, char** argv) {
               "(serial vs 1-thread executor)\n",
               mismatches, batch.size());
 
+  // Refinement substrate, scalar vs batched (ISSUE 8);
+  // check_bench_json.py requires both rows on this artifact.
+  {
+    Rng rrng(kSeed + 1);
+    auto rq = MakeQueries(*ds.relation, SelectionType::kExist, 6, 0.05, 0.20,
+                          &rrng);
+    auto rall = MakeQueries(*ds.relation, SelectionType::kAll, 6, 0.05, 0.20,
+                            &rrng);
+    rq.insert(rq.end(), rall.begin(), rall.end());
+    ReportRefineRows(&ds, rq, &reporter, {}, /*warm=*/false);
+  }
+
   PrintTableHeader("qps, " + std::to_string(batch.size()) + " queries, n=" +
                        std::to_string(config.n),
                    {"threads", "cold qps", "cold ms", "warm qps", "warm ms"});

@@ -65,8 +65,19 @@ _HIGHER_IS_BETTER = {"qps"}
 # flaky read took are decided by the scheduler, not by the bench seeds.
 _SCHEDULE_DEPENDENT = (
     "online_updates/counters/dual.refine.lp_calls",
+    "online_updates/counters/refine.batch.*",
     "*/counters/exec.shed.count",
     "*pager.retry.*",
+)
+
+# Deterministic but *directional*: seed-pinned values whose designed
+# improvement direction is down (the page-clustered refiner with the
+# bounding-box sidecar can only skip relation fetches). A decrease is the
+# optimisation doing its job and never fails; an increase beyond the
+# deterministic tolerance is a regression even without --timing.
+_DETERMINISTIC_LOWER_IS_BETTER = (
+    "*/refine/pages_per_candidate",
+    "refine/pages_per_candidate",
 )
 
 
@@ -132,6 +143,12 @@ class Gate:
         path = f"{bench}/{label}/{key}"
         return any(fnmatch.fnmatch(path, p) for p in self.schedule)
 
+    def is_deterministic_directional(self, bench, label, key):
+        candidates = (f"{bench}/{label}/{key}", f"{label}/{key}", key)
+        return any(fnmatch.fnmatch(c, p)
+                   for p in _DETERMINISTIC_LOWER_IS_BETTER
+                   for c in candidates)
+
     def compare_value(self, where, bench, label, key, base, cand):
         self.compared += 1
         if is_timing_key(key) or self.is_schedule_dependent(bench, label, key):
@@ -152,9 +169,17 @@ class Gate:
                         f"{where}: {key} rose {base:g} -> {cand:g} "
                         f"(> {band:.0%} above baseline)")
             return
+        tol = DETERMINISTIC_RTOL * max(abs(base), abs(cand), 1.0)
+        if self.is_deterministic_directional(bench, label, key):
+            # Seed-pinned, lower-is-better: improvement passes, any rise
+            # beyond the deterministic tolerance fails (no --timing needed).
+            if cand > base + tol:
+                self.failures.append(
+                    f"{where}: directional {key} rose {base!r} -> {cand!r} "
+                    "(deterministic, lower is better)")
+            return
         # Deterministic: the seeds pin this down; any drift is a behaviour
         # change that must be explained by refreshing the baseline.
-        tol = DETERMINISTIC_RTOL * max(abs(base), abs(cand), 1.0)
         if abs(cand - base) > tol:
             self.failures.append(
                 f"{where}: deterministic {key} changed {base!r} -> {cand!r}")
@@ -260,14 +285,18 @@ def self_test():
              "values": {"count": 256, "p50_ms": 2.0, "p99_ms": 6.0}},
             {"label": "t2/exist", "params": {"n": 2000},
              "values": {"index_fetches": 12.5}},
+            {"label": "refine", "params": {"batched": 1},
+             "values": {"pages_per_candidate": 0.15, "candidates": 7200}},
         ],
         "metrics": {"counters": {"dual.refine.lp_calls": 4181},
                     "gauges": {"noise": 1}, "histograms": {}},
     }
     import copy
     failures = []
+    scenarios = [0]
 
     def run(mutate, timing, bands, expect_fail, what):
+        scenarios[0] += 1
         cand = copy.deepcopy(base)
         mutate(cand)
         gate = Gate(timing, bands)
@@ -305,6 +334,14 @@ def self_test():
         False, [], True, "missing counter fails")
     run(lambda d: d["metrics"]["gauges"].update(noise=999), False, [], False,
         "gauges are not gated")
+    run(lambda d: d["measurements"][3]["values"].update(
+        pages_per_candidate=0.10),
+        False, [], False, "directional pages_per_candidate improvement passes")
+    run(lambda d: d["measurements"][3]["values"].update(
+        pages_per_candidate=0.20),
+        False, [], True, "directional pages_per_candidate rise fails")
+    run(lambda d: d["measurements"][3]["values"].update(candidates=7300),
+        False, [], True, "refine candidates stay exactly gated")
     base["measurements"][1]["values"]["sessions_drained"] = 8
     run(lambda d: d["measurements"][1]["values"].update(sessions_drained=0),
         False, [], False, "schedule-dependent key ignored without --timing")
@@ -320,6 +357,7 @@ def self_test():
     # only for the bench that matches the pattern.
     cand = copy.deepcopy(base)
     cand["metrics"]["counters"]["dual.refine.lp_calls"] = 9
+    scenarios[0] += 2
     gate = Gate(False, [], schedule=("demo/counters/dual.refine.lp_calls",))
     gate.compare_docs("demo", base, cand)
     if gate.failures:
@@ -334,7 +372,7 @@ def self_test():
         for f in failures:
             print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
         return 1
-    print("self-test OK (20 scenarios)")
+    print(f"self-test OK ({scenarios[0]} scenarios)")
     return 0
 
 

@@ -75,6 +75,42 @@ uint16_t RecordConstraintCount(const char* src) {
   return m;
 }
 
+// Bounding-box sidecar page header and record layout (ISSUE 8c).
+// Header: next u32 | count u16 | pad u16. Record (id-positional):
+// flags u8 (bit 0 = tuple has a finite box) | xlo, ylo, xhi, yhi f64.
+struct BoxPageHeader {
+  PageId next;
+  uint16_t count;
+  uint16_t pad;
+};
+
+constexpr size_t kBoxHeaderSize = sizeof(BoxPageHeader);
+constexpr size_t kBoxRecordSize = 33;
+constexpr uint8_t kBoxFiniteFlag = 1;
+
+void ReadBoxHeader(const char* page, BoxPageHeader* h) {
+  std::memcpy(h, page, sizeof(*h));
+}
+void WriteBoxHeader(char* page, const BoxPageHeader& h) {
+  std::memcpy(page, &h, sizeof(h));
+}
+
+void SerializeBoxRecord(char* dst, bool has_box, const Rect& box) {
+  dst[0] = static_cast<char>(has_box ? kBoxFiniteFlag : 0);
+  std::memcpy(dst + 1, &box.xlo, 8);
+  std::memcpy(dst + 9, &box.ylo, 8);
+  std::memcpy(dst + 17, &box.xhi, 8);
+  std::memcpy(dst + 25, &box.yhi, 8);
+}
+
+void DeserializeBoxRecord(const char* src, bool* has_box, Rect* box) {
+  *has_box = (static_cast<uint8_t>(src[0]) & kBoxFiniteFlag) != 0;
+  std::memcpy(&box->xlo, src + 1, 8);
+  std::memcpy(&box->ylo, src + 9, 8);
+  std::memcpy(&box->xhi, src + 17, 8);
+  std::memcpy(&box->yhi, src + 25, 8);
+}
+
 }  // namespace
 
 Status Relation::Open(Pager* pager, PageId root_page,
@@ -172,6 +208,14 @@ Result<TupleId> Relation::Insert(const GeneralizedTuple& tuple) {
   WriteHeader(tail.value().data(), h);
   tail.value().MarkDirty();
   ++live_count_;
+
+  if (bbox_enabled_) {
+    tail.value().Release();
+    Rect box;
+    bool has_box = tuple.GetBoundingRect(&box);
+    if (!has_box) box = Rect();
+    CDB_RETURN_IF_ERROR(AppendBoxSlot(has_box, box));
+  }
   return id;
 }
 
@@ -193,6 +237,32 @@ Status Relation::Get(TupleId id, GeneralizedTuple* out) const {
   TupleId stored;
   uint8_t flags;
   DeserializeRecord(ref.value().data() + loc.offset, &stored, &flags, out);
+  if (stored != id || !(flags & kLiveFlag)) {
+    return Status::Corruption("directory/page mismatch for tuple " +
+                              std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status Relation::LocateTuple(TupleId id, PageId* page) const {
+  if (pager_->InSwmrReadContext()) {
+    if (id >= published_tuples_.load(std::memory_order_acquire) ||
+        !directory_[id].live) {
+      return Status::NotFound("tuple " + std::to_string(id));
+    }
+  } else if (id >= directory_.size() || !directory_[id].live) {
+    return Status::NotFound("tuple " + std::to_string(id));
+  }
+  *page = directory_[id].page;
+  return Status::OK();
+}
+
+Status Relation::GetFromPage(const PageRef& page, TupleId id,
+                             GeneralizedTuple* out) const {
+  const Location& loc = directory_[id];
+  TupleId stored;
+  uint8_t flags;
+  DeserializeRecord(page.data() + loc.offset, &stored, &flags, out);
   if (stored != id || !(flags & kLiveFlag)) {
     return Status::Corruption("directory/page mismatch for tuple " +
                               std::to_string(id));
@@ -250,6 +320,7 @@ Status Relation::Delete(TupleId id) {
     }
     CDB_RETURN_IF_ERROR(pager_->Free(dead));
   }
+  if (bbox_enabled_) CDB_RETURN_IF_ERROR(ClearBoxSlot(id));
   return Status::OK();
 }
 
@@ -260,7 +331,228 @@ Status Relation::BeginOnlineAppends(size_t max_inserts) {
   }
   swmr_capacity_ = directory_.size() + max_inserts;
   directory_.reserve(swmr_capacity_);
+  // The box mirror is indexed lock-free by readers just like the
+  // directory, so it must never reallocate while they run.
+  if (bbox_enabled_) bbox_cache_.reserve(swmr_capacity_);
   published_tuples_.store(directory_.size(), std::memory_order_release);
+  return Status::OK();
+}
+
+size_t Relation::BoxSlotsPerPage() const {
+  return (pager_->page_size() - kBoxHeaderSize) / kBoxRecordSize;
+}
+
+Status Relation::AppendBoxSlot(bool has_box, const Rect& box) {
+  Result<PageRef> tail = pager_->Fetch(bbox_pages_.back());
+  if (!tail.ok()) return tail.status();
+  BoxPageHeader h;
+  ReadBoxHeader(tail.value().data(), &h);
+  if (h.count >= BoxSlotsPerPage()) {
+    Result<PageId> fresh = pager_->Allocate();
+    if (!fresh.ok()) return fresh.status();
+    Result<PageRef> fresh_ref = pager_->Fetch(fresh.value());
+    if (!fresh_ref.ok()) return fresh_ref.status();
+    BoxPageHeader nh{kInvalidPageId, 0, 0};
+    WriteBoxHeader(fresh_ref.value().data(), nh);
+    fresh_ref.value().MarkDirty();
+    h.next = fresh.value();
+    WriteBoxHeader(tail.value().data(), h);
+    tail.value().MarkDirty();
+    bbox_pages_.push_back(fresh.value());
+    tail = std::move(fresh_ref);
+    h = nh;
+  }
+  SerializeBoxRecord(
+      tail.value().data() + kBoxHeaderSize + h.count * kBoxRecordSize,
+      has_box, box);
+  ++h.count;
+  WriteBoxHeader(tail.value().data(), h);
+  tail.value().MarkDirty();
+  bbox_cache_.push_back({has_box, box});
+  return Status::OK();
+}
+
+Status Relation::ClearBoxSlot(TupleId id) {
+  if (id >= bbox_cache_.size()) return Status::OK();
+  bbox_cache_[id].has_box = false;
+  const size_t per_page = BoxSlotsPerPage();
+  Result<PageRef> ref = pager_->Fetch(bbox_pages_[id / per_page]);
+  if (!ref.ok()) return ref.status();
+  char* rec =
+      ref.value().data() + kBoxHeaderSize + (id % per_page) * kBoxRecordSize;
+  rec[0] = 0;
+  ref.value().MarkDirty();
+  return Status::OK();
+}
+
+Status Relation::EnableBoundingBoxCache() {
+  if (bbox_enabled_) return Status::OK();
+  Result<PageId> root = pager_->Allocate();
+  if (!root.ok()) return root.status();
+  {
+    Result<PageRef> ref = pager_->Fetch(root.value());
+    if (!ref.ok()) return ref.status();
+    BoxPageHeader h{kInvalidPageId, 0, 0};
+    WriteBoxHeader(ref.value().data(), h);
+    ref.value().MarkDirty();
+  }
+  bbox_root_ = root.value();
+  bbox_pages_.assign(1, root.value());
+  bbox_cache_.clear();
+  bbox_cache_.reserve(directory_.size());
+  bbox_enabled_ = true;
+  // Backfill one slot per existing directory entry; dead ids get empty
+  // slots so the id-positional mapping holds.
+  for (TupleId id = 0; id < directory_.size(); ++id) {
+    Rect box;
+    bool has_box = false;
+    if (directory_[id].live) {
+      GeneralizedTuple tuple;
+      CDB_RETURN_IF_ERROR(Get(id, &tuple));
+      has_box = tuple.GetBoundingRect(&box);
+    }
+    if (!has_box) box = Rect();
+    CDB_RETURN_IF_ERROR(AppendBoxSlot(has_box, box));
+  }
+  return Status::OK();
+}
+
+Status Relation::LoadBoundingBoxCache(PageId bbox_root) {
+  if (bbox_enabled_) {
+    return Status::InvalidArgument("bounding-box cache already enabled");
+  }
+  if (bbox_root == kInvalidPageId) {
+    return Status::InvalidArgument("invalid bounding-box sidecar root");
+  }
+  const size_t per_page = BoxSlotsPerPage();
+  bbox_pages_.clear();
+  bbox_cache_.clear();
+  PageId page = bbox_root;
+  while (page != kInvalidPageId) {
+    Result<PageRef> ref = pager_->Fetch(page);
+    if (!ref.ok()) return ref.status();
+    BoxPageHeader h;
+    ReadBoxHeader(ref.value().data(), &h);
+    if (h.count > per_page) {
+      return Status::Corruption("bbox sidecar slot count exceeds capacity");
+    }
+    if (h.next != kInvalidPageId && h.count != per_page) {
+      // Slots are id-positional, so only the tail page may be partial.
+      return Status::Corruption("partial non-tail bbox sidecar page");
+    }
+    bbox_pages_.push_back(page);
+    for (uint16_t i = 0; i < h.count; ++i) {
+      bool has_box;
+      Rect box;
+      DeserializeBoxRecord(
+          ref.value().data() + kBoxHeaderSize + i * kBoxRecordSize, &has_box,
+          &box);
+      bbox_cache_.push_back({has_box, box});
+    }
+    page = h.next;
+  }
+  if (bbox_cache_.size() < directory_.size()) {
+    return Status::Corruption("bbox sidecar shorter than relation directory");
+  }
+  bbox_root_ = bbox_root;
+  bbox_enabled_ = true;
+  if (bbox_cache_.size() > directory_.size()) {
+    // Deletes freed whole trailing data pages before the last close, so the
+    // directory shrank; truncate the sidecar so future appends land on the
+    // right id-positional slot.
+    const size_t keep = directory_.size();
+    const size_t keep_pages = keep == 0 ? 1 : (keep + per_page - 1) / per_page;
+    for (size_t i = keep_pages; i < bbox_pages_.size(); ++i) {
+      CDB_RETURN_IF_ERROR(pager_->Free(bbox_pages_[i]));
+    }
+    Result<PageRef> tail = pager_->Fetch(bbox_pages_[keep_pages - 1]);
+    if (!tail.ok()) return tail.status();
+    BoxPageHeader h;
+    ReadBoxHeader(tail.value().data(), &h);
+    h.next = kInvalidPageId;
+    h.count = static_cast<uint16_t>(keep - (keep_pages - 1) * per_page);
+    WriteBoxHeader(tail.value().data(), h);
+    tail.value().MarkDirty();
+    bbox_pages_.resize(keep_pages);
+    bbox_cache_.resize(keep);
+  }
+  return Status::OK();
+}
+
+bool Relation::CachedBoundingBox(TupleId id, Rect* out) const {
+  if (!bbox_enabled_) return false;
+  if (pager_->InSwmrReadContext()) {
+    if (id >= published_tuples_.load(std::memory_order_acquire)) return false;
+  } else if (id >= directory_.size()) {
+    return false;
+  }
+  if (id >= bbox_cache_.size() || !directory_[id].live) return false;
+  const BoxEntry& e = bbox_cache_[id];
+  if (!e.has_box) return false;
+  *out = e.box;
+  return true;
+}
+
+Status Relation::VerifyBoundingBoxCache(
+    const std::function<void(const std::string&)>& on_violation) const {
+  if (!bbox_enabled_) {
+    return Status::InvalidArgument("bounding-box cache not enabled");
+  }
+  const size_t per_page = BoxSlotsPerPage();
+  PageId page = bbox_root_;
+  size_t slot = 0;
+  while (page != kInvalidPageId) {
+    Result<PageRef> ref = pager_->Fetch(page);
+    if (!ref.ok()) return ref.status();
+    BoxPageHeader h;
+    ReadBoxHeader(ref.value().data(), &h);
+    if (h.count > per_page) {
+      on_violation("bbox sidecar page " + std::to_string(page) +
+                   " slot count exceeds capacity");
+      return Status::OK();
+    }
+    if (h.next != kInvalidPageId && h.count != per_page) {
+      on_violation("partial non-tail bbox sidecar page " +
+                   std::to_string(page));
+    }
+    for (uint16_t i = 0; i < h.count; ++i, ++slot) {
+      bool stored_has;
+      Rect stored;
+      DeserializeBoxRecord(
+          ref.value().data() + kBoxHeaderSize + i * kBoxRecordSize,
+          &stored_has, &stored);
+      if (slot >= directory_.size()) {
+        on_violation("bbox sidecar slot " + std::to_string(slot) +
+                     " beyond relation directory");
+        continue;
+      }
+      if (!directory_[slot].live) {
+        if (stored_has) {
+          on_violation("bbox sidecar slot " + std::to_string(slot) +
+                       " claims a box for a dead tuple");
+        }
+        continue;
+      }
+      GeneralizedTuple tuple;
+      CDB_RETURN_IF_ERROR(Get(static_cast<TupleId>(slot), &tuple));
+      Rect want;
+      bool want_has = tuple.GetBoundingRect(&want);
+      // Both sides of the comparison run the same BoundingRect code, so a
+      // healthy sidecar matches to the exact bit pattern.
+      bool same = stored_has == want_has &&
+                  (!want_has || (std::memcmp(&stored.xlo, &want.xlo, 8) == 0 &&
+                                 std::memcmp(&stored.ylo, &want.ylo, 8) == 0 &&
+                                 std::memcmp(&stored.xhi, &want.xhi, 8) == 0 &&
+                                 std::memcmp(&stored.yhi, &want.yhi, 8) == 0));
+      if (!same) {
+        on_violation("stale bounding box for tuple " + std::to_string(slot));
+      }
+    }
+    page = h.next;
+  }
+  if (slot != bbox_cache_.size()) {
+    on_violation("bbox sidecar slot count disagrees with loaded mirror");
+  }
   return Status::OK();
 }
 

@@ -19,6 +19,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "constraint/generalized_tuple.h"
+#include "geometry/rect.h"
 #include "storage/pager.h"
 
 namespace cdb {
@@ -46,6 +47,59 @@ class Relation {
 
   /// Fetches tuple `id`. Costs one page access.
   Status Get(TupleId id, GeneralizedTuple* out) const;
+
+  /// Resolves `id` to its data page without fetching it — the visibility
+  /// checks of Get() (published bound under single-writer mode, live flag)
+  /// with none of the I/O. The batch refiner uses this to sort candidates
+  /// into page runs before pinning anything.
+  Status LocateTuple(TupleId id, PageId* page) const;
+
+  /// Deserializes tuple `id` out of `page`, which the caller already holds
+  /// pinned and which must be the page LocateTuple resolved for this id.
+  /// Together with LocateTuple this splits Get() so one pinned page can
+  /// serve every candidate clustered on it.
+  Status GetFromPage(const PageRef& page, TupleId id,
+                     GeneralizedTuple* out) const;
+
+  // --- Bounding-box sidecar (ISSUE 8c) ---------------------------------
+  //
+  // A per-relation page chain caching each tuple's AABB (or "unbounded")
+  // so refinement can decide box-provable candidates without fetching the
+  // tuple at all. Slots are id-positional; records are written at Insert
+  // and tombstoned at Delete. An in-memory mirror makes the per-candidate
+  // lookup free of I/O; the persisted chain exists so reopening a database
+  // does not have to recompute every box, and so tools/cdb_check can
+  // verify the cache against the tuples it claims to bound.
+
+  /// Creates the sidecar for this relation and backfills one slot per
+  /// existing directory entry. Idempotent once enabled.
+  Status EnableBoundingBoxCache();
+
+  /// Loads an existing sidecar rooted at `bbox_root` into the mirror. The
+  /// persisted slot count must cover every directory entry (shorter =
+  /// Corruption); trailing slots beyond the directory — left behind when
+  /// deletes freed whole trailing data pages before a reopen — are
+  /// truncated so the id-positional mapping survives future appends.
+  Status LoadBoundingBoxCache(PageId bbox_root);
+
+  /// First sidecar page; persist it (catalog) to reload the cache later.
+  PageId bbox_root() const { return bbox_root_; }
+
+  bool bbox_cache_enabled() const { return bbox_enabled_; }
+
+  /// True when tuple `id` is visible, live, and has a cached *finite*
+  /// bounding box, which is copied to `out`. Pure in-memory lookup — never
+  /// touches the pager. Unbounded tuples (no finite AABB) return false and
+  /// take the full refinement path.
+  bool CachedBoundingBox(TupleId id, Rect* out) const;
+
+  /// Re-reads the persisted sidecar and checks, for every live tuple, that
+  /// the stored slot matches the box recomputed from the tuple's
+  /// constraints (exact double equality — both sides run the same code).
+  /// Every mismatch is reported through `on_violation`; the return status
+  /// is non-OK only for I/O failures.
+  Status VerifyBoundingBoxCache(
+      const std::function<void(const std::string&)>& on_violation) const;
 
   /// Tombstones tuple `id`. Its page is returned to the pager when the last
   /// live record on it is deleted.
@@ -81,15 +135,33 @@ class Relation {
     bool live = false;
   };
 
+  /// Mirror of one sidecar slot.
+  struct BoxEntry {
+    bool has_box = false;
+    Rect box;
+  };
+
   explicit Relation(Pager* pager) : pager_(pager) {}
 
   Status RebuildDirectory();
+  /// Appends one sidecar slot (persisted record + mirror entry) for the
+  /// tuple whose id equals the current slot count.
+  Status AppendBoxSlot(bool has_box, const Rect& box);
+  /// Tombstones the persisted sidecar slot for `id` and clears its mirror.
+  Status ClearBoxSlot(TupleId id);
+  size_t BoxSlotsPerPage() const;
 
   Pager* pager_;
   PageId root_page_ = kInvalidPageId;
   PageId tail_page_ = kInvalidPageId;
   std::vector<Location> directory_;  // Indexed by TupleId.
   uint64_t live_count_ = 0;
+
+  // Bounding-box sidecar state (all empty until Enable/Load).
+  bool bbox_enabled_ = false;
+  PageId bbox_root_ = kInvalidPageId;
+  std::vector<PageId> bbox_pages_;   // Chain in order, for O(1) id -> page.
+  std::vector<BoxEntry> bbox_cache_;  // Mirror, indexed by TupleId.
 
   // Online-append state. Readers bound-check ids against the published
   // count (acquire) instead of directory_.size(), whose vector bookkeeping

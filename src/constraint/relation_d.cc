@@ -187,6 +187,27 @@ Status RelationD::Get(TupleId id, GeneralizedTupleD* out) const {
   return Status::OK();
 }
 
+Status RelationD::LocateTuple(TupleId id, PageId* page) const {
+  if (id >= directory_.size() || !directory_[id].live) {
+    return Status::NotFound("tuple " + std::to_string(id));
+  }
+  *page = directory_[id].page;
+  return Status::OK();
+}
+
+Status RelationD::GetFromPage(const PageRef& page, TupleId id,
+                              GeneralizedTupleD* out) const {
+  const Location& loc = directory_[id];
+  TupleId stored;
+  uint8_t flags;
+  DeserializeRecord(page.data() + loc.offset, dim_, &stored, &flags, out);
+  if (stored != id || !(flags & kLiveFlag)) {
+    return Status::Corruption("directory/page mismatch for tuple " +
+                              std::to_string(id));
+  }
+  return Status::OK();
+}
+
 Status RelationD::Delete(TupleId id) {
   if (id >= directory_.size() || !directory_[id].live) {
     return Status::NotFound("tuple " + std::to_string(id));

@@ -31,6 +31,14 @@ class RelationD {
 
   Result<TupleId> Insert(const GeneralizedTupleD& tuple);
   Status Get(TupleId id, GeneralizedTupleD* out) const;
+
+  /// Get() split in two for the page-clustered batch refiner: resolve the
+  /// data page without I/O, then deserialize any number of this page's
+  /// tuples while the caller keeps it pinned.
+  Status LocateTuple(TupleId id, PageId* page) const;
+  Status GetFromPage(const PageRef& page, TupleId id,
+                     GeneralizedTupleD* out) const;
+
   Status Delete(TupleId id);
   uint64_t size() const { return live_count_; }
 

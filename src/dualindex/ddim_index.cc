@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "constraint/refine_batch.h"
 #include "geometry/polyhedron2d.h"
 #include "obs/metrics.h"
 
@@ -297,35 +298,15 @@ Status DDimDualIndex::RunExact(size_t slope_idx, SelectionType type, Cmp cmp,
 Status DDimDualIndex::Refine(SelectionType type, const HalfPlaneQueryD& q,
                              std::vector<TupleId>* ids, QueryStats* st,
                              const QueryContext* ctx) {
-  CDB_TRACE_SPAN("refine");
   static obs::Counter* const lp_calls =
       obs::GlobalMetrics().counter("ddim.refine.lp_calls");
-  std::vector<TupleId> kept;
-  kept.reserve(ids->size());
-  for (TupleId id : *ids) {
-    // Checkpoint before each tuple fetch (a page-fetch boundary);
-    // candidates not yet tested are booked as abandoned by Select.
-    CDB_RETURN_IF_ERROR(CheckQueryContext(ctx));
-    GeneralizedTupleD tuple;
-    {
-      CDB_TRACE_SPAN("fetch-tuple");
-      CDB_RETURN_IF_ERROR(relation_->Get(id, &tuple));
-    }
-    CDB_TRACE_SPAN("lp");
-    lp_calls->Increment();
-    bool hit = type == SelectionType::kAll
+  return RefinePageClustered<RelationD, GeneralizedTupleD>(
+      *relation_, lp_calls, ctx, ids, &st->filter, &st->false_hits,
+      [&](const GeneralizedTupleD& tuple) {
+        return type == SelectionType::kAll
                    ? ExactAllD(tuple.constraints(), q)
                    : ExactExistD(tuple.constraints(), q);
-    if (hit) {
-      kept.push_back(id);
-      ++st->filter.refine_accepts;
-    } else {
-      ++st->false_hits;
-      ++st->filter.refine_rejects;
-    }
-  }
-  *ids = std::move(kept);
-  return Status::OK();
+      });
 }
 
 Result<std::vector<TupleId>> DDimDualIndex::SelectT1(SelectionType type,

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "constraint/refine_batch.h"
 #include "geometry/dual.h"
 #include "obs/metrics.h"
 
@@ -593,36 +594,14 @@ Status DualIndex::Refine(SelectionType type, const HalfPlaneQuery& q,
     if (stats != nullptr) stats->filter.early_accepts += ids->size();
     return Status::OK();
   }
-  CDB_TRACE_SPAN("refine");
   static obs::Counter* const lp_calls =
       obs::GlobalMetrics().counter("dual.refine.lp_calls");
-  std::vector<TupleId> kept;
-  kept.reserve(ids->size());
-  for (TupleId id : *ids) {
-    // Checkpoint per candidate: each Get is a potential tuple-page fetch.
-    CDB_RETURN_IF_ERROR(CheckQueryContext(ctx));
-    GeneralizedTuple tuple;
-    {
-      CDB_TRACE_SPAN("fetch-tuple");
-      CDB_RETURN_IF_ERROR(relation_->Get(id, &tuple));
-    }
-    bool hit;
-    {
-      CDB_TRACE_SPAN("lp");
-      lp_calls->Increment();
-      hit = type == SelectionType::kAll ? ExactAll(tuple.constraints(), q)
-                                        : ExactExist(tuple.constraints(), q);
-    }
-    if (hit) {
-      kept.push_back(id);
-      if (stats != nullptr) ++stats->filter.refine_accepts;
-    } else if (stats != nullptr) {
-      ++stats->false_hits;
-      ++stats->filter.refine_rejects;
-    }
-  }
-  *ids = std::move(kept);
-  return Status::OK();
+  obs::FilterCounts local_filter;
+  uint64_t local_false_hits = 0;
+  return RefineBatch2D(
+      *relation_, type, q, lp_calls, ctx, ids,
+      stats != nullptr ? &stats->filter : &local_filter,
+      stats != nullptr ? &stats->false_hits : &local_false_hits);
 }
 
 // --- Explain -------------------------------------------------------------------

@@ -1,6 +1,6 @@
 #include "rtree/rtree_query.h"
 
-#include "geometry/dual.h"
+#include "constraint/refine_batch.h"
 #include "obs/metrics.h"
 
 namespace cdb {
@@ -35,35 +35,11 @@ Result<std::vector<TupleId>> SelectImpl(Tree* tree, Relation* relation,
 
     static obs::Counter* const lp_calls =
         obs::GlobalMetrics().counter("rtree.refine.lp_calls");
-    std::vector<TupleId> kept;
-    kept.reserve(candidates.value().size());
-    {
-      CDB_TRACE_SPAN("refine");
-      for (TupleId id : candidates.value()) {
-        // Checkpoint before each tuple fetch; unprocessed candidates are
-        // booked as abandoned below.
-        CDB_RETURN_IF_ERROR(CheckQueryContext(ctx));
-        GeneralizedTuple tuple;
-        {
-          CDB_TRACE_SPAN("fetch-tuple");
-          Status s = relation->Get(id, &tuple);
-          if (!s.ok()) return {s};
-        }
-        CDB_TRACE_SPAN("lp");
-        lp_calls->Increment();
-        bool hit = type == SelectionType::kAll
-                       ? ExactAll(tuple.constraints(), q)
-                       : ExactExist(tuple.constraints(), q);
-        if (hit) {
-          kept.push_back(id);
-          ++st->filter.refine_accepts;
-        } else {
-          ++st->false_hits;
-          ++st->filter.refine_rejects;
-        }
-      }
-    }
-    return kept;
+    Status s = RefineBatch2D(*relation, type, q, lp_calls, ctx,
+                             &candidates.value(), &st->filter,
+                             &st->false_hits);
+    if (!s.ok()) return {s};
+    return std::move(candidates.value());
   }();
 
   obs::PhaseCost totals = obs::FinishQueryTrace(&tracer, profile);

@@ -67,9 +67,9 @@ TEST(CheckTest, ReportCarriesPerCheckEntriesAndJsonVerdict) {
   CheckReport report;
   ASSERT_TRUE(CheckDatabase(db.get(), &report).ok());
   const char* expected[] = {"pager.relation", "pager.index", "index.trees",
-                            "relation.tuples"};
-  ASSERT_EQ(report.checks.size(), 4u);
-  for (size_t i = 0; i < 4; ++i) {
+                            "relation.tuples", "relation.bbox_sidecar"};
+  ASSERT_EQ(report.checks.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
     EXPECT_EQ(report.checks[i].name, expected[i]);
     EXPECT_TRUE(report.checks[i].ok) << report.checks[i].name;
     EXPECT_EQ(report.checks[i].violations, 0u);
@@ -91,8 +91,8 @@ TEST(CheckTest, ReportCarriesPerCheckEntriesAndJsonVerdict) {
   const obs::JsonValue* checks = v.Find("checks");
   ASSERT_NE(checks, nullptr);
   ASSERT_TRUE(checks->is_array());
-  ASSERT_EQ(checks->items.size(), 4u);
-  for (size_t i = 0; i < 4; ++i) {
+  ASSERT_EQ(checks->items.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
     EXPECT_EQ(checks->items[i].Find("name")->string_value, expected[i]);
     EXPECT_TRUE(checks->items[i].Find("ok")->bool_value);
   }

@@ -11,6 +11,7 @@
 
 #include "constraint/naive_eval.h"
 #include "harness.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rtree/rtree_query.h"
 
@@ -54,6 +55,14 @@ void CheckProfileAgainstExternalSnapshots(const obs::ExplainProfile& profile,
 TEST(ObsIntegrationTest, DualIndexProfileReproducesMeasurement) {
   Dataset ds = BuildDataset(SmallConfig());
   Rng rng(424242);
+  // BuildDataset enables the bounding-box sidecar (ISSUE 8c), so some
+  // candidates are decided without an LP; track them via the refiner's
+  // counters to keep the per-candidate accounting exact.
+  obs::GlobalMetrics().SetEnabled(true);
+  obs::Counter* bbox_accepts =
+      obs::GlobalMetrics().counter("refine.batch.bbox_accepts");
+  obs::Counter* bbox_rejects =
+      obs::GlobalMetrics().counter("refine.batch.bbox_rejects");
   for (SelectionType type : {SelectionType::kExist, SelectionType::kAll}) {
     std::vector<CalibratedQuery> qs =
         MakeQueries(*ds.relation, type, 3, 0.05, 0.4, &rng);
@@ -69,9 +78,12 @@ TEST(ObsIntegrationTest, DualIndexProfileReproducesMeasurement) {
       IoStats tuple_before = ds.rel_pager->stats();
       QueryStats stats;
       obs::ExplainProfile profile;
+      uint64_t box_before = bbox_accepts->value() + bbox_rejects->value();
       Result<std::vector<TupleId>> r =
           ds.dual->Select(cq.type, cq.query, QueryMethod::kT2, &stats,
                           &profile);
+      uint64_t box_decided =
+          bbox_accepts->value() + bbox_rejects->value() - box_before;
       ASSERT_TRUE(r.ok()) << r.status().ToString();
       CheckProfileAgainstExternalSnapshots(
           profile, ds.dual_pager->stats().Delta(index_before),
@@ -83,8 +95,10 @@ TEST(ObsIntegrationTest, DualIndexProfileReproducesMeasurement) {
         ASSERT_NE(refine, nullptr) << profile.ToString();
         const obs::ProfileNode* lp = refine->Find("lp");
         ASSERT_NE(lp, nullptr) << profile.ToString();
-        // One LP evaluation per deduplicated candidate.
-        EXPECT_EQ(lp->invocations, stats.candidates - stats.duplicates);
+        // One LP evaluation per deduplicated candidate the bounding box
+        // did not already decide.
+        EXPECT_EQ(lp->invocations + box_decided,
+                  stats.candidates - stats.duplicates);
       }
       // Still the right answer (candidate superset refined exactly).
       Result<std::vector<TupleId>> naive =
@@ -99,6 +113,7 @@ TEST(ObsIntegrationTest, DualIndexProfileReproducesMeasurement) {
     EXPECT_DOUBLE_EQ(index_sum / n, m.index_fetches);
     EXPECT_DOUBLE_EQ(tuple_sum / n, m.tuple_fetches);
   }
+  obs::GlobalMetrics().SetEnabled(false);
 }
 
 TEST(ObsIntegrationTest, RTreeProfileReproducesMeasurement) {
