@@ -28,10 +28,12 @@
 #include <cstring>
 #include <vector>
 
+#include "exec/ingest_queue.h"
 #include "exec/query_executor.h"
 #include "harness.h"
 #include "obs/clock.h"
 #include "obs/latency.h"
+#include "obs/metrics.h"
 
 namespace cdb {
 namespace bench {
@@ -310,6 +312,142 @@ int main(int argc, char** argv) {
                     static_cast<double>(cs.publish_drain_ns) / 1e6);
   obs::ExportPagerMetrics(*inc.dual_pager, &obs::GlobalMetrics(),
                           "pager.dual");
+
+  // --- Phase C: group-commit ingest throughput vs group size -------------
+  //
+  // ISSUE 9 tentpole measurement: the same append stream through
+  // exec::IngestQueue lanes whose only difference is max_group_size. Every
+  // group costs exactly one journal commit and one publish, so the
+  // durability bill shrinks linearly with the group size and writer
+  // throughput rises with it. Appends are pre-queued so greedy batching
+  // drains full groups — the group size under test is exact, which keeps
+  // the fsync accounting deterministic (bench_diff treats the throughput
+  // as schedule-dependent but the per-group fsync bound as directional).
+  {
+    const size_t kAppends = smoke ? 512 : 2048;
+    const size_t kGroupSizes[] = {1, 8, 64, 256};
+    PrintTableHeader("Group-commit ingest (single writer, journaled pager)",
+                     {"group", "appends", "groups", "fsyncs", "appends/s",
+                      "pub-p99-ms"});
+    for (size_t group_size : kGroupSizes) {
+      PagerOptions popts;
+      popts.page_size = 1024;
+      popts.cache_frames = 256;
+      std::unique_ptr<Pager> pager;
+      if (!Pager::Open(
+               std::make_unique<MemFile>(popts.page_size),
+               std::make_unique<MemFile>(
+                   Pager::JournalBlockSize(popts.page_size)),
+               popts, &pager)
+               .ok()) {
+        return 1;
+      }
+      std::unique_ptr<Relation> relation;
+      if (!Relation::Open(pager.get(), kInvalidPageId, &relation).ok() ||
+          !pager->Flush().ok()) {
+        return 1;
+      }
+      const uint64_t commits_before = pager->stats().journal_commits;
+      const uint64_t counter_before =
+          obs::GlobalMetrics().counter("ingest.group.fsyncs")->value();
+
+      // One deterministic stream per lane: only the grouping differs.
+      Rng srng(9119);
+      std::vector<GeneralizedTuple> lane_stream;
+      for (size_t i = 0; i < kAppends; ++i) {
+        lane_stream.push_back(RandomBoundedTuple(&srng, w));
+      }
+      obs::LatencyRecorder group_publish;
+      exec::IngestQueueOptions qopts;
+      qopts.queue_capacity = kAppends;
+      qopts.max_group_size = group_size;
+      qopts.publish_latency = &group_publish;
+      exec::IngestQueue queue(relation.get(), /*index=*/nullptr, pager.get(),
+                              /*idx_pager=*/nullptr, qopts);
+      std::vector<exec::IngestHandle> handles;
+      for (const GeneralizedTuple& t : lane_stream) {
+        Result<exec::IngestHandle> h = queue.Submit(t);
+        if (!h.ok()) {
+          std::fprintf(stderr, "FATAL: ingest submit failed: %s\n",
+                       h.status().ToString().c_str());
+          return 1;
+        }
+        handles.push_back(h.value());
+      }
+      queue.Close();
+      auto lane_start = std::chrono::steady_clock::now();
+      Status lane_st = queue.RunWriter();
+      const double lane_ms = MillisSince(lane_start);
+      if (!lane_st.ok()) {
+        std::fprintf(stderr, "FATAL: ingest writer failed: %s\n",
+                     lane_st.ToString().c_str());
+        return 1;
+      }
+      for (exec::IngestHandle& h : handles) {
+        if (!h.Wait().ok()) {
+          std::fprintf(stderr, "FATAL: append not acknowledged\n");
+          return 1;
+        }
+      }
+
+      // The durability claim, proven on the lane itself: every committed
+      // group paid exactly one journal commit, and the group counters
+      // agree with the pager's transaction ledger.
+      const exec::IngestQueueStats qstats = queue.stats();
+      const uint64_t expected_groups =
+          (kAppends + group_size - 1) / group_size;
+      const uint64_t commits =
+          pager->stats().journal_commits - commits_before;
+      const uint64_t fsync_counter =
+          obs::GlobalMetrics().counter("ingest.group.fsyncs")->value() -
+          counter_before;
+      if (qstats.groups_committed != expected_groups ||
+          qstats.appends_committed != kAppends ||
+          commits != qstats.groups_committed ||
+          (obs::GlobalMetrics().enabled() &&
+           fsync_counter > qstats.groups_committed)) {
+        std::fprintf(stderr,
+                     "BUG: group %zu: %llu groups (%llu expected), %llu "
+                     "journal commits, %llu fsync marks\n",
+                     group_size,
+                     static_cast<unsigned long long>(qstats.groups_committed),
+                     static_cast<unsigned long long>(expected_groups),
+                     static_cast<unsigned long long>(commits),
+                     static_cast<unsigned long long>(fsync_counter));
+        return 1;
+      }
+      if (relation->size() != kAppends) {
+        std::fprintf(stderr, "BUG: lane lost appends\n");
+        return 1;
+      }
+
+      const double appends_per_s =
+          lane_ms > 0 ? static_cast<double>(kAppends) / (lane_ms / 1000.0)
+                      : 0.0;
+      const obs::LatencySnapshot gp = group_publish.Snapshot();
+      PrintTableRow({Fmt(static_cast<double>(group_size), 0),
+                     Fmt(static_cast<double>(kAppends), 0),
+                     Fmt(static_cast<double>(qstats.groups_committed), 0),
+                     Fmt(static_cast<double>(commits), 0),
+                     Fmt(appends_per_s, 0), Fmt(gp.p99_ms, 3)});
+
+      BenchReporter::Params ingest_params = {
+          {"group", static_cast<double>(group_size)}};
+      reporter.AddValue("ingest", ingest_params, "appends",
+                        static_cast<double>(kAppends));
+      reporter.AddValue("ingest", ingest_params, "groups",
+                        static_cast<double>(qstats.groups_committed));
+      reporter.AddValue("ingest", ingest_params, "group_fsyncs",
+                        static_cast<double>(commits));
+      reporter.AddValue("ingest", ingest_params, "appends_per_s",
+                        appends_per_s);
+      reporter.AddValue("ingest", ingest_params, "wall_ms", lane_ms);
+      reporter.AddValue("ingest", ingest_params, "publish_p50_ms", gp.p50_ms);
+      reporter.AddValue("ingest", ingest_params, "publish_p95_ms", gp.p95_ms);
+      reporter.AddValue("ingest", ingest_params, "publish_p99_ms", gp.p99_ms);
+      reporter.AddValue("ingest", ingest_params, "publish_max_ms", gp.max_ms);
+    }
+  }
 
   std::printf(
       "\nExpected shape: identical results everywhere; stale handicaps pay\n"

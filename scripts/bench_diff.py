@@ -52,8 +52,8 @@ DEFAULT_BAND = 0.5
 # keys (how reader sessions happened to interleave with an epoch drain) are
 # just as machine-dependent, so they ride the same skip/band path.
 _TIMING_SUFFIXES = ("_ms", "_ns", "_us", "_ratio")
-_TIMING_KEYS = {"qps", "sessions_drained"}
-_HIGHER_IS_BETTER = {"qps"}
+_TIMING_KEYS = {"qps", "sessions_drained", "appends_per_s"}
+_HIGHER_IS_BETTER = {"qps", "appends_per_s"}
 
 # Values deterministic in some benches but schedule-dependent in others,
 # as fnmatch patterns against "bench/label/key". online_updates interleaves
@@ -72,12 +72,16 @@ _SCHEDULE_DEPENDENT = (
 
 # Deterministic but *directional*: seed-pinned values whose designed
 # improvement direction is down (the page-clustered refiner with the
-# bounding-box sidecar can only skip relation fetches). A decrease is the
+# bounding-box sidecar can only skip relation fetches; the group-commit
+# ingest lane can only amortize journal fsyncs further). A decrease is the
 # optimisation doing its job and never fails; an increase beyond the
 # deterministic tolerance is a regression even without --timing.
 _DETERMINISTIC_LOWER_IS_BETTER = (
     "*/refine/pages_per_candidate",
     "refine/pages_per_candidate",
+    "*/ingest/group_fsyncs",
+    "ingest/group_fsyncs",
+    "*ingest.group.fsyncs",
 )
 
 
@@ -287,6 +291,9 @@ def self_test():
              "values": {"index_fetches": 12.5}},
             {"label": "refine", "params": {"batched": 1},
              "values": {"pages_per_candidate": 0.15, "candidates": 7200}},
+            {"label": "ingest", "params": {"group": 64},
+             "values": {"appends": 2048, "groups": 32, "group_fsyncs": 32,
+                        "appends_per_s": 2300000.0}},
         ],
         "metrics": {"counters": {"dual.refine.lp_calls": 4181},
                     "gauges": {"noise": 1}, "histograms": {}},
@@ -342,6 +349,21 @@ def self_test():
         False, [], True, "directional pages_per_candidate rise fails")
     run(lambda d: d["measurements"][3]["values"].update(candidates=7300),
         False, [], True, "refine candidates stay exactly gated")
+    run(lambda d: d["measurements"][4]["values"].update(
+        appends_per_s=1000000.0),
+        False, [], False, "ingest throughput ignored without --timing")
+    run(lambda d: d["measurements"][4]["values"].update(
+        appends_per_s=1000000.0),
+        True, [], True, "ingest throughput collapse caught with --timing")
+    run(lambda d: d["measurements"][4]["values"].update(
+        appends_per_s=3000000.0),
+        True, [], False, "ingest throughput improvement never fails")
+    run(lambda d: d["measurements"][4]["values"].update(group_fsyncs=16),
+        False, [], False, "directional group_fsyncs improvement passes")
+    run(lambda d: d["measurements"][4]["values"].update(group_fsyncs=33),
+        False, [], True, "directional group_fsyncs rise fails")
+    run(lambda d: d["measurements"][4]["values"].update(groups=33),
+        False, [], True, "ingest group count stays exactly gated")
     base["measurements"][1]["values"]["sessions_drained"] = 8
     run(lambda d: d["measurements"][1]["values"].update(sessions_drained=0),
         False, [], False, "schedule-dependent key ignored without --timing")

@@ -355,15 +355,87 @@ def _check_throughput_scaling(doc, errors):
 ONLINE_T2_BUDGET = 1.2
 
 
+# Ingest throughput is schedule-dependent (bench_diff skips it without
+# --timing); the semantic rule here is directional only: every grouped
+# size must beat single-append commits, and adjacent sizes must not
+# *collapse* (large groups may plateau or dip on a busy machine — the
+# full run has shown group 256 ~11% under group 64 — but a halving means
+# the amortization broke). The per-group fsync bound is exact.
+INGEST_NOISE_FLOOR = 0.5
+
+
+def _check_ingest_rows(ingest, errors):
+    """Group-commit ingest lane (ISSUE 9): every committed group paid at
+    most one journal fsync, group counts are exact for the append count,
+    publish-latency percentiles are ordered, and writer throughput rises
+    with the group size."""
+    if not ingest:
+        errors.append("online_updates: no group-commit ingest measurements")
+        return
+    if len(ingest) < 2:
+        errors.append("online_updates: ingest rows cover a single group "
+                      "size; the amortization claim needs at least two")
+        return
+    for g in sorted(ingest):
+        v = ingest[g]
+        missing = [k for k in ("appends", "groups", "group_fsyncs",
+                               "appends_per_s") if k not in v]
+        if missing:
+            errors.append(
+                f"online_updates: ingest group {g:.0f} missing {missing}")
+            return
+        expected = -(-v["appends"] // g)  # ceil division
+        if v["groups"] != expected:
+            errors.append(
+                f"online_updates: ingest group {g:.0f} committed "
+                f"{v['groups']:.0f} groups for {v['appends']:.0f} appends "
+                f"(expected {expected:.0f})")
+        if v["group_fsyncs"] > v["groups"]:
+            errors.append(
+                f"online_updates: ingest group {g:.0f} paid "
+                f"{v['group_fsyncs']:.0f} journal fsyncs for "
+                f"{v['groups']:.0f} groups (more than one per group)")
+        if v["group_fsyncs"] < 1:
+            errors.append(
+                f"online_updates: ingest group {g:.0f} reports no journal "
+                "fsync at all")
+        percentiles = {k[len("publish_"):]: val for k, val in v.items()
+                       if k.startswith("publish_")}
+        _check_percentile_order("online_updates",
+                                f"ingest[group={g:.0f}]", percentiles,
+                                errors)
+    sizes = sorted(ingest)
+    for ga, gb in zip(sizes, sizes[1:]):
+        fa, fb = ingest[ga]["group_fsyncs"], ingest[gb]["group_fsyncs"]
+        if fb >= fa:
+            errors.append(
+                f"online_updates: ingest fsyncs did not amortize from group "
+                f"{ga:.0f} ({fa:.0f}) to group {gb:.0f} ({fb:.0f})")
+        ta, tb = ingest[ga]["appends_per_s"], ingest[gb]["appends_per_s"]
+        if tb < INGEST_NOISE_FLOOR * ta:
+            errors.append(
+                f"online_updates: ingest throughput collapsed from group "
+                f"{ga:.0f} ({ta:.0f}/s) to group {gb:.0f} ({tb:.0f}/s)")
+    base_tp = ingest[sizes[0]]["appends_per_s"]
+    for g in sizes[1:]:
+        if ingest[g]["appends_per_s"] <= base_tp:
+            errors.append(
+                f"online_updates: ingest group {g:.0f} is not faster than "
+                f"group {sizes[0]:.0f} commits "
+                f"({ingest[g]['appends_per_s']:.0f}/s vs {base_tp:.0f}/s)")
+
+
 def _check_online_updates(doc, errors):
     """Semantic rules for the online_updates artifact: incremental
     handicaps stay within budget of freshly rebuilt and beat stale, the
-    concurrent serving phase ingested without failing any query, and the
+    concurrent serving phase ingested without failing any query, the
     writer's publish pipeline reports ordered latency percentiles
-    (ISSUE 5)."""
+    (ISSUE 5), and the group-commit ingest lane amortizes its durability
+    bill (ISSUE 9, _check_ingest_rows)."""
     totals = {}
     online = {}
     publish = {}
+    ingest = {}
     for m in doc.get("measurements", []):
         if not isinstance(m, dict):
             continue
@@ -382,6 +454,12 @@ def _check_online_updates(doc, errors):
         if label == "publish":
             publish.update(
                 {k: v for k, v in values.items() if _is_number(v)})
+        if label == "ingest":
+            group = (m.get("params") or {}).get("group")
+            if _is_number(group) and group >= 1:
+                ingest[group] = {k: v for k, v in values.items()
+                                 if _is_number(v)}
+    _check_ingest_rows(ingest, errors)
     if not publish:
         errors.append("online_updates: no publish-pipeline measurements")
     else:
@@ -582,6 +660,16 @@ _GOOD_ONLINE = {
                     "p99_ms": 2.1, "max_ms": 2.2, "epochs": 11,
                     "pages": 430, "sessions_drained": 64,
                     "drain_ms": 3.7}},
+        {"label": "ingest", "params": {"group": 1},
+         "values": {"appends": 2048, "groups": 2048, "group_fsyncs": 2048,
+                    "appends_per_s": 210000.0, "wall_ms": 9.7,
+                    "publish_p50_ms": 0.004, "publish_p95_ms": 0.008,
+                    "publish_p99_ms": 0.011, "publish_max_ms": 0.02}},
+        {"label": "ingest", "params": {"group": 64},
+         "values": {"appends": 2048, "groups": 32, "group_fsyncs": 32,
+                    "appends_per_s": 2300000.0, "wall_ms": 0.9,
+                    "publish_p50_ms": 0.02, "publish_p95_ms": 0.04,
+                    "publish_p99_ms": 0.05, "publish_max_ms": 0.07}},
     ],
     "metrics": {"counters": {}, "gauges": {"dual.handicap.staleness": 235},
                 "histograms": {}},
@@ -746,6 +834,28 @@ def self_test():
     broken_online(
         lambda d: d["measurements"][6]["values"].update(epochs=5),
         "pager epochs below timed publish count")
+    broken_online(
+        lambda d: [d["measurements"].pop(8), d["measurements"].pop(7)],
+        "online_updates sans group-commit ingest rows")
+    broken_online(lambda d: d["measurements"].pop(8),
+                  "ingest with a single group size")
+    broken_online(
+        lambda d: d["measurements"][8]["values"].update(group_fsyncs=33),
+        "more than one journal fsync per committed group")
+    broken_online(
+        lambda d: d["measurements"][8]["values"].update(groups=31,
+                                                        group_fsyncs=31),
+        "ingest group count disagrees with ceil(appends / group)")
+    broken_online(
+        lambda d: d["measurements"][8]["values"].update(
+            appends_per_s=150000.0),
+        "grouped commits slower than single-append commits")
+    broken_online(
+        lambda d: d["measurements"][8]["values"].update(publish_p99_ms=0.01),
+        "ingest publish percentiles out of order")
+    broken_online(
+        lambda d: d["measurements"][8]["values"].pop("group_fsyncs"),
+        "ingest row missing the fsync column")
 
     if failures:
         for f in failures:

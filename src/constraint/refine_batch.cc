@@ -92,6 +92,11 @@ Status RefineBatch2D(const Relation& relation, SelectionType type,
                      const HalfPlaneQuery& q, obs::Counter* lp_calls,
                      const QueryContext* ctx, std::vector<TupleId>* ids,
                      obs::FilterCounts* filter, uint64_t* false_hits) {
+  // Resolve the substrate exactly once for this query. The delegation
+  // below passes the resolved value instead of letting RefinePageClustered
+  // re-read the toggle: a concurrent SetRefineBatchingEnabled between two
+  // reads would otherwise run the "scalar" fallback batched and mix both
+  // substrates' booking in one FilterCounts.
   if (!RefineBatchingEnabled()) {
     // Historical scalar reference: per-candidate checkpoint + Get + LP.
     return RefinePageClustered<Relation, GeneralizedTuple>(
@@ -100,7 +105,8 @@ Status RefineBatch2D(const Relation& relation, SelectionType type,
           return type == SelectionType::kAll
                      ? ExactAll(tuple.constraints(), q)
                      : ExactExist(tuple.constraints(), q);
-        });
+        },
+        /*batched=*/false);
   }
 
   static obs::Counter* const batch_pages =

@@ -47,7 +47,11 @@ namespace cdb {
 
 /// Process-wide switch between the batched refiner and the historical
 /// scalar reference loop. Defaults to true; benchmarks flip it to measure
-/// both substrates in one binary.
+/// both substrates in one binary. The flag is atomic, but atomicity alone
+/// is not enough: a query must run *entirely* on one substrate or its
+/// FilterCounts mix scalar and batched booking. Every refinement entry
+/// point therefore reads the toggle exactly once per query and threads the
+/// resolved mode through — never re-reads it mid-query.
 void SetRefineBatchingEnabled(bool enabled);
 bool RefineBatchingEnabled();
 
@@ -65,18 +69,21 @@ Status RefineBatch2D(const Relation& relation, SelectionType type,
 
 /// Generic page-clustered refinement driver for relation types without a
 /// 2-D bounding-box sidecar (the d-dimensional family). `pred(tuple)` is
-/// the exact predicate. Same contract and booking as RefineBatch2D; with
-/// batching disabled it runs the historical scalar loop.
+/// the exact predicate. Same contract and booking as RefineBatch2D.
+/// `batched` is the substrate resolved *once* for the whole query — the
+/// caller reads RefineBatchingEnabled() a single time and passes the
+/// result, so a concurrent toggle flip can never tear one query's
+/// FilterCounts across both loops; false runs the historical scalar loop.
 template <typename RelationT, typename TupleT, typename Pred>
 Status RefinePageClustered(const RelationT& relation, obs::Counter* lp_calls,
                            const QueryContext* ctx, std::vector<TupleId>* ids,
                            obs::FilterCounts* filter, uint64_t* false_hits,
-                           const Pred& pred) {
+                           const Pred& pred, bool batched) {
   CDB_TRACE_SPAN("refine");
   std::vector<TupleId> kept;
   kept.reserve(ids->size());
 
-  if (!RefineBatchingEnabled()) {
+  if (!batched) {
     for (TupleId id : *ids) {
       // Checkpoint before each tuple fetch; unprocessed candidates are
       // booked as abandoned by the caller.

@@ -1,5 +1,6 @@
 #include "constraint/relation.h"
 
+#include <algorithm>
 #include <cstring>
 #include <functional>
 
@@ -334,6 +335,7 @@ Status Relation::BeginOnlineAppends(size_t max_inserts) {
   // The box mirror is indexed lock-free by readers just like the
   // directory, so it must never reallocate while they run.
   if (bbox_enabled_) bbox_cache_.reserve(swmr_capacity_);
+  published_box_slots_.store(bbox_cache_.size(), std::memory_order_release);
   published_tuples_.store(directory_.size(), std::memory_order_release);
   return Status::OK();
 }
@@ -387,6 +389,12 @@ Status Relation::ClearBoxSlot(TupleId id) {
 
 Status Relation::EnableBoundingBoxCache() {
   if (bbox_enabled_) return Status::OK();
+  if (pager_->concurrent_reads_active()) {
+    // Readers index the mirror lock-free; building it under them would
+    // race the backfill. Enable before serving starts.
+    return Status::InvalidArgument(
+        "EnableBoundingBoxCache during concurrent reads");
+  }
   Result<PageId> root = pager_->Allocate();
   if (!root.ok()) return root.status();
   {
@@ -399,7 +407,9 @@ Status Relation::EnableBoundingBoxCache() {
   bbox_root_ = root.value();
   bbox_pages_.assign(1, root.value());
   bbox_cache_.clear();
-  bbox_cache_.reserve(directory_.size());
+  // Cover a pending BeginOnlineAppends reservation too, so the mirror
+  // never reallocates once single-writer serving starts.
+  bbox_cache_.reserve(std::max(directory_.size(), swmr_capacity_));
   bbox_enabled_ = true;
   // Backfill one slot per existing directory entry; dead ids get empty
   // slots so the id-positional mapping holds.
@@ -421,12 +431,17 @@ Status Relation::LoadBoundingBoxCache(PageId bbox_root) {
   if (bbox_enabled_) {
     return Status::InvalidArgument("bounding-box cache already enabled");
   }
+  if (pager_->concurrent_reads_active()) {
+    return Status::InvalidArgument(
+        "LoadBoundingBoxCache during concurrent reads");
+  }
   if (bbox_root == kInvalidPageId) {
     return Status::InvalidArgument("invalid bounding-box sidecar root");
   }
   const size_t per_page = BoxSlotsPerPage();
   bbox_pages_.clear();
   bbox_cache_.clear();
+  bbox_cache_.reserve(std::max(directory_.size(), swmr_capacity_));
   PageId page = bbox_root;
   while (page != kInvalidPageId) {
     Result<PageRef> ref = pager_->Fetch(page);
@@ -482,11 +497,19 @@ Status Relation::LoadBoundingBoxCache(PageId bbox_root) {
 bool Relation::CachedBoundingBox(TupleId id, Rect* out) const {
   if (!bbox_enabled_) return false;
   if (pager_->InSwmrReadContext()) {
-    if (id >= published_tuples_.load(std::memory_order_acquire)) return false;
-  } else if (id >= directory_.size()) {
+    // Readers never consult bbox_cache_.size(): its vector bookkeeping is
+    // the writer's to mutate mid-append. Ids at or past either published
+    // bound — tuples appended after the last PublishAppends, or beyond the
+    // sidecar's record range entirely — read as "no box" and take the full
+    // refinement path; never an out-of-bounds read, never a stale accept.
+    if (id >= published_tuples_.load(std::memory_order_acquire) ||
+        id >= published_box_slots_.load(std::memory_order_acquire)) {
+      return false;
+    }
+  } else if (id >= directory_.size() || id >= bbox_cache_.size()) {
     return false;
   }
-  if (id >= bbox_cache_.size() || !directory_[id].live) return false;
+  if (!directory_[id].live) return false;
   const BoxEntry& e = bbox_cache_[id];
   if (!e.has_box) return false;
   *out = e.box;

@@ -123,8 +123,13 @@ class Relation {
   Status BeginOnlineAppends(size_t max_inserts);
 
   /// Makes every tuple appended so far visible to single-writer-mode
-  /// readers. Call after the pager's Flush() published their pages.
+  /// readers. Call after the pager's Flush() published their pages. Also
+  /// extends the published range of the bounding-box sidecar: box slots
+  /// appended since the last publish become readable only here, so a
+  /// reader can never index mirror entries the writer is still producing
+  /// (ids past either bound read as "no box" and take the full LP path).
   void PublishAppends() {
+    published_box_slots_.store(bbox_cache_.size(), std::memory_order_release);
     published_tuples_.store(directory_.size(), std::memory_order_release);
   }
 
@@ -169,6 +174,10 @@ class Relation {
   // immutable while the mode is active (Delete is rejected).
   size_t swmr_capacity_ = 0;
   std::atomic<uint64_t> published_tuples_{0};
+  // Published bound on bbox_cache_ — single-writer-mode readers bound-check
+  // sidecar lookups against this (acquire) instead of bbox_cache_.size(),
+  // whose vector bookkeeping the writer's push_back mutates.
+  std::atomic<uint64_t> published_box_slots_{0};
 };
 
 }  // namespace cdb

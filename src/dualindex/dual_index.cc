@@ -281,6 +281,26 @@ void DualIndex::RegisterAssignmentFns() {
   }
 }
 
+Status DualIndex::ValidateForInsert(const GeneralizedTuple& tuple) const {
+  if (tuple.empty()) {
+    return Status::InvalidArgument("tuple must have at least one constraint");
+  }
+  for (size_t i = 0; i < slopes_.size(); ++i) {
+    if (std::isnan(tuple.Top(slopes_.slope(i))) ||
+        std::isnan(tuple.Bot(slopes_.slope(i)))) {
+      return Status::InvalidArgument(
+          "unsatisfiable tuple cannot be indexed");
+    }
+  }
+  if (xmax_ != nullptr) {
+    if (std::isnan(XMaxValue(tuple.constraints())) ||
+        std::isnan(XMinValue(tuple.constraints()))) {
+      return Status::InvalidArgument("unsatisfiable tuple cannot be indexed");
+    }
+  }
+  return Status::OK();
+}
+
 Status DualIndex::Insert(TupleId id, const GeneralizedTuple& tuple) {
   const size_t k = slopes_.size();
   // One pass to validate before mutating any tree.

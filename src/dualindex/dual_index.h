@@ -137,6 +137,13 @@ class DualIndex {
   /// `id`. O(k log_B n) page accesses (Theorem 3.1/4.1).
   Status Insert(TupleId id, const GeneralizedTuple& tuple);
 
+  /// Runs Insert's validation pass — satisfiable support values under every
+  /// slope, plus bounded x extraction when vertical support is on — without
+  /// touching any tree or the pager. The group-commit ingest queue calls
+  /// this at admission so a malformed tuple is rejected producer-side with
+  /// InvalidArgument instead of failing its whole commit group mid-apply.
+  Status ValidateForInsert(const GeneralizedTuple& tuple) const;
+
   /// Removes a tuple from all trees. Handicaps are left conservatively
   /// stale (see DESIGN.md decision 2); call RebuildHandicaps() to restore
   /// exact values.

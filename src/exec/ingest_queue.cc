@@ -1,0 +1,230 @@
+#include "exec/ingest_queue.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace cdb {
+namespace exec {
+
+struct IngestHandle::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  TupleId id = 0;
+};
+
+Result<TupleId> IngestHandle::Wait() {
+  if (state_ == nullptr) {
+    return Status::InvalidArgument("empty ingest handle");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (!state_->status.ok()) return state_->status;
+  return state_->id;
+}
+
+bool IngestHandle::done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+IngestQueue::IngestQueue(Relation* relation, DualIndex* index,
+                         Pager* rel_pager, Pager* idx_pager,
+                         const IngestQueueOptions& options)
+    : relation_(relation),
+      index_(index),
+      rel_pager_(rel_pager),
+      idx_pager_(idx_pager),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : obs::DefaultClock()) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.max_group_size == 0) options_.max_group_size = 1;
+}
+
+IngestQueue::~IngestQueue() {
+  // A destroyed lane must leave no Wait() hanging: whatever the writer
+  // never drained resolves as shed.
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  for (Pending& p : queue_) {
+    Resolve(p.state, Status::Unavailable("ingest queue destroyed"), 0);
+  }
+  queue_.clear();
+}
+
+void IngestQueue::Resolve(const std::shared_ptr<IngestHandle::State>& state,
+                          const Status& status, TupleId id) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->status = status;
+    state->id = id;
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+Result<IngestHandle> IngestQueue::Submit(const GeneralizedTuple& tuple) {
+  // Validation runs producer-side, outside the queue lock: a tuple that
+  // could never be applied is the producer's bug, and rejecting it here
+  // keeps whole-group failure reserved for environmental faults.
+  if (tuple.empty()) {
+    return Status::InvalidArgument("tuple must have at least one constraint");
+  }
+  if (index_ != nullptr) {
+    CDB_RETURN_IF_ERROR(index_->ValidateForInsert(tuple));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || poisoned_ || queue_.size() >= options_.queue_capacity) {
+    ++stats_.shed;
+    static obs::Counter* const shed_counter =
+        obs::GlobalMetrics().counter("ingest.shed");
+    shed_counter->Increment();
+    return Status::Unavailable(
+        poisoned_ ? "ingest lane failed; reopen to retry"
+        : closed_ ? "ingest queue closed"
+                  : "ingest queue full");
+  }
+  Pending p;
+  p.tuple = tuple;
+  p.state = std::make_shared<IngestHandle::State>();
+  IngestHandle handle;
+  handle.state_ = p.state;
+  queue_.push_back(std::move(p));
+  ++stats_.submitted;
+  writer_cv_.notify_one();
+  return handle;
+}
+
+void IngestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  writer_cv_.notify_all();
+}
+
+Status IngestQueue::CommitGroup(std::vector<Pending>* group) {
+  static obs::Counter* const groups_counter =
+      obs::GlobalMetrics().counter("ingest.groups");
+  static obs::Counter* const group_size_counter =
+      obs::GlobalMetrics().counter("ingest.group.size");
+  static obs::Counter* const group_fsyncs =
+      obs::GlobalMetrics().counter("ingest.group.fsyncs");
+
+  const uint64_t commit_t0 =
+      options_.publish_latency != nullptr ? clock_->NowNanos() : 0;
+  Status st = [&]() -> Status {
+    for (Pending& p : *group) {
+      Result<TupleId> id = relation_->Insert(p.tuple);
+      if (!id.ok()) return id.status();
+      if (index_ != nullptr) {
+        CDB_RETURN_IF_ERROR(index_->Insert(id.value(), p.tuple));
+      }
+      // Provisional: the id is acknowledged only after the publish below.
+      p.state->id = id.value();
+    }
+    // The group's single durability point: one journal commit covering
+    // every tuple page the group dirtied. A transient write fault here
+    // surfaces kUnavailable and fails the whole group.
+    CDB_RETURN_IF_ERROR(rel_pager_->Flush());
+    group_fsyncs->Increment();
+    // Publish order mirrors the PR 4 lane: tuple pages first, then the
+    // directory bound that makes them reachable, then the index pages
+    // that reference them.
+    relation_->PublishAppends();
+    if (idx_pager_ != nullptr && idx_pager_ != rel_pager_) {
+      CDB_RETURN_IF_ERROR(idx_pager_->Flush());
+    }
+    return Status::OK();
+  }();
+
+  if (!st.ok()) {
+    for (Pending& p : *group) {
+      Resolve(p.state, st, 0);
+    }
+    return st;
+  }
+  if (options_.publish_latency != nullptr) {
+    options_.publish_latency->RecordNanos(clock_->NowNanos() - commit_t0);
+  }
+  groups_counter->Increment();
+  group_size_counter->Increment(group->size());
+  for (Pending& p : *group) {
+    Resolve(p.state, Status::OK(), p.state->id);
+  }
+  return Status::OK();
+}
+
+Status IngestQueue::RunWriter() {
+  static obs::Counter* const commit_wait_counter =
+      obs::GlobalMetrics().counter("ingest.commit.wait_ns");
+  for (;;) {
+    std::vector<Pending> group;
+    uint64_t waited_ns = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      writer_cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+      if (queue_.empty()) return Status::OK();  // Closed and drained.
+
+      // Bounded group assembly: from the first append seen, wait at most
+      // commit_wait_ns (on the injected clock) for the group to fill.
+      // Real-time slices keep the loop responsive under a ManualClock.
+      if (options_.commit_wait_ns > 0 &&
+          queue_.size() < options_.max_group_size && !closed_) {
+        const uint64_t t0 = clock_->NowNanos();
+        const uint64_t deadline = t0 + options_.commit_wait_ns;
+        while (queue_.size() < options_.max_group_size && !closed_ &&
+               clock_->NowNanos() < deadline) {
+          writer_cv_.wait_for(lock, std::chrono::microseconds(200), [&] {
+            return queue_.size() >= options_.max_group_size || closed_;
+          });
+        }
+        waited_ns = clock_->NowNanos() - t0;
+      }
+
+      const size_t take = std::min(queue_.size(), options_.max_group_size);
+      group.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        group.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      stats_.commit_wait_ns += waited_ns;
+    }
+    if (waited_ns > 0) commit_wait_counter->Increment(waited_ns);
+
+    Status st = CommitGroup(&group);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (st.ok()) {
+      ++stats_.groups_committed;
+      stats_.appends_committed += group.size();
+      stats_.max_group_size =
+          std::max(stats_.max_group_size, static_cast<uint64_t>(group.size()));
+      continue;
+    }
+    // Whole-group failure poisons the lane: the in-memory relation/index
+    // now hold unpublished state the journal never committed, so the only
+    // consistent continuation is a reopen (which rolls the journal back).
+    // Grouped writes are never retried internally (DESIGN.md §2g/§2i).
+    poisoned_ = true;
+    ++stats_.groups_failed;
+    for (Pending& p : queue_) {
+      Resolve(p.state,
+              Status::Unavailable("ingest lane failed; reopen to retry"), 0);
+      ++stats_.shed;
+    }
+    queue_.clear();
+    return st;
+  }
+}
+
+IngestQueueStats IngestQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace exec
+}  // namespace cdb

@@ -948,6 +948,11 @@ Status Pager::ReadBlockVerified(PageId id, char* block, IoStats* sink) {
         // One re-read cures a fluked transfer; a second mismatch is rot.
         // (Persistent mismatches therefore charge checksum_failures twice,
         // once per verification — the miss still errors exactly once.)
+        // The re-read books only under crc_rereads, never read_retries:
+        // the block *read* succeeded, so this is not a transient I/O retry
+        // and must not look like one in the retry ledger (page_reads stays
+        // one per miss either way; tests/pager_retry_test.cc pins the
+        // exact split).
         rc_.crc_rereads.fetch_add(1, std::memory_order_relaxed);
         Status reread = file_->ReadBlock(id, block);
         if (reread.ok()) {

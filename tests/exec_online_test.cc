@@ -18,12 +18,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "constraint/naive_eval.h"
+#include "constraint/refine_batch.h"
 #include "exec/query_executor.h"
 #include "pager_test_util.h"
 #include "storage/file.h"
@@ -283,6 +286,159 @@ TEST(ExecOnlineTest, WriterCapacityAndDeleteGuards) {
   ASSERT_TRUE(fx.relation->Get(0, &t0).ok());
   ASSERT_TRUE(fx.index->Remove(0, t0).ok());
   ASSERT_TRUE(fx.relation->Delete(0).ok());
+}
+
+// Restores the process-wide batching toggle on scope exit so a failing
+// assertion cannot leak scalar mode into later tests.
+class ScopedBatchingDefault {
+ public:
+  ~ScopedBatchingDefault() { SetRefineBatchingEnabled(true); }
+};
+
+// ISSUE 9 satellite 1: SetRefineBatchingEnabled races live queries. The
+// toggle must be read exactly once per query — a query that samples it
+// twice (the old RefineBatch2D -> RefinePageClustered double read) can
+// straddle a flip and run half scalar / half batched, double-booking its
+// FilterCounts partitions. With bbox early-decisions enabled the two modes
+// book accepts into different buckets, so any tear breaks Balances() or
+// the ground-truth match; TSan additionally proves the reads are clean.
+TEST(ExecOnlineTest, RefineBatchingToggleRaceResolvesOncePerQuery) {
+  ScopedBatchingDefault restore;
+  OnlineFixture fx(/*incremental=*/false, /*n0=*/250);
+  ASSERT_TRUE(fx.relation->EnableBoundingBoxCache().ok());
+  std::vector<exec::BatchQuery> batch = MakeBatch(64, kSeed + 4,
+                                                  QueryMethod::kT2);
+  std::vector<std::vector<TupleId>> truth;
+  for (const exec::BatchQuery& q : batch) {
+    truth.push_back(fx.Truth(q.type, q.query));
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    bool v = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      SetRefineBatchingEnabled(v);
+      v = !v;
+      std::this_thread::yield();
+    }
+  });
+
+  exec::QueryExecutor executor(kThreads);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<exec::BatchItemResult> results;
+    ASSERT_TRUE(executor.RunBatch(fx.index.get(), batch, &results).ok());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].status.ok()) << results[i].status.ToString();
+      EXPECT_EQ(results[i].ids, truth[i]) << "round " << round << " query "
+                                          << i;
+      EXPECT_TRUE(results[i].stats.filter.Balances())
+          << "round " << round << " query " << i
+          << " tore its refinement mode across a toggle flip";
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  flipper.join();
+}
+
+// ISSUE 9 satellite 2: the bounding-box sidecar on the live-append path.
+// Readers consult CachedBoundingBox from refinement worker threads while
+// the writer appends slots and publishes; ids past either published bound
+// must read as "no box" (never an out-of-bounds or torn mirror read), and
+// slots become visible exactly at PublishAppends. TSan proves the mirror
+// is never read while it reallocates or grows.
+TEST(ExecOnlineTest, BboxSidecarLiveAppendsNeverServeStaleBoxes) {
+  ScopedBatchingDefault restore;
+  SetRefineBatchingEnabled(true);  // Batched refinement consults the boxes.
+  OnlineFixture fx(/*incremental=*/true, /*n0=*/250);
+  ASSERT_TRUE(fx.relation->EnableBoundingBoxCache().ok());
+
+  // Out-of-range probes in exclusive mode: past-the-end ids are "no box".
+  Rect box;
+  EXPECT_TRUE(fx.relation->CachedBoundingBox(0, &box));
+  EXPECT_FALSE(fx.relation->CachedBoundingBox(
+      static_cast<TupleId>(fx.relation->size()), &box));
+  EXPECT_FALSE(fx.relation->CachedBoundingBox(1u << 20, &box));
+
+  constexpr size_t kInserts = 200;
+  constexpr size_t kPublishEvery = 25;
+  std::vector<exec::BatchQuery> batch = MakeBatch(96, kSeed + 5,
+                                                  QueryMethod::kT2);
+  std::vector<GeneralizedTuple> stream;
+  for (size_t i = 0; i < kInserts; ++i) {
+    stream.push_back(RandomBoundedTuple(&fx.rng, fx.wopts));
+  }
+  std::vector<std::vector<TupleId>> truth_before;
+  for (const exec::BatchQuery& q : batch) {
+    truth_before.push_back(fx.Truth(q.type, q.query));
+  }
+
+  ASSERT_TRUE(fx.relation->BeginOnlineAppends(kInserts).ok());
+  size_t inserted = 0;
+  auto writer = [&]() -> Status {
+    for (const GeneralizedTuple& t : stream) {
+      Result<TupleId> id = fx.relation->Insert(t);
+      if (!id.ok()) return id.status();
+      CDB_RETURN_IF_ERROR(fx.index->Insert(id.value(), t));
+      ++inserted;
+      if (inserted % kPublishEvery == 0) {
+        CDB_RETURN_IF_ERROR(fx.rel_pager->Flush());
+        fx.relation->PublishAppends();
+        CDB_RETURN_IF_ERROR(fx.idx_pager->Flush());
+      }
+    }
+    return Status::OK();
+  };
+
+  exec::QueryExecutor executor(kThreads);
+  std::vector<exec::BatchItemResult> results;
+  ASSERT_TRUE(
+      executor.RunBatchWithWriter(fx.index.get(), batch, &results, writer)
+          .ok());
+  ASSERT_EQ(inserted, kInserts);
+  ASSERT_TRUE(exec::FirstError(results).ok())
+      << exec::FirstError(results).ToString();
+
+  // Box decisions are proofs, so racing them never changes linearizability:
+  // truth(before) ⊆ result ⊆ truth(after), downward-closed.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const std::vector<TupleId> truth_after =
+        fx.Truth(batch[i].type, batch[i].query);
+    const std::vector<TupleId>& got = results[i].ids;
+    EXPECT_TRUE(results[i].stats.filter.Balances()) << "query " << i;
+    for (TupleId id : truth_before[i]) {
+      ASSERT_TRUE(std::binary_search(got.begin(), got.end(), id))
+          << "query " << i << " missed pre-ingest tuple " << id;
+    }
+    for (TupleId id : got) {
+      ASSERT_TRUE(
+          std::binary_search(truth_after.begin(), truth_after.end(), id))
+          << "query " << i << " accepted tuple " << id
+          << " not in truth (stale box?)";
+    }
+    if (!got.empty()) {
+      for (TupleId id : truth_after) {
+        if (id > got.back()) break;
+        ASSERT_TRUE(std::binary_search(got.begin(), got.end(), id))
+            << "query " << i << " skipped tuple " << id;
+      }
+    }
+  }
+
+  // Every appended tuple's slot is visible (and correct) after the final
+  // publish; past-the-end stays "no box".
+  for (size_t i = 0; i < kInserts; ++i) {
+    const TupleId id = static_cast<TupleId>(250 + i);
+    Rect expect;
+    ASSERT_TRUE(stream[i].GetBoundingRect(&expect));
+    Rect got_box;
+    ASSERT_TRUE(fx.relation->CachedBoundingBox(id, &got_box))
+        << "appended tuple " << id << " has no published box";
+    EXPECT_EQ(got_box.xlo, expect.xlo);
+    EXPECT_EQ(got_box.yhi, expect.yhi);
+  }
+  EXPECT_FALSE(fx.relation->CachedBoundingBox(
+      static_cast<TupleId>(fx.relation->size()), &box));
+  ASSERT_TRUE(fx.index->CheckInvariants().ok());
 }
 
 }  // namespace

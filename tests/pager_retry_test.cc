@@ -195,6 +195,83 @@ TEST(PagerRetryTest, ChecksumMismatchRereadsOnceAndRecovers) {
   EXPECT_EQ(pager->stats().checksum_failures, 1u);
 }
 
+// ISSUE 9 satellite: the same-buffer CRC re-read is not a transient retry.
+// Every retry-ledger counter is pinned exactly so a future refactor cannot
+// silently re-book the re-read under read_retries (which would break the
+// "page_reads = physical reads per miss" invariant's companion story that
+// attempts live in the retry stats).
+TEST(PagerRetryTest, ChecksumRereadIsNotATransientRetry) {
+  auto corrupt_owner =
+      std::make_unique<CorruptingFile>(std::make_unique<MemFile>(kPageSize));
+  CorruptingFile* corrupt = corrupt_owner.get();
+  PagerOptions opts;
+  opts.page_size = kPageSize;
+  opts.cache_frames = 4;
+  opts.max_read_attempts = 4;  // Retry budget armed — and must stay unused.
+  opts.retry_backoff_base_ns = 100;
+  opts.reread_on_checksum_mismatch = true;
+  std::unique_ptr<Pager> pager;
+  ASSERT_TRUE(Pager::Open(std::move(corrupt_owner), opts, &pager).ok());
+  PageId id = SeedOnePage(pager.get());
+
+  const uint64_t reads_before = pager->stats().page_reads;
+  corrupt->CorruptNextRead();
+  Result<PageRef> ref = pager->Fetch(id);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  ref.value().Release();
+
+  EXPECT_EQ(pager->stats().page_reads - reads_before, 1u);
+  EXPECT_EQ(pager->stats().checksum_failures, 1u);
+  const PagerRetryStats r = pager->retry_stats();
+  EXPECT_EQ(r.read_retries, 0u);
+  EXPECT_EQ(r.read_recoveries, 0u);
+  EXPECT_EQ(r.read_exhausted, 0u);
+  EXPECT_EQ(r.backoff_waits, 0u);
+  EXPECT_EQ(r.backoff_wait_ns, 0u);
+  EXPECT_EQ(r.crc_rereads, 1u);
+  EXPECT_EQ(r.crc_reread_recoveries, 1u);
+}
+
+// Combined fault: a transient miss, then a wire flip on the retry that
+// succeeded, then a clean re-read. The ledger must split exactly — the
+// transient attempt under read_retries, the CRC cure under crc_rereads —
+// while the miss still charges one physical page_read.
+TEST(PagerRetryTest, TransientThenChecksumMismatchSplitsLedgerExactly) {
+  auto plan = std::make_shared<FaultInjectionFile::FaultPlan>();
+  auto corrupt_owner = std::make_unique<CorruptingFile>(
+      std::make_unique<FaultInjectionFile>(std::make_unique<MemFile>(kPageSize),
+                                           plan));
+  CorruptingFile* corrupt = corrupt_owner.get();
+  PagerOptions opts;
+  opts.page_size = kPageSize;
+  opts.cache_frames = 4;
+  opts.max_read_attempts = 3;
+  opts.reread_on_checksum_mismatch = true;
+  std::unique_ptr<Pager> pager;
+  ASSERT_TRUE(Pager::Open(std::move(corrupt_owner), opts, &pager).ok());
+  PageId id = SeedOnePage(pager.get());
+
+  const uint64_t reads_before = pager->stats().page_reads;
+  // Attempt 1 fails transiently (CorruptingFile propagates the error
+  // without consuming its one-shot flip); attempt 2 reads fine but gets
+  // flipped on the wire; the CRC re-read returns clean bytes.
+  plan->ArmTransientReads(/*n=*/0, /*k=*/1);
+  corrupt->CorruptNextRead();
+  Result<PageRef> ref = pager->Fetch(id);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  EXPECT_STREQ(ref.value().data(), "payload");
+  ref.value().Release();
+
+  EXPECT_EQ(pager->stats().page_reads - reads_before, 1u);
+  EXPECT_EQ(pager->stats().checksum_failures, 1u);
+  const PagerRetryStats r = pager->retry_stats();
+  EXPECT_EQ(r.read_retries, 1u);
+  EXPECT_EQ(r.read_recoveries, 1u);
+  EXPECT_EQ(r.read_exhausted, 0u);
+  EXPECT_EQ(r.crc_rereads, 1u);
+  EXPECT_EQ(r.crc_reread_recoveries, 1u);
+}
+
 TEST(PagerRetryTest, PersistentChecksumMismatchStaysCorruption) {
   auto corrupt_owner =
       std::make_unique<CorruptingFile>(std::make_unique<MemFile>(kPageSize));

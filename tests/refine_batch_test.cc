@@ -591,6 +591,67 @@ TEST(RefineBatchTest, StaleSidecarBoxIsACheckViolation) {
   EXPECT_TRUE(phase_flagged);
 }
 
+// ISSUE 9 satellite 2: slots written on the live-append path must leave
+// the persisted sidecar verifiable — cdb_check's relation.bbox_sidecar
+// phase passes on a database that appended (and published) tuples under
+// single-writer mode.
+TEST(RefineBatchTest, SidecarVerifiesCleanAfterLiveAppends) {
+  DatabaseOptions opts;
+  opts.in_memory = true;
+  std::unique_ptr<ConstraintDatabase> db;
+  ASSERT_TRUE(ConstraintDatabase::Open("mem_live_bbox", opts, &db).ok());
+  Rng rng(8105);
+  WorkloadOptions w;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(db->Insert(RandomBoundedTuple(&rng, w)).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->relation()->bbox_cache_enabled());
+
+  // Live appends: reserve, enter single-writer mode, append a mix of
+  // bounded and unbounded tuples with a mid-stream publish, publish the
+  // rest, and leave serving mode.
+  constexpr size_t kAppends = 25;
+  ASSERT_TRUE(db->relation()->BeginOnlineAppends(kAppends).ok());
+  ASSERT_TRUE(db->relation_pager()->BeginConcurrentReads(true).ok());
+  for (size_t i = 0; i < kAppends; ++i) {
+    GeneralizedTuple t = (i % 5 == 0) ? RandomUnboundedTuple(&rng, w)
+                                      : RandomBoundedTuple(&rng, w);
+    Result<TupleId> id = db->relation()->Insert(t);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ASSERT_TRUE(db->index()->Insert(id.value(), t).ok());
+    if (i == kAppends / 2) {
+      ASSERT_TRUE(db->relation_pager()->Flush().ok());
+      db->relation()->PublishAppends();
+      ASSERT_TRUE(db->index_pager()->Flush().ok());
+    }
+  }
+  ASSERT_TRUE(db->relation_pager()->Flush().ok());
+  db->relation()->PublishAppends();
+  ASSERT_TRUE(db->relation_pager()->EndConcurrentReads().ok());
+  ASSERT_TRUE(db->Flush().ok());
+
+  CheckReport report;
+  ASSERT_TRUE(CheckDatabase(db.get(), &report).ok());
+  EXPECT_TRUE(report.ok()) << report.Summary() << ": "
+                           << (report.violations.empty()
+                                   ? ""
+                                   : report.violations[0]);
+  bool sidecar_ran = false;
+  for (const CheckReport::Entry& e : report.checks) {
+    if (e.name == "relation.bbox_sidecar") {
+      sidecar_ran = true;
+      EXPECT_TRUE(e.ok) << e.violations << " sidecar violations";
+    }
+  }
+  EXPECT_TRUE(sidecar_ran);
+
+  // Past-the-end ids read as "no box" even right after the append run.
+  Rect box;
+  EXPECT_FALSE(db->relation()->CachedBoundingBox(
+      static_cast<TupleId>(40 + kAppends), &box));
+}
+
 TEST(RefineBatchTest, SidecarBoxForDeadTupleIsACheckViolation) {
   DatabaseOptions opts;
   opts.in_memory = true;
