@@ -26,14 +26,19 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "exec/ingest_queue.h"
 #include "exec/query_executor.h"
 #include "harness.h"
 #include "obs/clock.h"
+#include "obs/event_log.h"
+#include "obs/json.h"
 #include "obs/latency.h"
 #include "obs/metrics.h"
+#include "obs/pipeline.h"
 
 namespace cdb {
 namespace bench {
@@ -75,6 +80,13 @@ int main(int argc, char** argv) {
     }
   }
   BenchReporter reporter("online_updates", &argc, argv);
+  std::string trace_path;  // --trace PATH: phase-D pipeline Chrome trace.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+  }
 
   const int kN0 = smoke ? 800 : 3000;
   const int kDelta = smoke ? 250 : 1000;
@@ -446,6 +458,260 @@ int main(int argc, char** argv) {
       reporter.AddValue("ingest", ingest_params, "publish_p95_ms", gp.p95_ms);
       reporter.AddValue("ingest", ingest_params, "publish_p99_ms", gp.p99_ms);
       reporter.AddValue("ingest", ingest_params, "publish_max_ms", gp.max_ms);
+    }
+  }
+
+  // --- Phase D: write-path pipeline attribution & stall ledger -----------
+  //
+  // ISSUE 10 tentpole measurement: queries race grouped publishes under
+  // SWMR serving while every append's Submit -> reader-visibility latency
+  // is decomposed into the five pipeline stages (obs/pipeline.h) on the
+  // ingest lane itself, the commit-trigger/stall ledger is captured, and a
+  // flight recorder shadows the run. Appends are pre-queued and kAppends
+  // is a multiple of the group size, so greedy batching drains full groups
+  // only — groups, triggers and the stage-sum balance are deterministic
+  // while the latencies themselves remain timing (bench_diff classifies
+  // them accordingly).
+  {
+    const size_t kGroup = 32;
+    const size_t kAppends = smoke ? 256 : 1024;  // Multiple of kGroup.
+    const size_t kDThreads = 8;
+    const int kDQueries = smoke ? 48 : 96;
+    const uint64_t kSampleEvery = 4;
+
+    DatasetConfig dcfg = inc_cfg;
+    dcfg.seed += 13;
+    Dataset live = BuildDataset(dcfg);
+    std::vector<exec::BatchQuery> dbatch;
+    {
+      Rng drng(20260809);
+      for (int i = 0; i < kDQueries; ++i) {
+        SelectionType type =
+            i % 2 == 0 ? SelectionType::kExist : SelectionType::kAll;
+        std::vector<CalibratedQuery> cq =
+            MakeQueries(*live.relation, type, 1, 0.05, 0.20, &drng);
+        exec::BatchQuery q;
+        q.type = cq[0].type;
+        q.query = cq[0].query;
+        q.method = QueryMethod::kT2;
+        dbatch.push_back(q);
+      }
+    }
+    std::vector<GeneralizedTuple> dstream;
+    for (size_t i = 0; i < kAppends; ++i) {
+      dstream.push_back(RandomBoundedTuple(&irng, w));
+    }
+
+    if (!live.relation->BeginOnlineAppends(kAppends).ok()) return 1;
+    obs::IngestPipelineRecorders pipeline(kSampleEvery, /*seed=*/20260810);
+    obs::EventLog flight(4096);
+    exec::IngestQueueOptions dopts;
+    dopts.queue_capacity = kAppends;
+    dopts.max_group_size = kGroup;
+    dopts.pipeline = &pipeline;
+    dopts.event_log = &flight;
+    exec::IngestQueue dqueue(live.relation.get(), live.dual.get(),
+                             live.rel_pager.get(), live.dual_pager.get(),
+                             dopts);
+    std::vector<exec::IngestHandle> dhandles;
+    for (const GeneralizedTuple& t : dstream) {
+      Result<exec::IngestHandle> h = dqueue.Submit(t);
+      if (!h.ok()) {
+        std::fprintf(stderr, "FATAL: phase-D submit failed: %s\n",
+                     h.status().ToString().c_str());
+        return 1;
+      }
+      dhandles.push_back(h.value());
+    }
+    dqueue.Close();
+
+    const PagerConcurrencyStats cs_before =
+        live.dual_pager->concurrency_stats();
+    exec::QueryExecutor dexecutor(kDThreads);
+    std::vector<exec::BatchItemResult> dresults;
+    obs::Clock* dclock = obs::DefaultClock();
+    const uint64_t run_t0 = dclock->NowNanos();
+    Status dst = dexecutor.RunBatchWithWriter(
+        live.dual.get(), dbatch, &dresults, [&] { return dqueue.RunWriter(); });
+    const uint64_t run_ns = dclock->NowNanos() - run_t0;
+    if (!dst.ok()) {
+      std::fprintf(stderr, "FATAL: phase-D run failed: %s\n",
+                   dst.ToString().c_str());
+      return 1;
+    }
+    for (exec::IngestHandle& h : dhandles) {
+      if (!h.Wait().ok()) {
+        std::fprintf(stderr, "FATAL: phase-D append not acknowledged\n");
+        return 1;
+      }
+    }
+    size_t dfailed = 0;
+    for (const exec::BatchItemResult& r : dresults) {
+      if (!r.status.ok()) ++dfailed;
+    }
+    if (dfailed != 0 || !live.dual->CheckInvariants().ok()) {
+      std::fprintf(stderr, "FATAL: phase-D serving failed\n");
+      return 1;
+    }
+
+    // Deterministic shape, proven on the lane: all-full groups, a clean
+    // trigger ledger, balanced stage sums on every sampled group, and a
+    // flight recorder that saw every transition.
+    const exec::IngestQueueStats dstats = dqueue.stats();
+    const uint64_t expected_groups = kAppends / kGroup;
+    if (dstats.groups_committed != expected_groups ||
+        dstats.commits_full != expected_groups ||
+        dstats.commits_deadline != 0 || dstats.commits_drain != 0 ||
+        dstats.appends_committed != kAppends) {
+      std::fprintf(stderr, "BUG: phase-D group/trigger ledger is off\n");
+      return 1;
+    }
+    if (pipeline.visibility().count() != kAppends ||
+        pipeline.unbalanced_groups() != 0) {
+      std::fprintf(stderr, "BUG: phase-D pipeline digests are off\n");
+      return 1;
+    }
+    const std::vector<obs::IngestGroupProfile> dprofiles =
+        pipeline.SampledProfiles();
+    for (const obs::IngestGroupProfile& p : dprofiles) {
+      if (!p.Balances() || !p.ToExplainProfile().SumsBalance()) {
+        std::fprintf(stderr, "BUG: sampled group %llu does not balance\n",
+                     static_cast<unsigned long long>(p.group_seq));
+        return 1;
+      }
+    }
+    {
+      Result<obs::JsonValue> doc = obs::ParseJson(flight.ToJson());
+      if (!doc.ok()) {
+        std::fprintf(stderr, "BUG: flight recorder JSON does not parse\n");
+        return 1;
+      }
+      size_t committed_events = 0;
+      const obs::JsonValue* events = doc.value().Find("events");
+      if (events != nullptr) {
+        for (const obs::JsonValue& e : events->items) {
+          const obs::JsonValue* t = e.Find("type");
+          if (t != nullptr && t->string_value == "group_committed") {
+            ++committed_events;
+          }
+        }
+      }
+      if (committed_events + flight.dropped() < expected_groups) {
+        std::fprintf(stderr, "BUG: flight recorder missed commits\n");
+        return 1;
+      }
+    }
+
+    // Visibility sums are reported from the exact integer accumulators,
+    // so the artifact-level balance rule can hold to double precision.
+    uint64_t stage_sum_ns = 0;
+    for (int i = 0; i < obs::kIngestStageCount; ++i) {
+      stage_sum_ns +=
+          pipeline.stage(static_cast<obs::IngestStage>(i)).sum_ns();
+    }
+    const obs::LatencySnapshot vis = pipeline.visibility().Snapshot();
+    const PagerConcurrencyStats cs_after =
+        live.dual_pager->concurrency_stats();
+    const double depth_avg =
+        run_ns > 0
+            ? static_cast<double>(dstats.depth_time_ns) /
+                  static_cast<double>(run_ns)
+            : 0.0;
+
+    PrintTableHeader("Write-path pipeline stages (Submit -> visibility)",
+                     {"stage", "count", "p50-ms", "p95-ms", "p99-ms",
+                      "max-ms"});
+    BenchReporter::Params dparams = {
+        {"group", static_cast<double>(kGroup)},
+        {"appends", static_cast<double>(kAppends)}};
+    for (int i = 0; i < obs::kIngestStageCount; ++i) {
+      const obs::IngestStage s = static_cast<obs::IngestStage>(i);
+      const std::string name(obs::IngestStageName(s));
+      const obs::LatencySnapshot snap = pipeline.stage(s).Snapshot();
+      PrintTableRow({name, Fmt(static_cast<double>(snap.count), 0),
+                     Fmt(snap.p50_ms, 4), Fmt(snap.p95_ms, 4),
+                     Fmt(snap.p99_ms, 4), Fmt(snap.max_ms, 4)});
+      const std::string label = "pipeline_" + name;
+      reporter.AddValue(label, dparams, "count",
+                        static_cast<double>(snap.count));
+      reporter.AddValue(label, dparams, "sum_ms",
+                        static_cast<double>(pipeline.stage(s).sum_ns()) / 1e6);
+      reporter.AddValue(label, dparams, "p50_ms", snap.p50_ms);
+      reporter.AddValue(label, dparams, "p95_ms", snap.p95_ms);
+      reporter.AddValue(label, dparams, "p99_ms", snap.p99_ms);
+      reporter.AddValue(label, dparams, "max_ms", snap.max_ms);
+    }
+    PrintTableRow({"visibility", Fmt(static_cast<double>(vis.count), 0),
+                   Fmt(vis.p50_ms, 4), Fmt(vis.p95_ms, 4), Fmt(vis.p99_ms, 4),
+                   Fmt(vis.max_ms, 4)});
+    reporter.AddValue("visibility", dparams, "count",
+                      static_cast<double>(vis.count));
+    reporter.AddValue("visibility", dparams, "sum_ms",
+                      static_cast<double>(pipeline.visibility().sum_ns()) /
+                          1e6);
+    reporter.AddValue("visibility", dparams, "stage_sum_ms",
+                      static_cast<double>(stage_sum_ns) / 1e6);
+    reporter.AddValue("visibility", dparams, "p50_ms", vis.p50_ms);
+    reporter.AddValue("visibility", dparams, "p95_ms", vis.p95_ms);
+    reporter.AddValue("visibility", dparams, "p99_ms", vis.p99_ms);
+    reporter.AddValue("visibility", dparams, "max_ms", vis.max_ms);
+    reporter.AddValue("visibility", dparams, "unbalanced",
+                      static_cast<double>(pipeline.unbalanced_groups()));
+    reporter.AddValue("visibility", dparams, "sampled_groups",
+                      static_cast<double>(pipeline.sampled_groups()));
+
+    std::printf(
+        "stall ledger: depth high-water %llu  avg depth %.3f  triggers "
+        "full/deadline/drain %llu/%llu/%llu  sessions drained %llu  drain "
+        "%.3f ms\n",
+        static_cast<unsigned long long>(dstats.depth_high_water), depth_avg,
+        static_cast<unsigned long long>(dstats.commits_full),
+        static_cast<unsigned long long>(dstats.commits_deadline),
+        static_cast<unsigned long long>(dstats.commits_drain),
+        static_cast<unsigned long long>(cs_after.publish_sessions_drained -
+                                        cs_before.publish_sessions_drained),
+        static_cast<double>(cs_after.publish_drain_ns -
+                            cs_before.publish_drain_ns) /
+            1e6);
+    reporter.AddValue("stall", dparams, "groups",
+                      static_cast<double>(dstats.groups_committed));
+    reporter.AddValue("stall", dparams, "commits_full",
+                      static_cast<double>(dstats.commits_full));
+    reporter.AddValue("stall", dparams, "commits_deadline",
+                      static_cast<double>(dstats.commits_deadline));
+    reporter.AddValue("stall", dparams, "commits_drain",
+                      static_cast<double>(dstats.commits_drain));
+    reporter.AddValue("stall", dparams, "depth_high_water",
+                      static_cast<double>(dstats.depth_high_water));
+    reporter.AddValue("stall", dparams, "depth_avg", depth_avg);
+    reporter.AddValue("stall", dparams, "sessions_drained",
+                      static_cast<double>(cs_after.publish_sessions_drained -
+                                          cs_before.publish_sessions_drained));
+    reporter.AddValue("stall", dparams, "drain_ms",
+                      static_cast<double>(cs_after.publish_drain_ns -
+                                          cs_before.publish_drain_ns) /
+                          1e6);
+
+    // Lane health + stage digests as gauges (satellite): the artifact's
+    // metrics section and any Prometheus scrape see them side by side.
+    dqueue.ExportMetrics(&obs::GlobalMetrics(), "ingest.lane");
+    pipeline.ExportMetrics(&obs::GlobalMetrics(), "ingest");
+
+    if (!trace_path.empty()) {
+      const std::string trace = pipeline.TraceJson();
+      if (!obs::ParseJson(trace).ok()) {
+        std::fprintf(stderr, "FAIL: pipeline trace is not valid JSON\n");
+        return 1;
+      }
+      std::FILE* f = std::fopen(trace_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "FAIL: cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::fwrite(trace.data(), 1, trace.size(), f);
+      std::fclose(f);
+      std::printf("trace: %zu sampled group profiles -> %s\n",
+                  dprofiles.size(), trace_path.c_str());
     }
   }
 

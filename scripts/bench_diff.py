@@ -68,6 +68,13 @@ _SCHEDULE_DEPENDENT = (
     "online_updates/counters/refine.batch.*",
     "*/counters/exec.shed.count",
     "*pager.retry.*",
+    # ISSUE 10: the time-weighted mean queue depth divides the depth
+    # integral (ns-weighted) by the measured wall clock — both numerator
+    # and denominator are machine speed. The rest of the stall ledger
+    # (depth_high_water, groups, commits_*) is seed-pinned in phase D
+    # because every append is queued before the writer starts, and stays
+    # gated as deterministic.
+    "online_updates/stall/depth_avg",
 )
 
 # Deterministic but *directional*: seed-pinned values whose designed
@@ -374,6 +381,43 @@ def self_test():
     run(lambda d: d["metrics"]["counters"].update(
         {"pager.retry.read_retries": 5}),
         False, [], False, "pager retry counters are schedule-dependent")
+
+    # ISSUE 10 write-path pipeline rows: stage/visibility digests are
+    # timing (auto-skipped via the _ms suffix), the trigger ledger and
+    # stage counts are deterministic, and depth_avg rides the
+    # schedule-dependent path for online_updates.
+    base["measurements"].append(
+        {"label": "stall", "params": {"group": 32},
+         "values": {"groups": 8, "commits_full": 8, "commits_deadline": 0,
+                    "commits_drain": 0, "depth_high_water": 256,
+                    "depth_avg": 105.8}})
+    base["measurements"].append(
+        {"label": "pipeline_fsync", "params": {"group": 32},
+         "values": {"count": 256, "sum_ms": 50.0, "p99_ms": 1.9}})
+    run(lambda d: d["measurements"][5]["values"].update(commits_full=7,
+                                                        commits_drain=1),
+        False, [], True, "commit-trigger ledger stays exactly gated")
+    run(lambda d: d["measurements"][5]["values"].update(depth_high_water=9),
+        False, [], True, "depth high-water stays exactly gated")
+    run(lambda d: d["measurements"][6]["values"].update(count=255),
+        False, [], True, "pipeline stage count stays exactly gated")
+    run(lambda d: d["measurements"][6]["values"].update(sum_ms=500.0),
+        False, [], False, "pipeline stage sums ignored without --timing")
+    run(lambda d: d["measurements"][6]["values"].update(sum_ms=500.0),
+        True, [], True, "pipeline stage sum blow-up caught with --timing")
+    cand = copy.deepcopy(base)
+    cand["measurements"][5]["values"]["depth_avg"] = 2.0
+    scenarios[0] += 2
+    gate = Gate(False, [], schedule=("demo/stall/depth_avg",))
+    gate.compare_docs("demo", base, cand)
+    if gate.failures:
+        failures.append(f"schedule-dependent depth_avg still gated: "
+                        f"{gate.failures!r}")
+    gate = Gate(False, [])
+    gate.compare_docs("demo", base, cand)
+    if not gate.failures:
+        failures.append("depth_avg pattern for online_updates must not "
+                        "skip under another bench name")
 
     # Per-bench schedule-dependent counters skip the deterministic gate
     # only for the bench that matches the pattern.

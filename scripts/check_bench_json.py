@@ -425,17 +425,112 @@ def _check_ingest_rows(ingest, errors):
                 f"({ingest[g]['appends_per_s']:.0f}/s vs {base_tp:.0f}/s)")
 
 
+# The visibility row's stage_sum_ms and sum_ms both come from the same
+# exact integer-nanosecond accumulators (obs::IngestPipelineRecorders), so
+# they must agree to double-rounding noise — any real gap means a stage
+# boundary was dropped or double-counted.
+PIPELINE_BALANCE_TOL_MS = 1e-6
+PIPELINE_STAGES = ("admission", "group_wait", "apply", "fsync", "publish")
+
+
+def _check_pipeline_rows(pipeline, visibility, stall, errors):
+    """Write-path pipeline attribution (ISSUE 10): every stage digest saw
+    every append exactly once, percentiles are rank-ordered, the stage sums
+    telescope to the end-to-end write-visibility sum, every sampled group
+    balanced, and the commit-trigger ledger accounts for every group."""
+    if not visibility:
+        errors.append("online_updates: no write-visibility measurement")
+        return
+    count = visibility.get("count")
+    if not _is_number(count) or count < 1:
+        errors.append(
+            f"online_updates: visibility.count {count!r} (the pipeline must "
+            "attribute at least one append)")
+        return
+    _check_percentile_order("online_updates", "visibility", visibility,
+                            errors)
+    for stage in PIPELINE_STAGES:
+        row = pipeline.get(stage)
+        if row is None:
+            errors.append(
+                f"online_updates: missing pipeline_{stage} stage row")
+            continue
+        if row.get("count") != count:
+            errors.append(
+                f"online_updates: pipeline_{stage}.count "
+                f"{row.get('count')!r} != visibility.count {count:g} "
+                "(every append must hit every stage exactly once)")
+        if not _is_number(row.get("sum_ms")) or row.get("sum_ms") < 0:
+            errors.append(
+                f"online_updates: pipeline_{stage}.sum_ms "
+                f"{row.get('sum_ms')!r} is not a non-negative number")
+        _check_percentile_order("online_updates", f"pipeline_{stage}", row,
+                                errors)
+    stage_sum = visibility.get("stage_sum_ms")
+    total = visibility.get("sum_ms")
+    if not _is_number(stage_sum) or not _is_number(total):
+        errors.append("online_updates: visibility row must carry numeric "
+                      "sum_ms and stage_sum_ms")
+    elif abs(stage_sum - total) > PIPELINE_BALANCE_TOL_MS:
+        errors.append(
+            f"online_updates: stage sums ({stage_sum} ms) do not telescope "
+            f"to the write-visibility sum ({total} ms); a stage boundary "
+            "was dropped or double-counted")
+    if visibility.get("unbalanced") != 0:
+        errors.append(
+            f"online_updates: {visibility.get('unbalanced')!r} sampled "
+            "groups failed the per-group stage-sum balance")
+    sampled = visibility.get("sampled_groups")
+    if not _is_number(sampled) or sampled < 1:
+        errors.append(
+            f"online_updates: visibility.sampled_groups {sampled!r} "
+            "(deterministic 1-in-N group sampling must profile something)")
+    if not stall:
+        errors.append("online_updates: no stall-ledger measurement")
+        return
+    groups = stall.get("groups")
+    triggers = [stall.get(k) for k in ("commits_full", "commits_deadline",
+                                       "commits_drain")]
+    if not _is_number(groups) or not all(_is_number(t) for t in triggers):
+        errors.append("online_updates: stall row must carry numeric groups "
+                      "and commits_full/deadline/drain")
+    elif sum(triggers) != groups:
+        errors.append(
+            f"online_updates: commit triggers full/deadline/drain "
+            f"{triggers[0]:g}/{triggers[1]:g}/{triggers[2]:g} do not "
+            f"account for all {groups:g} committed groups")
+    high_water = stall.get("depth_high_water")
+    depth_avg = stall.get("depth_avg")
+    if not _is_number(high_water) or high_water < 1:
+        errors.append(
+            f"online_updates: stall.depth_high_water {high_water!r} (the "
+            "lane cannot commit appends without ever holding one)")
+    if not _is_number(depth_avg) or depth_avg < 0:
+        errors.append(
+            f"online_updates: stall.depth_avg {depth_avg!r} is not a "
+            "non-negative number")
+    elif _is_number(high_water) and depth_avg > high_water:
+        errors.append(
+            f"online_updates: stall.depth_avg {depth_avg:g} exceeds the "
+            f"high-water depth {high_water:g} (the time-weighted mean of a "
+            "series cannot beat its maximum)")
+
+
 def _check_online_updates(doc, errors):
     """Semantic rules for the online_updates artifact: incremental
     handicaps stay within budget of freshly rebuilt and beat stale, the
     concurrent serving phase ingested without failing any query, the
     writer's publish pipeline reports ordered latency percentiles
-    (ISSUE 5), and the group-commit ingest lane amortizes its durability
-    bill (ISSUE 9, _check_ingest_rows)."""
+    (ISSUE 5), the group-commit ingest lane amortizes its durability
+    bill (ISSUE 9, _check_ingest_rows), and the write-path pipeline
+    attribution telescopes (ISSUE 10, _check_pipeline_rows)."""
     totals = {}
     online = {}
     publish = {}
     ingest = {}
+    pipeline = {}
+    visibility = {}
+    stall = {}
     for m in doc.get("measurements", []):
         if not isinstance(m, dict):
             continue
@@ -443,6 +538,15 @@ def _check_online_updates(doc, errors):
         if not isinstance(values, dict):
             continue
         label = m.get("label")
+        if isinstance(label, str) and label.startswith("pipeline_"):
+            pipeline.setdefault(label[len("pipeline_"):], {}).update(
+                {k: v for k, v in values.items() if _is_number(v)})
+        if label == "visibility":
+            visibility.update(
+                {k: v for k, v in values.items() if _is_number(v)})
+        if label == "stall":
+            stall.update(
+                {k: v for k, v in values.items() if _is_number(v)})
         if label in ("stale", "incremental", "rebuilt"):
             index = values.get("index_fetches")
             tuples = values.get("tuple_fetches")
@@ -460,6 +564,7 @@ def _check_online_updates(doc, errors):
                 ingest[group] = {k: v for k, v in values.items()
                                  if _is_number(v)}
     _check_ingest_rows(ingest, errors)
+    _check_pipeline_rows(pipeline, visibility, stall, errors)
     if not publish:
         errors.append("online_updates: no publish-pipeline measurements")
     else:
@@ -670,6 +775,31 @@ _GOOD_ONLINE = {
                     "appends_per_s": 2300000.0, "wall_ms": 0.9,
                     "publish_p50_ms": 0.02, "publish_p95_ms": 0.04,
                     "publish_p99_ms": 0.05, "publish_max_ms": 0.07}},
+        {"label": "pipeline_admission", "params": {"group": 32},
+         "values": {"count": 256, "sum_ms": 8000.0, "p50_ms": 33.0,
+                    "p95_ms": 84.0, "p99_ms": 84.0, "max_ms": 84.3}},
+        {"label": "pipeline_group_wait", "params": {"group": 32},
+         "values": {"count": 256, "sum_ms": 0.1, "p50_ms": 0.0006,
+                    "p95_ms": 0.0006, "p99_ms": 0.0006, "max_ms": 0.0007}},
+        {"label": "pipeline_apply", "params": {"group": 32},
+         "values": {"count": 256, "sum_ms": 3000.0, "p50_ms": 11.9,
+                    "p95_ms": 21.8, "p99_ms": 21.8, "max_ms": 21.9}},
+        {"label": "pipeline_fsync", "params": {"group": 32},
+         "values": {"count": 256, "sum_ms": 50.0, "p50_ms": 0.02,
+                    "p95_ms": 1.9, "p99_ms": 1.9, "max_ms": 2.0}},
+        {"label": "pipeline_publish", "params": {"group": 32},
+         "values": {"count": 256, "sum_ms": 30.0, "p50_ms": 0.08,
+                    "p95_ms": 1.8, "p99_ms": 1.8, "max_ms": 1.8}},
+        {"label": "visibility", "params": {"group": 32},
+         "values": {"count": 256, "sum_ms": 11080.1,
+                    "stage_sum_ms": 11080.1, "p50_ms": 39.9, "p95_ms": 100.3,
+                    "p99_ms": 100.3, "max_ms": 100.4, "unbalanced": 0,
+                    "sampled_groups": 2}},
+        {"label": "stall", "params": {"group": 32},
+         "values": {"groups": 8, "commits_full": 8, "commits_deadline": 0,
+                    "commits_drain": 0, "depth_high_water": 256,
+                    "depth_avg": 105.8, "sessions_drained": 2,
+                    "drain_ms": 1.7}},
     ],
     "metrics": {"counters": {}, "gauges": {"dual.handicap.staleness": 235},
                 "histograms": {}},
@@ -856,6 +986,40 @@ def self_test():
     broken_online(
         lambda d: d["measurements"][8]["values"].pop("group_fsyncs"),
         "ingest row missing the fsync column")
+    broken_online(lambda d: d["measurements"].pop(14),
+                  "online_updates sans write-visibility row")
+    broken_online(lambda d: d["measurements"].pop(11),
+                  "online_updates sans a pipeline stage row")
+    broken_online(
+        lambda d: d["measurements"][11]["values"].update(count=255),
+        "pipeline stage count disagrees with visibility count")
+    broken_online(
+        lambda d: d["measurements"][11]["values"].update(p95_ms=5.0),
+        "pipeline stage percentiles out of order")
+    broken_online(
+        lambda d: d["measurements"][11]["values"].update(sum_ms=-1.0),
+        "pipeline stage with a negative sum")
+    broken_online(
+        lambda d: d["measurements"][14]["values"].update(
+            stage_sum_ms=11000.0),
+        "stage sums do not telescope to the visibility sum")
+    broken_online(
+        lambda d: d["measurements"][14]["values"].update(unbalanced=1),
+        "a sampled group failed the stage-sum balance")
+    broken_online(
+        lambda d: d["measurements"][14]["values"].update(sampled_groups=0),
+        "group sampling enabled but nothing profiled")
+    broken_online(lambda d: d["measurements"].pop(15),
+                  "online_updates sans stall-ledger row")
+    broken_online(
+        lambda d: d["measurements"][15]["values"].update(commits_full=7),
+        "commit triggers do not account for every group")
+    broken_online(
+        lambda d: d["measurements"][15]["values"].update(depth_high_water=0),
+        "lane committed appends with a zero high-water depth")
+    broken_online(
+        lambda d: d["measurements"][15]["values"].update(depth_avg=300.0),
+        "time-weighted mean depth above the high-water mark")
 
     if failures:
         for f in failures:

@@ -47,7 +47,9 @@
 #include "constraint/relation.h"
 #include "dualindex/dual_index.h"
 #include "obs/clock.h"
+#include "obs/event_log.h"
 #include "obs/latency.h"
+#include "obs/pipeline.h"
 #include "storage/pager.h"
 
 namespace cdb {
@@ -73,6 +75,22 @@ struct IngestQueueOptions {
   /// owned; must outlive the queue. The online_updates bench reads its
   /// percentiles as the group publish latency.
   obs::LatencyRecorder* publish_latency = nullptr;
+  /// Optional per-append stage attribution (ISSUE 10): when attached,
+  /// every append's Submit -> visibility latency is decomposed into the
+  /// five pipeline stages on `clock` (see obs/pipeline.h), the
+  /// time-weighted depth integral is maintained, and sampled groups keep
+  /// a stage profile whose sums are balance-checked at runtime. Not
+  /// owned; must outlive the queue. Null = zero extra clock reads.
+  obs::IngestPipelineRecorders* pipeline = nullptr;
+  /// Optional flight recorder: admission/group/poison transitions are
+  /// recorded as structured events (see obs/event_log.h). Not owned; may
+  /// be shared between lanes; must outlive the queue.
+  obs::EventLog* event_log = nullptr;
+  /// When non-empty (and event_log is attached), the lane dumps the
+  /// flight recorder to this file the moment it poisons — every
+  /// chaos-sweep failure ships its own black box. Best-effort: a dump
+  /// failure never masks the poisoning status.
+  std::string flight_dump_path;
 };
 
 /// Cumulative queue counters (see also the "ingest.*" global metrics).
@@ -84,6 +102,17 @@ struct IngestQueueStats {
   uint64_t groups_failed = 0;     ///< 0 or 1: a failure poisons the lane.
   uint64_t max_group_size = 0;    ///< Largest committed group.
   uint64_t commit_wait_ns = 0;    ///< Total time spent filling groups.
+  uint64_t depth_high_water = 0;  ///< Deepest the queue has been.
+  /// Commit-trigger ledger (ISSUE 10): why each committed group left the
+  /// assembly window. The three always sum to groups_committed.
+  uint64_t commits_full = 0;      ///< Group reached max_group_size.
+  uint64_t commits_deadline = 0;  ///< commit_wait_ns expired on a partial.
+  uint64_t commits_drain = 0;     ///< Greedy batching / close-time drain.
+  /// Time-weighted queue-depth integral (sum over time of depth * dt, in
+  /// depth-nanoseconds): divide by elapsed time for the average depth.
+  /// Maintained only while pipeline recorders are attached (it costs a
+  /// clock read per queue transition); 0 otherwise.
+  uint64_t depth_time_ns = 0;
 };
 
 /// Completion future for one Submit(). Copyable; all copies share the
@@ -139,17 +168,36 @@ class IngestQueue {
 
   IngestQueueStats stats() const;
 
+  /// Publishes the lane's stats as gauges "<prefix>.submitted", ".shed",
+  /// ".groups_committed", ".appends_committed", ".groups_failed",
+  /// ".max_group_size", ".commit_wait_ns", ".depth" (current),
+  /// ".depth_high_water", ".depth_time_ns", ".commits_full",
+  /// ".commits_deadline", ".commits_drain", ".poisoned" (0/1) and
+  /// ".closed" (0/1), so a Prometheus scrape sees lane health without
+  /// code access (ISSUE 10 satellite).
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) const;
+
  private:
   struct Pending {
     GeneralizedTuple tuple;
     std::shared_ptr<IngestHandle::State> state;
+    uint64_t submit_ns = 0;  ///< Clock at admission (pipeline only).
   };
 
   /// Applies `group` and commits it: inserts, one journal commit on the
   /// relation pager, PublishAppends, index-pager commit. On success every
   /// handle resolves with its TupleId; on failure the caller poisons the
   /// lane and CommitGroup has already resolved the group with the error.
-  Status CommitGroup(std::vector<Pending>* group);
+  /// `group_seq` numbers the group for events/sampling; `open_ns` and
+  /// `drain_ns` anchor the per-append stage attribution (0 when the
+  /// pipeline is not instrumented).
+  Status CommitGroup(std::vector<Pending>* group, uint64_t group_seq,
+                     uint64_t open_ns, uint64_t drain_ns);
+
+  /// Charges (now - last depth change) * current depth to the depth
+  /// integral. Caller holds mu_; call *before* the depth changes.
+  void AccumulateDepthLocked(uint64_t now_ns);
 
   static void Resolve(const std::shared_ptr<IngestHandle::State>& state,
                       const Status& status, TupleId id);
@@ -167,6 +215,8 @@ class IngestQueue {
   bool closed_ = false;
   bool poisoned_ = false;
   IngestQueueStats stats_;
+  uint64_t next_group_seq_ = 0;       // Writer thread only.
+  uint64_t last_depth_change_ns_ = 0; // Guarded by mu_ (pipeline only).
 };
 
 }  // namespace exec

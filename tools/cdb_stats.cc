@@ -2,6 +2,7 @@
 //
 //   cdb_stats <db-path> [--page_size=N] [--json] [--generate=N] [--seed=S]
 //             [--probe=N]
+//   cdb_stats --flight=FILE [--json]
 //
 // Opens the database at <path> (the <path>.rel / <path>.idx pair) and
 // prints the health report DualIndex::CollectHealth measures: per-tree
@@ -17,14 +18,21 @@
 //                 verifying the phase-count balance invariant per query.
 //   --json        emit one "cdb-stats/v1" JSON object (health report plus
 //                 probe summary) instead of the text report.
+//   --flight=FILE standalone mode (no database): read a flight-recorder
+//                 dump written by obs::EventLog (the automatic dump an
+//                 IngestQueue makes when its lane poisons, ISSUE 10),
+//                 validate the cdb-flight/v1 schema, and summarize event
+//                 counts by type. Poison/corruption events are called out.
 //
 // Exit status: 0 = healthy, 1 = unsound handicaps or filter-accounting
-// violations found, 2 = could not open / usage error.
+// violations found (with --flight: the dump records a lane poison or
+// corruption), 2 = could not open / unparseable dump / usage error.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -40,8 +48,9 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <db-path> [--page_size=N] [--json] [--generate=N] "
-               "[--seed=S] [--probe=N]\n",
-               argv0);
+               "[--seed=S] [--probe=N]\n"
+               "       %s --flight=FILE [--json]\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -66,10 +75,115 @@ struct ProbeSummary {
   uint64_t balance_violations = 0;
 };
 
+// --flight mode: inspect an obs::EventLog dump without opening a database.
+// The recorder self-checks its JSON before writing (event_log.cc), so an
+// unparseable or wrong-schema file means truncation or corruption in
+// transit — exit 2. A parseable dump that records a lane poison or a
+// corruption event exits 1 so CI scripts can gate on "the fault the dump
+// was written for is actually in it".
+int InspectFlightDump(const std::string& file, bool json) {
+  std::string contents;
+  {
+    std::FILE* f = std::fopen(file.c_str(), "rb");
+    if (f == nullptr) {
+      if (json) {
+        return EmitJsonError(file, "flight",
+                             cdb::Status::IOError("cannot open " + file), 2);
+      }
+      std::fprintf(stderr, "cdb_stats: cannot open %s\n", file.c_str());
+      return 2;
+    }
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      contents.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  cdb::Result<cdb::obs::JsonValue> parsed = cdb::obs::ParseJson(contents);
+  if (!parsed.ok()) {
+    if (json) return EmitJsonError(file, "flight", parsed.status(), 2);
+    std::fprintf(stderr, "cdb_stats: %s is not parseable JSON: %s\n",
+                 file.c_str(), parsed.status().ToString().c_str());
+    return 2;
+  }
+  const cdb::obs::JsonValue& doc = parsed.value();
+  const cdb::obs::JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->string_value != "cdb-flight/v1") {
+    cdb::Status st = cdb::Status::InvalidArgument(
+        "not a cdb-flight/v1 dump");
+    if (json) return EmitJsonError(file, "flight", st, 2);
+    std::fprintf(stderr, "cdb_stats: %s: %s\n", file.c_str(),
+                 st.ToString().c_str());
+    return 2;
+  }
+
+  std::map<std::string, uint64_t> by_type;
+  uint64_t total = 0;
+  const cdb::obs::JsonValue* events = doc.Find("events");
+  if (events != nullptr) {
+    for (const cdb::obs::JsonValue& e : events->items) {
+      const cdb::obs::JsonValue* type = e.Find("type");
+      ++by_type[type != nullptr ? type->string_value : "?"];
+      ++total;
+    }
+  }
+  const uint64_t poisons = by_type.count("lane_poisoned")
+                               ? by_type.at("lane_poisoned")
+                               : 0;
+  const uint64_t corruptions =
+      by_type.count("corruption") ? by_type.at("corruption") : 0;
+  auto num = [&doc](const char* key) -> double {
+    const cdb::obs::JsonValue* v = doc.Find(key);
+    return v != nullptr ? v->number : 0;
+  };
+
+  if (json) {
+    cdb::obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").Value("cdb-stats/v1");
+    w.Key("path").Value(file);
+    w.Key("ok").Value(poisons == 0 && corruptions == 0);
+    w.Key("flight");
+    w.BeginObject();
+    w.Key("capacity").Value(num("capacity"));
+    w.Key("recorded").Value(num("recorded"));
+    w.Key("dropped").Value(num("dropped"));
+    w.Key("events_in_dump").Value(total);
+    w.Key("by_type");
+    w.BeginObject();
+    for (const auto& [type, count] : by_type) w.Key(type).Value(count);
+    w.EndObject();
+    w.EndObject();
+    w.EndObject();
+    std::printf("%s\n", w.TakeString().c_str());
+  } else {
+    std::printf("flight dump %s (cdb-flight/v1)\n", file.c_str());
+    std::printf(
+        "  recorded %.0f events (capacity %.0f, %.0f dropped), %llu in "
+        "dump\n",
+        num("recorded"), num("capacity"), num("dropped"),
+        static_cast<unsigned long long>(total));
+    for (const auto& [type, count] : by_type) {
+      std::printf("  %-18s %llu\n", type.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+    if (poisons > 0 || corruptions > 0) {
+      std::printf(
+          "  FAULT: %llu lane-poison and %llu corruption event(s) "
+          "recorded\n",
+          static_cast<unsigned long long>(poisons),
+          static_cast<unsigned long long>(corruptions));
+    }
+  }
+  return poisons == 0 && corruptions == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
+  std::string flight;
   bool json = false;
   long generate = 0;
   long probe = 0;
@@ -77,7 +191,10 @@ int main(int argc, char** argv) {
   cdb::DatabaseOptions options;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--page_size=", 12) == 0) {
+    if (std::strncmp(arg, "--flight=", 9) == 0) {
+      flight = arg + 9;
+      if (flight.empty()) return Usage(argv[0]);
+    } else if (std::strncmp(arg, "--page_size=", 12) == 0) {
       long v = std::atol(arg + 12);
       if (v <= 0) return Usage(argv[0]);
       options.page_size = static_cast<size_t>(v);
@@ -98,6 +215,11 @@ int main(int argc, char** argv) {
     } else {
       return Usage(argv[0]);
     }
+  }
+  if (!flight.empty()) {
+    // Standalone: a dump file, not a database; other flags don't apply.
+    if (!path.empty() || generate > 0 || probe > 0) return Usage(argv[0]);
+    return InspectFlightDump(flight, json);
   }
   if (path.empty()) return Usage(argv[0]);
 
